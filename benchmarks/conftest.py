@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suite.
+
+Every table/figure bench consumes the same cached production study.  The
+default is the *quick* (4-day) study so the suite runs in minutes; set
+``REPRO_FULL_STUDY=1`` to regenerate against the full 14-day study the
+EXPERIMENTS.md numbers come from.
+
+Benchmarks use ``benchmark.pedantic(..., rounds=1)`` for experiment
+regeneration (the interesting output is the experiment's table, printed on
+the fly) and normal ``benchmark(...)`` for the micro/perf benches.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.runners import StudyConfig, load_production_study
+
+
+def study_config() -> StudyConfig:
+    if os.environ.get("REPRO_FULL_STUDY"):
+        return StudyConfig()
+    return StudyConfig.quick()
+
+
+# Quick-study per-edge counts are ~1/4 of the full study's, so experiments
+# lower their min_samples accordingly.
+MIN_SAMPLES = 300 if os.environ.get("REPRO_FULL_STUDY") else 80
+
+
+@pytest.fixture(scope="session")
+def study():
+    return load_production_study(study_config())

@@ -1,0 +1,21 @@
+"""Regenerate Figure 10: per-edge error distributions, LR vs XGB."""
+
+from conftest import MIN_SAMPLES
+
+from repro.harness import exp_models
+
+
+def test_bench_figure10(study, benchmark):
+    result = benchmark.pedantic(
+        exp_models.run_figure10,
+        args=(study,),
+        kwargs={"min_samples": MIN_SAMPLES},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    # XGB's error distribution is tighter than LR's on most edges.
+    assert (
+        result.metrics["edges_where_xgb_tighter"]
+        >= 0.7 * result.metrics["n_edges"]
+    )

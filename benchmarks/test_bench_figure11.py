@@ -1,0 +1,24 @@
+"""Regenerate Figure 11: per-edge MdAPE, LR vs XGB (the headline numbers)."""
+
+from conftest import MIN_SAMPLES
+
+from repro.harness import exp_models
+
+
+def test_bench_figure11(study, benchmark):
+    result = benchmark.pedantic(
+        exp_models.run_figure11,
+        args=(study,),
+        kwargs={"min_samples": MIN_SAMPLES},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    m = result.metrics
+    # Paper: per-edge medians 7.0 % (LR) vs 4.6 % (XGB).  We require the
+    # ordering and the single-digit XGB regime, not the exact numbers.
+    assert m["median_mdape_xgb"] < m["median_mdape_linear"]
+    assert m["median_mdape_xgb"] < 10.0
+    assert m["median_mdape_linear"] < 40.0
+    # XGB wins on the overwhelming majority of edges.
+    assert m["xgb_win_fraction"] >= 0.8

@@ -1,0 +1,24 @@
+"""Regenerate Figure 12: XGB feature-importance grid (Nflt fades)."""
+
+from conftest import MIN_SAMPLES
+
+from repro.harness import exp_models
+
+
+def test_bench_figure12(study, benchmark):
+    lin = exp_models.run_figure9(study, min_samples=MIN_SAMPLES)
+    result = benchmark.pedantic(
+        exp_models.run_figure12,
+        args=(study,),
+        kwargs={"min_samples": MIN_SAMPLES},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    grid = result.series["grid"]
+    assert {"C", "P"} <= set(grid.eliminated_everywhere())
+    # §5.3: Nflt matters in the linear model but far less in the nonlinear
+    # one (the trees absorb faults via nonlinear functions of load).
+    nflt_linear = lin.metrics["nflt_mean_significance"]
+    nflt_xgb = result.metrics["nflt_mean_significance"]
+    assert nflt_xgb < nflt_linear

@@ -1,0 +1,28 @@
+"""Regenerate Figure 13: MdAPE vs the Rmax threshold filter."""
+
+import os
+
+import numpy as np
+
+from repro.harness import exp_figure13
+
+
+def test_bench_figure13(study, benchmark):
+    min_at_top = 300 if os.environ.get("REPRO_FULL_STUDY") else 60
+    result = benchmark.pedantic(
+        exp_figure13.run,
+        args=(study,),
+        kwargs={"min_samples_at_top": min_at_top},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    m = result.metrics
+    assert m["n_edges"] >= 2
+    # Errors generally decline as the threshold rises (0.8 vs 0.5).
+    assert m["edges_declining"] >= 0.5 * m["n_edges"]
+    # Sample counts shrink monotonically with the threshold.
+    n_cols = [h for h in result.headers if h.startswith("n@")]
+    for row in result.rows:
+        counts = row[2 : 2 + len(n_cols)]
+        assert counts == sorted(counts, reverse=True)

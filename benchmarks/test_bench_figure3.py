@@ -1,0 +1,21 @@
+"""Regenerate Figure 3: rate vs relative external load on the testbed."""
+
+import numpy as np
+
+from repro.harness import exp_figure3
+
+
+def test_bench_figure3(benchmark):
+    result = benchmark.pedantic(
+        exp_figure3.run, kwargs={"seed": 0, "n_per_edge": 100},
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.render())
+    assert len(result.rows) == 4
+    for row in result.rows:
+        corr, load_at_max = row[3], row[4]
+        # Rate declines with load...
+        assert corr < -0.5
+        # ...and the max-rate transfer happens at (near-)zero load on the
+        # testbed, where Globus is the only load source.
+        assert load_at_max < 0.1

@@ -1,0 +1,19 @@
+"""Regenerate Figure 4: aggregate rate vs concurrency, Weibull fit."""
+
+from repro.harness import exp_figure4
+
+
+def test_bench_figure4(study, benchmark):
+    result = benchmark.pedantic(
+        exp_figure4.run, args=(study,), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    fitted = [row for row in result.rows if row[2] != "-"]
+    assert fitted, "no endpoint produced enough concurrency levels"
+    # The rise-then-fall signature: for most fitted endpoints, mean rate at
+    # the high-concurrency end is below the peak.
+    declining = [row for row in fitted if row[5] is True or row[5] == "yes"]
+    assert len(declining) >= len(fitted) / 2
+    # The Weibull mode lands at a plausible interior concurrency.
+    for row in fitted:
+        assert row[4] > 0.0

@@ -1,0 +1,15 @@
+"""Regenerate Figure 5: file characteristics vs performance."""
+
+from repro.harness import exp_figure5
+
+
+def test_bench_figure5(study, benchmark):
+    result = benchmark.pedantic(
+        exp_figure5.run, args=(study,), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    # Rate rises with total size across buckets...
+    assert result.metrics["log_size_rate_correlation"] > 0.7
+    # ...and big-file transfers beat small-file transfers within (almost
+    # every) total-size bucket.
+    assert result.metrics["big_file_win_fraction"] >= 0.8

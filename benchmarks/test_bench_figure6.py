@@ -1,0 +1,24 @@
+"""Regenerate Figure 6: size vs distance vs rate."""
+
+from repro.harness import exp_figure6
+
+
+def test_bench_figure6(study, benchmark):
+    result = benchmark.pedantic(
+        exp_figure6.run, args=(study,), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    # Rate correlates with transfer size (startup amortisation) ...
+    assert result.metrics["corr_logsize_lograte"] > 0.5
+    # ... and falls with distance where the network dominates (large
+    # transfers; the overall correlation is diluted by slow short-distance
+    # personal-endpoint edges, so only require it to be ~non-positive).
+    assert result.metrics["corr_logdist_lograte_large_transfers"] < -0.05
+    assert result.metrics["corr_logdist_lograte"] < 0.1
+    # Intercontinental transfers have a lower rate ceiling (the p95; the
+    # medians are confounded by the size mix of each population).
+    intra, inter = result.rows
+    assert inter[3] < intra[3]
+    # The log spans many decades in both size and rate.
+    assert result.metrics["size_decades"] > 9.0
+    assert result.metrics["rate_decades"] > 6.0

@@ -1,0 +1,28 @@
+"""Regenerate Figure 9: linear-model feature significance grid."""
+
+import numpy as np
+
+from conftest import MIN_SAMPLES
+
+from repro.harness import exp_models
+
+
+def test_bench_figure9(study, benchmark):
+    result = benchmark.pedantic(
+        exp_models.run_figure9,
+        args=(study,),
+        kwargs={"min_samples": MIN_SAMPLES},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    grid = result.series["grid"]
+    # C and P are eliminated on every edge (the red crosses).
+    assert {"C", "P"} <= set(grid.eliminated_everywhere())
+    # Load features carry weight: at least one K/S/G feature ranks in the
+    # top five by mean significance.
+    top5 = [name for name, _ in result.rows[:5]]
+    assert any(n.startswith(("K_", "S_", "G_")) for n in top5)
+    # Each edge's row is scaled to max 1.
+    finite_max = np.nanmax(grid.values, axis=1)
+    assert np.allclose(finite_max, 1.0)

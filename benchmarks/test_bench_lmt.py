@@ -1,0 +1,24 @@
+"""Regenerate §5.5.2: the LMT storage-monitoring study."""
+
+import os
+
+from repro.harness import exp_lmt
+
+
+def test_bench_lmt(benchmark):
+    n = 666 if os.environ.get("REPRO_FULL_STUDY") else 250
+    result = benchmark.pedantic(
+        exp_lmt.run, kwargs={"seed": 0, "n_test_transfers": n},
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.render())
+    m = result.metrics
+    # Paper: 95th-percentile error collapses from 9.29 % to 1.26 % when
+    # the four LMT features expose the non-Globus storage load.  We require
+    # a substantial improvement, not the exact numbers.
+    assert m["p95_with_lmt"] < m["p95_base"]
+    assert m["improvement_factor"] > 2.0
+    # The monitored model's tail sits well inside the unmonitored one's;
+    # the exact percentile depends on how often the unknown load flips
+    # state mid-transfer (see EXPERIMENTS.md).
+    assert m["p95_with_lmt"] < 25.0

@@ -1,0 +1,22 @@
+"""Extension bench: submission-time prediction accuracy (scheduling use)."""
+
+from conftest import MIN_SAMPLES
+
+from repro.harness import exp_online
+
+
+def test_bench_online(study, benchmark):
+    result = benchmark.pedantic(
+        exp_online.run,
+        args=(study,),
+        kwargs={"min_samples": MIN_SAMPLES, "max_eval": 120},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    m = result.metrics
+    # The paper's scheduling use case only works if prediction without
+    # future knowledge stays accurate: require single-digit online MdAPE
+    # and at worst a modest penalty over the retrospective evaluation.
+    assert m["median_online_mdape"] < 10.0
+    assert m["online_penalty_factor"] < 3.0

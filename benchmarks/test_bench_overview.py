@@ -1,0 +1,17 @@
+"""Regenerate the §1-§2 log overview statistics."""
+
+from repro.harness import exp_overview
+
+
+def test_bench_overview(study, benchmark):
+    result = benchmark.pedantic(
+        exp_overview.run, args=(study,), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    m = result.metrics
+    # The paper's dichotomy: most *bytes* move fast even when most
+    # *transfers* are slow.
+    assert m["bytes_over_100mbs_fraction"] > 0.5
+    assert m["bytes_over_1gbs_fraction"] < m["bytes_over_100mbs_fraction"]
+    # Edge funnel: a long tail of light edges around a heavy core.
+    assert m["edges_total"] > m["edges_heavy"] >= 25

@@ -1,0 +1,22 @@
+"""Regenerate the §3.2 perfSONAR bound study."""
+
+from repro.harness import exp_perfsonar
+
+
+def test_bench_perfsonar(study, benchmark):
+    result = benchmark.pedantic(
+        exp_perfsonar.run, args=(study,), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    m = result.metrics
+    # The §3.2 funnel: partial deployment filters the edge set down.
+    assert m["testable"] <= m["probeable"] <= m["heavy_edges"]
+    assert m["testable"] >= 2
+    # Most tested edges should be bound-consistent or explainable.
+    explained = m["bound_consistent"] + m["interface_mismatch"]
+    assert explained >= 0.5 * m["testable"]
+    # Classification counters are consistent.
+    assert (
+        m["interface_mismatch"] + m["within_bound"] + m["within_after_k"]
+        + m["below_bound"] <= m["testable"]
+    )

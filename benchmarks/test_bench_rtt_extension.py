@@ -1,0 +1,39 @@
+"""Future-work extension (§8): round-trip times in the global model.
+
+The paper closes §5.4 with "In future work, we will incorporate round-trip
+times for each edge, which we expect to reduce errors further."  This bench
+implements that extension using each edge's great-circle distance (the
+paper's own RTT proxy from Figure 6) and measures what it buys the global
+*linear* model, where the missing edge identity hurts most.
+"""
+
+from conftest import MIN_SAMPLES
+
+from repro.core.pipeline import GBTSettings, fit_global_model, select_heavy_edges
+
+
+def test_bench_rtt_extension(study, benchmark):
+    edges = select_heavy_edges(study.log, min_samples=MIN_SAMPLES, threshold=0.5)
+
+    def run_extension():
+        out = {}
+        for label, kwargs in [
+            ("linear", {}),
+            ("linear+rtt", {"include_rtt": True}),
+            ("gbt", {}),
+            ("gbt+rtt", {"include_rtt": True}),
+        ]:
+            model = "gbt" if label.startswith("gbt") else "linear"
+            res = fit_global_model(
+                study.features, edges, model=model, threshold=0.5, seed=0,
+                gbt=GBTSettings(n_estimators=150), **kwargs,
+            )
+            out[label] = res.mdape
+        return out
+
+    out = benchmark.pedantic(run_extension, rounds=1, iterations=1)
+    print("\n" + "\n".join(f"{k:<12} MdAPE {v:6.2f}%" for k, v in out.items()))
+    # The RTT feature should not hurt, and should help the linear model,
+    # which otherwise has no way to tell edges apart beyond ROmax/RImax.
+    assert out["linear+rtt"] <= out["linear"] * 1.05
+    assert out["gbt+rtt"] <= out["gbt"] * 1.2

@@ -1,0 +1,39 @@
+"""Robustness bench: is the LR-vs-XGB gap bigger than split noise?
+
+The paper compares models on a single 70/30 split.  This bench repeats the
+split 8 times on the busiest edge and verifies that the Figure 11 verdict
+survives: XGB wins on (nearly) every split and the two MdAPE
+distributions separate cleanly.
+"""
+
+from conftest import MIN_SAMPLES
+
+from repro.core.evaluation import compare_models
+from repro.core.pipeline import GBTSettings, select_heavy_edges
+
+
+def test_bench_split_noise(study, benchmark):
+    edge = select_heavy_edges(
+        study.log, min_samples=MIN_SAMPLES, threshold=0.5
+    )[0]
+
+    out = benchmark.pedantic(
+        compare_models,
+        args=(study.features, *edge),
+        kwargs={"n_splits": 8, "gbt": GBTSettings(n_estimators=150)},
+        rounds=1,
+        iterations=1,
+    )
+    lin, gbt = out["linear"], out["gbt"]
+    print(
+        f"\n{edge[0]}->{edge[1]}: LR median {lin.median:.2f}% "
+        f"(IQR {lin.iqr[0]:.2f}-{lin.iqr[1]:.2f}), "
+        f"XGB median {gbt.median:.2f}% "
+        f"(IQR {gbt.iqr[0]:.2f}-{gbt.iqr[1]:.2f}), "
+        f"XGB win rate {out['gbt_win_rate']:.0%}, "
+        f"IQRs separated: {out['iqr_separated']}"
+    )
+    assert out["gbt_win_rate"] >= 0.9
+    assert out["iqr_separated"]
+    # Split noise is small relative to the model gap.
+    assert lin.median - gbt.median > max(lin.spread, gbt.spread)

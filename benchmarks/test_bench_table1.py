@@ -1,0 +1,20 @@
+"""Regenerate Table 1 and validate the Eq. 1 invariants."""
+
+from repro.harness import exp_table1
+from repro.sim.units import to_gbit_per_s
+
+
+def test_bench_table1(benchmark):
+    result = benchmark.pedantic(exp_table1.run, rounds=1, iterations=1)
+    print("\n" + result.render())
+    # Shape claims from the paper's Table 1:
+    assert result.metrics["eq1_violations"] == 0
+    assert result.metrics["disk_write_limited_edges"] == 12
+    for row in result.rows:
+        src, dst, r, dw, dr, mm = row[:6]
+        assert r <= min(dw, dr, mm) * 1.001
+        assert 4.5 < r < 10.0
+    # CERN rows read slower and transfer slower than US-only rows.
+    cern_src_rows = [row for row in result.rows if row[0] == "CERN"]
+    us_rows = [row for row in result.rows if row[0] != "CERN" and row[1] != "CERN"]
+    assert max(r[4] for r in cern_src_rows) < min(r[4] for r in us_rows)

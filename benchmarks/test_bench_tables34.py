@@ -1,0 +1,30 @@
+"""Regenerate Tables 3 and 4: representativeness of the 30 edges."""
+
+from repro.harness import exp_tables34
+
+
+def test_bench_table3(study, benchmark):
+    result = benchmark.pedantic(
+        exp_tables34.run_table3, args=(study,), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    all_row, heavy_row = result.rows
+    # Paper's 30-edge percentiles: 247 / 1,436 / 3,947 km.
+    assert 100 < heavy_row[1] < 500
+    assert 900 < heavy_row[2] < 2200
+    assert 3000 < heavy_row[3] < 6000
+    # Percentiles are ordered within each population.
+    assert all_row[1] < all_row[2] < all_row[3]
+
+
+def test_bench_table4(study, benchmark):
+    result = benchmark.pedantic(
+        exp_tables34.run_table4, args=(study,), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    all_row, heavy_row = result.rows
+    # Paper: GCS=>GCS dominates both populations (45% / 51%), then
+    # GCS=>GCP, then GCP=>GCS.
+    assert heavy_row[1] > heavy_row[2] > heavy_row[3]
+    assert 40 < heavy_row[1] < 65
+    assert abs(all_row[1] + all_row[2] + all_row[3] - 100.0) < 1.0

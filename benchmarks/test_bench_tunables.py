@@ -1,0 +1,25 @@
+"""Extension bench: learning C/P from a calibration sweep (§8's lever)."""
+
+import os
+
+from repro.harness import exp_tunables
+
+
+def test_bench_tunables(benchmark):
+    n = 40 if os.environ.get("REPRO_FULL_STUDY") else 25
+    result = benchmark.pedantic(
+        exp_tunables.run, kwargs={"n_per_cell": n, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.render())
+    m = result.metrics
+    # With deliberate tunable variation, C and P survive elimination and
+    # the advisor is confident.
+    assert m["c_survived_elimination"] == 1.0
+    assert m["p_survived_elimination"] == 1.0
+    assert m["advisor_confident"] == 1.0
+    # Its pick loses at most 15% of the true-best cell's rate.
+    assert m["recommendation_regret"] < 0.15
+    # Ground truth is physical: more streams pay on a long-RTT edge.
+    rates = {(row[0], row[1]): row[3] for row in result.rows}
+    assert rates[(4, 8)] > rates[(1, 4)] > rates[(1, 1)]

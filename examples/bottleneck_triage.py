@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Bottleneck triage with the Eq. 1 analytical model (§3).
+
+Given only historical logs and (where available) perfSONAR probes, decide
+for each heavily used edge: which subsystem limits it — source disk read,
+the network, or destination disk write — and whether its observed peak is
+consistent with the analytical bound or depressed by unknown load.
+
+This is the paper's §3.2 workflow as a diagnostic tool an operator could
+actually run.
+
+Run:  python examples/bottleneck_triage.py
+"""
+
+import numpy as np
+
+from repro.core import build_feature_matrix, estimate_endpoint_maxima
+from repro.monitor.perfsonar import PerfSonarDeployment
+from repro.sim import (
+    TransferService,
+    build_production_fleet,
+    production_background_loads,
+)
+from repro.sim.units import DAY, to_mbyte_per_s
+from repro.workload import production_workload
+
+
+def main() -> None:
+    print("simulating transfer history ...")
+    fabric = build_production_fleet()
+    requests = production_workload(fabric, duration_s=2 * DAY, seed=21)
+    service = TransferService(fabric, seed=22, stop_background_after=3 * DAY)
+    for load in production_background_loads(fabric):
+        service.add_onoff_load(load)
+    for req in requests:
+        service.submit(req)
+    log = service.run()
+    features = build_feature_matrix(log)
+
+    # Log-derived endpoint capabilities (§3.2's DR/DW estimates).
+    maxima = estimate_endpoint_maxima(log)
+    # perfSONAR: assume a well-instrumented fleet for the demo (the §3.2
+    # study models partial deployment; see repro.harness.exp_perfsonar).
+    deployment = PerfSonarDeployment(
+        fabric, host_probability=1.0, third_party_probability=1.0, seed=5
+    )
+
+    print(f"\n{'edge':<44}{'Rmax':>8}{'bound':>8}  {'bottleneck':<11}{'verdict'}")
+    print("-" * 95)
+    for src, dst in log.heavy_edges(60)[:12]:
+        rows = features.edge_rows(src, dst)
+        rates = features.y[rows]
+        r_obs = float(rates.max())
+        dr = maxima[src].dr_max
+        dw = maxima[dst].dw_max
+
+        if deployment.edge_testable(src, dst):
+            mm = deployment.probe_edge(src, dst).mm_estimate
+            mm_src = "probe"
+        else:
+            mm = max(dr, dw)  # no probe: assume network is not binding
+            mm_src = "assumed"
+
+        bound = min(dr, mm, dw)
+        vals = {"disk_read": dr, "network": mm, "disk_write": dw}
+        bottleneck = min(vals, key=vals.get)
+
+        if r_obs > 1.2 * bound:
+            verdict = "exceeds bound: probe under-estimates MM (DTN pool?)"
+        elif r_obs >= 0.8 * bound:
+            verdict = "consistent with Eq. 1"
+        else:
+            # Check whether known Globus contention explains the gap.
+            k = np.maximum(
+                features.columns["K_sout"][rows],
+                features.columns["K_din"][rows],
+            )
+            corrected = float((rates + k).max())
+            if corrected >= 0.8 * bound:
+                verdict = "explained by Globus contention"
+            else:
+                verdict = "depressed: suspect unknown load"
+
+        print(
+            f"{src + ' -> ' + dst:<44}"
+            f"{to_mbyte_per_s(r_obs):>8.1f}"
+            f"{to_mbyte_per_s(bound):>8.1f}  "
+            f"{bottleneck:<11}"
+            f"{verdict} (MM {mm_src})"
+        )
+
+    print(
+        "\nRmax/bound in MB/s.  'bound' is min(DRmax, MMmax, DWmax) from "
+        "history + probes (Eq. 1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

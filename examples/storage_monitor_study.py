@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Storage-monitoring study: what does eliminating the unknowns buy? (§5.5.2)
+
+Runs a scaled-down version of the paper's NERSC Lustre experiment: uniform
+test transfers between two Lustre-backed endpoints at the same site, a
+sustained pool of Globus load transfers, and bursty *non-Globus* storage
+load that only the LMT monitor can observe.  Then trains the nonlinear
+model twice — log features only vs log + LMT features — and compares
+tail errors.
+
+Paper result: 95th-percentile error drops from 9.29 % to 1.26 %.
+
+Run:  python examples/storage_monitor_study.py          (~2 min)
+      python examples/storage_monitor_study.py --fast   (~20 s, noisier)
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core.features import FEATURE_NAMES, build_feature_matrix
+from repro.harness.exp_lmt import run_lmt_experiment
+from repro.ml.gbt import GradientBoostingRegressor
+from repro.ml.metrics import absolute_percentage_errors
+from repro.ml.scaler import StandardScaler
+from repro.ml.selection import low_variance_features, train_test_split
+from repro.monitor.lmt import LMT_FEATURE_NAMES
+
+
+def fit_eval(X, y, tr, te, seed=0):
+    kept = ~low_variance_features(X[tr], threshold=0.05)
+    scaler = StandardScaler().fit(X[tr][:, kept])
+    model = GradientBoostingRegressor(
+        n_estimators=250, learning_rate=0.08, max_depth=4,
+        min_child_weight=5.0, random_state=seed,
+    ).fit(scaler.transform(X[tr][:, kept]), y[tr])
+    pred = model.predict(scaler.transform(X[te][:, kept]))
+    return absolute_percentage_errors(y[te], pred), model, kept
+
+
+def main() -> None:
+    n = 200 if "--fast" in sys.argv else 666
+    print(f"running the LMT experiment ({n} test transfers) ...")
+    log, lmt_cols = run_lmt_experiment(n_test_transfers=n, seed=0)
+    features = build_feature_matrix(log)
+    test_rows = np.nonzero(log.column("tag") == "test")[0]
+    y = features.y[test_rows]
+    print(f"  {test_rows.size} test transfers completed, "
+          f"rate spread {y.min() / 1e6:.0f}-{y.max() / 1e6:.0f} MB/s")
+
+    X_base = features.matrix(FEATURE_NAMES, test_rows)
+    X_full = np.column_stack(
+        [X_base] + [lmt_cols[nm][test_rows] for nm in LMT_FEATURE_NAMES]
+    )
+    tr, te = train_test_split(test_rows.size, 0.7, rng=0)
+
+    base_err, _, _ = fit_eval(X_base, y, tr, te)
+    full_err, model, kept = fit_eval(X_full, y, tr, te)
+
+    print("\n                         MdAPE     p95 error")
+    print(f"log features only      {np.median(base_err):7.2f}%   "
+          f"{np.percentile(base_err, 95):8.2f}%")
+    print(f"log + LMT features     {np.median(full_err):7.2f}%   "
+          f"{np.percentile(full_err, 95):8.2f}%")
+    factor = np.percentile(base_err, 95) / max(np.percentile(full_err, 95), 1e-9)
+    print(f"\ntail error improvement: {factor:.1f}x "
+          "(paper: 9.29% -> 1.26%, ~7.4x)")
+
+    # Which of the new features carried the weight?
+    names = np.array(list(FEATURE_NAMES) + list(LMT_FEATURE_NAMES))[kept]
+    importances = model.feature_importances("gain")
+    order = np.argsort(-importances)[:6]
+    print("\ntop features in the monitored model:")
+    for i in order:
+        print(f"  {names[i]:<20} {importances[i]:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Shim for legacy editable installs.
+
+This environment has setuptools but no ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) fail with "invalid command
+'bdist_wheel'".  With this shim, ``pip install -e . --no-build-isolation
+--no-use-pep517`` (or ``python setup.py develop``) works offline.
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""repro — reproduction of "Explaining Wide Area Data Transfer Performance".
+
+Liu, Balaprakash, Kettimuthu, Foster.  HPDC '17.
+DOI 10.1145/3078597.3078605.
+
+Subpackages:
+
+- :mod:`repro.sim` — fluid-flow wide-area transfer fabric simulator (the
+  stand-in for the proprietary Globus production logs);
+- :mod:`repro.workload` — synthetic transfer request populations;
+- :mod:`repro.logs` — transfer-log schema, columnar store, IO, statistics;
+- :mod:`repro.core` — the paper's contribution: Eq. 2 contention features,
+  the Eq. 1 analytical bound, model pipelines, explanation grids, online
+  prediction and advisory tooling;
+- :mod:`repro.ml` — from-scratch ML (OLS, gradient boosting, MIC, Weibull,
+  persistence);
+- :mod:`repro.monitor` — perfSONAR and LMT measurement infrastructure;
+- :mod:`repro.harness` — per-table/figure experiment regeneration.
+
+See README.md for a quickstart, DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,210 @@
+"""Operational command-line tools: simulate, train, predict, advise.
+
+These commands form a file-based workflow mirroring how the paper's models
+would be operated against real logs::
+
+    repro-tools simulate --days 2 --seed 7 --out log.csv
+    repro-tools train --log log.csv --src JLAB-DTN --dst NERSC-DTN \\
+                      --model gbt --out model.json
+    repro-tools predict --model model.json --log log.csv \\
+                        --bytes 50e9 --files 100 --at 86400
+    repro-tools advise --model model.json --log log.csv \\
+                       --bytes 50e9 --files 100 --at 86400
+
+``train`` writes a bundle (model + scaler + feature bookkeeping) as JSON;
+``predict`` replays the log to reconstruct the active-transfer view at the
+requested instant and runs the online predictor; ``advise`` sweeps tunables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.advisor import TunableAdvisor
+from repro.core.features import build_feature_matrix
+from repro.core.online import OnlineFeatureEstimator, OnlinePredictor
+from repro.core.pipeline import EdgeModelResult, GBTSettings, fit_edge_model
+from repro.logs.io import read_csv, write_csv
+from repro.ml.persistence import model_from_dict, model_to_dict
+from repro.sim.fleet import build_production_fleet, production_background_loads
+from repro.sim.gridftp import TransferRequest
+from repro.sim.service import TransferService
+from repro.sim.units import DAY, to_mbyte_per_s
+from repro.workload.datasets import production_workload
+
+__all__ = ["main"]
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    fabric = build_production_fleet()
+    duration = args.days * DAY
+    requests = production_workload(fabric, duration_s=duration, seed=args.seed)
+    service = TransferService(
+        fabric, seed=args.seed + 1, stop_background_after=duration * 1.25
+    )
+    for load in production_background_loads(fabric):
+        service.add_onoff_load(load)
+    for req in requests:
+        service.submit(req)
+    log = service.run()
+    write_csv(log, args.out)
+    totals = log.totals()
+    print(
+        f"wrote {args.out}: {int(totals['transfers'])} transfers, "
+        f"{totals['bytes'] / 1e12:.1f} TB over {args.days:g} days"
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    log = read_csv(args.log)
+    features = build_feature_matrix(log)
+    result = fit_edge_model(
+        features,
+        args.src,
+        args.dst,
+        model=args.model,
+        threshold=args.threshold,
+        seed=args.seed,
+        gbt=GBTSettings(),
+    )
+    bundle = {
+        "bundle_version": 1,
+        "src": result.src,
+        "dst": result.dst,
+        "model_kind": result.model_kind,
+        "feature_names": list(result.feature_names),
+        "kept": result.kept.tolist(),
+        "mdape": result.mdape,
+        "n_train": result.n_train,
+        "n_test": result.n_test,
+        "model": model_to_dict(result.model),
+        "scaler": model_to_dict(result.scaler),
+    }
+    Path(args.out).write_text(json.dumps(bundle))
+    print(
+        f"wrote {args.out}: {args.model} model for {args.src} -> {args.dst}, "
+        f"test MdAPE {result.mdape:.2f}% "
+        f"({result.n_train} train / {result.n_test} test)"
+    )
+    return 0
+
+
+def _load_bundle(path: str) -> EdgeModelResult:
+    bundle = json.loads(Path(path).read_text())
+    if bundle.get("bundle_version") != 1:
+        raise ValueError(f"unsupported bundle_version in {path}")
+    return EdgeModelResult(
+        src=bundle["src"],
+        dst=bundle["dst"],
+        model_kind=bundle["model_kind"],
+        feature_names=tuple(bundle["feature_names"]),
+        kept=np.array(bundle["kept"], dtype=bool),
+        significance=np.full(len(bundle["feature_names"]), np.nan),
+        n_train=bundle["n_train"],
+        n_test=bundle["n_test"],
+        test_errors=np.array([0.0]),
+        mdape=bundle["mdape"],
+        model=model_from_dict(bundle["model"]),
+        scaler=model_from_dict(bundle["scaler"]),
+    )
+
+
+def _request_from_args(result: EdgeModelResult, args: argparse.Namespace) -> TransferRequest:
+    return TransferRequest(
+        src=result.src,
+        dst=result.dst,
+        total_bytes=float(args.bytes),
+        n_files=args.files,
+        n_dirs=args.dirs,
+        concurrency=args.concurrency,
+        parallelism=args.parallelism,
+    )
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    result = _load_bundle(args.model)
+    log = read_csv(args.log)
+    estimator = OnlineFeatureEstimator.from_log_window(log, now=args.at)
+    predictor = OnlinePredictor(result, estimator)
+    req = _request_from_args(result, args)
+    rate = predictor.predict(req, now=args.at)
+    duration = req.total_bytes / rate
+    print(
+        f"{result.src} -> {result.dst}: predicted {to_mbyte_per_s(rate):.1f} "
+        f"MB/s (~{duration:.0f}s for {req.total_bytes / 1e9:.1f} GB) with "
+        f"{len(estimator.active)} transfers active at t={args.at:g}"
+    )
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    result = _load_bundle(args.model)
+    log = read_csv(args.log)
+    estimator = OnlineFeatureEstimator.from_log_window(log, now=args.at)
+    advisor = TunableAdvisor(result, estimator)
+    req = _request_from_args(result, args)
+    rec = advisor.recommend(req, now=args.at)
+    print(f"recommended tunables for {result.src} -> {result.dst}: "
+          f"C={rec.concurrency} P={rec.parallelism} "
+          f"(predicted {to_mbyte_per_s(rec.predicted_rate):.1f} MB/s)")
+    print(f"{'C':>4} {'P':>4} {'predicted MB/s':>15}")
+    for c, p, rate in rec.alternatives:
+        print(f"{c:>4} {p:>4} {to_mbyte_per_s(rate):>15.1f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-tools",
+        description="Simulate transfer logs, train rate models, predict and "
+        "tune transfers (HPDC'17 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="run a production workload to CSV")
+    p.add_argument("--days", type=float, default=2.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("train", help="train a per-edge model from a log CSV")
+    p.add_argument("--log", required=True)
+    p.add_argument("--src", required=True)
+    p.add_argument("--dst", required=True)
+    p.add_argument("--model", choices=("linear", "gbt"), default="gbt")
+    p.add_argument("--threshold", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_train)
+
+    for name, fn, help_text in [
+        ("predict", _cmd_predict, "predict a transfer's rate at a time point"),
+        ("advise", _cmd_advise, "recommend tunables for a transfer"),
+    ]:
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--model", required=True)
+        p.add_argument("--log", required=True)
+        p.add_argument("--bytes", type=float, required=True)
+        p.add_argument("--files", type=int, default=1)
+        p.add_argument("--dirs", type=int, default=1)
+        p.add_argument("--concurrency", type=int, default=2)
+        p.add_argument("--parallelism", type=int, default=4)
+        p.add_argument("--at", type=float, default=0.0)
+        p.set_defaults(func=fn)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, KeyError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

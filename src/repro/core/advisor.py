@@ -1,0 +1,277 @@
+"""Transfer optimization advisory built on the trained models (§8).
+
+The paper's conclusions point at two levers: "aggregate performance can be
+improved by scheduling transfers and/or reducing concurrency and
+parallelism."  This module turns a fitted model into that advice:
+
+- :class:`TunableAdvisor` — sweep candidate (C, P) pairs through a model to
+  recommend tunables for a dataset under current load (the paper's [4]
+  HARP-style decision, but with zero probing);
+- :class:`SourceSelector` — rank replica sources by predicted rate (the
+  scheduling_advisor example's logic as a library API);
+- :class:`AdmissionPlanner` — order a backlog of transfer requests across
+  edges, greedily avoiding predicted self-contention at shared endpoints.
+
+All advice is *model-driven*: nothing here talks to the simulator, so the
+same code would run against models trained on real logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.online import ActiveTransferView, OnlineFeatureEstimator, OnlinePredictor
+from repro.core.pipeline import EdgeModelResult, GlobalModelResult
+from repro.sim.gridftp import TransferRequest
+
+__all__ = [
+    "TunableRecommendation",
+    "TunableAdvisor",
+    "SourceSelector",
+    "PlannedTransfer",
+    "AdmissionPlanner",
+]
+
+# Candidate (concurrency, parallelism) grid; the Globus-practical range.
+DEFAULT_TUNABLE_GRID: tuple[tuple[int, int], ...] = (
+    (1, 1), (1, 4), (2, 2), (2, 4), (2, 8),
+    (4, 2), (4, 4), (4, 8), (8, 4), (8, 8), (16, 4),
+)
+
+
+@dataclass(frozen=True)
+class TunableRecommendation:
+    """Outcome of a tunable sweep.
+
+    Attributes
+    ----------
+    concurrency, parallelism:
+        The recommended pair.
+    predicted_rate:
+        Model-predicted rate at the recommendation, bytes/s.
+    alternatives:
+        (C, P, predicted rate) for every candidate evaluated, best first.
+    """
+
+    concurrency: int
+    parallelism: int
+    predicted_rate: float
+    alternatives: tuple[tuple[int, int, float], ...]
+
+    @property
+    def gain_over_worst(self) -> float:
+        """Predicted speedup of best over worst candidate."""
+        worst = self.alternatives[-1][2]
+        return self.predicted_rate / worst if worst > 0 else float("inf")
+
+    @property
+    def confident(self) -> bool:
+        """Whether the model actually differentiates the candidates.
+
+        Models trained on logs where C and P never varied (the paper's
+        low-variance elimination) predict near-identical rates across the
+        grid; acting on such a "recommendation" would be noise-chasing.
+        """
+        return self.gain_over_worst > 1.1
+
+
+class TunableAdvisor:
+    """Recommends (C, P) for a dataset on one edge under current load.
+
+    Notes
+    -----
+    Models trained on logs where C and P were eliminated for low variance
+    cannot see the tunables directly; the sweep still differentiates
+    candidates through ``min(C, Nf)``-driven stream/instance features.  For
+    a model that kept C/P, the sweep uses them directly.
+    """
+
+    def __init__(
+        self,
+        result: EdgeModelResult | GlobalModelResult,
+        estimator: OnlineFeatureEstimator,
+        grid: tuple[tuple[int, int], ...] = DEFAULT_TUNABLE_GRID,
+        extra_columns: dict[str, float] | None = None,
+    ) -> None:
+        if not grid:
+            raise ValueError("empty tunable grid")
+        for c, p in grid:
+            if c < 1 or p < 1:
+                raise ValueError(f"bad grid entry ({c}, {p})")
+        self._predictor = OnlinePredictor(
+            result, estimator, extra_columns=extra_columns or {}
+        )
+        self.grid = grid
+
+    def recommend(
+        self, request: TransferRequest, now: float = 0.0
+    ) -> TunableRecommendation:
+        """Sweep the grid for ``request`` (its own C/P are ignored)."""
+        scored = []
+        for c, p in self.grid:
+            candidate = replace(request, concurrency=c, parallelism=p)
+            rate = self._predictor.predict(candidate, now)
+            scored.append((c, p, rate))
+        scored.sort(key=lambda t: -t[2])
+        best = scored[0]
+        return TunableRecommendation(
+            concurrency=best[0],
+            parallelism=best[1],
+            predicted_rate=best[2],
+            alternatives=tuple(scored),
+        )
+
+
+class SourceSelector:
+    """Ranks candidate sources of a replicated dataset by predicted rate.
+
+    Requires a *global* model (per-edge models cannot score unseen pairs).
+    """
+
+    def __init__(
+        self,
+        result: GlobalModelResult,
+        estimator: OnlineFeatureEstimator,
+        capability_lookup,
+        include_rtt_distance=None,
+    ) -> None:
+        """``capability_lookup(endpoint) -> (ro_max, ri_max)``;
+        ``include_rtt_distance(src, dst) -> km`` if the model was trained
+        with the RTT extension."""
+        self.result = result
+        self.estimator = estimator
+        self.capability_lookup = capability_lookup
+        self.include_rtt_distance = include_rtt_distance
+        needs_rtt = "distance_km" in result.feature_names
+        if needs_rtt and include_rtt_distance is None:
+            raise ValueError(
+                "model includes distance_km; pass include_rtt_distance"
+            )
+
+    def rank(
+        self,
+        sources: list[str],
+        dst: str,
+        template: TransferRequest,
+        now: float = 0.0,
+    ) -> list[tuple[str, float]]:
+        """(source, predicted rate) pairs, best first."""
+        if not sources:
+            raise ValueError("no candidate sources")
+        out = []
+        for src in sources:
+            if src == dst:
+                continue
+            req = replace(template, src=src, dst=dst)
+            ro, _ = self.capability_lookup(src)
+            _, ri = self.capability_lookup(dst)
+            extra = {"ROmax_src": ro, "RImax_dst": ri}
+            if self.include_rtt_distance is not None and (
+                "distance_km" in self.result.feature_names
+            ):
+                extra["distance_km"] = self.include_rtt_distance(src, dst)
+            predictor = OnlinePredictor(
+                self.result, self.estimator, extra_columns=extra
+            )
+            out.append((src, predictor.predict(req, now)))
+        if not out:
+            raise ValueError("every candidate source equals the destination")
+        out.sort(key=lambda t: -t[1])
+        return out
+
+
+@dataclass(frozen=True)
+class PlannedTransfer:
+    """One admission-plan entry."""
+
+    request: TransferRequest
+    start_at: float
+    predicted_rate: float
+    predicted_end: float
+
+
+class AdmissionPlanner:
+    """Greedy backlog scheduler that avoids predicted self-contention.
+
+    Given a backlog of requests and per-edge fitted models, repeatedly
+    admits the request with the highest predicted rate *under the load the
+    plan has already created*, capping simultaneous transfers per endpoint.
+    This is the paper's "aggregate performance can be improved by
+    scheduling transfers" implication, executed with the paper's own
+    models.
+    """
+
+    def __init__(
+        self,
+        models: dict[tuple[str, str], EdgeModelResult],
+        max_active_per_endpoint: int = 4,
+    ) -> None:
+        if max_active_per_endpoint < 1:
+            raise ValueError("max_active_per_endpoint must be >= 1")
+        self.models = dict(models)
+        self.max_active = max_active_per_endpoint
+
+    def plan(
+        self, backlog: list[TransferRequest], now: float = 0.0
+    ) -> list[PlannedTransfer]:
+        """Produce an admission order; requests on unmodeled edges raise."""
+        for req in backlog:
+            if (req.src, req.dst) not in self.models:
+                raise KeyError(f"no model for edge {(req.src, req.dst)}")
+        pending = list(backlog)
+        active: list[ActiveTransferView] = []
+        planned: list[PlannedTransfer] = []
+        clock = now
+
+        def endpoint_load(ep: str) -> int:
+            return sum(1 for a in active if ep in (a.src, a.dst))
+
+        while pending:
+            # Drop finished planned transfers from the active view.
+            active = [a for a in active if a.expected_end > clock]
+            estimator = OnlineFeatureEstimator(active)
+
+            candidates = []
+            for i, req in enumerate(pending):
+                if (
+                    endpoint_load(req.src) >= self.max_active
+                    or endpoint_load(req.dst) >= self.max_active
+                ):
+                    continue
+                predictor = OnlinePredictor(
+                    self.models[(req.src, req.dst)], estimator
+                )
+                candidates.append((predictor.predict(req, clock), i))
+            if not candidates:
+                # Everything is blocked: advance to the next completion.
+                next_end = min(a.expected_end for a in active)
+                clock = max(next_end, clock + 1e-6)
+                continue
+
+            candidates.sort(key=lambda t: -t[0])
+            rate, idx = candidates[0]
+            req = pending.pop(idx)
+            duration = req.total_bytes / max(rate, 1.0)
+            planned.append(
+                PlannedTransfer(
+                    request=req,
+                    start_at=clock,
+                    predicted_rate=rate,
+                    predicted_end=clock + duration,
+                )
+            )
+            active.append(
+                ActiveTransferView(
+                    src=req.src,
+                    dst=req.dst,
+                    rate=rate,
+                    started_at=clock,
+                    expected_end=clock + duration,
+                    concurrency=req.concurrency,
+                    parallelism=req.parallelism,
+                    n_files=req.n_files,
+                )
+            )
+        return planned

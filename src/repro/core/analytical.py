@@ -1,0 +1,132 @@
+"""The §3 analytical model and §4.3.2 unknown-load mitigation.
+
+Eq. 1: ``Rmax <= min(DRmax, MMmax, DWmax)`` — an end-to-end transfer cannot
+beat its slowest subsystem.  §3.2 extends the model to endpoints we cannot
+probe by estimating DRmax/DWmax from the log (max observed rate as
+source/destination) and classifies each edge's binding subsystem.
+
+§4.3.2's threshold filter: because non-Globus load is invisible, "we
+address the limitation of missing information on non-Globus load by
+considering in our analyses only transfers that achieve a high fraction of
+peak" — rate >= T * Rmax(edge), T = 0.5 by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.logs.store import LogStore
+
+__all__ = [
+    "max_achievable_rate",
+    "classify_bottleneck",
+    "relative_external_load",
+    "estimate_endpoint_maxima",
+    "threshold_mask",
+    "EndpointMaxima",
+]
+
+
+def max_achievable_rate(dr_max: float, mm_max: float, dw_max: float) -> float:
+    """Eq. 1 upper bound on end-to-end rate."""
+    for name, v in (("DRmax", dr_max), ("MMmax", mm_max), ("DWmax", dw_max)):
+        if v <= 0:
+            raise ValueError(f"{name} must be > 0, got {v}")
+    return min(dr_max, mm_max, dw_max)
+
+
+def classify_bottleneck(dr_max: float, mm_max: float, dw_max: float) -> str:
+    """Which subsystem binds Eq. 1 (§3.2 classifies 11 disk-read-, 14
+    network-, and 20 disk-write-limited edges)."""
+    bound = max_achievable_rate(dr_max, mm_max, dw_max)
+    if bound == dw_max:
+        return "disk_write"
+    if bound == dr_max:
+        return "disk_read"
+    return "network"
+
+
+def relative_external_load(
+    rate: np.ndarray, k_sout: np.ndarray, k_din: np.ndarray
+) -> np.ndarray:
+    """The §3.2 relative external load.
+
+    Per transfer: ``max(Ksout/(R+Ksout), Kdin/(R+Kdin))`` — the greater of
+    the relative endpoint external loads at source and destination.
+    """
+    rate = np.asarray(rate, dtype=np.float64)
+    k_sout = np.asarray(k_sout, dtype=np.float64)
+    k_din = np.asarray(k_din, dtype=np.float64)
+    if not (rate.shape == k_sout.shape == k_din.shape):
+        raise ValueError("shape mismatch")
+    if np.any(rate <= 0):
+        raise ValueError("rates must be > 0")
+    if np.any(k_sout < 0) or np.any(k_din < 0):
+        raise ValueError("contending rates must be >= 0")
+    rel_s = k_sout / (rate + k_sout)
+    rel_d = k_din / (rate + k_din)
+    return np.maximum(rel_s, rel_d)
+
+
+@dataclass(frozen=True)
+class EndpointMaxima:
+    """Log-estimated endpoint capabilities (§3.2).
+
+    ``dr_max`` is the maximum rate observed with the endpoint as source
+    (a lower bound on true disk-read capability) and ``dw_max`` the maximum
+    with it as destination.
+    """
+
+    endpoint: str
+    dr_max: float
+    dw_max: float
+
+
+def estimate_endpoint_maxima(store: LogStore) -> dict[str, EndpointMaxima]:
+    """Per-endpoint DRmax/DWmax estimates from historical rates.
+
+    Endpoints that only ever appear on one side get 0.0 for the unseen
+    direction (no information, not "zero capability" — callers should treat
+    0.0 as missing).
+    """
+    if len(store) == 0:
+        raise ValueError("empty store")
+    rates = store.rates
+    src = store.column("src")
+    dst = store.column("dst")
+    out: dict[str, EndpointMaxima] = {}
+    for ep in sorted(set(src) | set(dst)):
+        as_src = rates[src == ep]
+        as_dst = rates[dst == ep]
+        out[str(ep)] = EndpointMaxima(
+            endpoint=str(ep),
+            dr_max=float(as_src.max()) if as_src.size else 0.0,
+            dw_max=float(as_dst.max()) if as_dst.size else 0.0,
+        )
+    return out
+
+
+def threshold_mask(store: LogStore, threshold: float = 0.5) -> np.ndarray:
+    """Boolean mask of transfers with rate >= threshold * Rmax(their edge).
+
+    This is the §4.3.2 unknown-load filter.  Rmax is computed per edge from
+    the given store, so apply it to the *full* log before any other
+    filtering.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    if len(store) == 0:
+        return np.zeros(0, dtype=bool)
+    rates = store.rates
+    src = store.column("src")
+    dst = store.column("dst")
+    # Group max by edge via lexicographic sort.
+    keys = np.char.add(np.char.add(src, "\x1f"), dst)
+    edge_max: dict[str, float] = {}
+    for k, r in zip(keys, rates):
+        if r > edge_max.get(k, -np.inf):
+            edge_max[k] = r
+    rmax = np.array([edge_max[k] for k in keys])
+    return rates >= threshold * rmax

@@ -1,0 +1,85 @@
+"""Endpoint capability features for the single all-edges model (§5.4).
+
+"Since we lack information about endpoint properties, such as NIC capacity,
+CPU speed, core count, memory capacity, and storage bandwidth, we use data
+from Globus logs to construct two new features for each endpoint":
+
+- ``ROmax(E) = max over transfers x sourced at E of (R_x + Ksout(x))`` —
+  the endpoint's demonstrated maximum *aggregate outgoing* rate;
+- ``RImax(E) = max over transfers x arriving at E of (R_x + Kdin(x))`` —
+  its maximum aggregate incoming rate.
+
+A transfer's own rate plus the simultaneous competing rate at the endpoint
+lower-bounds what the endpoint hardware sustained at that moment, so the
+max over history estimates capability without any probe access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.features import FeatureMatrix
+
+__all__ = ["EndpointCapability", "estimate_endpoint_capabilities", "capability_columns"]
+
+
+@dataclass(frozen=True)
+class EndpointCapability:
+    """ROmax/RImax pair for one endpoint, bytes/s.
+
+    0.0 in a direction means the endpoint never appeared on that side of a
+    transfer (missing information).
+    """
+
+    endpoint: str
+    ro_max: float
+    ri_max: float
+
+
+def estimate_endpoint_capabilities(
+    features: FeatureMatrix,
+) -> dict[str, EndpointCapability]:
+    """Compute ROmax/RImax for every endpoint in the feature matrix's log."""
+    store = features.store
+    if len(store) == 0:
+        raise ValueError("empty feature matrix")
+    src = store.column("src")
+    dst = store.column("dst")
+    rates = features.y
+    k_sout = features.columns["K_sout"]
+    k_din = features.columns["K_din"]
+
+    out_sum = rates + k_sout   # aggregate outgoing at source during x
+    in_sum = rates + k_din     # aggregate incoming at destination during x
+
+    caps: dict[str, EndpointCapability] = {}
+    for ep in sorted(set(src) | set(dst)):
+        as_src = out_sum[src == ep]
+        as_dst = in_sum[dst == ep]
+        caps[str(ep)] = EndpointCapability(
+            endpoint=str(ep),
+            ro_max=float(as_src.max()) if as_src.size else 0.0,
+            ri_max=float(as_dst.max()) if as_dst.size else 0.0,
+        )
+    return caps
+
+
+def capability_columns(
+    features: FeatureMatrix,
+    capabilities: dict[str, EndpointCapability] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-transfer (ROmax of source, RImax of destination) columns.
+
+    These are the two extra regressors of Eq. 5.  Pass pre-computed
+    ``capabilities`` (e.g. from training data only) to avoid leaking test
+    transfers into the capability estimates.
+    """
+    caps = capabilities or estimate_endpoint_capabilities(features)
+    src = features.store.column("src")
+    dst = features.store.column("dst")
+    default = EndpointCapability("?", 0.0, 0.0)
+    ro = np.array([caps.get(str(s), default).ro_max for s in src])
+    ri = np.array([caps.get(str(d), default).ri_max for d in dst])
+    return ro, ri

@@ -1,0 +1,107 @@
+"""Explanation grids: the bubble plots of Figures 9 and 12.
+
+Both figures show, for each of 30 edges (rows) and each feature (columns),
+the *relative* significance of that feature in the edge's model — scaled so
+each edge's largest bubble has the same size ("we scaled the coefficients
+by dividing each coefficient into the maximum value of its edge").
+Eliminated features (low variance — always C and P) are marked with a red
+cross; here they are NaN cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import EdgeModelResult
+
+__all__ = ["SignificanceGrid", "significance_grid"]
+
+
+@dataclass
+class SignificanceGrid:
+    """Edge x feature relative-significance matrix.
+
+    Attributes
+    ----------
+    edges:
+        Row labels: (src, dst) per row.
+    feature_names:
+        Column labels.
+    values:
+        (n_edges, n_features); each row scaled to max 1.0; NaN marks an
+        eliminated feature.
+    model_kind:
+        "linear" (Figure 9) or "gbt" (Figure 12).
+    """
+
+    edges: list[tuple[str, str]]
+    feature_names: tuple[str, ...]
+    values: np.ndarray
+    model_kind: str
+
+    def eliminated_everywhere(self) -> list[str]:
+        """Features eliminated on every edge (the paper's C and P)."""
+        all_nan = np.all(np.isnan(self.values), axis=0)
+        return [n for n, e in zip(self.feature_names, all_nan) if e]
+
+    def mean_significance(self) -> dict[str, float]:
+        """Column means ignoring NaN — a cross-edge importance ranking.
+
+        All-NaN columns (features eliminated everywhere) score 0.0.
+        """
+        finite = np.isfinite(self.values)
+        counts = finite.sum(axis=0)
+        sums = np.where(finite, self.values, 0.0).sum(axis=0)
+        means = np.divide(
+            sums, counts, out=np.zeros_like(sums), where=counts > 0
+        )
+        return {n: float(v) for n, v in zip(self.feature_names, means)}
+
+    def render(self, max_name_len: int = 18) -> str:
+        """ASCII rendering: one row per edge, bubble size as 0-9 digits."""
+        lines = []
+        header = " " * max_name_len + " ".join(f"{n:>7}" for n in self.feature_names)
+        lines.append(header)
+        for (src, dst), row in zip(self.edges, self.values):
+            label = f"{src}->{dst}"[:max_name_len].ljust(max_name_len)
+            cells = []
+            for v in row:
+                if np.isnan(v):
+                    cells.append(f"{'x':>7}")
+                else:
+                    cells.append(f"{int(round(v * 9)):>7}")
+            lines.append(label + " ".join(cells))
+        return "\n".join(lines)
+
+
+def significance_grid(results: list[EdgeModelResult]) -> SignificanceGrid:
+    """Assemble Figure 9/12 from per-edge explanation-model results.
+
+    All results must come from the same model kind and feature set
+    (``fit_all_edge_models(..., explanation=True)``).
+    """
+    if not results:
+        raise ValueError("no results")
+    kinds = {r.model_kind for r in results}
+    if len(kinds) != 1:
+        raise ValueError(f"mixed model kinds {kinds}")
+    name_sets = {r.feature_names for r in results}
+    if len(name_sets) != 1:
+        raise ValueError("results have differing feature sets")
+    names = results[0].feature_names
+
+    values = np.full((len(results), len(names)), np.nan)
+    for i, r in enumerate(results):
+        sig = r.significance.copy()
+        finite = np.isfinite(sig)
+        if finite.any() and np.nanmax(sig) > 0:
+            sig[finite] = sig[finite] / np.nanmax(sig)
+        values[i] = sig
+    return SignificanceGrid(
+        edges=[r.edge for r in results],
+        feature_names=names,
+        values=values,
+        model_kind=results[0].model_kind,
+    )

@@ -1,0 +1,122 @@
+"""The Table 2 feature matrix.
+
+"We use the lower 15 terms as features in our models": the four contending
+rates K, C, P, the four stream counts S, Nd, Nb, the two GridFTP instance
+counts G, and Nf.  Nflt "is not known in advance, however, we use it for
+explanation — see Figures 9 and 12 — but not prediction", so the builder
+exposes both the 15-feature prediction view and the 16-feature explanation
+view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.contention import ContentionComputer
+from repro.logs.store import LogStore
+
+__all__ = [
+    "FEATURE_NAMES",
+    "EXPLANATION_FEATURE_NAMES",
+    "FeatureMatrix",
+    "build_feature_matrix",
+]
+
+# Order follows the feature axis of Figures 9 and 12.
+FEATURE_NAMES: tuple[str, ...] = (
+    "K_sout", "K_din", "C", "P",
+    "S_sout", "S_sin", "S_dout", "S_din",
+    "K_sin", "K_dout", "Nd", "Nb",
+    "G_src", "G_dst", "Nf",
+)
+EXPLANATION_FEATURE_NAMES: tuple[str, ...] = (
+    "K_sout", "K_din", "C", "P",
+    "S_sout", "S_sin", "S_dout", "S_din",
+    "K_sin", "K_dout", "Nd", "Nb", "Nflt",
+    "G_src", "G_dst", "Nf",
+)
+
+
+@dataclass
+class FeatureMatrix:
+    """Per-transfer features aligned with a log store.
+
+    Attributes
+    ----------
+    store:
+        The source log (row i of every array describes ``store.record(i)``).
+    columns:
+        Mapping of feature name to per-transfer values, covering the
+        explanation feature set.
+    y:
+        Target: average transfer rate, bytes/s.
+    """
+
+    store: LogStore
+    columns: dict[str, np.ndarray]
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.store)
+        if self.y.shape != (n,):
+            raise ValueError("y misaligned with store")
+        for name, col in self.columns.items():
+            if col.shape != (n,):
+                raise ValueError(f"column {name!r} misaligned with store")
+        missing = set(EXPLANATION_FEATURE_NAMES) - set(self.columns)
+        if missing:
+            raise ValueError(f"missing feature columns {sorted(missing)}")
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def matrix(
+        self,
+        names: tuple[str, ...] = FEATURE_NAMES,
+        rows: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Dense (n, len(names)) matrix; optionally restricted to ``rows``."""
+        cols = [self.columns[n] for n in names]
+        X = np.column_stack(cols)
+        return X if rows is None else X[rows]
+
+    def subset(self, rows: np.ndarray) -> "FeatureMatrix":
+        """Row-sliced copy (keeps store and features aligned)."""
+        rows = np.asarray(rows)
+        return FeatureMatrix(
+            store=self.store[rows],
+            columns={k: v[rows] for k, v in self.columns.items()},
+            y=self.y[rows],
+        )
+
+    def edge_rows(self, src: str, dst: str) -> np.ndarray:
+        """Row indices of one edge's transfers."""
+        return np.nonzero(
+            (self.store.column("src") == src) & (self.store.column("dst") == dst)
+        )[0]
+
+
+def build_feature_matrix(store: LogStore) -> FeatureMatrix:
+    """Derive the full feature set from a transfer log.
+
+    The contention features are computed against the *entire* store — every
+    logged transfer competes — exactly as the paper reconstructs "resource
+    load conditions on endpoints during each transfer" from the full log.
+    """
+    if len(store) == 0:
+        raise ValueError("cannot build features from an empty store")
+    computer = ContentionComputer(store)
+    contention = computer.compute()
+
+    columns: dict[str, np.ndarray] = {}
+    columns.update(contention)
+    columns["C"] = store.column("c").astype(np.float64)
+    columns["P"] = store.column("p").astype(np.float64)
+    columns["Nd"] = store.column("nd").astype(np.float64)
+    columns["Nb"] = store.column("nb").astype(np.float64)
+    columns["Nf"] = store.column("nf").astype(np.float64)
+    columns["Nflt"] = store.column("nflt").astype(np.float64)
+
+    return FeatureMatrix(store=store, columns=columns, y=store.rates)

@@ -1,0 +1,346 @@
+"""Model training/evaluation pipelines (§5.1–§5.4).
+
+Workflow per edge (the paper's §5.1/§5.2 recipe):
+
+1. take the edge's transfers from the full log;
+2. drop transfers below ``threshold * Rmax(edge)`` (§4.3.2 unknown-load
+   filter; edges are used only if >= ``min_samples`` transfers survive);
+3. eliminate low-variance features (C and P in practice — the red crosses);
+4. standardise features (fit on train only);
+5. random 70/30 train/test split;
+6. fit linear regression or gradient boosting; report test MdAPE.
+
+The single all-edges model (§5.4) pools the 30 edges' filtered transfers
+and appends the two endpoint-capability features ROmax/RImax of Eq. 5,
+estimated from training rows only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.analytical import threshold_mask
+from repro.core.endpoint_features import (
+    capability_columns,
+    estimate_endpoint_capabilities,
+)
+from repro.core.features import (
+    EXPLANATION_FEATURE_NAMES,
+    FEATURE_NAMES,
+    FeatureMatrix,
+)
+from repro.logs.store import LogStore
+from repro.ml.gbt import GradientBoostingRegressor
+from repro.ml.linear import LinearRegression
+from repro.ml.metrics import absolute_percentage_errors, mdape
+from repro.ml.scaler import StandardScaler
+from repro.ml.selection import low_variance_features, train_test_split
+
+__all__ = [
+    "GBTSettings",
+    "EdgeModelResult",
+    "GlobalModelResult",
+    "select_heavy_edges",
+    "fit_edge_model",
+    "fit_all_edge_models",
+    "fit_global_model",
+]
+
+
+@dataclass(frozen=True)
+class GBTSettings:
+    """Hyperparameters for the nonlinear (XGB-style) models."""
+
+    n_estimators: int = 300
+    learning_rate: float = 0.08
+    max_depth: int = 4
+    min_child_weight: float = 5.0
+    reg_lambda: float = 1.0
+    subsample: float = 0.9
+    colsample_bytree: float = 1.0
+
+    def build(self, seed: int | None) -> GradientBoostingRegressor:
+        return GradientBoostingRegressor(
+            n_estimators=self.n_estimators,
+            learning_rate=self.learning_rate,
+            max_depth=self.max_depth,
+            min_child_weight=self.min_child_weight,
+            reg_lambda=self.reg_lambda,
+            subsample=self.subsample,
+            colsample_bytree=self.colsample_bytree,
+            random_state=seed,
+        )
+
+
+@dataclass
+class EdgeModelResult:
+    """Fitted model + evaluation for one edge.
+
+    Attributes
+    ----------
+    src, dst:
+        The edge.
+    model_kind:
+        ``"linear"`` or ``"gbt"``.
+    feature_names:
+        Features offered to the model (prediction or explanation set).
+    kept:
+        Boolean mask over ``feature_names``: False = eliminated for low
+        variance (Figures 9/12 red crosses).
+    significance:
+        Per-feature scores aligned with ``feature_names``; |standardised
+        coefficient| for linear, gain importance for gbt; NaN where
+        eliminated.
+    n_train, n_test:
+        Split sizes after filtering.
+    test_errors:
+        Per-test-transfer absolute percentage errors (Figure 10's violins).
+    mdape:
+        Median of ``test_errors`` (Figure 11's bars).
+    """
+
+    src: str
+    dst: str
+    model_kind: str
+    feature_names: tuple[str, ...]
+    kept: np.ndarray
+    significance: np.ndarray
+    n_train: int
+    n_test: int
+    test_errors: np.ndarray
+    mdape: float
+    model: object = field(repr=False, default=None)
+    scaler: StandardScaler | None = field(repr=False, default=None)
+
+    @property
+    def edge(self) -> tuple[str, str]:
+        return (self.src, self.dst)
+
+
+@dataclass
+class GlobalModelResult:
+    """The §5.4 single model across all edges."""
+
+    model_kind: str
+    feature_names: tuple[str, ...]
+    n_train: int
+    n_test: int
+    test_errors: np.ndarray
+    mdape: float
+    model: object = field(repr=False, default=None)
+    scaler: StandardScaler | None = field(repr=False, default=None)
+
+
+def select_heavy_edges(
+    store: LogStore,
+    min_samples: int = 300,
+    threshold: float = 0.5,
+    max_edges: int | None = 30,
+) -> list[tuple[str, str]]:
+    """Edges with >= ``min_samples`` transfers above the threshold filter,
+    busiest first (§5.1: "edges that have at least 300 transfers with rate
+    greater than 0.5 Rmax")."""
+    mask = threshold_mask(store, threshold)
+    filtered = store[mask]
+    heavy = filtered.heavy_edges(min_samples)
+    return heavy[:max_edges] if max_edges is not None else heavy
+
+
+def _prepare_edge_data(
+    features: FeatureMatrix,
+    rows: np.ndarray,
+    names: tuple[str, ...],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(X, y, kept-mask) for the given rows with low-variance elimination."""
+    X = features.matrix(names, rows)
+    y = features.y[rows]
+    eliminated = low_variance_features(X, threshold=0.05)
+    kept = ~eliminated
+    if not kept.any():
+        raise ValueError("all features eliminated — degenerate edge data")
+    return X[:, kept], y, kept
+
+
+def _filtered_edge_rows(
+    features: FeatureMatrix,
+    src: str,
+    dst: str,
+    threshold: float,
+    threshold_mask_full: np.ndarray,
+) -> np.ndarray:
+    rows = features.edge_rows(src, dst)
+    return rows[threshold_mask_full[rows]]
+
+
+def fit_edge_model(
+    features: FeatureMatrix,
+    src: str,
+    dst: str,
+    model: str = "linear",
+    threshold: float = 0.5,
+    train_fraction: float = 0.7,
+    seed: int = 0,
+    explanation: bool = False,
+    min_samples: int = 30,
+    gbt: GBTSettings | None = None,
+    _threshold_mask: np.ndarray | None = None,
+) -> EdgeModelResult:
+    """Train and evaluate one edge's model (§5.1 linear / §5.2 nonlinear).
+
+    Parameters
+    ----------
+    explanation:
+        If True, include Nflt (the 16-feature Figures 9/12 view); the
+        default 15-feature view is the prediction model.
+    """
+    if model not in ("linear", "gbt"):
+        raise ValueError(f"model must be 'linear' or 'gbt', got {model!r}")
+    names = EXPLANATION_FEATURE_NAMES if explanation else FEATURE_NAMES
+    mask = (
+        _threshold_mask
+        if _threshold_mask is not None
+        else threshold_mask(features.store, threshold)
+    )
+    rows = _filtered_edge_rows(features, src, dst, threshold, mask)
+    if rows.size < min_samples:
+        raise ValueError(
+            f"edge {src}->{dst}: only {rows.size} transfers above the "
+            f"{threshold:.1f}*Rmax filter (need {min_samples})"
+        )
+    X, y, kept = _prepare_edge_data(features, rows, names)
+
+    tr, te = train_test_split(X.shape[0], train_fraction, rng=seed)
+    scaler = StandardScaler().fit(X[tr])
+    X_tr = scaler.transform(X[tr])
+    X_te = scaler.transform(X[te])
+
+    significance = np.full(len(names), np.nan)
+    if model == "linear":
+        fitted = LinearRegression().fit(X_tr, y[tr])
+        sig_kept = np.abs(fitted.coef_)
+    else:
+        fitted = (gbt or GBTSettings()).build(seed).fit(X_tr, y[tr])
+        sig_kept = fitted.feature_importances("gain")
+    significance[kept] = sig_kept
+
+    pred = fitted.predict(X_te)
+    errors = absolute_percentage_errors(y[te], pred)
+
+    return EdgeModelResult(
+        src=src,
+        dst=dst,
+        model_kind=model,
+        feature_names=names,
+        kept=kept,
+        significance=significance,
+        n_train=int(tr.size),
+        n_test=int(te.size),
+        test_errors=errors,
+        mdape=float(np.median(errors)),
+        model=fitted,
+        scaler=scaler,
+    )
+
+
+def fit_all_edge_models(
+    features: FeatureMatrix,
+    edges: list[tuple[str, str]],
+    model: str = "linear",
+    threshold: float = 0.5,
+    train_fraction: float = 0.7,
+    seed: int = 0,
+    explanation: bool = False,
+    gbt: GBTSettings | None = None,
+) -> list[EdgeModelResult]:
+    """Per-edge models over a list of edges (shared threshold mask)."""
+    mask = threshold_mask(features.store, threshold)
+    return [
+        fit_edge_model(
+            features,
+            s,
+            d,
+            model=model,
+            threshold=threshold,
+            train_fraction=train_fraction,
+            seed=seed,
+            explanation=explanation,
+            gbt=gbt,
+            _threshold_mask=mask,
+        )
+        for s, d in edges
+    ]
+
+
+def fit_global_model(
+    features: FeatureMatrix,
+    edges: list[tuple[str, str]],
+    model: str = "linear",
+    threshold: float = 0.5,
+    train_fraction: float = 0.7,
+    seed: int = 0,
+    gbt: GBTSettings | None = None,
+    include_rtt: bool = False,
+) -> GlobalModelResult:
+    """The §5.4 single model for all edges (Eq. 5/6).
+
+    Pools the filtered transfers of every edge, adds the source's ROmax and
+    the destination's RImax as two extra features (estimated from training
+    rows only to avoid leakage), and fits one model.
+
+    ``include_rtt=True`` implements the paper's stated future work — "we
+    will incorporate round-trip times for each edge, which we expect to
+    reduce errors further" — by adding the edge's great-circle distance
+    (the paper's own RTT proxy) as a feature.
+    """
+    if model not in ("linear", "gbt"):
+        raise ValueError(f"model must be 'linear' or 'gbt', got {model!r}")
+    mask = threshold_mask(features.store, threshold)
+    row_list = [
+        _filtered_edge_rows(features, s, d, threshold, mask) for s, d in edges
+    ]
+    rows = np.sort(np.concatenate([r for r in row_list if r.size]))
+    if rows.size < 10:
+        raise ValueError("too few pooled transfers for a global model")
+
+    X_base = features.matrix(FEATURE_NAMES, rows)
+    y = features.y[rows]
+
+    tr, te = train_test_split(rows.size, train_fraction, rng=seed)
+    # Capability features from training transfers only.
+    train_features = features.subset(rows[tr])
+    caps = estimate_endpoint_capabilities(train_features)
+    pooled = features.subset(rows)
+    ro, ri = capability_columns(pooled, caps)
+
+    extra_cols = [ro, ri]
+    names = FEATURE_NAMES + ("ROmax_src", "RImax_dst")
+    if include_rtt:
+        extra_cols.append(features.store.column("distance_km")[rows])
+        names = names + ("distance_km",)
+    X = np.column_stack([X_base, *extra_cols])
+
+    eliminated = low_variance_features(X[tr], threshold=0.05)
+    kept = ~eliminated
+    scaler = StandardScaler().fit(X[tr][:, kept])
+    X_tr = scaler.transform(X[tr][:, kept])
+    X_te = scaler.transform(X[te][:, kept])
+
+    if model == "linear":
+        fitted = LinearRegression().fit(X_tr, y[tr])
+    else:
+        fitted = (gbt or GBTSettings()).build(seed).fit(X_tr, y[tr])
+
+    pred = fitted.predict(X_te)
+    errors = absolute_percentage_errors(y[te], pred)
+    return GlobalModelResult(
+        model_kind=model,
+        feature_names=tuple(np.array(names)[kept]),
+        n_train=int(tr.size),
+        n_test=int(te.size),
+        test_errors=errors,
+        mdape=float(np.median(errors)),
+        model=fitted,
+        scaler=scaler,
+    )

@@ -1,0 +1,30 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each experiment module exposes ``run(config) -> ExperimentResult``; the
+registry maps the paper's table/figure ids to those runners, and the CLI
+(``repro-experiments``) executes any subset and renders text tables that
+mirror the paper's rows/series.
+
+Expensive artifacts (the multi-week production simulation and its feature
+matrix) are produced once per configuration by :mod:`~repro.harness.runners`
+and cached on disk under ``.cache/``.
+"""
+
+from repro.harness.result import ExperimentResult
+from repro.harness.tables import render_table
+from repro.harness.registry import EXPERIMENTS, run_experiment
+from repro.harness.runners import (
+    StudyConfig,
+    load_production_study,
+    ProductionStudy,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "render_table",
+    "EXPERIMENTS",
+    "run_experiment",
+    "StudyConfig",
+    "load_production_study",
+    "ProductionStudy",
+]

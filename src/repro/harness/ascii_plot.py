@@ -1,0 +1,120 @@
+"""ASCII scatter/line plots for figure regeneration in a text environment.
+
+The paper's figures are scatter plots; in a terminal-only reproduction the
+closest faithful artifact is a density-aware character grid.  These
+renderers are deliberately simple: linear or log axes, density shading
+(``.:+*#@``), and an optional overlay curve (Figure 4's Weibull fit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["scatter", "line_overlay"]
+
+_SHADES = " .:+*#@"
+
+
+def _scale(values: np.ndarray, n: int, log: bool) -> np.ndarray:
+    """Map values to integer bins [0, n)."""
+    v = np.asarray(values, dtype=np.float64)
+    if log:
+        if np.any(v <= 0):
+            raise ValueError("log axis requires positive values")
+        v = np.log10(v)
+    lo, hi = float(v.min()), float(v.max())
+    if hi <= lo:
+        return np.zeros(v.size, dtype=np.int64)
+    idx = ((v - lo) / (hi - lo) * (n - 1)).round().astype(np.int64)
+    return np.clip(idx, 0, n - 1)
+
+
+def scatter(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 64,
+    height: int = 18,
+    log_x: bool = False,
+    log_y: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Density-shaded ASCII scatter plot.
+
+    Each cell's character reflects how many points land in it, so dense
+    regions read darker — the closest text analogue of the paper's
+    colour-coded scatters.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch {x.shape} vs {y.shape}")
+    if x.size == 0:
+        raise ValueError("empty input")
+    if width < 8 or height < 4:
+        raise ValueError("plot too small")
+
+    xi = _scale(x, width, log_x)
+    yi = _scale(y, height, log_y)
+    grid = np.zeros((height, width), dtype=np.int64)
+    np.add.at(grid, (yi, xi), 1)
+
+    peak = grid.max()
+    lines = []
+    for row in range(height - 1, -1, -1):
+        cells = []
+        for col in range(width):
+            c = grid[row, col]
+            if c == 0:
+                cells.append(" ")
+            else:
+                shade = 1 + int((len(_SHADES) - 2) * np.log1p(c) / np.log1p(peak))
+                cells.append(_SHADES[min(shade, len(_SHADES) - 1)])
+        lines.append("|" + "".join(cells) + "|")
+    header = f"{y_label} (rows {'log' if log_y else 'lin'})"
+    footer = (
+        "+" + "-" * width + "+\n"
+        f" {x_label} ({'log' if log_x else 'lin'}): "
+        f"{x.min():.3g} .. {x.max():.3g}; "
+        f"{y_label}: {y.min():.3g} .. {y.max():.3g}, n={x.size}"
+    )
+    return header + "\n" + "\n".join(lines) + "\n" + footer
+
+
+def line_overlay(
+    x: np.ndarray,
+    y: np.ndarray,
+    curve_x: np.ndarray,
+    curve_y: np.ndarray,
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Scatter plus an overlay curve drawn with ``o`` (Figure 4's fit)."""
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    cx = np.asarray(curve_x, dtype=np.float64).ravel()
+    cy = np.asarray(curve_y, dtype=np.float64).ravel()
+    if x.size == 0 or cx.size == 0:
+        raise ValueError("empty input")
+    all_x = np.concatenate([x, cx])
+    all_y = np.concatenate([y, cy])
+    xi = _scale(all_x, width, False)
+    yi = _scale(all_y, height, False)
+    n = x.size
+
+    grid = np.full((height, width), " ", dtype="U1")
+    for i in range(n):
+        grid[yi[i], xi[i]] = "."
+    for i in range(n, all_x.size):
+        grid[yi[i], xi[i]] = "o"
+
+    lines = ["|" + "".join(grid[row]) + "|" for row in range(height - 1, -1, -1)]
+    footer = (
+        "+" + "-" * width + "+\n"
+        f" {x_label}: {x.min():.3g} .. {x.max():.3g}; "
+        f"{y_label}: {y.min():.3g} .. {y.max():.3g} "
+        "('.' data, 'o' fitted curve)"
+    )
+    return f"{y_label}\n" + "\n".join(lines) + "\n" + footer

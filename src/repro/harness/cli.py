@@ -1,0 +1,100 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    repro-experiments                      # run everything (full study)
+    repro-experiments table1 figure11     # a subset
+    repro-experiments --quick figure11    # 4-day study (fast, smaller Ns)
+    repro-experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.registry import EXPERIMENTS, run_experiment
+from repro.harness.runners import StudyConfig, load_production_study
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of 'Explaining Wide "
+        "Area Data Transfer Performance' (HPDC'17) over the simulated fabric.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (default: all). See --list.",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the 4-day study (faster; per-edge sample counts shrink)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="ignore the on-disk study cache"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for spec in EXPERIMENTS.values():
+            kind = "study" if spec.needs_study else "standalone"
+            print(f"{spec.experiment_id:<14} [{kind}] {spec.description}")
+        return 0
+
+    ids = args.experiments or list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        return 2
+
+    config = StudyConfig.quick() if args.quick else StudyConfig()
+    study = None
+    if any(EXPERIMENTS[i].needs_study for i in ids):
+        t0 = time.time()
+        print(f"# loading production study ({config.cache_key}) ...")
+        study = load_production_study(config, use_cache=not args.no_cache)
+        print(
+            f"# study ready: {len(study.log)} transfers in "
+            f"{time.time() - t0:.1f}s\n"
+        )
+
+    # Quick-study runs lower the per-edge sample requirement so every
+    # experiment still has edges to work with.
+    overrides: dict[str, dict] = {}
+    if args.quick:
+        overrides = {
+            "figure9": {"min_samples": 100},
+            "figure10": {"min_samples": 100},
+            "figure11": {"min_samples": 100},
+            "figure12": {"min_samples": 100},
+            "single_model": {"min_samples": 100},
+            "figure13": {"min_samples_at_top": 60},
+            "table5": {},
+            "lmt": {"n_test_transfers": 150},
+        }
+
+    failures = 0
+    for eid in ids:
+        t0 = time.time()
+        try:
+            result = run_experiment(eid, study=study, **overrides.get(eid, {}))
+        except Exception as exc:  # keep going; report at the end
+            failures += 1
+            print(f"== {eid}: FAILED: {exc}\n")
+            continue
+        print(result.render())
+        print(f"(elapsed {time.time() - t0:.1f}s)\n")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

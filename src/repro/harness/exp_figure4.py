@@ -1,0 +1,96 @@
+"""Figure 4: aggregate incoming rate vs total concurrency, Weibull fit.
+
+"Aggregate transfer throughput first increases but eventually declines as
+total concurrency across all transfers increases" — shown for NERSC-DTN,
+Colorado, JLAB and UCAR with a fitted Weibull curve.
+
+The production study samples (GridFTP process count, aggregate incoming
+rate) every two minutes; here we bin those samples by concurrency and fit
+:class:`repro.ml.weibull.WeibullCurve` to the bin means.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.harness.ascii_plot import line_overlay
+from repro.harness.result import ExperimentResult
+from repro.harness.runners import ProductionStudy
+from repro.ml.weibull import fit_weibull_curve
+from repro.sim.units import to_mbyte_per_s
+
+__all__ = ["run", "concurrency_rate_curve"]
+
+
+def concurrency_rate_curve(
+    concurrency: np.ndarray, rate: np.ndarray, min_samples: int = 3
+) -> tuple[np.ndarray, np.ndarray]:
+    """Mean aggregate rate per observed concurrency level (nonzero only)."""
+    mask = concurrency > 0
+    conc = concurrency[mask].astype(int)
+    rates = rate[mask]
+    levels = []
+    means = []
+    for level in np.unique(conc):
+        sel = rates[conc == level]
+        if sel.size >= min_samples:
+            levels.append(float(level))
+            means.append(float(sel.mean()))
+    return np.array(levels), np.array(means)
+
+
+def run(study: ProductionStudy) -> ExperimentResult:
+    rows = []
+    series = {}
+    figures = {}
+    for ep, data in study.concurrency_samples.items():
+        levels, means = concurrency_rate_curve(
+            data["concurrency"], data["incoming_rate"]
+        )
+        if levels.size < 4:
+            rows.append([ep, int(levels.size), "-", "-", "-", "-"])
+            continue
+        fit = fit_weibull_curve(levels, means)
+        # Rise-then-fall check straight from the data: is the mean rate at
+        # high concurrency below the peak bin mean?
+        peak_idx = int(np.argmax(means))
+        tail_declines = bool(
+            peak_idx < levels.size - 1 and means[-1] < means[peak_idx]
+        )
+        series[ep] = {
+            "concurrency": levels,
+            "mean_rate": means,
+            "weibull": fit,
+        }
+        curve_x = np.linspace(levels.min(), levels.max(), 48)
+        figures[ep] = line_overlay(
+            levels, means / 1e6, curve_x, fit(curve_x) / 1e6,
+            width=56, height=12,
+            x_label="total concurrency", y_label="mean incoming MB/s",
+        )
+        rows.append(
+            [
+                ep,
+                int(levels.size),
+                float(levels[peak_idx]),
+                to_mbyte_per_s(means[peak_idx]),
+                fit.mode,
+                tail_declines,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="figure4",
+        title="Aggregate incoming rate vs total concurrency, Weibull fit",
+        headers=[
+            "endpoint", "levels", "peak concurrency", "peak rate MB/s",
+            "Weibull mode", "tail declines",
+        ],
+        rows=rows,
+        series=series,
+        figures=figures,
+        notes=[
+            "Paper: throughput rises with concurrency then declines "
+            "(contention); a Weibull curve fits the hump on all four "
+            "endpoints.",
+        ],
+    )

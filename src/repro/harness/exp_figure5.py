@@ -1,0 +1,102 @@
+"""Figure 5: file characteristics vs transfer performance (JLAB -> NERSC).
+
+"We first group transfers by total size to form 20 groups.  Then we
+determine the average file size for each transfer, and within each group we
+create two subgroups comprising transfers with average file size below and
+above the median."  Observations reproduced: rate rises with total size,
+and within a total-size bucket, big-file transfers beat small-file ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.harness.result import ExperimentResult
+from repro.harness.runners import ProductionStudy
+from repro.sim.units import to_mbyte_per_s
+
+__all__ = ["run", "size_buckets"]
+
+EDGE = ("JLAB-DTN", "NERSC-DTN")
+
+
+def size_buckets(
+    total_bytes: np.ndarray,
+    avg_file_bytes: np.ndarray,
+    rates: np.ndarray,
+    n_groups: int = 20,
+) -> list[dict[str, float]]:
+    """The Figure 5 grouping: total-size quantile buckets, each split at
+    its median average-file-size into 'small files' and 'big files'."""
+    if not (total_bytes.shape == avg_file_bytes.shape == rates.shape):
+        raise ValueError("misaligned inputs")
+    if total_bytes.size < 2 * n_groups:
+        raise ValueError("too few transfers for the requested grouping")
+    order = np.argsort(total_bytes)
+    groups = np.array_split(order, n_groups)
+    out = []
+    for g in groups:
+        med_file = float(np.median(avg_file_bytes[g]))
+        small = g[avg_file_bytes[g] <= med_file]
+        big = g[avg_file_bytes[g] > med_file]
+        if small.size == 0 or big.size == 0:
+            continue
+        out.append(
+            {
+                "total_gb": float(np.mean(total_bytes[g]) / 1e9),
+                "rate_small_files": float(np.mean(rates[small])),
+                "rate_big_files": float(np.mean(rates[big])),
+                "n": int(g.size),
+            }
+        )
+    return out
+
+
+def run(study: ProductionStudy) -> ExperimentResult:
+    edge_log = study.log.for_edge(*EDGE)
+    if len(edge_log) < 60:
+        raise ValueError(f"only {len(edge_log)} transfers on {EDGE}")
+    total = edge_log.column("nb")
+    avg_file = total / edge_log.column("nf")
+    rates = edge_log.rates
+
+    buckets = size_buckets(total, avg_file, rates)
+    rows = []
+    big_wins = 0
+    for b in buckets:
+        wins = b["rate_big_files"] > b["rate_small_files"]
+        big_wins += int(wins)
+        rows.append(
+            [
+                b["total_gb"],
+                b["n"],
+                to_mbyte_per_s(b["rate_small_files"]),
+                to_mbyte_per_s(b["rate_big_files"]),
+                wins,
+            ]
+        )
+    # Rate should rise with total size across buckets.
+    mean_rates = np.array(
+        [(b["rate_small_files"] + b["rate_big_files"]) / 2 for b in buckets]
+    )
+    sizes = np.array([b["total_gb"] for b in buckets])
+    size_corr = float(np.corrcoef(np.log(sizes), np.log(mean_rates))[0, 1])
+
+    return ExperimentResult(
+        experiment_id="figure5",
+        title=f"File characteristics vs performance, {EDGE[0]} -> {EDGE[1]}",
+        headers=["avg total GB", "n", "small-files MB/s", "big-files MB/s",
+                 "big wins"],
+        rows=rows,
+        series={"buckets": buckets},
+        metrics={
+            "big_file_win_fraction": big_wins / len(buckets),
+            "log_size_rate_correlation": size_corr,
+        },
+        notes=[
+            "Paper: larger total size -> higher rate; within a total-size "
+            "bucket, transfers with larger average file size beat "
+            "small-file transfers (with occasional near-ties when the two "
+            "subgroups' file sizes are similar).",
+        ],
+    )

@@ -1,0 +1,230 @@
+"""§5.5.2: eliminating the unknowns with storage monitoring (LMT).
+
+The paper's setup: "two Lustre file systems at NERSC: one shared with the
+Edison supercomputer and one with a DTN.  We used Globus to perform a
+series of test transfers from one Lustre object storage target (OST) to
+another, keeping 10 additional simultaneous Globus load transfers running
+at all times ...  Throughout the experiments, we used the Lustre
+Monitoring Tool (LMT) to collect, every five seconds, both disk I/O load
+for each Lustre OST and CPU load for each Lustre object storage server
+(OSS).  We performed 666 test transfers in total, of which we randomly
+picked 70% for training and the rest for testing."
+
+Baseline (15 log features): 95th-percentile error 9.29 %.  With the four
+LMT features added: 1.26 %.
+
+We reproduce the setup on the production fleet's two NERSC endpoints
+(both Lustre-backed, same site): uniform test transfers, a sustained pool
+of Globus load transfers, and heavy *non-Globus* storage load that only
+the LMT monitor can see.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.features import FEATURE_NAMES, build_feature_matrix
+from repro.harness.result import ExperimentResult
+from repro.ml.gbt import GradientBoostingRegressor
+from repro.ml.metrics import absolute_percentage_errors
+from repro.ml.scaler import StandardScaler
+from repro.ml.selection import low_variance_features, train_test_split
+from repro.monitor.lmt import LMT_FEATURE_NAMES, LmtMonitor, join_lmt_features
+from repro.sim.background import OnOffLoad
+from repro.sim.endpoint import Endpoint, EndpointType
+from repro.sim.faults import FaultModel
+from repro.sim.gridftp import GridFTPConfig, TransferRequest
+from repro.sim.network import Site
+from repro.sim.service import Fabric, TransferService
+from repro.sim.storage import LustreStorage
+from repro.sim.units import GB, HOUR
+
+__all__ = ["run", "run_lmt_experiment", "build_lmt_fabric"]
+
+SRC = "NERSC-Edison"
+DST = "NERSC-DTN"
+
+
+def build_lmt_fabric() -> Fabric:
+    """The §5.5.2 environment: two Lustre file systems at one site.
+
+    Sized so the experiment operates at *partial* contention: the test
+    transfer, the Globus load pool, and the unknown bursts together swing
+    the storage systems in and out of saturation.  (Fully saturated
+    storage would pin the LMT totals at capacity and erase their signal;
+    an idle system would give every transfer its cap and leave nothing to
+    predict.)
+    """
+
+    def lustre(name: str, read_g: float, write_g: float) -> LustreStorage:
+        return LustreStorage(
+            name=f"{name}:store",
+            read_bps=read_g * 1e9,
+            write_bps=write_g * 1e9,
+            file_overhead_s=0.005,
+            stream_bps=1.0e9,
+            optimal_concurrency=24,
+            thrash_coefficient=0.02,
+            n_oss=4,
+            n_ost=16,
+            oss_cpu_bps=2.5e9,
+        )
+
+    site = Site("NERSC", 37.87, -122.25, "NA")
+    endpoints = {
+        SRC: Endpoint(
+            name=SRC, site="NERSC", etype=EndpointType.GCS,
+            nic_bps=10e9 / 8 * 4, n_dtn=2, cpu_cores=32, core_bps=1.2e9,
+            storage=lustre(SRC, 6.0, 5.0), tcp_window_bytes=8 * 2**20,
+        ),
+        DST: Endpoint(
+            name=DST, site="NERSC", etype=EndpointType.GCS,
+            nic_bps=10e9 / 8 * 4, n_dtn=2, cpu_cores=32, core_bps=1.2e9,
+            storage=lustre(DST, 6.0, 5.0), tcp_window_bytes=8 * 2**20,
+        ),
+    }
+    return Fabric(
+        sites={"NERSC": site},
+        endpoints=endpoints,
+        gridftp=GridFTPConfig(startup_s=2.0, per_file_s=0.02, per_dir_s=0.1),
+        # Controlled environment: fault stalls are rare (production-grade
+        # fault rates would put a Poisson noise floor under the error tail
+        # that no feature, monitored or not, could explain away).
+        faults=FaultModel(
+            base_rate_per_hour=0.002, load_rate_per_hour=0.05, stall_seconds=10.0
+        ),
+    )
+
+
+def _build_service(seed: int, horizon_s: float) -> TransferService:
+    fabric = build_lmt_fabric()
+    service = TransferService(fabric, seed=seed, stop_background_after=horizon_s)
+    src_ep = fabric.endpoint(SRC)
+    dst_ep = fabric.endpoint(DST)
+    # Non-Globus storage load: invisible to the transfer log, visible to
+    # LMT.  The dominant effect is *seek-heavy* compute I/O: modest byte
+    # rates but many concurrent accessors, which depress the array's
+    # effective bandwidth through its thrash curve and burn OSS CPU —
+    # exactly the two quantities LMT reports.
+    for i, (ep, res) in enumerate(
+        [
+            (src_ep, (src_ep.read_resource,)),
+            (dst_ep, (dst_ep.write_resource,)),
+        ]
+    ):
+        service.add_onoff_load(
+            OnOffLoad(
+                name=f"lmt-unknown-{i}",
+                resources=res,
+                mean_on_s=2400.0,
+                mean_off_s=1500.0,
+                rate_low=0.2e9,
+                rate_high=1.2e9,
+                weight=48.0,
+                start_on=(i % 2 == 0),
+                accessors_low=8,
+                accessors_high=120,
+            )
+        )
+    return service
+
+
+def run_lmt_experiment(
+    n_test_transfers: int = 666,
+    n_load_transfers: int = 10,
+    seed: int = 0,
+) -> tuple:
+    """Run the §5.5.2 testbed; returns (log store, lmt feature columns)."""
+    rng = np.random.default_rng(seed)
+    spacing = 120.0
+    horizon = n_test_transfers * spacing + HOUR
+    service = _build_service(seed, horizon)
+    monitor = LmtMonitor(service, [SRC, DST], interval_s=5.0)
+
+    # Uniform test transfers: "our transfer characteristics were uniform
+    # for all transfers (Nb, Nf, and Ndir are the same)".  Long enough
+    # (~1-2 min) that the 5 s LMT samples average the unknown bursts well.
+    for i in range(n_test_transfers):
+        service.submit(
+            TransferRequest(
+                src=SRC, dst=DST, total_bytes=20 * GB, n_files=16, n_dirs=1,
+                concurrency=2, parallelism=4,
+                submit_time=i * spacing + float(rng.uniform(0, 10)),
+                tag="test",
+            )
+        )
+    # The sustained pool of Globus load transfers (visible in the log,
+    # hence to the K/S/G features).  Load transfers are *long-lived*
+    # relative to the test transfers — the paper kept 10 running "at all
+    # times" — so the competitor set is nearly constant over any one test
+    # window and the overlap-scaled K features describe it exactly.
+    t = 0.0
+    while t < horizon - HOUR:
+        for _ in range(max(1, n_load_transfers // 4)):
+            service.submit(
+                TransferRequest(
+                    src=SRC, dst=DST,
+                    total_bytes=float(rng.uniform(100, 400)) * GB,
+                    n_files=int(rng.integers(16, 128)), n_dirs=1,
+                    concurrency=2, parallelism=4,
+                    submit_time=t + float(rng.uniform(0, 600)),
+                    tag="load",
+                )
+            )
+        t += 600.0
+    log = service.run()
+    lmt_cols = join_lmt_features(log, monitor.logs)
+    return log, lmt_cols
+
+
+def _fit_and_eval(
+    X: np.ndarray, y: np.ndarray, tr: np.ndarray, te: np.ndarray, seed: int
+) -> np.ndarray:
+    kept = ~low_variance_features(X[tr], threshold=0.05)
+    scaler = StandardScaler().fit(X[tr][:, kept])
+    model = GradientBoostingRegressor(
+        n_estimators=300, learning_rate=0.08, max_depth=4,
+        min_child_weight=5.0, random_state=seed,
+    ).fit(scaler.transform(X[tr][:, kept]), y[tr])
+    pred = model.predict(scaler.transform(X[te][:, kept]))
+    return absolute_percentage_errors(y[te], pred)
+
+
+def run(seed: int = 0, n_test_transfers: int = 666) -> ExperimentResult:
+    log, lmt_cols = run_lmt_experiment(n_test_transfers=n_test_transfers, seed=seed)
+    features = build_feature_matrix(log)
+    test_rows = np.nonzero(log.column("tag") == "test")[0]
+    y = features.y[test_rows]
+
+    X_base = features.matrix(FEATURE_NAMES, test_rows)
+    X_lmt = np.column_stack(
+        [X_base] + [lmt_cols[name][test_rows] for name in LMT_FEATURE_NAMES]
+    )
+
+    tr, te = train_test_split(test_rows.size, 0.7, rng=seed)
+    errors_base = _fit_and_eval(X_base, y, tr, te, seed)
+    errors_lmt = _fit_and_eval(X_lmt, y, tr, te, seed)
+
+    p95_base = float(np.percentile(errors_base, 95))
+    p95_lmt = float(np.percentile(errors_lmt, 95))
+    rows = [
+        ["log features only (15)", float(np.median(errors_base)), p95_base],
+        ["+ LMT storage features (19)", float(np.median(errors_lmt)), p95_lmt],
+    ]
+    return ExperimentResult(
+        experiment_id="lmt",
+        title="Storage monitoring eliminates the unknowns (§5.5.2)",
+        headers=["feature set", "MdAPE %", "95th pct error %"],
+        rows=rows,
+        metrics={
+            "p95_base": p95_base,
+            "p95_with_lmt": p95_lmt,
+            "improvement_factor": p95_base / max(p95_lmt, 1e-9),
+            "n_test_transfers": float(test_rows.size),
+        },
+        notes=[
+            "Paper: 95th percentile error falls from 9.29 % to 1.26 % "
+            "(~7x) when the four LMT features expose the non-Globus "
+            "storage load.",
+        ],
+    )

@@ -1,0 +1,232 @@
+"""Figures 9-12 and §5.4: the per-edge and all-edges regression studies.
+
+- Figure 9: relative significance of features in the per-edge *linear*
+  models (bubble grid; C and P eliminated everywhere).
+- Figure 10: per-edge distributions of test relative error, LR vs XGB.
+- Figure 11: per-edge MdAPE, LR vs XGB, with sample counts.  Headline
+  medians: 7.0 % (LR) and 4.6 % (XGB).
+- Figure 12: feature importance in the per-edge *nonlinear* models; Nflt
+  matters far less than in the linear models.
+- §5.4: a single model for all edges with ROmax/RImax features: MdAPE 19 %
+  (LR) and 4.9 % (XGB).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.explain import significance_grid
+from repro.core.pipeline import (
+    GBTSettings,
+    fit_all_edge_models,
+    fit_global_model,
+    select_heavy_edges,
+)
+from repro.harness.result import ExperimentResult
+from repro.harness.runners import ProductionStudy
+
+__all__ = [
+    "study_edges",
+    "run_figure9",
+    "run_figure10",
+    "run_figure11",
+    "run_figure12",
+    "run_single_model",
+]
+
+_GBT = GBTSettings()
+
+
+def study_edges(
+    study: ProductionStudy, min_samples: int = 300, threshold: float = 0.5
+) -> list[tuple[str, str]]:
+    """The study's heavy-edge set (>= min_samples filtered transfers)."""
+    return select_heavy_edges(
+        study.log, min_samples=min_samples, threshold=threshold, max_edges=30
+    )
+
+
+def _grid_experiment(
+    study: ProductionStudy,
+    model: str,
+    experiment_id: str,
+    min_samples: int,
+    threshold: float,
+    seed: int,
+) -> ExperimentResult:
+    edges = study_edges(study, min_samples, threshold)
+    results = fit_all_edge_models(
+        study.features, edges, model=model, threshold=threshold,
+        seed=seed, explanation=True, gbt=_GBT,
+    )
+    grid = significance_grid(results)
+    ranking = sorted(
+        grid.mean_significance().items(), key=lambda kv: -kv[1]
+    )
+    rows = [[name, score] for name, score in ranking]
+    eliminated = grid.eliminated_everywhere()
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"Feature significance grid, per-edge {model} models "
+        f"({len(edges)} edges)",
+        headers=["feature", "mean relative significance"],
+        rows=rows,
+        series={"grid": grid},
+        metrics={
+            "n_edges": float(len(edges)),
+            "nflt_mean_significance": grid.mean_significance().get("Nflt", 0.0),
+        },
+        notes=[
+            f"Eliminated on every edge (low variance): {eliminated or 'none'} "
+            "(paper: C and P eliminated for all edges).",
+        ],
+    )
+
+
+def run_figure9(
+    study: ProductionStudy,
+    min_samples: int = 300,
+    threshold: float = 0.5,
+    seed: int = 0,
+) -> ExperimentResult:
+    return _grid_experiment(study, "linear", "figure9", min_samples, threshold, seed)
+
+
+def run_figure12(
+    study: ProductionStudy,
+    min_samples: int = 300,
+    threshold: float = 0.5,
+    seed: int = 0,
+) -> ExperimentResult:
+    res = _grid_experiment(study, "gbt", "figure12", min_samples, threshold, seed)
+    res.notes.append(
+        "Paper: Nflt, influential in the linear models, loses importance in "
+        "the nonlinear models — the trees absorb faults via nonlinear load "
+        "functions."
+    )
+    return res
+
+
+def _lr_xgb_results(
+    study: ProductionStudy, min_samples: int, threshold: float, seed: int
+):
+    edges = study_edges(study, min_samples, threshold)
+    lr = fit_all_edge_models(
+        study.features, edges, model="linear", threshold=threshold, seed=seed
+    )
+    xgb = fit_all_edge_models(
+        study.features, edges, model="gbt", threshold=threshold, seed=seed, gbt=_GBT
+    )
+    return edges, lr, xgb
+
+
+def run_figure10(
+    study: ProductionStudy,
+    min_samples: int = 300,
+    threshold: float = 0.5,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Violin-plot data: per-edge error distributions, LR vs XGB."""
+    edges, lr, xgb = _lr_xgb_results(study, min_samples, threshold, seed)
+    rows = []
+    xgb_tighter = 0
+    series = {}
+    for e, a, b in zip(edges, lr, xgb):
+        p75_lr = float(np.percentile(a.test_errors, 75))
+        p75_xgb = float(np.percentile(b.test_errors, 75))
+        xgb_tighter += int(p75_xgb < p75_lr)
+        series[f"{e[0]}->{e[1]}"] = {
+            "lr_errors": a.test_errors,
+            "xgb_errors": b.test_errors,
+        }
+        rows.append([e[0], e[1], a.mdape, p75_lr, b.mdape, p75_xgb])
+    return ExperimentResult(
+        experiment_id="figure10",
+        title="Per-edge relative-error distributions, LR vs XGB",
+        headers=["src", "dst", "LR MdAPE", "LR p75", "XGB MdAPE", "XGB p75"],
+        rows=rows,
+        series=series,
+        metrics={
+            "edges_where_xgb_tighter": float(xgb_tighter),
+            "n_edges": float(len(edges)),
+        },
+        notes=[
+            "Paper: XGB's violins sit below LR's on most edges — the "
+            "nonlinear model captures what the linear one cannot.",
+        ],
+    )
+
+
+def run_figure11(
+    study: ProductionStudy,
+    min_samples: int = 300,
+    threshold: float = 0.5,
+    seed: int = 0,
+) -> ExperimentResult:
+    edges, lr, xgb = _lr_xgb_results(study, min_samples, threshold, seed)
+    rows = []
+    for e, a, b in zip(edges, lr, xgb):
+        rows.append([e[0], e[1], a.n_train + a.n_test, a.mdape, b.mdape,
+                     b.mdape < a.mdape])
+    lr_median = float(np.median([r.mdape for r in lr]))
+    xgb_median = float(np.median([r.mdape for r in xgb]))
+    return ExperimentResult(
+        experiment_id="figure11",
+        title="Per-edge MdAPE, LR vs XGB, with sample counts",
+        headers=["src", "dst", "samples", "LR MdAPE %", "XGB MdAPE %", "XGB wins"],
+        rows=rows,
+        metrics={
+            "median_mdape_linear": lr_median,
+            "median_mdape_xgb": xgb_median,
+            "xgb_win_fraction": float(
+                np.mean([b.mdape < a.mdape for a, b in zip(lr, xgb)])
+            ),
+        },
+        notes=[
+            "Paper headline: MdAPE 7.0 % (per-edge LR) and 4.6 % (per-edge "
+            "XGB) over 30,653 transfers on 30 edges.",
+        ],
+    )
+
+
+def run_single_model(
+    study: ProductionStudy,
+    min_samples: int = 300,
+    threshold: float = 0.5,
+    seed: int = 0,
+) -> ExperimentResult:
+    """§5.4: one model for all edges with ROmax/RImax endpoint features."""
+    edges = study_edges(study, min_samples, threshold)
+    lr = fit_global_model(
+        study.features, edges, model="linear", threshold=threshold, seed=seed
+    )
+    xgb = fit_global_model(
+        study.features, edges, model="gbt", threshold=threshold, seed=seed, gbt=_GBT
+    )
+    per_edge_lr = fit_all_edge_models(
+        study.features, edges, model="linear", threshold=threshold, seed=seed
+    )
+    rows = [
+        ["global linear (Eq. 5)", lr.n_train + lr.n_test, lr.mdape],
+        ["global XGB", xgb.n_train + xgb.n_test, xgb.mdape],
+        [
+            "per-edge linear (reference)",
+            sum(r.n_train + r.n_test for r in per_edge_lr),
+            float(np.median([r.mdape for r in per_edge_lr])),
+        ],
+    ]
+    return ExperimentResult(
+        experiment_id="single_model",
+        title="Single model for all edges with ROmax/RImax (§5.4)",
+        headers=["model", "samples", "MdAPE %"],
+        rows=rows,
+        metrics={
+            "global_linear_mdape": lr.mdape,
+            "global_xgb_mdape": xgb.mdape,
+        },
+        notes=[
+            "Paper: global LR MdAPE 19 % (worse than per-edge but usable "
+            "for cold-start edges); global XGB 4.9 % (abstract quotes "
+            "7.8 % for the all-edge nonlinear model).",
+        ],
+    )

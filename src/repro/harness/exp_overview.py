@@ -1,0 +1,60 @@
+"""§1-§2 overview statistics of the transfer log.
+
+The paper opens with population facts about the Globus log: an 11.5 MB/s
+count-average transfer speed coexisting with "52% of all bytes moved at
+> 100 MB/s and 14% at > 1 GB/s", and a §3.2 edge-usage funnel in which
+most edges saw a single transfer while a small core carries the traffic.
+This experiment reports the same statistics for the simulated study.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.harness.result import ExperimentResult
+from repro.harness.runners import ProductionStudy
+from repro.logs.stats import byte_weighted_rate_fractions, edge_usage_funnel
+from repro.sim.units import to_mbyte_per_s
+
+__all__ = ["run"]
+
+
+def run(study: ProductionStudy) -> ExperimentResult:
+    log = study.log
+    totals = log.totals()
+    rates = log.rates
+    funnel = edge_usage_funnel(log, thresholds=(1, 10, 100, 1000))
+    byte_fracs = byte_weighted_rate_fractions(log, (100e6, 1e9))
+
+    rows = [
+        ["transfers", f"{int(totals['transfers']):,}"],
+        ["bytes moved", f"{totals['bytes'] / 1e12:.1f} TB"],
+        ["files moved", f"{int(totals['files']):,}"],
+        ["mean rate (count-weighted)", f"{to_mbyte_per_s(rates.mean()):.1f} MB/s"],
+        ["median rate", f"{to_mbyte_per_s(np.median(rates)):.1f} MB/s"],
+        ["bytes moved at >100 MB/s", f"{byte_fracs[100e6] * 100:.0f} %"],
+        ["bytes moved at >1 GB/s", f"{byte_fracs[1e9] * 100:.0f} %"],
+        ["edges with >=1 transfer", funnel[1]],
+        ["edges with >=10 transfers", funnel[10]],
+        ["edges with >=100 transfers", funnel[100]],
+        ["edges with >=1000 transfers", funnel[1000]],
+    ]
+    return ExperimentResult(
+        experiment_id="overview",
+        title="Log population statistics (§1-§2)",
+        headers=["statistic", "value"],
+        rows=rows,
+        metrics={
+            "bytes_over_100mbs_fraction": byte_fracs[100e6],
+            "bytes_over_1gbs_fraction": byte_fracs[1e9],
+            "edges_total": float(funnel[1]),
+            "edges_heavy": float(funnel[100]),
+        },
+        notes=[
+            "Paper (§1, §3.2): 3.9M transfers / 33B files / 223 PB with an "
+            "11.5 MB/s average, yet 52% of bytes at >100 MB/s and 14% at "
+            ">1 GB/s; 46K edges of which 36,599 saw one transfer, 16,562 "
+            ">=10, 2,496 >=100, 182 >=1000.  The simulated study shows the "
+            "same dichotomy at its smaller scale.",
+        ],
+    )

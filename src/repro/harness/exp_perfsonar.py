@@ -1,0 +1,114 @@
+"""§3.2: extending Eq. 1 to production endpoints with perfSONAR probes.
+
+The paper's funnel: 2,496 edges with >=100 transfers -> grouped by site ->
+195 edges with perfSONAR hosts at both ends -> 81 supporting third-party
+tests -> of which 4 show Globus rates above the probe's MM estimate
+(interface mismatch), 38 land in [0.8, 1.2] x Rmax directly, 7 more after
+adding the known competing Globus load, and 32 sit clearly below the bound
+(unknown load).  Bound-consistent edges split 11 / 14 / 20 across
+disk-read / network / disk-write bottlenecks.
+
+We reproduce the funnel over the production study: log-estimated DR/DW,
+probe-estimated MM, Eq. 1 bound, and the same classification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.analytical import estimate_endpoint_maxima
+from repro.harness.result import ExperimentResult
+from repro.harness.runners import ProductionStudy
+from repro.monitor.perfsonar import PerfSonarDeployment
+
+__all__ = ["run"]
+
+
+def run(
+    study: ProductionStudy,
+    min_transfers: int = 20,
+    seed: int = 3,
+) -> ExperimentResult:
+    log = study.log
+    features = study.features
+    heavy = log.heavy_edges(min_transfers)
+    deployment = PerfSonarDeployment(
+        study.fabric,
+        host_probability=0.8,
+        third_party_probability=0.6,
+        seed=seed,
+    )
+    endpoint_maxima = estimate_endpoint_maxima(log)
+
+    probeable = [e for e in heavy if deployment.edge_probeable(*e)]
+    testable = [e for e in probeable if deployment.edge_testable(*e)]
+
+    mismatch = 0
+    within = 0
+    within_after_k = 0
+    below = 0
+    bottlenecks = {"disk_read": 0, "network": 0, "disk_write": 0}
+    rows = []
+    for src, dst in testable:
+        probe = deployment.probe_edge(src, dst, n_streams=16)
+        dr = endpoint_maxima[src].dr_max
+        dw = endpoint_maxima[dst].dw_max
+        mm = probe.mm_estimate
+        bound = min(dr, mm, dw)
+        edge_rows = features.edge_rows(src, dst)
+        rates = features.y[edge_rows]
+        r_obs = float(rates.max())
+
+        if r_obs > 1.2 * mm and deployment.interface_mismatch(src, dst):
+            status = "interface-mismatch"
+            mismatch += 1
+        elif 0.8 * bound <= r_obs <= 1.2 * bound:
+            status = "within"
+            within += 1
+        else:
+            # Add the known competing Globus load of the max-rate transfer.
+            k = np.maximum(
+                features.columns["K_sout"][edge_rows],
+                features.columns["K_din"][edge_rows],
+            )
+            corrected = float((rates + k).max())
+            if 0.8 * bound <= corrected <= 1.2 * bound:
+                status = "within-after-K"
+                within_after_k += 1
+            elif corrected < 0.8 * bound:
+                status = "below"
+                below += 1
+            else:
+                status = "above"  # corrected estimate overshoots
+        if status in ("within", "within-after-K"):
+            vals = {"disk_read": dr, "network": mm, "disk_write": dw}
+            bottlenecks[min(vals, key=vals.get)] += 1
+        rows.append(
+            [src, dst, r_obs / 1e6, bound / 1e6, status]
+        )
+
+    return ExperimentResult(
+        experiment_id="perfsonar",
+        title="Eq. 1 on production edges with perfSONAR MM probes (§3.2)",
+        headers=["src", "dst", "Rmax obs MB/s", "Eq1 bound MB/s", "status"],
+        rows=rows,
+        metrics={
+            "heavy_edges": float(len(heavy)),
+            "probeable": float(len(probeable)),
+            "testable": float(len(testable)),
+            "interface_mismatch": float(mismatch),
+            "within_bound": float(within),
+            "within_after_k": float(within_after_k),
+            "below_bound": float(below),
+            "bound_consistent": float(within + within_after_k),
+            "disk_read_limited": float(bottlenecks["disk_read"]),
+            "network_limited": float(bottlenecks["network"]),
+            "disk_write_limited": float(bottlenecks["disk_write"]),
+        },
+        notes=[
+            "Paper funnel: 81 testable edges -> 4 interface mismatch, 38 "
+            "within [0.8, 1.2]*bound, +7 after K correction, 32 below; "
+            "bound-consistent edges split 11/14/20 across "
+            "disk-read/network/disk-write bottlenecks.",
+        ],
+    )

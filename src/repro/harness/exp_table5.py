@@ -1,0 +1,70 @@
+"""Table 5: Pearson CC vs maximal information coefficient per feature.
+
+For four representative edges, the paper tabulates the linear (CC) and
+nonlinear (MIC) dependence of each Table 2 feature on transfer rate;
+"several inputs have a higher nonlinear maximal information coefficient
+than the Pearson correlation coefficient, indicating nonlinear
+dependencies ... that cannot be captured by a linear model."  Constant
+features (C, P) show '-' for CC and 0 for MIC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.analytical import threshold_mask
+from repro.core.features import FEATURE_NAMES
+from repro.core.pipeline import select_heavy_edges
+from repro.harness.result import ExperimentResult
+from repro.harness.runners import ProductionStudy
+from repro.ml.correlation import mic_mine, pearson_cc
+
+__all__ = ["run"]
+
+
+def run(study: ProductionStudy, n_edges: int = 4, threshold: float = 0.5) -> ExperimentResult:
+    features = study.features
+    edges = select_heavy_edges(study.log, min_samples=100, threshold=threshold)[:n_edges]
+    if len(edges) < n_edges:
+        raise ValueError(f"only {len(edges)} heavy edges available")
+    mask = threshold_mask(study.log, threshold)
+
+    rows = []
+    nonlinear_flags = 0
+    checked = 0
+    for src, dst in edges:
+        edge_rows = features.edge_rows(src, dst)
+        edge_rows = edge_rows[mask[edge_rows]]
+        y = features.y[edge_rows]
+        cc_row: list = [f"{src}->{dst}", "CC"]
+        mic_row: list = ["", "MIC"]
+        for name in FEATURE_NAMES:
+            x = features.columns[name][edge_rows]
+            if np.unique(x).size < 2:
+                cc_row.append("-")
+                mic_row.append(0.0)
+                continue
+            cc = abs(pearson_cc(x, y))
+            m = mic_mine(x, y)
+            cc_row.append(cc)
+            mic_row.append(m)
+            checked += 1
+            if m > cc + 0.15:
+                nonlinear_flags += 1
+        rows.append(cc_row)
+        rows.append(mic_row)
+
+    return ExperimentResult(
+        experiment_id="table5",
+        title="Correlation study: |Pearson CC| vs MIC per feature, 4 edges",
+        headers=["edge", "stat", *FEATURE_NAMES],
+        rows=rows,
+        metrics={
+            "nonlinear_feature_fraction": nonlinear_flags / max(checked, 1),
+        },
+        notes=[
+            "Paper (Table 5): MIC exceeds CC substantially for many load "
+            "features (e.g. Kdin, Gdst, Nb), flagging nonlinear "
+            "dependencies; C and P are constant ('-').",
+        ],
+    )

@@ -1,0 +1,141 @@
+"""Experiment registry: table/figure id -> runner.
+
+Experiments marked ``needs_study`` consume the shared production study
+(built/cached by :func:`repro.harness.runners.load_production_study`);
+the rest are self-contained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.harness import (
+    exp_figure3,
+    exp_figure4,
+    exp_figure5,
+    exp_figure6,
+    exp_figure8,
+    exp_figure13,
+    exp_lmt,
+    exp_models,
+    exp_online,
+    exp_overview,
+    exp_perfsonar,
+    exp_table1,
+    exp_table5,
+    exp_tunables,
+    exp_tables34,
+)
+from repro.harness.result import ExperimentResult
+from repro.harness.runners import ProductionStudy, StudyConfig, load_production_study
+
+__all__ = ["EXPERIMENTS", "ExperimentSpec", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment."""
+
+    experiment_id: str
+    description: str
+    runner: Callable
+    needs_study: bool
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in [
+        ExperimentSpec(
+            "overview", "Log population statistics (§1-§2)", exp_overview.run, True
+        ),
+        ExperimentSpec(
+            "table1", "ESnet subsystem maxima and Eq. 1", exp_table1.run, False
+        ),
+        ExperimentSpec(
+            "figure3", "Rate vs relative external load (testbed)",
+            exp_figure3.run, False,
+        ),
+        ExperimentSpec(
+            "figure4", "Aggregate rate vs concurrency + Weibull",
+            exp_figure4.run, True,
+        ),
+        ExperimentSpec(
+            "figure5", "File characteristics vs performance", exp_figure5.run, True
+        ),
+        ExperimentSpec(
+            "figure6", "Size vs distance vs rate", exp_figure6.run, True
+        ),
+        ExperimentSpec(
+            "perfsonar", "Eq. 1 with perfSONAR probes (§3.2)",
+            exp_perfsonar.run, True,
+        ),
+        ExperimentSpec(
+            "table3", "Edge length statistics", exp_tables34.run_table3, True
+        ),
+        ExperimentSpec(
+            "table4", "Edge type statistics", exp_tables34.run_table4, True
+        ),
+        ExperimentSpec(
+            "table5", "Pearson CC vs MIC per feature", exp_table5.run, True
+        ),
+        ExperimentSpec(
+            "figure8", "Rate vs load on production edges", exp_figure8.run, True
+        ),
+        ExperimentSpec(
+            "figure9", "Linear-model feature significance grid",
+            exp_models.run_figure9, True,
+        ),
+        ExperimentSpec(
+            "figure10", "Error distributions LR vs XGB", exp_models.run_figure10, True
+        ),
+        ExperimentSpec(
+            "figure11", "Per-edge MdAPE LR vs XGB", exp_models.run_figure11, True
+        ),
+        ExperimentSpec(
+            "figure12", "XGB feature importance grid", exp_models.run_figure12, True
+        ),
+        ExperimentSpec(
+            "figure13", "MdAPE vs Rmax threshold", exp_figure13.run, True
+        ),
+        ExperimentSpec(
+            "single_model", "One model for all edges (§5.4)",
+            exp_models.run_single_model, True,
+        ),
+        ExperimentSpec(
+            "lmt", "LMT storage-monitoring study (§5.5.2)", exp_lmt.run, False
+        ),
+        ExperimentSpec(
+            "online",
+            "Submission-time vs retrospective prediction (extension)",
+            exp_online.run,
+            True,
+        ),
+        ExperimentSpec(
+            "tunables",
+            "Learning C/P from a calibration sweep (extension)",
+            exp_tunables.run,
+            False,
+        ),
+    ]
+}
+
+
+def run_experiment(
+    experiment_id: str,
+    study: ProductionStudy | None = None,
+    config: StudyConfig | None = None,
+    **kwargs,
+) -> ExperimentResult:
+    """Run one experiment by id, loading the shared study if required."""
+    try:
+        spec = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {sorted(EXPERIMENTS)}"
+        ) from None
+    if spec.needs_study:
+        study = study or load_production_study(config)
+        return spec.runner(study, **kwargs)
+    return spec.runner(**kwargs)

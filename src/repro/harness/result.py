@@ -1,0 +1,62 @@
+"""Experiment result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.harness.tables import render_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one table/figure reproduction.
+
+    Attributes
+    ----------
+    experiment_id:
+        Paper reference, e.g. ``"table1"`` or ``"figure11"``.
+    title:
+        Human-readable description.
+    headers / rows:
+        The regenerated table (mirroring the paper's rows where the source
+        is a table, or summarising the series where it is a figure).
+    series:
+        Named numeric series backing figures (for plotting or assertions).
+    metrics:
+        Headline scalars, e.g. ``{"mdape_linear": 7.0}``.
+    notes:
+        Paper-vs-measured commentary for EXPERIMENTS.md.
+    figures:
+        Named ASCII renderings (see :mod:`repro.harness.ascii_plot`) —
+        the text analogue of the paper's scatter plots.
+    """
+
+    experiment_id: str
+    title: str
+    headers: list[str] = field(default_factory=list)
+    rows: list[list[Any]] = field(default_factory=list)
+    series: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, float] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+    figures: dict[str, str] = field(default_factory=dict)
+
+    def render(self, include_figures: bool = True) -> str:
+        """Text rendering: title, table, figures, metrics, notes."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            parts.append(render_table(self.headers, self.rows))
+        if include_figures:
+            for name, fig in self.figures.items():
+                parts.append(f"--- {name} ---")
+                parts.append(fig)
+        if self.metrics:
+            parts.append(
+                "metrics: "
+                + ", ".join(f"{k}={v:.4g}" for k, v in self.metrics.items())
+            )
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)

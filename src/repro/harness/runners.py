@@ -1,0 +1,161 @@
+"""Shared expensive artifacts: the production study, produced once, cached.
+
+Most §4/§5 experiments consume the same multi-week production simulation.
+:func:`load_production_study` runs it once per configuration and caches the
+transfer log (CSV) and the Figure 4 concurrency samples (NPZ) under
+``.cache/`` next to the repository root; subsequent calls — including
+separate pytest/benchmark processes — reload in seconds.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.features import FeatureMatrix, build_feature_matrix
+from repro.logs.io import read_csv, write_csv
+from repro.logs.store import LogStore
+from repro.sim.fleet import (
+    PRODUCTION_EDGES,
+    build_production_fleet,
+    production_background_loads,
+)
+from repro.sim.service import Fabric, TransferService
+from repro.sim.units import DAY
+from repro.workload.datasets import production_workload
+
+__all__ = ["StudyConfig", "ProductionStudy", "load_production_study", "CACHE_DIR"]
+
+CACHE_DIR = Path(__file__).resolve().parents[3] / ".cache"
+
+# Endpoints whose (concurrency, incoming rate) trajectory Figure 4 plots.
+FIGURE4_ENDPOINTS = ("NERSC-DTN", "Colorado-DTN", "JLAB-DTN", "UCAR-DTN")
+_SAMPLE_INTERVAL_S = 120.0
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Production-study parameters (the cache key).
+
+    ``quick`` runs (4 days) are for tests; the full study (14 days)
+    produces per-edge sample counts in the paper's 300-4200 range.
+    """
+
+    duration_days: float = 14.0
+    seed: int = 7
+    version: int = 1  # bump to invalidate caches after model changes
+
+    @classmethod
+    def quick(cls) -> "StudyConfig":
+        return cls(duration_days=4.0)
+
+    @property
+    def cache_key(self) -> str:
+        return f"prod_v{self.version}_d{self.duration_days:g}_s{self.seed}"
+
+
+@dataclass
+class ProductionStudy:
+    """Everything the §4/§5 experiments need.
+
+    Attributes
+    ----------
+    config:
+        The configuration that produced this study.
+    fabric:
+        The production fleet.
+    log:
+        Completed transfers (time-sorted).
+    features:
+        The Table 2 feature matrix over ``log``.
+    concurrency_samples:
+        Per Figure 4 endpoint: (times, process counts, aggregate incoming
+        rate) sampled during the run.
+    """
+
+    config: StudyConfig
+    fabric: Fabric
+    log: LogStore
+    features: FeatureMatrix
+    concurrency_samples: dict[str, dict[str, np.ndarray]] = field(default_factory=dict)
+
+
+def _simulate(config: StudyConfig) -> tuple[LogStore, dict[str, dict[str, np.ndarray]]]:
+    fabric = build_production_fleet()
+    duration = config.duration_days * DAY
+    requests = production_workload(fabric, duration_s=duration, seed=config.seed)
+    service = TransferService(
+        fabric, seed=config.seed + 1, stop_background_after=duration * 1.25
+    )
+    for load in production_background_loads(fabric):
+        service.add_onoff_load(load)
+
+    samples: dict[str, list[tuple[float, int, float]]] = {
+        ep: [] for ep in FIGURE4_ENDPOINTS
+    }
+
+    def sampler(t: float, svc: TransferService) -> None:
+        for ep in FIGURE4_ENDPOINTS:
+            samples[ep].append(
+                (t, svc.endpoint_process_count(ep), svc.endpoint_incoming_rate(ep))
+            )
+
+    service.add_sampler(_SAMPLE_INTERVAL_S, sampler)
+    for req in requests:
+        service.submit(req)
+    log = service.run()
+
+    packed = {}
+    for ep, rows in samples.items():
+        arr = np.array(rows)
+        packed[ep] = {
+            "times": arr[:, 0],
+            "concurrency": arr[:, 1],
+            "incoming_rate": arr[:, 2],
+        }
+    return log, packed
+
+
+def load_production_study(
+    config: StudyConfig | None = None,
+    use_cache: bool = True,
+) -> ProductionStudy:
+    """Load (or simulate and cache) the production study."""
+    config = config or StudyConfig()
+    fabric = build_production_fleet()
+    log_path = CACHE_DIR / f"{config.cache_key}.log.csv"
+    npz_path = CACHE_DIR / f"{config.cache_key}.samples.npz"
+
+    if use_cache and log_path.exists() and npz_path.exists():
+        log = read_csv(log_path)
+        with np.load(npz_path) as data:
+            samples = {
+                ep: {
+                    "times": data[f"{ep}:times"],
+                    "concurrency": data[f"{ep}:concurrency"],
+                    "incoming_rate": data[f"{ep}:incoming_rate"],
+                }
+                for ep in FIGURE4_ENDPOINTS
+            }
+    else:
+        log, samples = _simulate(config)
+        if use_cache:
+            CACHE_DIR.mkdir(parents=True, exist_ok=True)
+            write_csv(log, log_path)
+            flat = {}
+            for ep, d in samples.items():
+                for k, v in d.items():
+                    flat[f"{ep}:{k}"] = v
+            np.savez_compressed(npz_path, **flat)
+
+    features = build_feature_matrix(log)
+    return ProductionStudy(
+        config=config,
+        fabric=fabric,
+        log=log,
+        features=features,
+        concurrency_samples=samples,
+    )

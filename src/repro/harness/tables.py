@@ -1,0 +1,47 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["render_table", "format_cell"]
+
+
+def format_cell(value: Any) -> str:
+    """Human-friendly cell formatting: floats get sensible precision."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        mag = abs(value)
+        if mag >= 1000 or mag < 0.001:
+            return f"{value:.3g}"
+        if mag >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(headers: list[str], rows: list[list[Any]]) -> str:
+    """Fixed-width table with a header separator.
+
+    Raises if any row width disagrees with the header width.
+    """
+    for i, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells for {len(headers)} headers"
+            )
+    cells = [[format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for j, c in enumerate(row):
+            widths[j] = max(widths[j], len(c))
+    lines = [
+        "  ".join(h.ljust(widths[j]) for j, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.ljust(widths[j]) for j, c in enumerate(row)))
+    return "\n".join(lines)

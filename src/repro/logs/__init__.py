@@ -1,0 +1,38 @@
+"""Transfer log layer: schema, columnar store, IO, anonymisation.
+
+Globus log data provides "for each transfer, start time (Ts), completion
+time (Te), total bytes transferred, number of files (Nf), number of
+directories (Nd), values for Globus tunable parameters, source endpoint,
+and destination endpoint" plus the fault count Nflt (§4).  This package
+defines that record, a NumPy-backed columnar store with the filtering
+operations the feature pipeline needs, round-trip IO, and the anonymiser
+the authors applied before publishing their training data.
+"""
+
+from repro.logs.schema import TransferLogRecord, LOG_DTYPE
+from repro.logs.store import LogStore
+from repro.logs.io import write_csv, read_csv, write_jsonl, read_jsonl
+from repro.logs.anonymize import anonymize_store
+from repro.logs.stats import (
+    edge_usage_funnel,
+    byte_weighted_rate_fractions,
+    EdgeSummary,
+    edge_summaries,
+    activity_series,
+)
+
+__all__ = [
+    "TransferLogRecord",
+    "LOG_DTYPE",
+    "LogStore",
+    "write_csv",
+    "read_csv",
+    "write_jsonl",
+    "read_jsonl",
+    "anonymize_store",
+    "edge_usage_funnel",
+    "byte_weighted_rate_fractions",
+    "EdgeSummary",
+    "edge_summaries",
+    "activity_series",
+]

@@ -1,0 +1,86 @@
+"""Log round-trip IO: CSV and JSONL.
+
+The paper published its (anonymised) training/testing data [27]; these
+helpers give the reproduction the same capability, and let experiments
+cache expensive simulation runs on disk.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.logs.schema import LOG_DTYPE
+from repro.logs.store import LogStore
+
+__all__ = ["write_csv", "read_csv", "write_jsonl", "read_jsonl"]
+
+_FLOAT_FIELDS = {"ts", "te", "nb", "distance_km"}
+_INT_FIELDS = {"transfer_id", "nf", "nd", "c", "p", "nflt"}
+
+
+def write_csv(store: LogStore, path: str | Path) -> None:
+    """Write a store to CSV with a header row."""
+    path = Path(path)
+    data = store.raw()
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(LOG_DTYPE.names)
+        for row in data:
+            writer.writerow([row[name].item() for name in LOG_DTYPE.names])
+
+
+def read_csv(path: str | Path) -> LogStore:
+    """Read a store written by :func:`write_csv`."""
+    path = Path(path)
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        if tuple(header) != LOG_DTYPE.names:
+            raise ValueError(f"unexpected CSV header in {path}: {header}")
+        rows = [_parse_row(r) for r in reader]
+    arr = np.array(rows, dtype=LOG_DTYPE) if rows else np.empty(0, dtype=LOG_DTYPE)
+    return LogStore(arr)
+
+
+def write_jsonl(store: LogStore, path: str | Path) -> None:
+    """Write a store as one JSON object per line."""
+    path = Path(path)
+    data = store.raw()
+    with path.open("w") as fh:
+        for row in data:
+            obj = {name: row[name].item() for name in LOG_DTYPE.names}
+            fh.write(json.dumps(obj) + "\n")
+
+
+def read_jsonl(path: str | Path) -> LogStore:
+    """Read a store written by :func:`write_jsonl`."""
+    path = Path(path)
+    rows = []
+    with path.open() as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            missing = set(LOG_DTYPE.names) - set(obj)
+            if missing:
+                raise ValueError(f"{path}:{line_no}: missing fields {sorted(missing)}")
+            rows.append(tuple(obj[name] for name in LOG_DTYPE.names))
+    arr = np.array(rows, dtype=LOG_DTYPE) if rows else np.empty(0, dtype=LOG_DTYPE)
+    return LogStore(arr)
+
+
+def _parse_row(row: list[str]) -> tuple:
+    out = []
+    for name, value in zip(LOG_DTYPE.names, row):
+        if name in _FLOAT_FIELDS:
+            out.append(float(value))
+        elif name in _INT_FIELDS:
+            out.append(int(value))
+        else:
+            out.append(value)
+    return tuple(out)

@@ -1,0 +1,97 @@
+"""Transfer log record schema.
+
+One row per completed transfer, mirroring the Globus log fields the paper
+uses (§4 "Our starting point for this work is Globus log data") plus the
+endpoint metadata (types, coordinates) needed for Tables 3–4 and Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+__all__ = ["TransferLogRecord", "LOG_DTYPE"]
+
+# Columnar dtype for LogStore.  Endpoint names are fixed-width unicode —
+# plenty for simulator names, and hash-anonymised names fit too.
+LOG_DTYPE = np.dtype(
+    [
+        ("transfer_id", np.int64),
+        ("src", "U48"),
+        ("dst", "U48"),
+        ("src_site", "U48"),
+        ("dst_site", "U48"),
+        ("src_type", "U8"),       # "GCS" | "GCP"
+        ("dst_type", "U8"),
+        ("ts", np.float64),       # start time, s
+        ("te", np.float64),       # end time, s
+        ("nb", np.float64),       # bytes
+        ("nf", np.int64),         # files
+        ("nd", np.int64),         # directories
+        ("c", np.int64),          # concurrency
+        ("p", np.int64),          # parallelism
+        ("nflt", np.int64),       # faults
+        ("distance_km", np.float64),
+        ("tag", "U24"),
+    ]
+)
+
+
+@dataclass(frozen=True)
+class TransferLogRecord:
+    """A single completed transfer, as the Globus service would log it.
+
+    The average rate is derived, not stored: ``rate = nb / (te - ts)``.
+    """
+
+    transfer_id: int
+    src: str
+    dst: str
+    src_site: str
+    dst_site: str
+    src_type: str
+    dst_type: str
+    ts: float
+    te: float
+    nb: float
+    nf: int
+    nd: int
+    c: int
+    p: int
+    nflt: int
+    distance_km: float
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.te <= self.ts:
+            raise ValueError(
+                f"transfer {self.transfer_id}: te ({self.te}) <= ts ({self.ts})"
+            )
+        if self.nb <= 0:
+            raise ValueError(f"transfer {self.transfer_id}: nb must be > 0")
+        if self.nf < 1:
+            raise ValueError(f"transfer {self.transfer_id}: nf must be >= 1")
+        if self.nd < 0 or self.nflt < 0:
+            raise ValueError(f"transfer {self.transfer_id}: negative count")
+        if self.c < 1 or self.p < 1:
+            raise ValueError(f"transfer {self.transfer_id}: C and P must be >= 1")
+        if self.src_type not in ("GCS", "GCP") or self.dst_type not in ("GCS", "GCP"):
+            raise ValueError(f"transfer {self.transfer_id}: bad endpoint type")
+
+    @property
+    def duration(self) -> float:
+        return self.te - self.ts
+
+    @property
+    def rate(self) -> float:
+        """Average transfer rate, bytes/s (the paper's R_k)."""
+        return self.nb / self.duration
+
+    @property
+    def edge(self) -> tuple[str, str]:
+        return (self.src, self.dst)
+
+    def as_row(self) -> tuple:
+        """Tuple in LOG_DTYPE field order."""
+        return tuple(getattr(self, f.name) for f in fields(self))

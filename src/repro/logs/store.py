@@ -1,0 +1,146 @@
+"""Columnar log store.
+
+A :class:`LogStore` wraps a structured NumPy array of transfer records and
+provides the query surface the rest of the library needs: per-edge and
+per-endpoint filtering, time sorting, derived rate column, and edge
+statistics.  All filters return new stores sharing no mutable state, so
+stores behave like immutable values.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.logs.schema import LOG_DTYPE, TransferLogRecord
+
+__all__ = ["LogStore"]
+
+
+class LogStore:
+    """Immutable columnar collection of transfer log records."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        if data.dtype != LOG_DTYPE:
+            raise ValueError(f"expected dtype {LOG_DTYPE}, got {data.dtype}")
+        self._data = data
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Iterable[TransferLogRecord]) -> "LogStore":
+        rows = [r.as_row() for r in records]
+        arr = np.array(rows, dtype=LOG_DTYPE) if rows else np.empty(0, dtype=LOG_DTYPE)
+        return cls(arr)
+
+    @classmethod
+    def empty(cls) -> "LogStore":
+        return cls(np.empty(0, dtype=LOG_DTYPE))
+
+    @classmethod
+    def concat(cls, stores: Sequence["LogStore"]) -> "LogStore":
+        if not stores:
+            return cls.empty()
+        return cls(np.concatenate([s._data for s in stores]))
+
+    # -- basic access --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._data.shape[0]
+
+    def __getitem__(self, key) -> "LogStore":
+        """Index/slice/boolean-mask into a new store."""
+        sub = self._data[key]
+        if sub.ndim == 0:  # scalar index -> keep it a store of one
+            sub = sub.reshape(1)
+        return LogStore(sub.copy())
+
+    def column(self, name: str) -> np.ndarray:
+        """A copy of one column (copy keeps the store immutable)."""
+        if name not in LOG_DTYPE.names:
+            raise KeyError(f"no column {name!r}")
+        return self._data[name].copy()
+
+    def record(self, i: int) -> TransferLogRecord:
+        """Materialise row ``i`` as a :class:`TransferLogRecord`."""
+        row = self._data[i]
+        return TransferLogRecord(*(row[name].item() for name in LOG_DTYPE.names))
+
+    @property
+    def rates(self) -> np.ndarray:
+        """Average rate per transfer, bytes/s (derived: nb / (te - ts))."""
+        return self._data["nb"] / (self._data["te"] - self._data["ts"])
+
+    @property
+    def durations(self) -> np.ndarray:
+        return self._data["te"] - self._data["ts"]
+
+    # -- queries --------------------------------------------------------------
+
+    def sorted_by_start(self) -> "LogStore":
+        order = np.argsort(self._data["ts"], kind="stable")
+        return LogStore(self._data[order].copy())
+
+    def for_edge(self, src: str, dst: str) -> "LogStore":
+        m = (self._data["src"] == src) & (self._data["dst"] == dst)
+        return LogStore(self._data[m].copy())
+
+    def involving(self, endpoint: str) -> "LogStore":
+        m = (self._data["src"] == endpoint) | (self._data["dst"] == endpoint)
+        return LogStore(self._data[m].copy())
+
+    def with_source(self, endpoint: str) -> "LogStore":
+        return LogStore(self._data[self._data["src"] == endpoint].copy())
+
+    def with_destination(self, endpoint: str) -> "LogStore":
+        return LogStore(self._data[self._data["dst"] == endpoint].copy())
+
+    def in_window(self, t0: float, t1: float) -> "LogStore":
+        """Transfers overlapping [t0, t1)."""
+        if t1 <= t0:
+            raise ValueError("need t1 > t0")
+        m = (self._data["te"] > t0) & (self._data["ts"] < t1)
+        return LogStore(self._data[m].copy())
+
+    def edges(self) -> list[tuple[str, str]]:
+        """Distinct (src, dst) pairs, in first-appearance order."""
+        seen: dict[tuple[str, str], None] = {}
+        for s, d in zip(self._data["src"], self._data["dst"]):
+            seen.setdefault((str(s), str(d)), None)
+        return list(seen)
+
+    def edge_transfer_counts(self) -> dict[tuple[str, str], int]:
+        """Transfer count per edge (the §3.2 edge-usage histogram)."""
+        counts: dict[tuple[str, str], int] = {}
+        for s, d in zip(self._data["src"], self._data["dst"]):
+            key = (str(s), str(d))
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def heavy_edges(self, min_transfers: int) -> list[tuple[str, str]]:
+        """Edges with at least ``min_transfers`` transfers, busiest first."""
+        counts = self.edge_transfer_counts()
+        heavy = [(e, n) for e, n in counts.items() if n >= min_transfers]
+        heavy.sort(key=lambda x: (-x[1], x[0]))
+        return [e for e, _ in heavy]
+
+    def max_rate(self) -> float:
+        """Highest observed rate (the per-edge Rmax of §4.3.2)."""
+        if len(self) == 0:
+            raise ValueError("empty store has no max rate")
+        return float(self.rates.max())
+
+    # -- summaries --------------------------------------------------------------
+
+    def totals(self) -> dict[str, float]:
+        """Aggregate counters (bytes, files, transfers) for reporting."""
+        return {
+            "transfers": float(len(self)),
+            "bytes": float(self._data["nb"].sum()) if len(self) else 0.0,
+            "files": float(self._data["nf"].sum()) if len(self) else 0.0,
+        }
+
+    def raw(self) -> np.ndarray:
+        """The underlying structured array (copy)."""
+        return self._data.copy()

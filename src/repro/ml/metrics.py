@@ -1,0 +1,80 @@
+"""Error metrics used in the paper's evaluation (§5.3, §5.5).
+
+The headline metric is the *median absolute percentage error* (MdAPE):
+``median(|R - Rhat| / R) * 100``.  §5.5.2 additionally reports the 95th
+percentile of the absolute percentage error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "absolute_percentage_errors",
+    "mdape",
+    "mape",
+    "percentile_absolute_percentage_error",
+    "rmse",
+    "r2_score",
+]
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.float64).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("empty input")
+    return y_true, y_pred
+
+
+def absolute_percentage_errors(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """Per-sample ``|y - yhat| / |y| * 100``.
+
+    Raises if any true value is zero — transfer rates are strictly positive,
+    so a zero denominator indicates an upstream bug rather than valid data.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    if np.any(y_true == 0.0):
+        raise ValueError("y_true contains zeros; percentage error undefined")
+    return np.abs(y_true - y_pred) / np.abs(y_true) * 100.0
+
+
+def mdape(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Median absolute percentage error, in percent (the paper's MdAPE)."""
+    return float(np.median(absolute_percentage_errors(y_true, y_pred)))
+
+
+def mape(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute percentage error, in percent."""
+    return float(np.mean(absolute_percentage_errors(y_true, y_pred)))
+
+
+def percentile_absolute_percentage_error(
+    y_true: np.ndarray, y_pred: np.ndarray, q: float = 95.0
+) -> float:
+    """``q``-th percentile of the absolute percentage error (§5.5.2 uses q=95)."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q={q} outside [0, 100]")
+    return float(np.percentile(absolute_percentage_errors(y_true, y_pred), q))
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination.
+
+    Returns 0.0 for a constant target predicted exactly, ``-inf``-free
+    negative values otherwise, matching the common convention.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 0.0 if ss_res > 0.0 else 1.0
+    return 1.0 - ss_res / ss_tot

@@ -1,0 +1,213 @@
+"""Model persistence: JSON round-trips for every fitted estimator.
+
+A model trained overnight on a big log should be reusable by the scheduler
+in the morning without retraining.  Formats are plain JSON (human-
+inspectable, diff-able, no pickle security/versioning hazards): trees as
+flat node arrays, the binner as per-feature edge lists.
+
+Top-level entry points :func:`save_model` / :func:`load_model` dispatch on
+a ``kind`` tag and cover :class:`~repro.ml.linear.LinearRegression`,
+:class:`~repro.ml.gbt.GradientBoostingRegressor` and
+:class:`~repro.ml.scaler.StandardScaler`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.ml.binning import QuantileBinner
+from repro.ml.gbt import GradientBoostingRegressor
+from repro.ml.linear import LinearRegression
+from repro.ml.scaler import StandardScaler
+from repro.ml.tree import RegressionTree, TreeGrowthParams
+
+__all__ = [
+    "save_model",
+    "load_model",
+    "model_to_dict",
+    "model_from_dict",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _arr(a: np.ndarray | None) -> list | None:
+    return None if a is None else np.asarray(a).tolist()
+
+
+# -- per-class encoders -------------------------------------------------------
+
+
+def _scaler_to_dict(s: StandardScaler) -> dict:
+    if s.mean_ is None:
+        raise ValueError("cannot persist an unfitted StandardScaler")
+    return {
+        "kind": "standard_scaler",
+        "ddof": s.ddof,
+        "mean": _arr(s.mean_),
+        "scale": _arr(s.scale_),
+    }
+
+
+def _scaler_from_dict(d: dict) -> StandardScaler:
+    s = StandardScaler(ddof=d["ddof"])
+    s.mean_ = np.array(d["mean"], dtype=np.float64)
+    s.scale_ = np.array(d["scale"], dtype=np.float64)
+    return s
+
+
+def _linear_to_dict(m: LinearRegression) -> dict:
+    if m.coef_ is None:
+        raise ValueError("cannot persist an unfitted LinearRegression")
+    return {
+        "kind": "linear_regression",
+        "fit_intercept": m.fit_intercept,
+        "coef": _arr(m.coef_),
+        "intercept": m.intercept_,
+    }
+
+
+def _linear_from_dict(d: dict) -> LinearRegression:
+    m = LinearRegression(fit_intercept=d["fit_intercept"])
+    m.coef_ = np.array(d["coef"], dtype=np.float64)
+    m.intercept_ = float(d["intercept"])
+    return m
+
+
+def _binner_to_dict(b: QuantileBinner) -> dict:
+    if b.upper_edges_ is None:
+        raise ValueError("cannot persist an unfitted QuantileBinner")
+    return {
+        "max_bins": b.max_bins,
+        "upper_edges": [e.tolist() for e in b.upper_edges_],
+    }
+
+
+def _binner_from_dict(d: dict) -> QuantileBinner:
+    b = QuantileBinner(max_bins=d["max_bins"])
+    b.upper_edges_ = [np.array(e, dtype=np.float64) for e in d["upper_edges"]]
+    b.n_bins_ = np.array([e.size for e in b.upper_edges_], dtype=np.int64)
+    return b
+
+
+def _tree_to_dict(t: RegressionTree) -> dict:
+    if t.node_feature_ is None:
+        raise ValueError("cannot persist an unfitted tree")
+    return {
+        "feature": _arr(t.node_feature_),
+        "bin": _arr(t.node_bin_),
+        "left": _arr(t.node_left_),
+        "right": _arr(t.node_right_),
+        "value": _arr(t.node_value_),
+        "gain": _arr(t.node_gain_),
+        "feature_gain": _arr(t.feature_gain_),
+        "feature_count": _arr(t.feature_count_),
+    }
+
+
+def _tree_from_dict(d: dict, params: TreeGrowthParams, max_bins: int) -> RegressionTree:
+    t = RegressionTree(params, max_bins)
+    t.node_feature_ = np.array(d["feature"], dtype=np.int32)
+    t.node_bin_ = np.array(d["bin"], dtype=np.int32)
+    t.node_left_ = np.array(d["left"], dtype=np.int32)
+    t.node_right_ = np.array(d["right"], dtype=np.int32)
+    t.node_value_ = np.array(d["value"], dtype=np.float64)
+    t.node_gain_ = np.array(d["gain"], dtype=np.float64)
+    t.feature_gain_ = np.array(d["feature_gain"], dtype=np.float64)
+    t.feature_count_ = np.array(d["feature_count"], dtype=np.int64)
+    return t
+
+
+def _gbt_to_dict(m: GradientBoostingRegressor) -> dict:
+    if m.binner_ is None:
+        raise ValueError("cannot persist an unfitted GradientBoostingRegressor")
+    return {
+        "kind": "gradient_boosting",
+        "hyper": {
+            "n_estimators": m.n_estimators,
+            "learning_rate": m.learning_rate,
+            "max_depth": m.tree_params.max_depth,
+            "min_child_weight": m.tree_params.min_child_weight,
+            "reg_lambda": m.tree_params.reg_lambda,
+            "gamma": m.tree_params.gamma,
+            "subsample": m.subsample,
+            "colsample_bytree": m.colsample_bytree,
+            "max_bins": m.max_bins,
+            "random_state": m.random_state,
+        },
+        "base_score": m.base_score_,
+        "n_features": m.n_features_,
+        "binner": _binner_to_dict(m.binner_),
+        "trees": [_tree_to_dict(t) for t in m.trees_],
+    }
+
+
+def _gbt_from_dict(d: dict) -> GradientBoostingRegressor:
+    h = d["hyper"]
+    m = GradientBoostingRegressor(
+        n_estimators=h["n_estimators"],
+        learning_rate=h["learning_rate"],
+        max_depth=h["max_depth"],
+        min_child_weight=h["min_child_weight"],
+        reg_lambda=h["reg_lambda"],
+        gamma=h["gamma"],
+        subsample=h["subsample"],
+        colsample_bytree=h["colsample_bytree"],
+        max_bins=h["max_bins"],
+        random_state=h["random_state"],
+    )
+    m.base_score_ = float(d["base_score"])
+    m.n_features_ = int(d["n_features"])
+    m.binner_ = _binner_from_dict(d["binner"])
+    m.trees_ = [
+        _tree_from_dict(td, m.tree_params, m.max_bins) for td in d["trees"]
+    ]
+    return m
+
+
+# -- dispatch ------------------------------------------------------------------
+
+_ENCODERS = {
+    StandardScaler: _scaler_to_dict,
+    LinearRegression: _linear_to_dict,
+    GradientBoostingRegressor: _gbt_to_dict,
+}
+_DECODERS = {
+    "standard_scaler": _scaler_from_dict,
+    "linear_regression": _linear_from_dict,
+    "gradient_boosting": _gbt_from_dict,
+}
+
+
+def model_to_dict(model) -> dict:
+    """Serialise a fitted estimator to a JSON-compatible dict."""
+    enc = _ENCODERS.get(type(model))
+    if enc is None:
+        raise TypeError(f"cannot persist {type(model).__name__}")
+    out = enc(model)
+    out["format_version"] = _FORMAT_VERSION
+    return out
+
+
+def model_from_dict(d: dict):
+    """Inverse of :func:`model_to_dict`."""
+    version = d.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported format_version {version!r}")
+    dec = _DECODERS.get(d.get("kind"))
+    if dec is None:
+        raise ValueError(f"unknown model kind {d.get('kind')!r}")
+    return dec(d)
+
+
+def save_model(model, path: str | Path) -> None:
+    """Write a fitted estimator to a JSON file."""
+    Path(path).write_text(json.dumps(model_to_dict(model)))
+
+
+def load_model(path: str | Path):
+    """Read an estimator written by :func:`save_model`."""
+    return model_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,80 @@
+"""Zero-mean / unit-variance feature normalisation.
+
+§5 of the paper: "we normalize each input x_i to have zero mean and unit
+variance, setting x' = (x_i - mean(x_i)) / sigma_i".  Constant columns get a
+unit divisor so they map to all-zeros instead of NaN (the paper instead drops
+them; see :func:`repro.ml.selection.low_variance_features`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler"]
+
+
+class StandardScaler:
+    """Column-wise standardisation fitted on training data.
+
+    Parameters
+    ----------
+    ddof:
+        Delta degrees of freedom for the standard-deviation estimate.
+        0 (population std) matches the paper's formulation.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> X = np.array([[1.0, 10.0], [3.0, 10.0]])
+    >>> s = StandardScaler().fit(X)
+    >>> s.transform(X)[:, 0].tolist()
+    [-1.0, 1.0]
+    """
+
+    def __init__(self, ddof: int = 0) -> None:
+        self.ddof = ddof
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    # -- fitting ---------------------------------------------------------
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        """Learn per-column mean and scale from ``X`` (n_samples, n_features)."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"expected 2-D array, got shape {X.shape}")
+        if X.shape[0] <= self.ddof:
+            raise ValueError(
+                f"need more than ddof={self.ddof} samples, got {X.shape[0]}"
+            )
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0, ddof=self.ddof)
+        # (Near-)constant columns: a column of identical large values can
+        # produce a tiny nonzero std from rounding; dividing by it would
+        # amplify noise.  Use a relative tolerance and divide by 1 instead,
+        # so transform() yields (near-)zeros for such columns.
+        tiny = 1e-10 * np.maximum(np.abs(self.mean_), 1.0)
+        scale[scale <= tiny] = 1.0
+        self.scale_ = scale
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler used before fit()")
+
+    # -- transforms ------------------------------------------------------
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Standardise ``X`` with the fitted statistics."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, Xt: np.ndarray) -> np.ndarray:
+        """Map standardised values back to the original feature space."""
+        self._check_fitted()
+        Xt = np.asarray(Xt, dtype=np.float64)
+        return Xt * self.scale_ + self.mean_

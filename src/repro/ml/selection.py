@@ -1,0 +1,56 @@
+"""Dataset splitting and feature elimination helpers.
+
+§5.1: "we randomly select 70% of the log data to train the model and the
+other 30% to test"; "C and P are eliminated for all edges because they do
+not vary greatly in the log data" (the red crosses of Figures 9 and 12).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["train_test_split", "low_variance_features"]
+
+
+def train_test_split(
+    n_samples: int,
+    train_fraction: float = 0.7,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return (train_idx, test_idx) as a random permutation split.
+
+    Both sides are guaranteed non-empty for ``n_samples >= 2``.
+    """
+    if n_samples < 2:
+        raise ValueError(f"need >= 2 samples to split, got {n_samples}")
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    perm = rng.permutation(n_samples)
+    n_train = int(round(train_fraction * n_samples))
+    n_train = min(max(n_train, 1), n_samples - 1)
+    return np.sort(perm[:n_train]), np.sort(perm[n_train:])
+
+
+def low_variance_features(
+    X: np.ndarray,
+    threshold: float = 1e-3,
+    relative: bool = True,
+) -> np.ndarray:
+    """Boolean mask of features whose variation is below ``threshold``.
+
+    With ``relative=True`` (default), a feature is flagged when its
+    coefficient of variation ``std / max(|mean|, eps)`` falls below the
+    threshold — matching the paper's "do not vary greatly" criterion, which
+    is about spread relative to the feature's magnitude.  All-zero columns
+    are always flagged.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    std = X.std(axis=0)
+    if not relative:
+        return std < threshold
+    scale = np.maximum(np.abs(X.mean(axis=0)), 1e-12)
+    return (std / scale) < threshold

@@ -1,0 +1,25 @@
+"""External measurement infrastructure.
+
+Two monitors the paper leans on:
+
+- :mod:`~repro.monitor.perfsonar` — perfSONAR/iperf3-style memory-to-memory
+  network probes used to estimate MMmax for production edges (§3.2),
+  including the single-host-NIC-vs-DTN-pool mismatch pathology the paper
+  found on 2 of its 81 probed edges.
+- :mod:`~repro.monitor.lmt` — a Lustre Monitoring Tool equivalent: 5-second
+  sampling of OSS CPU load and OST disk I/O at instrumented endpoints, plus
+  the transfer/sample join that turns samples into the four §5.5.2 model
+  features.
+"""
+
+from repro.monitor.perfsonar import PerfSonarDeployment, PerfSonarProbeResult
+from repro.monitor.lmt import LmtMonitor, LmtSampleLog, join_lmt_features, LMT_FEATURE_NAMES
+
+__all__ = [
+    "PerfSonarDeployment",
+    "PerfSonarProbeResult",
+    "LmtMonitor",
+    "LmtSampleLog",
+    "join_lmt_features",
+    "LMT_FEATURE_NAMES",
+]

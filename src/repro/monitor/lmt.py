@@ -1,0 +1,175 @@
+"""Lustre Monitoring Tool equivalent (§5.5.2).
+
+"Throughout the experiments, we used the Lustre Monitoring Tool (LMT) to
+collect, every five seconds, both disk I/O load for each Lustre OST and CPU
+load for each Lustre object storage server (OSS)."
+
+:class:`LmtMonitor` attaches a periodic sampler to a running
+:class:`~repro.sim.service.TransferService` and records, per instrumented
+endpoint, the OSS CPU utilisation and per-OST read/write rates implied by
+the endpoint's *total* storage traffic — Globus and non-Globus alike.
+That totality is the point: the monitor sees the unknown load the transfer
+log cannot.
+
+:func:`join_lmt_features` then averages samples over each transfer's
+lifetime to produce the four §5.5.2 features: "CPU load on source OSS, CPU
+load on destination OSS, disk read on source OST, and disk write on
+destination OST."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.logs.store import LogStore
+from repro.sim.service import TransferService
+from repro.sim.storage import LustreStorage
+
+__all__ = ["LmtMonitor", "LmtSampleLog", "join_lmt_features", "LMT_FEATURE_NAMES"]
+
+LMT_FEATURE_NAMES: tuple[str, ...] = (
+    "LMT_oss_cpu_src",
+    "LMT_oss_cpu_dst",
+    "LMT_ost_read_src",
+    "LMT_ost_write_dst",
+)
+
+
+@dataclass
+class LmtSampleLog:
+    """Samples for one instrumented endpoint.
+
+    Attributes
+    ----------
+    endpoint:
+        Endpoint name.
+    times:
+        Sample timestamps, seconds.
+    oss_cpu:
+        Aggregate OSS CPU utilisation in [0, 1] per sample.
+    ost_read / ost_write:
+        Per-OST read/write rate, bytes/s per sample.
+    """
+
+    endpoint: str
+    times: np.ndarray
+    oss_cpu: np.ndarray
+    ost_read: np.ndarray
+    ost_write: np.ndarray
+
+    def window_means(self, t0: float, t1: float) -> tuple[float, float, float]:
+        """Mean (oss_cpu, ost_read, ost_write) over samples in [t0, t1].
+
+        Falls back to the nearest sample when the window contains none
+        (shorter than the sampling interval).
+        """
+        if t1 < t0:
+            raise ValueError("t1 must be >= t0")
+        mask = (self.times >= t0) & (self.times <= t1)
+        if not mask.any():
+            if self.times.size == 0:
+                raise ValueError(f"no samples recorded for {self.endpoint}")
+            i = int(np.argmin(np.abs(self.times - 0.5 * (t0 + t1))))
+            mask = np.zeros_like(self.times, dtype=bool)
+            mask[i] = True
+        return (
+            float(self.oss_cpu[mask].mean()),
+            float(self.ost_read[mask].mean()),
+            float(self.ost_write[mask].mean()),
+        )
+
+
+class LmtMonitor:
+    """Periodic OSS/OST sampler over a set of Lustre-backed endpoints.
+
+    Attach before ``service.run()``::
+
+        monitor = LmtMonitor(service, ["NERSC-DTN", "NERSC-Edison"])
+        service.run()
+        log = monitor.logs["NERSC-DTN"]
+    """
+
+    def __init__(
+        self,
+        service: TransferService,
+        endpoints: list[str],
+        interval_s: float = 5.0,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval must be > 0")
+        if not endpoints:
+            raise ValueError("need at least one endpoint to monitor")
+        self.interval_s = interval_s
+        self._raw: dict[str, list[tuple[float, float, float, float]]] = {}
+        self._storages: dict[str, LustreStorage] = {}
+        for name in endpoints:
+            ep = service.fabric.endpoint(name)
+            if not isinstance(ep.storage, LustreStorage):
+                raise ValueError(
+                    f"endpoint {name!r} has no Lustre storage to monitor"
+                )
+            self._storages[name] = ep.storage
+            self._raw[name] = []
+        service.add_sampler(interval_s, self._sample)
+
+    def _sample(self, t: float, service: TransferService) -> None:
+        for name, storage in self._storages.items():
+            tp = service.endpoint_throughput(name)
+            total = tp["disk_read"] + tp["disk_write"]
+            accessors = service.endpoint_storage_accessors(name)
+            self._raw[name].append(
+                (
+                    t,
+                    storage.oss_cpu_utilisation(total, accessors),
+                    storage.ost_share(tp["disk_read"]),
+                    storage.ost_share(tp["disk_write"]),
+                )
+            )
+
+    @property
+    def logs(self) -> dict[str, LmtSampleLog]:
+        """Materialised sample logs per endpoint."""
+        out = {}
+        for name, rows in self._raw.items():
+            arr = np.array(rows) if rows else np.empty((0, 4))
+            out[name] = LmtSampleLog(
+                endpoint=name,
+                times=arr[:, 0] if arr.size else np.array([]),
+                oss_cpu=arr[:, 1] if arr.size else np.array([]),
+                ost_read=arr[:, 2] if arr.size else np.array([]),
+                ost_write=arr[:, 3] if arr.size else np.array([]),
+            )
+        return out
+
+
+def join_lmt_features(
+    store: LogStore,
+    logs: dict[str, LmtSampleLog],
+) -> dict[str, np.ndarray]:
+    """Per-transfer LMT feature columns (§5.5.2's four new features).
+
+    For each transfer, averages the source endpoint's OSS CPU and OST read
+    rate and the destination's OSS CPU and OST write rate over the
+    transfer's lifetime.  Transfers touching unmonitored endpoints get 0.0
+    (no information).
+    """
+    n = len(store)
+    src = store.column("src")
+    dst = store.column("dst")
+    ts = store.column("ts")
+    te = store.column("te")
+    out = {name: np.zeros(n) for name in LMT_FEATURE_NAMES}
+    for i in range(n):
+        s_log = logs.get(str(src[i]))
+        if s_log is not None and s_log.times.size:
+            cpu, read, _ = s_log.window_means(ts[i], te[i])
+            out["LMT_oss_cpu_src"][i] = cpu
+            out["LMT_ost_read_src"][i] = read
+        d_log = logs.get(str(dst[i]))
+        if d_log is not None and d_log.times.size:
+            cpu, _, write = d_log.window_means(ts[i], te[i])
+            out["LMT_oss_cpu_dst"][i] = cpu
+            out["LMT_ost_write_dst"][i] = write
+    return out

@@ -1,0 +1,157 @@
+"""perfSONAR-style network probing (§3.2).
+
+The paper estimates MMmax for production edges by running third-party
+iperf3 tests between perfSONAR hosts co-located with Globus endpoints.
+Two realities of that infrastructure are modelled:
+
+- **Partial deployment**: only some sites have perfSONAR hosts, and only a
+  subset of those allow third-party tests (the paper found hosts for 195 of
+  469 site-grouped edges, 81 of which supported third-party tests).
+- **Interface mismatch**: a perfSONAR host is a *single* machine with one
+  NIC.  A Globus endpoint backed by 4 or 8 DTNs can beat the probe's
+  estimate — "the site has a single perfSONAR host with a 10 Gbps network
+  interface card (NIC) but either 4 or 8 DTNs, each with a 10 Gbps NIC."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.network import stream_ceiling
+from repro.sim.service import Fabric
+
+__all__ = ["PerfSonarDeployment", "PerfSonarProbeResult"]
+
+
+@dataclass(frozen=True)
+class PerfSonarProbeResult:
+    """One edge's iperf3 measurement campaign.
+
+    Attributes
+    ----------
+    src, dst:
+        Endpoint names whose sites were probed.
+    mm_estimate:
+        Max observed memory-to-memory rate between the perfSONAR hosts,
+        bytes/s.
+    n_measurements:
+        Number of individual tests behind the max.
+    """
+
+    src: str
+    dst: str
+    mm_estimate: float
+    n_measurements: int
+
+
+class PerfSonarDeployment:
+    """Simulated perfSONAR deployment over a fabric's sites.
+
+    Parameters
+    ----------
+    fabric:
+        The fabric whose sites may host perfSONAR boxes.
+    host_probability:
+        Probability a site has a perfSONAR host at all.
+    third_party_probability:
+        Probability a deployed host allows third-party (remote) tests.
+    host_nic_bps:
+        The probe host's single NIC capacity.
+    seed:
+        Deployment + measurement noise seed (deployment is a site-level
+        draw, so it is consistent across edges).
+    """
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        host_probability: float = 0.75,
+        third_party_probability: float = 0.42,
+        host_nic_bps: float = 10e9 / 8.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= host_probability <= 1.0:
+            raise ValueError("host_probability must be in [0, 1]")
+        if not 0.0 <= third_party_probability <= 1.0:
+            raise ValueError("third_party_probability must be in [0, 1]")
+        self.fabric = fabric
+        self.host_nic_bps = host_nic_bps
+        self._rng = np.random.default_rng(seed)
+        self.has_host: dict[str, bool] = {}
+        self.allows_third_party: dict[str, bool] = {}
+        for site in sorted(fabric.sites):
+            has = bool(self._rng.uniform() < host_probability)
+            self.has_host[site] = has
+            self.allows_third_party[site] = bool(
+                has and self._rng.uniform() < third_party_probability
+            )
+
+    # -- deployment queries --------------------------------------------------
+
+    def edge_probeable(self, src_ep: str, dst_ep: str) -> bool:
+        """Both sites have hosts (the 195-of-469 stage)."""
+        s = self.fabric.endpoint(src_ep).site
+        d = self.fabric.endpoint(dst_ep).site
+        return self.has_host[s] and self.has_host[d]
+
+    def edge_testable(self, src_ep: str, dst_ep: str) -> bool:
+        """Both sites have hosts and allow third-party tests (81-of-195)."""
+        s = self.fabric.endpoint(src_ep).site
+        d = self.fabric.endpoint(dst_ep).site
+        return (
+            self.edge_probeable(src_ep, dst_ep)
+            and self.allows_third_party[s]
+            and self.allows_third_party[d]
+        )
+
+    # -- measurement -----------------------------------------------------------
+
+    def probe_edge(
+        self,
+        src_ep: str,
+        dst_ep: str,
+        n_streams: int = 8,
+        n_measurements: int = 20,
+    ) -> PerfSonarProbeResult:
+        """Run an iperf3 campaign between the two sites' perfSONAR hosts.
+
+        The probe sees the WAN path exactly as DTN traffic does, but its
+        NIC is a single ``host_nic_bps`` interface — the source of the
+        §3.2 interface-mismatch pathology on multi-DTN endpoints.
+        """
+        if not self.edge_testable(src_ep, dst_ep):
+            raise ValueError(
+                f"edge {src_ep}->{dst_ep} does not support third-party tests"
+            )
+        if n_streams < 1 or n_measurements < 1:
+            raise ValueError("n_streams and n_measurements must be >= 1")
+        path = self.fabric.path_between(src_ep, dst_ep)
+        if path is None:
+            # Same site: memory-to-memory through the LAN; the host NIC is
+            # the only constraint.
+            ideal = self.host_nic_bps
+        else:
+            per_stream = stream_ceiling(
+                path.rtt_s, path.loss_rate, window_bytes=8.0 * 2**20
+            )
+            ideal = min(self.host_nic_bps, path.capacity, n_streams * per_stream)
+        samples = ideal * self._rng.uniform(0.85, 1.0, size=n_measurements)
+        return PerfSonarProbeResult(
+            src=src_ep,
+            dst=dst_ep,
+            mm_estimate=float(samples.max()),
+            n_measurements=n_measurements,
+        )
+
+    def interface_mismatch(self, src_ep: str, dst_ep: str) -> bool:
+        """True when the Globus endpoints' aggregate NIC pool exceeds the
+        probe host NIC on either side — Globus rates can then legitimately
+        beat the perfSONAR MM estimate."""
+        src = self.fabric.endpoint(src_ep)
+        dst = self.fabric.endpoint(dst_ep)
+        return (
+            src.nic_capacity > self.host_nic_bps * 1.01
+            or dst.nic_capacity > self.host_nic_bps * 1.01
+        )

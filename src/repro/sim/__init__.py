@@ -1,0 +1,77 @@
+"""Wide-area transfer fabric simulator.
+
+The paper's models are trained on proprietary Globus transfer logs.  This
+package replaces those logs with a *fluid-flow, event-driven* simulator of a
+wide-area data transfer fabric:
+
+- :mod:`~repro.sim.events` — the discrete-event core (heap + epoch-tagged
+  tentative completions).
+- :mod:`~repro.sim.allocation` — weighted max-min fair rate allocation via
+  progressive filling; the mathematical heart of the fluid model.
+- :mod:`~repro.sim.network` — sites, great-circle distance, RTT, and a
+  Mathis-style per-TCP-stream throughput ceiling.
+- :mod:`~repro.sim.storage` — storage systems, including a Lustre-like
+  OSS/OST model with per-file seek penalty and concurrency thrashing.
+- :mod:`~repro.sim.endpoint` — data transfer nodes: NIC pools, CPU cores,
+  GridFTP process cost, endpoint types (GCS server vs GCP personal).
+- :mod:`~repro.sim.gridftp` — GridFTP transfer semantics: concurrency C,
+  parallelism P, min(C, Nf) effective instances, startup and per-file
+  coordination overheads, integrity-check discount.
+- :mod:`~repro.sim.faults` — load-dependent fault injection (drives Nflt).
+- :mod:`~repro.sim.background` — non-Globus competing load (the paper's
+  "unknowns").
+- :mod:`~repro.sim.service` — the Globus-like transfer service orchestrator
+  that runs requests through the fabric and emits log records.
+- :mod:`~repro.sim.testbed` — the ESnet-like 4-site testbed (Table 1).
+- :mod:`~repro.sim.fleet` — the ~40-endpoint production fleet with the 30
+  heavily used edges (§5).
+
+Rates are bytes/second and times are seconds throughout; use
+:mod:`repro.sim.units` to convert.
+"""
+
+from repro.sim.events import EventQueue, Event
+from repro.sim.allocation import Resource, FlowSpec, allocate_maxmin
+from repro.sim.network import Site, WanPath, great_circle_km, rtt_seconds, mathis_stream_ceiling
+from repro.sim.storage import StorageSystem, LustreStorage
+from repro.sim.endpoint import Endpoint, EndpointType
+from repro.sim.gridftp import TransferRequest, GridFTPConfig
+from repro.sim.faults import FaultModel
+from repro.sim.background import BackgroundLoad, OnOffLoad
+from repro.sim.service import TransferService, Fabric
+from repro.sim.testbed import build_esnet_testbed, measure_subsystem_maxima, ProbeKind
+from repro.sim.fleet import (
+    build_production_fleet,
+    production_background_loads,
+    PRODUCTION_EDGES,
+)
+
+__all__ = [
+    "EventQueue",
+    "Event",
+    "Resource",
+    "FlowSpec",
+    "allocate_maxmin",
+    "Site",
+    "WanPath",
+    "great_circle_km",
+    "rtt_seconds",
+    "mathis_stream_ceiling",
+    "StorageSystem",
+    "LustreStorage",
+    "Endpoint",
+    "EndpointType",
+    "TransferRequest",
+    "GridFTPConfig",
+    "FaultModel",
+    "BackgroundLoad",
+    "OnOffLoad",
+    "TransferService",
+    "Fabric",
+    "build_esnet_testbed",
+    "measure_subsystem_maxima",
+    "ProbeKind",
+    "build_production_fleet",
+    "production_background_loads",
+    "PRODUCTION_EDGES",
+]

@@ -1,0 +1,123 @@
+"""Non-Globus competing load — the paper's "unknowns" (§4.3.2).
+
+Production endpoints serve more than Globus: cron-driven backups, other
+transfer tools (scp/rsync/bbcp), local analysis jobs hammering the file
+system, and cross traffic on shared links.  None of it appears in Globus
+logs, which is the paper's central measurement problem: "we have no
+information that we can use to quantify this other competing load."
+
+:class:`OnOffLoad` models such a source as a Markov-modulated on/off flow:
+exponential off periods, exponential on periods with a fixed draw of target
+rate per burst.  While "on", the load participates in the fluid allocation
+exactly like a transfer (consuming disk and/or NIC resources) but is never
+logged.  The §5.5.2 LMT monitor, by contrast, *can* see its storage
+component — which is precisely what lets the extended model eliminate the
+unknown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BackgroundLoad", "OnOffLoad"]
+
+
+@dataclass
+class BackgroundLoad:
+    """A constant competing flow pinned to a set of endpoint resources.
+
+    Attributes
+    ----------
+    name:
+        Unique flow id.
+    resources:
+        Resource names the flow consumes (e.g. an endpoint's disk_write and
+        nic for an external upload).
+    rate_cap:
+        Target rate, bytes/s.
+    weight:
+        Fairness weight relative to one TCP stream.
+    accessors:
+        Concurrent-accessor equivalents for storage-thrash accounting: a
+        streaming backup is ~4; a compute job doing scattered small I/O can
+        act like dozens of seek-heavy accessors and depress the array's
+        effective bandwidth far beyond its own byte rate.
+    """
+
+    name: str
+    resources: tuple[str, ...]
+    rate_cap: float
+    weight: float = 4.0
+    accessors: int = 4
+
+    def __post_init__(self) -> None:
+        if self.rate_cap <= 0:
+            raise ValueError(f"{self.name}: rate_cap must be > 0")
+        if self.weight <= 0:
+            raise ValueError(f"{self.name}: weight must be > 0")
+        if self.accessors < 0:
+            raise ValueError(f"{self.name}: accessors must be >= 0")
+
+
+@dataclass
+class OnOffLoad:
+    """Markov-modulated on/off background load.
+
+    Attributes
+    ----------
+    name:
+        Unique id (also the allocation flow id while on).
+    resources:
+        Resources consumed while on.
+    mean_on_s / mean_off_s:
+        Exponential means of burst and gap durations.
+    rate_low / rate_high:
+        Per-burst target rate drawn uniformly from this range.
+    weight:
+        Fairness weight (aggressive tools open many streams).
+    start_on:
+        Whether the source begins in the on state.
+    accessors_low / accessors_high:
+        Range of concurrent-accessor equivalents drawn per burst (see
+        :class:`BackgroundLoad.accessors`); seek-heavy bursts degrade the
+        storage array's effective bandwidth via its thrash curve.
+    """
+
+    name: str
+    resources: tuple[str, ...]
+    mean_on_s: float = 600.0
+    mean_off_s: float = 1800.0
+    rate_low: float = 50e6
+    rate_high: float = 500e6
+    weight: float = 8.0
+    start_on: bool = False
+    accessors_low: int = 4
+    accessors_high: int = 4
+
+    def __post_init__(self) -> None:
+        if self.mean_on_s <= 0 or self.mean_off_s <= 0:
+            raise ValueError(f"{self.name}: durations must be > 0")
+        if not 0 < self.rate_low <= self.rate_high:
+            raise ValueError(f"{self.name}: need 0 < rate_low <= rate_high")
+        if self.weight <= 0:
+            raise ValueError(f"{self.name}: weight must be > 0")
+        if not 0 <= self.accessors_low <= self.accessors_high:
+            raise ValueError(
+                f"{self.name}: need 0 <= accessors_low <= accessors_high"
+            )
+
+    def sample_on_duration(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean_on_s))
+
+    def sample_off_duration(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean_off_s))
+
+    def sample_rate(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.rate_low, self.rate_high))
+
+    def sample_accessors(self, rng: np.random.Generator) -> int:
+        if self.accessors_low == self.accessors_high:
+            return self.accessors_low
+        return int(rng.integers(self.accessors_low, self.accessors_high + 1))

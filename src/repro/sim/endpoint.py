@@ -1,0 +1,136 @@
+"""Endpoint (data transfer node) model.
+
+An endpoint is what Globus Connect software runs on: either a *server*
+deployment (GCS — one or more tuned DTNs in front of a parallel file
+system) or a *personal* one (GCP — a laptop/workstation).  Table 4 of the
+paper breaks edges down by these types.
+
+The endpoint contributes three resources to the fluid allocation:
+
+- ``nic``: aggregate NIC capacity (``nic_bps * n_dtn`` — the paper's §3.2
+  notes sites with 4 or 8 DTNs each with a 10 Gbps NIC, which is why a
+  single-host perfSONAR probe can under-estimate MMmax);
+- ``cpu``: data-processing ceiling that *degrades* once the number of
+  GridFTP server processes exceeds the core pool (Figure 4's decline);
+- disk read/write via the attached :class:`~repro.sim.storage.StorageSystem`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.sim.storage import StorageSystem
+
+__all__ = ["EndpointType", "Endpoint"]
+
+
+class EndpointType(enum.Enum):
+    """Globus Connect deployment flavour."""
+
+    GCS = "server"     # Globus Connect Server
+    GCP = "personal"   # Globus Connect Personal
+
+
+@dataclass
+class Endpoint:
+    """A Globus endpoint: NIC pool + CPU pool + storage system.
+
+    Attributes
+    ----------
+    name:
+        Unique endpoint name, e.g. ``"NERSC-DTN"``.
+    site:
+        Site name (must exist in the fabric's site table).
+    etype:
+        GCS or GCP.
+    nic_bps:
+        Per-DTN NIC capacity, bytes/s.
+    n_dtn:
+        DTN pool size; aggregate NIC = ``nic_bps * n_dtn``.
+    cpu_cores:
+        Cores available to GridFTP server processes across the pool.
+    core_bps:
+        Bytes/s one core can push through the protocol stack (checksumming,
+        context switches included).
+    oversubscription_penalty:
+        Per-process efficiency loss once processes > cores, modelling
+        context-switch thrash: capacity is scaled by
+        ``1 / (1 + penalty * max(0, procs - cores))``.
+    storage:
+        Attached storage system.
+    tcp_window_bytes:
+        Configured TCP buffer for streams terminating here (DTNs tuned
+        large; personal endpoints small — a major GCP handicap on long
+        paths).
+    """
+
+    name: str
+    site: str
+    etype: EndpointType
+    nic_bps: float
+    storage: StorageSystem
+    n_dtn: int = 1
+    cpu_cores: int = 16
+    core_bps: float = 1.2e9
+    oversubscription_penalty: float = 0.05
+    tcp_window_bytes: float = 16.0 * 2**20
+
+    def __post_init__(self) -> None:
+        if self.nic_bps <= 0:
+            raise ValueError(f"{self.name}: nic_bps must be > 0")
+        if self.n_dtn < 1:
+            raise ValueError(f"{self.name}: n_dtn must be >= 1")
+        if self.cpu_cores < 1:
+            raise ValueError(f"{self.name}: cpu_cores must be >= 1")
+        if self.core_bps <= 0:
+            raise ValueError(f"{self.name}: core_bps must be > 0")
+        if self.oversubscription_penalty < 0:
+            raise ValueError(f"{self.name}: oversubscription_penalty must be >= 0")
+        if self.tcp_window_bytes <= 0:
+            raise ValueError(f"{self.name}: tcp_window_bytes must be > 0")
+
+    # -- resource names -----------------------------------------------------
+
+    @property
+    def nic_in_resource(self) -> str:
+        """Inbound NIC direction (full-duplex: separate from outbound)."""
+        return f"{self.name}:nic_in"
+
+    @property
+    def nic_out_resource(self) -> str:
+        return f"{self.name}:nic_out"
+
+    @property
+    def cpu_resource(self) -> str:
+        return f"{self.name}:cpu"
+
+    @property
+    def read_resource(self) -> str:
+        return f"{self.name}:disk_read"
+
+    @property
+    def write_resource(self) -> str:
+        return f"{self.name}:disk_write"
+
+    # -- capacities ----------------------------------------------------------
+
+    @property
+    def nic_capacity(self) -> float:
+        """Aggregate NIC capacity across the DTN pool, bytes/s."""
+        return self.nic_bps * self.n_dtn
+
+    def cpu_capacity(self, total_processes: int) -> float:
+        """Aggregate CPU data-processing ceiling given the instantaneous
+        GridFTP process count at this endpoint.
+
+        Rises linearly with usable parallelism up to the core pool, then the
+        whole pool's efficiency decays — together with storage thrash this
+        produces Figure 4's rise-then-fall of aggregate rate vs. total
+        concurrency.
+        """
+        if total_processes < 0:
+            raise ValueError("total_processes must be >= 0")
+        base = self.cpu_cores * self.core_bps
+        excess = max(0, total_processes - self.cpu_cores)
+        return base / (1.0 + self.oversubscription_penalty * excess)

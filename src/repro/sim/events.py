@@ -1,0 +1,89 @@
+"""Discrete-event core: a monotonic event heap with stable ordering.
+
+The fluid-flow simulator recomputes all transfer rates whenever the active
+set changes, which invalidates previously predicted completion times.  The
+standard technique is *epoch-tagged tentative events*: every rate
+recomputation bumps an epoch counter, predicted completions are pushed with
+the epoch in force, and stale events (epoch mismatch at pop time) are
+skipped.  :class:`EventQueue` provides the heap; epoch bookkeeping lives in
+:class:`repro.sim.service.TransferService`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """A scheduled event.
+
+    Ordering is (time, priority, seq): ties in time break by explicit
+    priority, then by insertion order, so the simulation is deterministic.
+
+    Attributes
+    ----------
+    time:
+        Simulation time (seconds).
+    priority:
+        Lower runs first among simultaneous events.  Convention:
+        0 = completions/departures, 5 = arrivals, 9 = monitors — departures
+        free resources before new arrivals see them.
+    seq:
+        Monotone insertion index (set by the queue).
+    kind:
+        Event type tag, e.g. ``"submit"``, ``"setup_done"``, ``"complete"``.
+    payload:
+        Arbitrary event data (not part of the ordering).
+    """
+
+    time: float
+    priority: int
+    seq: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with monotonic pop times."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._last_pop_time = -float("inf")
+
+    def push(self, time: float, kind: str, payload: Any = None, priority: int = 5) -> Event:
+        """Schedule an event; rejects scheduling in the popped past."""
+        if time != time:  # NaN guard
+            raise ValueError("event time is NaN")
+        if time < self._last_pop_time:
+            raise ValueError(
+                f"cannot schedule at t={time} before already-processed "
+                f"t={self._last_pop_time}"
+            )
+        ev = Event(time=time, priority=priority, seq=next(self._counter),
+                   kind=kind, payload=payload)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        ev = heapq.heappop(self._heap)
+        self._last_pop_time = ev.time
+        return ev
+
+    def peek_time(self) -> float | None:
+        """Time of the next event, or None if empty."""
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

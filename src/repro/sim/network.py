@@ -1,0 +1,161 @@
+"""Network fabric: sites, distances, RTT, and per-stream TCP ceilings.
+
+§4.2 / Figure 6 of the paper uses great-circle distance between endpoints as
+"a lower bound" proxy for round-trip time; §4.1 explains why "large files
+over high-latency links can benefit from higher parallelism".  Both effects
+come from TCP:
+
+- RTT grows with distance (propagation at ~2/3 c through fibre, plus a
+  fixed routing/queueing overhead per path);
+- a single TCP stream's sustainable throughput under random loss follows
+  the Mathis et al. ceiling ``MSS / RTT * C / sqrt(p)``, and is also capped
+  by ``window / RTT``;
+- ``n`` parallel streams aggregate ~n of those ceilings until a shared
+  resource saturates (handled by :mod:`repro.sim.allocation`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "Site",
+    "WanPath",
+    "great_circle_km",
+    "rtt_seconds",
+    "mathis_stream_ceiling",
+    "stream_ceiling",
+]
+
+EARTH_RADIUS_KM = 6371.0
+# Signal propagation in fibre ~ 2/3 of c; real paths are not great circles,
+# so apply a path-inflation factor (typical ~1.5x for R&E backbones).
+FIBRE_SPEED_KM_PER_S = 2e5
+PATH_INFLATION = 1.5
+BASE_RTT_S = 0.002  # LAN + per-hop queueing floor
+MATHIS_CONST = math.sqrt(1.5)
+
+
+@dataclass(frozen=True)
+class Site:
+    """A geographic site hosting one or more endpoints.
+
+    Attributes
+    ----------
+    name:
+        Unique site name, e.g. ``"NERSC"``.
+    lat, lon:
+        Geographic coordinates in degrees.
+    continent:
+        Coarse label used by Figure 6's intra- vs inter-continental split.
+    """
+
+    name: str
+    lat: float
+    lon: float
+    continent: str = "NA"
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude {self.lat} out of range")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude {self.lon} out of range")
+
+
+def great_circle_km(a: Site, b: Site) -> float:
+    """Haversine great-circle distance in km (the paper's edge length)."""
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+def loss_for_distance(distance_km: float, base_loss: float = 1e-7) -> float:
+    """Random-loss estimate as a function of path length.
+
+    Longer paths cross more devices and peering points; empirically loss
+    grows roughly linearly with hop count.  This keeps short R&E paths
+    nearly clean (1e-7) while transoceanic paths see ~1e-6, which is what
+    makes distance matter even for well-tuned transfers (Figure 6).
+    """
+    if distance_km < 0:
+        raise ValueError("distance must be >= 0")
+    return base_loss * (1.0 + distance_km / 800.0)
+
+
+def rtt_seconds(distance_km: float) -> float:
+    """Round-trip time estimate from great-circle distance."""
+    if distance_km < 0:
+        raise ValueError("distance must be >= 0")
+    one_way = distance_km * PATH_INFLATION / FIBRE_SPEED_KM_PER_S
+    return BASE_RTT_S + 2.0 * one_way
+
+
+def mathis_stream_ceiling(rtt_s: float, loss_rate: float, mss_bytes: float = 1460.0) -> float:
+    """Mathis et al. single-stream TCP ceiling, bytes/s: ``MSS/RTT * C/sqrt(p)``."""
+    if rtt_s <= 0:
+        raise ValueError("rtt must be > 0")
+    if not 0.0 < loss_rate < 1.0:
+        raise ValueError("loss_rate must be in (0, 1)")
+    return (mss_bytes / rtt_s) * (MATHIS_CONST / math.sqrt(loss_rate))
+
+
+def stream_ceiling(
+    rtt_s: float,
+    loss_rate: float,
+    window_bytes: float = 16.0 * 2**20,
+    mss_bytes: float = 1460.0,
+) -> float:
+    """Per-stream throughput ceiling: min(window/RTT, Mathis).
+
+    ``window_bytes`` models the configured TCP buffer (DTNs are tuned large,
+    personal endpoints small) — the reason GCP endpoints underperform on
+    long paths even without loss.
+    """
+    if window_bytes <= 0:
+        raise ValueError("window must be > 0")
+    return min(window_bytes / rtt_s, mathis_stream_ceiling(rtt_s, loss_rate, mss_bytes))
+
+
+@dataclass
+class WanPath:
+    """A WAN path between two sites.
+
+    Attributes
+    ----------
+    src, dst:
+        Site names (direction matters for bookkeeping; capacity is per
+        direction).
+    capacity:
+        Bottleneck path capacity in bytes/s (e.g. a 10 Gb/s light path).
+    rtt_s:
+        Round-trip time; derived from distance via :func:`rtt_seconds` when
+        built by the fabric helpers.
+    loss_rate:
+        Random loss probability feeding the Mathis ceiling.
+    """
+
+    src: str
+    dst: str
+    capacity: float
+    rtt_s: float
+    loss_rate: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("path capacity must be > 0")
+        if self.rtt_s <= 0:
+            raise ValueError("rtt must be > 0")
+        if not 0.0 < self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in (0, 1)")
+
+    @property
+    def name(self) -> str:
+        return f"wan:{self.src}->{self.dst}"
+
+    def per_stream_ceiling(self, window_bytes: float) -> float:
+        """Per-TCP-stream ceiling on this path for a given window size."""
+        return stream_ceiling(self.rtt_s, self.loss_rate, window_bytes)

@@ -1,0 +1,638 @@
+"""The Globus-like transfer service: fabric + fluid event loop + logging.
+
+:class:`Fabric` is the static description of the world — sites, endpoints,
+WAN paths, protocol cost model, fault model.  :class:`TransferService` runs
+transfer requests and background load through the fabric:
+
+1. Every change to the active flow set (arrival, setup completion, transfer
+   completion, background on/off) triggers a *rate recomputation*: the
+   current flows are handed to :func:`repro.sim.allocation.allocate_maxmin`
+   with load-dependent resource capacities (CPU oversubscription, storage
+   thrash) and per-flow intrinsic ceilings (per-stream TCP, per-file
+   storage behaviour, integrity discount).
+2. Between events, every data-phase transfer progresses linearly at its
+   allocated rate; the earliest predicted completion is scheduled as an
+   epoch-tagged tentative event (stale predictions are skipped).
+3. On data completion, the fault model may stall the transfer before it is
+   finalised and logged.
+
+Transfers traverse: src disk read -> src CPU -> src NIC out -> WAN path ->
+dst NIC in -> dst CPU -> dst disk write.  Probe transfers can bypass either
+disk side (§3.1's /dev/zero and /dev/null runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.logs.schema import TransferLogRecord
+from repro.logs.store import LogStore
+from repro.sim.allocation import FlowSpec, Resource, allocate_maxmin
+from repro.sim.background import BackgroundLoad, OnOffLoad
+from repro.sim.endpoint import Endpoint
+from repro.sim.events import EventQueue
+from repro.sim.faults import FaultModel
+from repro.sim.gridftp import GridFTPConfig, TransferRequest
+from repro.sim.network import (
+    Site,
+    WanPath,
+    great_circle_km,
+    loss_for_distance,
+    rtt_seconds,
+)
+
+__all__ = ["Fabric", "TransferService"]
+
+# States of an in-flight transfer.
+_SETUP = "setup"
+_DATA = "data"
+_STALL = "stall"
+
+_EPS_BYTES = 1.0  # residual below which a data phase counts as finished
+
+
+@dataclass
+class Fabric:
+    """Static world description for a simulation run.
+
+    Attributes
+    ----------
+    sites:
+        Site table, keyed by name.
+    endpoints:
+        Endpoint table, keyed by name; every endpoint's ``site`` must be in
+        ``sites``.
+    paths:
+        Optional explicit WAN paths keyed by (src_site, dst_site); missing
+        pairs get a default path derived from great-circle RTT.
+    gridftp:
+        Protocol cost model.
+    faults:
+        Fault injection model.
+    default_wan_capacity:
+        Capacity for auto-created paths, bytes/s.
+    default_loss_rate:
+        Base loss rate for auto-created paths; the actual loss grows with
+        path length (see :func:`repro.sim.network.loss_for_distance`).
+    """
+
+    sites: dict[str, Site]
+    endpoints: dict[str, Endpoint]
+    paths: dict[tuple[str, str], WanPath] = field(default_factory=dict)
+    gridftp: GridFTPConfig = field(default_factory=GridFTPConfig)
+    faults: FaultModel = field(default_factory=FaultModel)
+    default_wan_capacity: float = 10e9 / 8.0
+    default_loss_rate: float = 1e-7
+
+    def __post_init__(self) -> None:
+        for ep in self.endpoints.values():
+            if ep.site not in self.sites:
+                raise ValueError(f"endpoint {ep.name!r} references unknown site {ep.site!r}")
+        for (s, d), p in self.paths.items():
+            if s not in self.sites or d not in self.sites:
+                raise ValueError(f"path ({s!r}, {d!r}) references unknown site")
+
+    def endpoint(self, name: str) -> Endpoint:
+        try:
+            return self.endpoints[name]
+        except KeyError:
+            raise KeyError(f"unknown endpoint {name!r}") from None
+
+    def distance_km(self, src_ep: str, dst_ep: str) -> float:
+        """Great-circle distance between two endpoints' sites."""
+        a = self.sites[self.endpoint(src_ep).site]
+        b = self.sites[self.endpoint(dst_ep).site]
+        return great_circle_km(a, b)
+
+    def path_between(self, src_ep: str, dst_ep: str) -> WanPath | None:
+        """WAN path for a transfer, or None for same-site transfers."""
+        s_site = self.endpoint(src_ep).site
+        d_site = self.endpoint(dst_ep).site
+        if s_site == d_site:
+            return None
+        key = (s_site, d_site)
+        if key not in self.paths:
+            dist = great_circle_km(self.sites[s_site], self.sites[d_site])
+            self.paths[key] = WanPath(
+                src=s_site,
+                dst=d_site,
+                capacity=self.default_wan_capacity,
+                rtt_s=rtt_seconds(dist),
+                loss_rate=loss_for_distance(dist, self.default_loss_rate),
+            )
+        return self.paths[key]
+
+
+@dataclass
+class _ActiveTransfer:
+    """Mutable in-flight transfer state."""
+
+    tid: int
+    req: TransferRequest
+    state: str
+    t_submit: float
+    remaining_bytes: float
+    rate: float = 0.0
+    load_exposure: float = 0.0   # integral of relative external load dt
+    data_time: float = 0.0       # time spent in data phase
+    faults: int = 0
+
+
+@dataclass
+class _ActiveBackground:
+    """Background flow currently participating in allocation."""
+
+    name: str
+    resources: tuple[str, ...]
+    weight: float
+    rate_cap: float
+    rate: float = 0.0
+    accessors: int = 4  # storage accessor-equivalents for thrash accounting
+
+
+class TransferService:
+    """Event-driven fluid simulator of the Globus transfer service.
+
+    Parameters
+    ----------
+    fabric:
+        The world to simulate.
+    seed:
+        Seed (or Generator) for fault sampling and background modulation.
+    stop_background_after:
+        If set, on/off background sources stop toggling past this time, so
+        a run can drain long transfers to completion in finite events.
+
+    Examples
+    --------
+    >>> from repro.sim.testbed import build_esnet_testbed
+    >>> from repro.sim import TransferRequest
+    >>> svc = TransferService(build_esnet_testbed(), seed=0)
+    >>> svc.submit(TransferRequest(src="ANL-DTN", dst="BNL-DTN",
+    ...                            total_bytes=50e9, n_files=10))
+    0
+    >>> log = svc.run()
+    >>> len(log)
+    1
+    """
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        seed: int | np.random.Generator | None = 0,
+        stop_background_after: float | None = None,
+    ):
+        self.fabric = fabric
+        self.stop_background_after = stop_background_after
+        self.rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        self.queue = EventQueue()
+        self.now = 0.0
+        self._epoch = 0
+        self._next_tid = 0
+        self._active: dict[int, _ActiveTransfer] = {}
+        self._backgrounds: dict[str, _ActiveBackground] = {}
+        self._onoff: dict[str, OnOffLoad] = {}
+        self._records: list[TransferLogRecord] = []
+        self._samplers: list[tuple[float, Callable[[float, "TransferService"], None]]] = []
+        self._resource_usage: dict[str, float] = {}
+        # Count of queued events that represent real work (anything but
+        # "sample").  Samplers stop rescheduling once this hits zero and no
+        # transfer is in flight, so run() terminates.
+        self._pending_work = 0
+        # Instantaneous storage accessor counts, refreshed by _recompute.
+        self._readers_count: dict[str, int] = {}
+        self._writers_count: dict[str, int] = {}
+
+    def _push(self, time: float, kind: str, payload=None, priority: int = 5) -> None:
+        """Schedule an event, counting non-sample events as pending work."""
+        if kind != "sample":
+            self._pending_work += 1
+        self.queue.push(time, kind, payload, priority=priority)
+
+    # -- submission API ------------------------------------------------------
+
+    def submit(self, req: TransferRequest) -> int:
+        """Queue a transfer request; returns its transfer id."""
+        self.fabric.endpoint(req.src)
+        self.fabric.endpoint(req.dst)
+        tid = self._next_tid
+        self._next_tid += 1
+        self._push(req.submit_time, "submit", (tid, req), priority=5)
+        return tid
+
+    def add_background(self, load: BackgroundLoad, start: float = 0.0) -> None:
+        """Register an always-on background flow starting at ``start``."""
+        if load.name in self._backgrounds or load.name in self._onoff:
+            raise ValueError(f"duplicate background {load.name!r}")
+        self._check_resources(load.resources)
+        self._push(start, "bg_const_on", load, priority=5)
+        # Reserve the name now so duplicates are caught at registration.
+        self._onoff[load.name] = None  # type: ignore[assignment]
+
+    def add_onoff_load(self, load: OnOffLoad, start: float = 0.0) -> None:
+        """Register a Markov-modulated on/off background source."""
+        if load.name in self._onoff or load.name in self._backgrounds:
+            raise ValueError(f"duplicate background {load.name!r}")
+        self._check_resources(load.resources)
+        self._onoff[load.name] = load
+        delay = 0.0 if load.start_on else load.sample_off_duration(self.rng)
+        self._push(start + delay, "bg_on", load.name, priority=5)
+
+    def add_sampler(
+        self, interval_s: float, callback: Callable[[float, "TransferService"], None]
+    ) -> None:
+        """Invoke ``callback(time, service)`` every ``interval_s`` seconds."""
+        if interval_s <= 0:
+            raise ValueError("interval must be > 0")
+        self._samplers.append((interval_s, callback))
+        self._push(0.0, "sample", len(self._samplers) - 1, priority=9)
+
+    def _check_resources(self, names: tuple[str, ...]) -> None:
+        valid = set()
+        for ep in self.fabric.endpoints.values():
+            valid.update(
+                (ep.nic_in_resource, ep.nic_out_resource, ep.cpu_resource,
+                 ep.read_resource, ep.write_resource)
+            )
+        unknown = [n for n in names if n not in valid]
+        if unknown:
+            raise ValueError(f"unknown resources {unknown}")
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> LogStore:
+        """Process events (optionally up to simulation time ``until``).
+
+        Returns the log of transfers completed so far.  ``run`` may be
+        called repeatedly; the clock never goes backwards.
+        """
+        while self.queue:
+            t_next = self.queue.peek_time()
+            if until is not None and t_next > until:
+                break
+            ev = self.queue.pop()
+            if ev.kind != "sample":
+                self._pending_work -= 1
+            self._advance_to(ev.time)
+            handler = getattr(self, f"_on_{ev.kind}")
+            handler(ev.payload)
+        if until is not None and until > self.now:
+            self._advance_to(until)
+        return self.log()
+
+    def log(self) -> LogStore:
+        """Completed transfers so far, time-sorted."""
+        return LogStore.from_records(
+            sorted(self._records, key=lambda r: (r.ts, r.transfer_id))
+        )
+
+    # -- event handlers ----------------------------------------------------------
+
+    def _on_submit(self, payload: tuple[int, TransferRequest]) -> None:
+        tid, req = payload
+        # Integrity checking re-reads transferred data to verify checksums,
+        # inflating the bytes moved per logged payload byte.
+        work = float(req.total_bytes)
+        if req.integrity:
+            work /= self.fabric.gridftp.integrity_discount
+        at = _ActiveTransfer(
+            tid=tid,
+            req=req,
+            state=_SETUP,
+            t_submit=self.now,
+            remaining_bytes=work,
+        )
+        self._active[tid] = at
+        overhead = req.overhead_seconds(self.fabric.gridftp)
+        self._push(self.now + overhead, "setup_done", tid, priority=4)
+        # Setup holds GridFTP processes (affects CPU capacity for others).
+        self._recompute()
+
+    def _on_setup_done(self, tid: int) -> None:
+        at = self._active.get(tid)
+        if at is None or at.state != _SETUP:
+            return
+        at.state = _DATA
+        self._recompute()
+
+    def _on_complete(self, payload: tuple[int, int]) -> None:
+        tid, epoch = payload
+        if epoch != self._epoch:
+            return  # stale prediction from an older rate allocation
+        at = self._active.get(tid)
+        if at is None or at.state != _DATA:
+            return
+        if at.remaining_bytes > _EPS_BYTES:
+            # Numerical drift: not actually done; recompute will reschedule.
+            self._recompute()
+            return
+        # Data phase done: sample faults from accumulated load exposure.
+        mean_load = at.load_exposure / at.data_time if at.data_time > 0 else 0.0
+        n_faults, stall = self.fabric.faults.sample(at.data_time, mean_load, self.rng)
+        at.faults = n_faults
+        if stall > 0.0:
+            at.state = _STALL
+            self._push(self.now + stall, "stall_done", tid, priority=3)
+            self._recompute()
+        else:
+            self._finalise(at)
+
+    def _on_stall_done(self, tid: int) -> None:
+        at = self._active.get(tid)
+        if at is None or at.state != _STALL:
+            return
+        self._finalise(at)
+
+    def _finalise(self, at: _ActiveTransfer) -> None:
+        req = at.req
+        src = self.fabric.endpoint(req.src)
+        dst = self.fabric.endpoint(req.dst)
+        te = self.now
+        if te <= at.t_submit:  # zero-length guard (instant tiny transfer)
+            te = at.t_submit + 1e-6
+        self._records.append(
+            TransferLogRecord(
+                transfer_id=at.tid,
+                src=req.src,
+                dst=req.dst,
+                src_site=src.site,
+                dst_site=dst.site,
+                src_type=src.etype.name,
+                dst_type=dst.etype.name,
+                ts=at.t_submit,
+                te=te,
+                nb=float(req.total_bytes),
+                nf=req.n_files,
+                nd=req.n_dirs,
+                c=req.concurrency,
+                p=req.parallelism,
+                nflt=at.faults,
+                distance_km=self.fabric.distance_km(req.src, req.dst),
+                tag=req.tag,
+            )
+        )
+        del self._active[at.tid]
+        self._recompute()
+
+    def _on_bg_const_on(self, load: BackgroundLoad) -> None:
+        self._backgrounds[load.name] = _ActiveBackground(
+            name=load.name,
+            resources=load.resources,
+            weight=load.weight,
+            rate_cap=load.rate_cap,
+            accessors=load.accessors,
+        )
+        self._onoff.pop(load.name, None)
+        self._recompute()
+
+    def _on_bg_on(self, name: str) -> None:
+        load = self._onoff[name]
+        self._backgrounds[name] = _ActiveBackground(
+            name=name,
+            resources=load.resources,
+            weight=load.weight,
+            rate_cap=load.sample_rate(self.rng),
+            accessors=load.sample_accessors(self.rng),
+        )
+        self._push(self.now + load.sample_on_duration(self.rng), "bg_off", name, priority=5)
+        self._recompute()
+
+    def _on_bg_off(self, name: str) -> None:
+        self._backgrounds.pop(name, None)
+        load = self._onoff[name]
+        t_next = self.now + load.sample_off_duration(self.rng)
+        if self.stop_background_after is None or t_next <= self.stop_background_after:
+            self._push(t_next, "bg_on", name, priority=5)
+        self._recompute()
+
+    def _on_sample(self, sampler_idx: int) -> None:
+        interval, callback = self._samplers[sampler_idx]
+        callback(self.now, self)
+        # Keep sampling only while there is work left to observe; otherwise
+        # a sampler would keep run() alive (and its sample log growing)
+        # forever.
+        if self._pending_work > 0 or self._active:
+            self._push(self.now + interval, "sample", sampler_idx, priority=9)
+
+    # -- fluid state ----------------------------------------------------------------
+
+    def _advance_to(self, t: float) -> None:
+        """Progress all data-phase transfers at current rates to time ``t``."""
+        dt = t - self.now
+        if dt < 0:
+            raise RuntimeError(f"time went backwards: {self.now} -> {t}")
+        if dt > 0:
+            for at in self._active.values():
+                if at.state != _DATA:
+                    continue
+                at.remaining_bytes = max(0.0, at.remaining_bytes - at.rate * dt)
+                at.data_time += dt
+                at.load_exposure += self._relative_external_load(at) * dt
+        self.now = t
+
+    def _relative_external_load(self, at: _ActiveTransfer) -> float:
+        """max of relative external load at source and destination (§3.2),
+        computed from *actual* instantaneous flow rates (Globus + unknown)."""
+        src = self.fabric.endpoint(at.req.src)
+        dst = self.fabric.endpoint(at.req.dst)
+        k_sout = self._resource_usage.get(src.nic_out_resource, 0.0) - at.rate
+        k_din = self._resource_usage.get(dst.nic_in_resource, 0.0) - at.rate
+        k_sout = max(0.0, k_sout)
+        k_din = max(0.0, k_din)
+        denom_s = at.rate + k_sout
+        denom_d = at.rate + k_din
+        rel_s = k_sout / denom_s if denom_s > 0 else 0.0
+        rel_d = k_din / denom_d if denom_d > 0 else 0.0
+        return max(rel_s, rel_d)
+
+    def _recompute(self) -> None:
+        """Rebuild resources and flows; reallocate; schedule next completion."""
+        self._epoch += 1
+        flows: list[FlowSpec] = []
+        touched: set[str] = set()
+
+        # Per-endpoint instantaneous counts for load-dependent capacities.
+        procs: dict[str, int] = {}
+        readers: dict[str, int] = {}
+        writers: dict[str, int] = {}
+        for at in self._active.values():
+            req = at.req
+            c_eff = req.effective_concurrency
+            procs[req.src] = procs.get(req.src, 0) + c_eff
+            procs[req.dst] = procs.get(req.dst, 0) + c_eff
+            if req.read_disk:
+                readers[req.src] = readers.get(req.src, 0) + c_eff
+            if req.write_disk:
+                writers[req.dst] = writers.get(req.dst, 0) + c_eff
+        for bg in self._backgrounds.values():
+            for rn in bg.resources:
+                if rn.endswith(":disk_read"):
+                    ep = rn.rsplit(":", 1)[0]
+                    readers[ep] = readers.get(ep, 0) + bg.accessors
+                elif rn.endswith(":disk_write"):
+                    ep = rn.rsplit(":", 1)[0]
+                    writers[ep] = writers.get(ep, 0) + bg.accessors
+
+        for at in self._active.values():
+            if at.state != _DATA:
+                continue
+            spec = self._flow_spec(at)
+            flows.append(spec)
+            touched.update(spec.resources)
+        for bg in self._backgrounds.values():
+            flows.append(
+                FlowSpec(
+                    flow_id=f"bg:{bg.name}",
+                    resources=bg.resources,
+                    weight=bg.weight,
+                    rate_cap=bg.rate_cap,
+                )
+            )
+            touched.update(bg.resources)
+
+        self._readers_count = readers
+        self._writers_count = writers
+        resources = self._build_resources(touched, procs, readers, writers)
+        rates = allocate_maxmin(resources, flows)
+
+        # Record per-resource usage (for monitors) and per-flow rates.
+        usage: dict[str, float] = {}
+        for f in flows:
+            r = rates[f.flow_id]
+            for rn in f.resources:
+                usage[rn] = usage.get(rn, 0.0) + r
+        self._resource_usage = usage
+
+        next_done_t = np.inf
+        next_tid = -1
+        for at in self._active.values():
+            if at.state != _DATA:
+                at.rate = 0.0
+                continue
+            at.rate = rates[f"xfer:{at.tid}"]
+            if at.rate > 0:
+                t_done = self.now + at.remaining_bytes / at.rate
+                if t_done < next_done_t:
+                    next_done_t = t_done
+                    next_tid = at.tid
+        for bg in self._backgrounds.values():
+            bg.rate = rates[f"bg:{bg.name}"]
+
+        if next_tid >= 0 and np.isfinite(next_done_t):
+            self._push(next_done_t, "complete", (next_tid, self._epoch), priority=2)
+
+    def _flow_spec(self, at: _ActiveTransfer) -> FlowSpec:
+        req = at.req
+        src = self.fabric.endpoint(req.src)
+        dst = self.fabric.endpoint(req.dst)
+        path = self.fabric.path_between(req.src, req.dst)
+
+        res = []
+        if req.read_disk:
+            res.append(src.read_resource)
+        res += [src.cpu_resource, src.nic_out_resource]
+        if path is not None:
+            res.append(path.name)
+        res += [dst.nic_in_resource, dst.cpu_resource]
+        if req.write_disk:
+            res.append(dst.write_resource)
+
+        c_eff = req.effective_concurrency
+        streams = req.n_streams
+        cap = np.inf
+        if path is not None:
+            window = min(src.tcp_window_bytes, dst.tcp_window_bytes)
+            cap = min(cap, streams * path.per_stream_ceiling(window))
+        if req.read_disk:
+            cap = min(cap, src.storage.transfer_rate_cap(req.avg_file_bytes, c_eff))
+        if req.write_disk:
+            cap = min(cap, dst.storage.transfer_rate_cap(req.avg_file_bytes, c_eff))
+
+        return FlowSpec(
+            flow_id=f"xfer:{at.tid}",
+            resources=tuple(res),
+            weight=float(streams),
+            rate_cap=float(cap),
+        )
+
+    def _build_resources(
+        self,
+        touched: set[str],
+        procs: dict[str, int],
+        readers: dict[str, int],
+        writers: dict[str, int],
+    ) -> list[Resource]:
+        out = []
+        for ep in self.fabric.endpoints.values():
+            names = {
+                ep.nic_in_resource: ep.nic_capacity,
+                ep.nic_out_resource: ep.nic_capacity,
+                ep.cpu_resource: ep.cpu_capacity(procs.get(ep.name, 0)),
+                ep.read_resource: ep.storage.effective_read_capacity(
+                    readers.get(ep.name, 0)
+                ),
+                ep.write_resource: ep.storage.effective_write_capacity(
+                    writers.get(ep.name, 0)
+                ),
+            }
+            for name, capacity in names.items():
+                if name in touched:
+                    out.append(Resource(name, capacity))
+        for path in self.fabric.paths.values():
+            if path.name in touched:
+                out.append(Resource(path.name, path.capacity))
+        return out
+
+    # -- observability -----------------------------------------------------------------
+
+    @property
+    def active_transfer_count(self) -> int:
+        return len(self._active)
+
+    def endpoint_throughput(self, endpoint: str) -> dict[str, float]:
+        """Instantaneous throughput by direction at an endpoint, bytes/s.
+
+        Keys: ``disk_read``, ``disk_write``, ``nic_in``, ``nic_out``.
+        Includes background (non-Globus) flows — this is what a storage
+        monitor like LMT actually sees (§5.5.2).
+        """
+        ep = self.fabric.endpoint(endpoint)
+        u = self._resource_usage
+        return {
+            "disk_read": u.get(ep.read_resource, 0.0),
+            "disk_write": u.get(ep.write_resource, 0.0),
+            "nic_in": u.get(ep.nic_in_resource, 0.0),
+            "nic_out": u.get(ep.nic_out_resource, 0.0),
+        }
+
+    def endpoint_storage_accessors(self, endpoint: str) -> int:
+        """Instantaneous storage accessor count (file streams + background
+        accessor-equivalents) at an endpoint — what drives seek thrash and
+        the IOPS component of OSS CPU."""
+        self.fabric.endpoint(endpoint)
+        return self._readers_count.get(endpoint, 0) + self._writers_count.get(
+            endpoint, 0
+        )
+
+    def endpoint_process_count(self, endpoint: str) -> int:
+        """Instantaneous GridFTP process count at an endpoint (Figure 4's
+        'total concurrency')."""
+        self.fabric.endpoint(endpoint)
+        total = 0
+        for at in self._active.values():
+            if at.req.src == endpoint or at.req.dst == endpoint:
+                total += at.req.effective_concurrency
+        return total
+
+    def endpoint_incoming_rate(self, endpoint: str) -> float:
+        """Aggregate rate of Globus transfers currently writing into
+        ``endpoint`` (Figure 4's y-axis)."""
+        self.fabric.endpoint(endpoint)
+        return sum(
+            at.rate
+            for at in self._active.values()
+            if at.req.dst == endpoint and at.state == _DATA
+        )

@@ -1,0 +1,168 @@
+"""Storage subsystem models.
+
+Two levels of fidelity:
+
+- :class:`StorageSystem` — an aggregate disk array with separate read/write
+  bandwidth, a per-file-open overhead (seek + metadata) that penalises
+  small-file workloads (Figure 5), and a concurrency-thrashing curve that
+  makes aggregate bandwidth *decline* once too many concurrent accessors
+  interleave I/O (one of the two mechanisms behind Figure 4's rise-then-fall).
+- :class:`LustreStorage` — an OSS/OST decomposition used by the §5.5.2 LMT
+  study: N object storage servers (CPU-bound) front M object storage targets
+  (disk-bound); the LMT monitor samples per-OSS CPU load and per-OST disk
+  I/O every five seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["StorageSystem", "LustreStorage"]
+
+
+@dataclass
+class StorageSystem:
+    """Aggregate storage array attached to an endpoint.
+
+    Attributes
+    ----------
+    name:
+        Unique name, e.g. ``"nersc:store"``.
+    read_bps / write_bps:
+        Peak sequential aggregate bandwidth, bytes/s.
+    file_overhead_s:
+        Per-file open/seek/metadata cost, seconds.  The achievable per-file
+        stream rate for average file size ``s`` is
+        ``s / (file_overhead_s + s / stream_bps)`` — small files never
+        amortise the overhead (Figure 5).
+    stream_bps:
+        Sequential bandwidth of a single file stream (one spindle/stripe).
+    optimal_concurrency:
+        Number of concurrent file streams the array handles at full
+        efficiency (~ spindle/OST count).
+    thrash_coefficient:
+        Fractional efficiency loss per extra accessor beyond
+        ``optimal_concurrency``; aggregate capacity is scaled by
+        ``1 / (1 + thrash_coefficient * max(0, n - optimal))``.
+    """
+
+    name: str
+    read_bps: float
+    write_bps: float
+    file_overhead_s: float = 0.02
+    stream_bps: float = 500e6
+    optimal_concurrency: int = 16
+    thrash_coefficient: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.read_bps <= 0 or self.write_bps <= 0:
+            raise ValueError(f"{self.name}: bandwidths must be > 0")
+        if self.file_overhead_s < 0:
+            raise ValueError(f"{self.name}: file_overhead_s must be >= 0")
+        if self.stream_bps <= 0:
+            raise ValueError(f"{self.name}: stream_bps must be > 0")
+        if self.optimal_concurrency < 1:
+            raise ValueError(f"{self.name}: optimal_concurrency must be >= 1")
+        if self.thrash_coefficient < 0:
+            raise ValueError(f"{self.name}: thrash_coefficient must be >= 0")
+
+    # -- per-flow ceilings -------------------------------------------------
+
+    def per_file_stream_rate(self, avg_file_bytes: float) -> float:
+        """Sustainable rate of ONE file stream moving files of average size
+        ``avg_file_bytes`` — the small-file penalty curve."""
+        if avg_file_bytes <= 0:
+            raise ValueError("avg_file_bytes must be > 0")
+        per_file_time = self.file_overhead_s + avg_file_bytes / self.stream_bps
+        return avg_file_bytes / per_file_time
+
+    def transfer_rate_cap(self, avg_file_bytes: float, concurrency: int) -> float:
+        """Storage-side ceiling for a transfer running ``concurrency``
+        simultaneous file streams (GridFTP's min(C, Nf))."""
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        return self.per_file_stream_rate(avg_file_bytes) * concurrency
+
+    # -- aggregate capacity under contention --------------------------------
+
+    def thrash_factor(self, n_accessors: int) -> float:
+        """Efficiency in (0, 1] as a function of concurrent accessors."""
+        if n_accessors < 0:
+            raise ValueError("n_accessors must be >= 0")
+        excess = max(0, n_accessors - self.optimal_concurrency)
+        return 1.0 / (1.0 + self.thrash_coefficient * excess)
+
+    def effective_read_capacity(self, n_accessors: int) -> float:
+        return self.read_bps * self.thrash_factor(n_accessors)
+
+    def effective_write_capacity(self, n_accessors: int) -> float:
+        return self.write_bps * self.thrash_factor(n_accessors)
+
+
+@dataclass
+class LustreStorage(StorageSystem):
+    """Lustre-like parallel file system with explicit OSS/OST structure.
+
+    Extends :class:`StorageSystem` with the per-server decomposition the
+    §5.5.2 LMT study monitors:
+
+    Attributes
+    ----------
+    n_oss:
+        Number of object storage servers.  OSS CPU limits aggregate
+        throughput at ``oss_cpu_bps`` each; the LMT monitor reports each
+        OSS's CPU utilisation.
+    n_ost:
+        Number of object storage targets (disks); file streams stripe
+        round-robin across OSTs.
+    oss_cpu_bps:
+        Bytes/s one OSS can process at 100% CPU.
+    """
+
+    n_oss: int = 4
+    n_ost: int = 8
+    oss_cpu_bps: float = 2.5e9
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.n_oss < 1 or self.n_ost < 1:
+            raise ValueError(f"{self.name}: need >= 1 OSS and OST")
+        if self.oss_cpu_bps <= 0:
+            raise ValueError(f"{self.name}: oss_cpu_bps must be > 0")
+
+    @property
+    def oss_capacity(self) -> float:
+        """Aggregate OSS CPU ceiling, bytes/s."""
+        return self.n_oss * self.oss_cpu_bps
+
+    def effective_read_capacity(self, n_accessors: int) -> float:
+        return min(
+            super().effective_read_capacity(n_accessors), self.oss_capacity
+        )
+
+    def effective_write_capacity(self, n_accessors: int) -> float:
+        return min(
+            super().effective_write_capacity(n_accessors), self.oss_capacity
+        )
+
+    def oss_cpu_utilisation(self, throughput_bps: float, accessors: int = 0) -> float:
+        """Fraction of aggregate OSS CPU consumed.
+
+        Two components: byte processing (throughput over the OSS CPU
+        ceiling) and request handling (IOPS — seek-heavy accessors burn OSS
+        CPU even at low byte rates, which is exactly what LMT exposes about
+        non-streaming competing load in §5.5.2).
+        """
+        if throughput_bps < 0:
+            raise ValueError("throughput must be >= 0")
+        if accessors < 0:
+            raise ValueError("accessors must be >= 0")
+        per_oss_accessor_budget = 100.0
+        iops_term = accessors / (self.n_oss * per_oss_accessor_budget)
+        return min(1.0, throughput_bps / self.oss_capacity + iops_term)
+
+    def ost_share(self, throughput_bps: float) -> float:
+        """Per-OST disk I/O rate assuming even striping (what LMT samples)."""
+        if throughput_bps < 0:
+            raise ValueError("throughput must be >= 0")
+        return throughput_bps / self.n_ost

@@ -1,0 +1,271 @@
+"""ESnet-like 4-site testbed and the Table 1 measurement methodology.
+
+§3.1: "The ESnet testbed comprises identical hardware deployed at three DOE
+labs in the United States (Argonne: ANL; Brookhaven: BNL; and Lawrence
+Berkeley: LBL) and at CERN in Geneva, Switzerland.  Each system features a
+powerful Linux server configured as a data transfer node (DTN), with an
+appropriately configured high-speed storage system and 10 Gb/s network
+link."
+
+Measurement procedure reproduced here:
+
+- ``DW``: /dev/zero -> disk (local probe, no network);
+- ``DR``: disk -> /dev/null (local probe);
+- ``MM``: /dev/zero at source -> /dev/null at destination through the WAN
+  (many parallel streams, the iperf3-like mode);
+- ``R``: disk -> disk end to end.
+
+"We performed at least five repetitions of each experiment and selected
+the maximum observed values" — probes apply a small multiplicative
+efficiency jitter and the maximum over repetitions is reported.
+
+Calibration targets the *structure* of Table 1, not its third decimal:
+disk write is the binding subsystem on every edge, CERN rows have lower DR,
+transatlantic MM sits below intra-US MM, and disk-to-disk R on CERN edges
+falls below DW because the per-stream TCP ceiling bites at ~110 ms RTT.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.endpoint import Endpoint, EndpointType
+from repro.sim.gridftp import GridFTPConfig, TransferRequest
+from repro.sim.network import Site, WanPath, great_circle_km, rtt_seconds
+from repro.sim.service import Fabric, TransferService
+from repro.sim.storage import StorageSystem
+from repro.sim.units import GB, gbit_per_s
+
+__all__ = [
+    "TESTBED_SITES",
+    "build_esnet_testbed",
+    "ProbeKind",
+    "SubsystemMaxima",
+    "measure_subsystem_maxima",
+    "local_disk_probe",
+    "run_probe_transfer",
+]
+
+TESTBED_SITES = {
+    "ANL": Site("ANL", 41.71, -87.98, "NA"),
+    "BNL": Site("BNL", 40.87, -72.87, "NA"),
+    "LBL": Site("LBL", 37.88, -122.25, "NA"),
+    "CERN": Site("CERN", 46.23, 6.05, "EU"),
+}
+
+# Per-site storage calibration (Gb/s) chosen so the subsystem ordering of
+# Table 1 is reproduced: identical fast reads in the US, slightly slower
+# reads at CERN, and writes as the binding subsystem everywhere.
+_STORAGE_GBPS = {
+    #        read   write
+    "ANL": (9.302, 7.619),
+    "BNL": (9.302, 7.843),
+    "LBL": (9.302, 7.767),
+    "CERN": (8.696, 7.080),
+}
+
+_NIC_GBPS = 9.45          # 10 GbE minus protocol overhead
+_WAN_US_GBPS = 9.55       # intra-US R&E path bottleneck
+_WAN_TRANSATLANTIC_GBPS = 9.05
+_LOSS_RATE = 1e-7         # clean science network
+
+# Probe shapes: disk probes use production-like C/P; MM probes are tuned
+# aggressively like an iperf3 -P run.
+_DISK_PROBE = dict(concurrency=4, parallelism=4, n_files=8)
+_MM_PROBE = dict(concurrency=8, parallelism=8, n_files=8)
+_PROBE_BYTES = 100 * GB
+
+
+def build_esnet_testbed() -> Fabric:
+    """Construct the 4-site ESnet-like testbed fabric."""
+    endpoints = {}
+    for site_name in TESTBED_SITES:
+        read_g, write_g = _STORAGE_GBPS[site_name]
+        storage = StorageSystem(
+            name=f"{site_name}:store",
+            read_bps=gbit_per_s(read_g),
+            write_bps=gbit_per_s(write_g),
+            file_overhead_s=0.005,
+            stream_bps=2.5e9,
+            optimal_concurrency=16,
+            thrash_coefficient=0.02,
+        )
+        ep_name = f"{site_name}-DTN"
+        endpoints[ep_name] = Endpoint(
+            name=ep_name,
+            site=site_name,
+            etype=EndpointType.GCS,
+            nic_bps=gbit_per_s(_NIC_GBPS),
+            n_dtn=1,
+            cpu_cores=16,
+            core_bps=1.2e9,
+            oversubscription_penalty=0.05,
+            storage=storage,
+            tcp_window_bytes=8.0 * 2**20,
+        )
+
+    paths = {}
+    names = list(TESTBED_SITES)
+    for s in names:
+        for d in names:
+            if s == d:
+                continue
+            transatlantic = (TESTBED_SITES[s].continent != TESTBED_SITES[d].continent)
+            cap_g = _WAN_TRANSATLANTIC_GBPS if transatlantic else _WAN_US_GBPS
+            dist = great_circle_km(TESTBED_SITES[s], TESTBED_SITES[d])
+            paths[(s, d)] = WanPath(
+                src=s,
+                dst=d,
+                capacity=gbit_per_s(cap_g),
+                rtt_s=rtt_seconds(dist),
+                loss_rate=_LOSS_RATE,
+            )
+
+    return Fabric(
+        sites=dict(TESTBED_SITES),
+        endpoints=endpoints,
+        paths=paths,
+        gridftp=GridFTPConfig(startup_s=2.0, per_file_s=0.02, per_dir_s=0.1),
+    )
+
+
+class ProbeKind(enum.Enum):
+    """The four §3.1 probe modes."""
+
+    DISK_TO_DISK = "R"
+    DISK_READ = "DR"
+    DISK_WRITE = "DW"
+    MEM_TO_MEM = "MM"
+
+
+@dataclass(frozen=True)
+class SubsystemMaxima:
+    """One row of Table 1, in bytes/s.
+
+    ``r_max <= min(dr_max, mm_max, dw_max)`` is Eq. 1, validated by
+    :meth:`bound_holds`.
+    """
+
+    src: str
+    dst: str
+    r_max: float
+    dw_max: float
+    dr_max: float
+    mm_max: float
+
+    @property
+    def eq1_bound(self) -> float:
+        return min(self.dr_max, self.mm_max, self.dw_max)
+
+    @property
+    def bottleneck(self) -> str:
+        """Which subsystem binds: 'disk_read' | 'network' | 'disk_write'."""
+        vals = {
+            "disk_read": self.dr_max,
+            "network": self.mm_max,
+            "disk_write": self.dw_max,
+        }
+        return min(vals, key=vals.get)
+
+    def bound_holds(self, tolerance: float = 1.001) -> bool:
+        """Eq. 1 up to a small measurement tolerance."""
+        return self.r_max <= self.eq1_bound * tolerance
+
+
+def local_disk_probe(
+    endpoint: Endpoint,
+    direction: str,
+    rng: np.random.Generator,
+    reps: int = 5,
+    concurrency: int = 4,
+    file_bytes: float = 12.5 * GB,
+) -> float:
+    """Local /dev/zero->disk or disk->/dev/null probe on one DTN, bytes/s.
+
+    No network is involved; the achievable rate is the storage ceiling for
+    the probe's file profile, further limited by endpoint CPU.  Efficiency
+    jitter is applied per repetition and the max is returned (the paper's
+    methodology).
+    """
+    if direction not in ("read", "write"):
+        raise ValueError(f"direction must be 'read' or 'write', got {direction!r}")
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    storage = endpoint.storage
+    per_transfer = storage.transfer_rate_cap(file_bytes, concurrency)
+    aggregate = (
+        storage.effective_read_capacity(concurrency)
+        if direction == "read"
+        else storage.effective_write_capacity(concurrency)
+    )
+    ideal = min(per_transfer, aggregate, endpoint.cpu_capacity(concurrency))
+    samples = ideal * rng.uniform(0.96, 1.0, size=reps)
+    return float(samples.max())
+
+
+def run_probe_transfer(
+    fabric: Fabric,
+    src: str,
+    dst: str,
+    kind: ProbeKind,
+    seed: int = 0,
+) -> float:
+    """Run one probe transfer alone on the fabric; return its average rate."""
+    if kind == ProbeKind.DISK_READ or kind == ProbeKind.DISK_WRITE:
+        raise ValueError("DR/DW are local probes; use local_disk_probe()")
+    shape = _MM_PROBE if kind == ProbeKind.MEM_TO_MEM else _DISK_PROBE
+    req = TransferRequest(
+        src=src,
+        dst=dst,
+        total_bytes=_PROBE_BYTES,
+        n_dirs=1,
+        integrity=False,
+        read_disk=(kind == ProbeKind.DISK_TO_DISK),
+        write_disk=(kind == ProbeKind.DISK_TO_DISK),
+        tag=f"probe:{kind.value}",
+        **shape,
+    )
+    svc = TransferService(fabric, seed=seed)
+    svc.submit(req)
+    log = svc.run()
+    if len(log) != 1:
+        raise RuntimeError("probe transfer did not complete")
+    return float(log.rates[0])
+
+
+def measure_subsystem_maxima(
+    fabric: Fabric,
+    src: str,
+    dst: str,
+    reps: int = 5,
+    seed: int = 0,
+) -> SubsystemMaxima:
+    """Reproduce one Table 1 row: max over ``reps`` of each probe kind."""
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    rng = np.random.default_rng(seed)
+    src_ep = fabric.endpoint(src)
+    dst_ep = fabric.endpoint(dst)
+
+    dr = local_disk_probe(src_ep, "read", rng, reps=reps)
+    dw = local_disk_probe(dst_ep, "write", rng, reps=reps)
+
+    mm_samples = []
+    r_samples = []
+    for i in range(reps):
+        base = run_probe_transfer(fabric, src, dst, ProbeKind.MEM_TO_MEM, seed=seed + i)
+        mm_samples.append(base * float(rng.uniform(0.97, 1.0)))
+        base = run_probe_transfer(fabric, src, dst, ProbeKind.DISK_TO_DISK, seed=seed + i)
+        r_samples.append(base * float(rng.uniform(0.97, 1.0)))
+
+    return SubsystemMaxima(
+        src=src,
+        dst=dst,
+        r_max=max(r_samples),
+        dw_max=dw,
+        dr_max=dr,
+        mm_max=max(mm_samples),
+    )

@@ -1,0 +1,40 @@
+"""Unit helpers.  Internal convention: bytes, seconds, bytes/second."""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB", "MB", "GB", "TB", "PB",
+    "gbit_per_s", "mbit_per_s",
+    "to_gbit_per_s", "to_mbyte_per_s",
+    "MINUTE", "HOUR", "DAY",
+]
+
+KB = 1e3
+MB = 1e6
+GB = 1e9
+TB = 1e12
+PB = 1e15
+
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+
+
+def gbit_per_s(x: float) -> float:
+    """Gigabits/second -> bytes/second."""
+    return x * 1e9 / 8.0
+
+
+def mbit_per_s(x: float) -> float:
+    """Megabits/second -> bytes/second."""
+    return x * 1e6 / 8.0
+
+
+def to_gbit_per_s(bytes_per_s: float) -> float:
+    """Bytes/second -> gigabits/second (Table 1's unit)."""
+    return bytes_per_s * 8.0 / 1e9
+
+
+def to_mbyte_per_s(bytes_per_s: float) -> float:
+    """Bytes/second -> megabytes/second (the unit of Figures 3 and 8)."""
+    return bytes_per_s / 1e6

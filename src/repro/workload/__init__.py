@@ -1,0 +1,33 @@
+"""Synthetic transfer workload generation.
+
+The Globus logs behind the paper span "transfer sizes ranging from 1 byte
+to close to a petabyte and transfer rates from 0.1 bytes/second to a
+gigabyte/second" (Figure 6), with heavy-tailed file counts (46.6 M files in
+30,653 transfers) and per-user tunables that "do not vary greatly".  This
+package samples transfer requests with those population properties:
+
+- :mod:`~repro.workload.distributions` — log-normal file sizes, log-normal
+  file counts with a point mass at 1, diurnally modulated Poisson arrivals;
+- :mod:`~repro.workload.generator` — per-edge workload specs and request
+  streams;
+- :mod:`~repro.workload.datasets` — canned workloads for the §5 production
+  study and the testbed experiments.
+"""
+
+from repro.workload.distributions import (
+    DatasetShapeSampler,
+    DiurnalPoissonArrivals,
+    TunableSampler,
+)
+from repro.workload.generator import EdgeWorkload, generate_requests
+from repro.workload.datasets import production_workload, single_edge_workload
+
+__all__ = [
+    "DatasetShapeSampler",
+    "DiurnalPoissonArrivals",
+    "TunableSampler",
+    "EdgeWorkload",
+    "generate_requests",
+    "production_workload",
+    "single_edge_workload",
+]

@@ -1,0 +1,44 @@
+"""Shared fixtures: small synthetic logs for feature/pipeline tests."""
+
+import numpy as np
+import pytest
+
+from repro.logs import LogStore, TransferLogRecord
+
+
+def make_random_store(n=200, n_endpoints=5, seed=0, horizon=5000.0):
+    """A random log with plenty of overlap between transfers."""
+    rng = np.random.default_rng(seed)
+    eps = [f"EP{i}" for i in range(n_endpoints)]
+    recs = []
+    for i in range(n):
+        src, dst = rng.choice(eps, size=2, replace=False)
+        ts = float(rng.uniform(0, horizon))
+        dur = float(rng.uniform(5, 500))
+        nf = int(rng.integers(1, 200))
+        recs.append(
+            TransferLogRecord(
+                transfer_id=i,
+                src=str(src),
+                dst=str(dst),
+                src_site=str(src),
+                dst_site=str(dst),
+                src_type="GCS",
+                dst_type="GCS",
+                ts=ts,
+                te=ts + dur,
+                nb=float(rng.uniform(1e6, 1e12)),
+                nf=nf,
+                nd=max(1, nf // 40),
+                c=int(rng.choice([2, 4])),
+                p=int(rng.choice([4, 8])),
+                nflt=int(rng.integers(0, 3)),
+                distance_km=float(rng.uniform(10, 9000)),
+            )
+        )
+    return LogStore.from_records(recs)
+
+
+@pytest.fixture
+def random_store():
+    return make_random_store()

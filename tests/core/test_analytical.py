@@ -1,0 +1,124 @@
+"""Tests for the Eq. 1 analytical model and the Rmax-threshold filter."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    classify_bottleneck,
+    estimate_endpoint_maxima,
+    max_achievable_rate,
+    relative_external_load,
+    threshold_mask,
+)
+from repro.logs import LogStore
+from tests.core.conftest import make_random_store
+
+
+class TestEq1:
+    def test_min_of_three(self):
+        assert max_achievable_rate(9.3, 9.4, 7.8) == 7.8
+        assert max_achievable_rate(5.0, 9.4, 7.8) == 5.0
+
+    def test_classification(self):
+        assert classify_bottleneck(9.3, 9.4, 7.8) == "disk_write"
+        assert classify_bottleneck(5.0, 9.4, 7.8) == "disk_read"
+        assert classify_bottleneck(9.3, 6.0, 7.8) == "network"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_achievable_rate(0.0, 1.0, 1.0)
+
+
+class TestRelativeExternalLoad:
+    def test_zero_competition(self):
+        rel = relative_external_load(
+            np.array([100.0]), np.array([0.0]), np.array([0.0])
+        )
+        assert rel[0] == 0.0
+
+    def test_equal_competition_is_half(self):
+        rel = relative_external_load(
+            np.array([100.0]), np.array([100.0]), np.array([0.0])
+        )
+        assert rel[0] == pytest.approx(0.5)
+
+    def test_max_of_two_sides(self):
+        rel = relative_external_load(
+            np.array([100.0]), np.array([100.0]), np.array([300.0])
+        )
+        assert rel[0] == pytest.approx(0.75)
+
+    def test_bounded_below_one(self):
+        rng = np.random.default_rng(0)
+        rel = relative_external_load(
+            rng.uniform(1, 100, 1000),
+            rng.uniform(0, 1e4, 1000),
+            rng.uniform(0, 1e4, 1000),
+        )
+        assert np.all((rel >= 0) & (rel < 1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            relative_external_load(np.array([0.0]), np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            relative_external_load(np.array([1.0]), np.array([-1.0]), np.array([1.0]))
+
+
+class TestEndpointMaxima:
+    def test_max_rates_by_direction(self, random_store):
+        maxima = estimate_endpoint_maxima(random_store)
+        rates = random_store.rates
+        src = random_store.column("src")
+        for ep, m in maxima.items():
+            as_src = rates[src == ep]
+            if as_src.size:
+                assert m.dr_max == pytest.approx(float(as_src.max()))
+
+    def test_one_sided_endpoint_gets_zero(self):
+        from tests.core.conftest import make_random_store
+
+        store = make_random_store(n=30, seed=9)
+        sub = store.with_source(store.column("src")[0])
+        maxima = estimate_endpoint_maxima(sub)
+        ep = str(store.column("src")[0])
+        assert maxima[ep].dw_max == 0.0  # never a destination in `sub`
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_endpoint_maxima(LogStore.empty())
+
+
+class TestThresholdMask:
+    def test_keeps_per_edge_peak(self, random_store):
+        mask = threshold_mask(random_store, 0.5)
+        kept = random_store[mask]
+        # Every edge's fastest transfer always survives.
+        for edge in random_store.edges():
+            full = random_store.for_edge(*edge)
+            surv = kept.for_edge(*edge)
+            assert len(surv) >= 1
+            assert surv.max_rate() == pytest.approx(full.max_rate())
+
+    def test_threshold_zero_keeps_all(self, random_store):
+        assert threshold_mask(random_store, 0.0).all()
+
+    def test_threshold_one_keeps_only_peaks(self, random_store):
+        mask = threshold_mask(random_store, 1.0)
+        kept = random_store[mask]
+        assert len(kept) >= len(random_store.edges())
+        # Everything kept IS a per-edge max.
+        for edge in kept.edges():
+            full_max = random_store.for_edge(*edge).max_rate()
+            assert np.allclose(kept.for_edge(*edge).rates, full_max)
+
+    def test_monotone_in_threshold(self, random_store):
+        m5 = threshold_mask(random_store, 0.5)
+        m8 = threshold_mask(random_store, 0.8)
+        # Higher threshold keeps a subset.
+        assert np.all(m5 | ~m8)
+        assert m8.sum() <= m5.sum()
+
+    def test_validation_and_empty(self):
+        with pytest.raises(ValueError):
+            threshold_mask(make_random_store(5), 1.5)
+        assert threshold_mask(LogStore.empty(), 0.5).size == 0

@@ -1,0 +1,63 @@
+"""Tests for repeated-split evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_feature_matrix, select_heavy_edges
+from repro.core.evaluation import compare_models, repeated_split_mdape
+from repro.core.pipeline import GBTSettings
+from tests.core.conftest import make_random_store
+
+
+@pytest.fixture(scope="module")
+def fm():
+    return build_feature_matrix(
+        make_random_store(n=500, n_endpoints=3, seed=2, horizon=20_000.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def edge(fm):
+    return select_heavy_edges(fm.store, min_samples=60, threshold=0.0)[0]
+
+
+class TestRepeatedSplit:
+    def test_distribution_shape(self, fm, edge):
+        dist = repeated_split_mdape(
+            fm, *edge, model="linear", n_splits=5, threshold=0.0
+        )
+        assert dist.mdapes.shape == (5,)
+        assert dist.median >= 0
+        lo, hi = dist.iqr
+        assert lo <= dist.median <= hi
+        assert dist.spread >= 0
+
+    def test_different_seeds_give_different_splits(self, fm, edge):
+        dist = repeated_split_mdape(
+            fm, *edge, model="linear", n_splits=6, threshold=0.0
+        )
+        assert np.unique(dist.mdapes).size > 1
+
+    def test_deterministic_given_base_seed(self, fm, edge):
+        a = repeated_split_mdape(fm, *edge, model="linear", n_splits=3,
+                                 threshold=0.0, base_seed=4)
+        b = repeated_split_mdape(fm, *edge, model="linear", n_splits=3,
+                                 threshold=0.0, base_seed=4)
+        assert np.array_equal(a.mdapes, b.mdapes)
+
+    def test_validation(self, fm, edge):
+        with pytest.raises(ValueError):
+            repeated_split_mdape(fm, *edge, n_splits=1)
+
+
+class TestCompareModels:
+    def test_structure(self, fm, edge):
+        out = compare_models(
+            fm, *edge, n_splits=4, threshold=0.0,
+            gbt=GBTSettings(n_estimators=30),
+        )
+        assert set(out) == {"linear", "gbt", "gbt_win_rate", "iqr_separated"}
+        assert 0.0 <= out["gbt_win_rate"] <= 1.0
+        assert out["linear"].model_kind == "linear"
+        assert out["gbt"].model_kind == "gbt"
+        assert isinstance(out["iqr_separated"], bool)

@@ -1,0 +1,67 @@
+"""Unit tests for the significance grid (Figures 9/12 infrastructure)."""
+
+import numpy as np
+import pytest
+
+from repro.core.explain import SignificanceGrid, significance_grid
+from repro.core.pipeline import EdgeModelResult
+
+
+def _result(sig, kept=None, kind="linear", names=("a", "b", "c")):
+    sig = np.array(sig, dtype=float)
+    if kept is None:
+        kept = np.isfinite(sig)
+    return EdgeModelResult(
+        src="S", dst="D", model_kind=kind, feature_names=tuple(names),
+        kept=np.array(kept), significance=sig, n_train=10, n_test=5,
+        test_errors=np.array([1.0]), mdape=1.0,
+    )
+
+
+class TestSignificanceGrid:
+    def test_rows_scaled_to_unit_max(self):
+        grid = significance_grid([_result([2.0, 4.0, 1.0])])
+        assert np.allclose(grid.values[0], [0.5, 1.0, 0.25])
+
+    def test_nan_preserved_for_eliminated(self):
+        grid = significance_grid([_result([2.0, np.nan, 1.0])])
+        assert np.isnan(grid.values[0, 1])
+
+    def test_eliminated_everywhere(self):
+        results = [
+            _result([1.0, np.nan, 2.0]),
+            _result([3.0, np.nan, np.nan]),
+        ]
+        grid = significance_grid(results)
+        assert grid.eliminated_everywhere() == ["b"]
+
+    def test_mean_significance_ignores_nan(self):
+        results = [
+            _result([1.0, np.nan, 0.5]),     # scaled: 1.0, nan, 0.5
+            _result([np.nan, np.nan, 2.0]),  # scaled: nan, nan, 1.0
+        ]
+        grid = significance_grid(results)
+        means = grid.mean_significance()
+        assert means["a"] == pytest.approx(1.0)
+        assert means["b"] == 0.0
+        assert means["c"] == pytest.approx(0.75)
+
+    def test_render_marks_eliminated_with_x(self):
+        grid = significance_grid([_result([1.0, np.nan, 0.0])])
+        text = grid.render()
+        assert "x" in text
+        assert "S->D" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            significance_grid([])
+
+    def test_mixed_kinds_rejected(self):
+        with pytest.raises(ValueError):
+            significance_grid([_result([1.0]), _result([1.0], kind="gbt")])
+
+    def test_mixed_feature_sets_rejected(self):
+        with pytest.raises(ValueError):
+            significance_grid(
+                [_result([1.0, 2.0, 3.0]), _result([1.0], names=("z",))]
+            )

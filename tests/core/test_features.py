@@ -1,0 +1,77 @@
+"""Tests for the Table 2 feature matrix builder."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EXPLANATION_FEATURE_NAMES,
+    FEATURE_NAMES,
+    FeatureMatrix,
+    build_feature_matrix,
+)
+from repro.logs import LogStore
+from tests.core.conftest import make_random_store
+
+
+class TestFeatureNames:
+    def test_fifteen_prediction_features(self):
+        assert len(FEATURE_NAMES) == 15
+        assert "Nflt" not in FEATURE_NAMES
+
+    def test_sixteen_explanation_features(self):
+        assert len(EXPLANATION_FEATURE_NAMES) == 16
+        assert "Nflt" in EXPLANATION_FEATURE_NAMES
+        assert set(FEATURE_NAMES) < set(EXPLANATION_FEATURE_NAMES)
+
+
+class TestBuildFeatureMatrix:
+    @pytest.fixture(scope="class")
+    def fm(self):
+        return build_feature_matrix(make_random_store(n=120, seed=1))
+
+    def test_alignment(self, fm):
+        assert len(fm) == 120
+        assert fm.y.shape == (120,)
+        assert np.allclose(fm.y, fm.store.rates)
+
+    def test_matrix_shape_and_order(self, fm):
+        X = fm.matrix()
+        assert X.shape == (120, 15)
+        # Column order follows FEATURE_NAMES.
+        assert np.array_equal(X[:, FEATURE_NAMES.index("Nb")], fm.columns["Nb"])
+
+    def test_matrix_with_rows(self, fm):
+        rows = np.array([0, 5, 10])
+        X = fm.matrix(rows=rows)
+        assert X.shape == (3, 15)
+
+    def test_log_columns_pass_through(self, fm):
+        assert np.array_equal(fm.columns["C"], fm.store.column("c").astype(float))
+        assert np.array_equal(fm.columns["Nf"], fm.store.column("nf").astype(float))
+        assert np.array_equal(fm.columns["Nflt"], fm.store.column("nflt").astype(float))
+
+    def test_subset_preserves_alignment(self, fm):
+        rows = np.arange(0, 120, 7)
+        sub = fm.subset(rows)
+        assert len(sub) == rows.size
+        assert np.allclose(sub.y, fm.y[rows])
+        assert np.allclose(sub.columns["K_sout"], fm.columns["K_sout"][rows])
+
+    def test_edge_rows(self, fm):
+        src = fm.store.column("src")[0]
+        dst = fm.store.column("dst")[0]
+        rows = fm.edge_rows(str(src), str(dst))
+        assert 1 <= rows.size <= 120
+        assert np.all(fm.store.column("src")[rows] == src)
+
+    def test_empty_store_rejected(self):
+        with pytest.raises(ValueError):
+            build_feature_matrix(LogStore.empty())
+
+    def test_misaligned_construction_rejected(self, fm):
+        with pytest.raises(ValueError):
+            FeatureMatrix(store=fm.store, columns=fm.columns, y=fm.y[:-1])
+        bad_cols = dict(fm.columns)
+        del bad_cols["Nb"]
+        with pytest.raises(ValueError):
+            FeatureMatrix(store=fm.store, columns=bad_cols, y=fm.y)

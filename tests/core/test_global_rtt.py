@@ -1,0 +1,38 @@
+"""Tests for the RTT/distance extension of the global model (§8 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_feature_matrix, fit_global_model, select_heavy_edges
+from repro.core.pipeline import GBTSettings
+from tests.core.conftest import make_random_store
+
+
+@pytest.fixture(scope="module")
+def fm():
+    return build_feature_matrix(
+        make_random_store(n=500, n_endpoints=4, seed=11, horizon=15_000.0)
+    )
+
+
+class TestRttExtension:
+    def test_rtt_feature_included(self, fm):
+        edges = select_heavy_edges(fm.store, min_samples=30, threshold=0.0)
+        res = fit_global_model(
+            fm, edges, model="linear", threshold=0.0, seed=0, include_rtt=True
+        )
+        assert "distance_km" in res.feature_names
+
+    def test_rtt_feature_absent_by_default(self, fm):
+        edges = select_heavy_edges(fm.store, min_samples=30, threshold=0.0)
+        res = fit_global_model(fm, edges, model="linear", threshold=0.0, seed=0)
+        assert "distance_km" not in res.feature_names
+
+    def test_gbt_variant_runs(self, fm):
+        edges = select_heavy_edges(fm.store, min_samples=30, threshold=0.0)
+        res = fit_global_model(
+            fm, edges, model="gbt", threshold=0.0, seed=0,
+            gbt=GBTSettings(n_estimators=30), include_rtt=True,
+        )
+        assert res.mdape >= 0.0
+        assert res.n_test > 0

@@ -1,0 +1,98 @@
+"""Cross-layer invariant: the online estimator agrees with the
+retrospective Eq. 2 computation when the future holds no surprises.
+
+If every competitor is already active when a transfer starts and outlives
+it, the persistence assumption is exact: the online features must equal
+the retrospective ones."""
+
+import numpy as np
+import pytest
+
+from repro.core.contention import ContentionComputer
+from repro.core.online import ActiveTransferView, OnlineFeatureEstimator
+from repro.logs import LogStore, TransferLogRecord
+from repro.sim.gridftp import TransferRequest
+
+
+def _rec(i, src, dst, ts, te, nb, c=2, p=4, nf=50):
+    return TransferLogRecord(
+        transfer_id=i, src=src, dst=dst, src_site=src, dst_site=dst,
+        src_type="GCS", dst_type="GCS", ts=ts, te=te, nb=nb,
+        nf=nf, nd=1, c=c, p=p, nflt=0, distance_km=100.0,
+    )
+
+
+class TestOnlineMatchesRetrospective:
+    def test_enclosing_competitors_exact_match(self):
+        # Transfer of interest: id 0, [100, 200].  Competitors all span
+        # [0, 1000] — active at start, outlive it.
+        recs = [
+            _rec(0, "A", "B", 100.0, 200.0, 1e10),
+            _rec(1, "A", "C", 0.0, 1000.0, 5e11, c=4, p=2, nf=8),
+            _rec(2, "C", "B", 0.0, 1000.0, 2e11, c=2, p=8, nf=100),
+            _rec(3, "B", "A", 0.0, 1000.0, 1e11, c=1, p=1, nf=3),
+        ]
+        store = LogStore.from_records(recs)
+        retro = ContentionComputer(store).compute(np.array([0]))
+
+        active = []
+        for r in recs[1:]:
+            active.append(
+                ActiveTransferView(
+                    src=r.src, dst=r.dst, rate=r.rate, started_at=r.ts,
+                    expected_end=r.te, concurrency=r.c, parallelism=r.p,
+                    n_files=r.nf,
+                )
+            )
+        est = OnlineFeatureEstimator(active)
+        req = TransferRequest(
+            src="A", dst="B", total_bytes=1e10, n_files=50,
+            concurrency=2, parallelism=4,
+        )
+        online = est.estimate(req, now=100.0, assumed_duration_s=100.0)
+
+        for key in ("K_sout", "K_sin", "K_dout", "K_din",
+                    "S_sout", "S_sin", "S_dout", "S_din",
+                    "G_src", "G_dst"):
+            assert online[key] == pytest.approx(retro[key][0], rel=1e-9), key
+
+    def test_competitor_ending_early_scales_identically(self):
+        # Competitor covers only half of the window in both views.
+        recs = [
+            _rec(0, "A", "B", 100.0, 300.0, 1e10),
+            _rec(1, "A", "C", 0.0, 200.0, 5e10, c=4, p=4, nf=100),
+        ]
+        store = LogStore.from_records(recs)
+        retro = ContentionComputer(store).compute(np.array([0]))
+        est = OnlineFeatureEstimator(
+            [
+                ActiveTransferView(
+                    src="A", dst="C", rate=recs[1].rate, started_at=0.0,
+                    expected_end=200.0, concurrency=4, parallelism=4,
+                    n_files=100,
+                )
+            ]
+        )
+        req = TransferRequest(src="A", dst="B", total_bytes=1e10, n_files=50)
+        online = est.estimate(req, now=100.0, assumed_duration_s=200.0)
+        assert online["K_sout"] == pytest.approx(retro["K_sout"][0], rel=1e-9)
+        assert online["S_sout"] == pytest.approx(retro["S_sout"][0], rel=1e-9)
+
+    def test_future_arrivals_are_the_only_gap(self):
+        """A competitor arriving after the transfer starts is seen by the
+        retrospective features but invisible online — the documented
+        limitation of submission-time prediction."""
+        recs = [
+            _rec(0, "A", "B", 100.0, 300.0, 1e10),
+            _rec(1, "A", "C", 200.0, 400.0, 5e10),  # arrives mid-transfer
+        ]
+        store = LogStore.from_records(recs)
+        retro = ContentionComputer(store).compute(np.array([0]))
+        assert retro["K_sout"][0] > 0  # retrospective sees it
+
+        est = OnlineFeatureEstimator.from_log_window(
+            store, now=100.0, exclude_transfer_id=0
+        )
+        req = TransferRequest(src="A", dst="B", total_bytes=1e10, n_files=50)
+        online = est.estimate(req, now=100.0, assumed_duration_s=200.0)
+        assert online["K_sout"] == 0.0  # online cannot

@@ -1,0 +1,152 @@
+"""Tests for the model-training pipelines (§5.1-§5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    build_feature_matrix,
+    estimate_endpoint_capabilities,
+    fit_all_edge_models,
+    fit_edge_model,
+    fit_global_model,
+    select_heavy_edges,
+    significance_grid,
+)
+from repro.core.endpoint_features import capability_columns
+from repro.core.pipeline import GBTSettings
+from tests.core.conftest import make_random_store
+
+
+@pytest.fixture(scope="module")
+def busy_fm():
+    """A log with two busy edges and correlated rate structure."""
+    store = make_random_store(n=600, n_endpoints=3, seed=2, horizon=20_000.0)
+    return build_feature_matrix(store)
+
+
+class TestSelectHeavyEdges:
+    def test_ordering_and_threshold(self, busy_fm):
+        # Random rates are heavy-tailed, so use a loose filter here; the
+        # production-calibrated filter behaviour is covered in tests/repro.
+        edges = select_heavy_edges(busy_fm.store, min_samples=5, threshold=0.2)
+        assert edges
+        # Busiest first.
+        mask_counts = []
+        from repro.core import threshold_mask
+
+        filt = busy_fm.store[threshold_mask(busy_fm.store, 0.2)]
+        for e in edges:
+            mask_counts.append(len(filt.for_edge(*e)))
+        assert mask_counts == sorted(mask_counts, reverse=True)
+        assert all(c >= 5 for c in mask_counts)
+
+    def test_max_edges_cap(self, busy_fm):
+        edges = select_heavy_edges(busy_fm.store, min_samples=1, max_edges=2)
+        assert len(edges) == 2
+
+
+class TestFitEdgeModel:
+    def test_linear_and_gbt_run(self, busy_fm):
+        edges = select_heavy_edges(busy_fm.store, min_samples=50, threshold=0.0)
+        src, dst = edges[0]
+        for kind in ("linear", "gbt"):
+            res = fit_edge_model(
+                busy_fm, src, dst, model=kind, threshold=0.0, seed=0,
+                gbt=GBTSettings(n_estimators=40),
+            )
+            assert res.model_kind == kind
+            assert res.n_train > res.n_test > 0
+            assert res.mdape >= 0.0
+            assert res.test_errors.shape == (res.n_test,)
+
+    def test_significance_aligned_with_features(self, busy_fm):
+        edges = select_heavy_edges(busy_fm.store, min_samples=50, threshold=0.0)
+        res = fit_edge_model(busy_fm, *edges[0], model="linear", threshold=0.0)
+        assert res.significance.shape == (len(res.feature_names),)
+        assert np.isnan(res.significance[~res.kept]).all()
+        assert np.isfinite(res.significance[res.kept]).all()
+
+    def test_explanation_mode_includes_nflt(self, busy_fm):
+        edges = select_heavy_edges(busy_fm.store, min_samples=50, threshold=0.0)
+        res = fit_edge_model(
+            busy_fm, *edges[0], model="linear", threshold=0.0, explanation=True
+        )
+        assert "Nflt" in res.feature_names
+
+    def test_too_few_samples_raises(self, busy_fm):
+        with pytest.raises(ValueError):
+            fit_edge_model(
+                busy_fm, "EP0", "EP1", threshold=0.0, min_samples=10**6
+            )
+
+    def test_unknown_model_rejected(self, busy_fm):
+        with pytest.raises(ValueError):
+            fit_edge_model(busy_fm, "EP0", "EP1", model="forest")
+
+    def test_deterministic(self, busy_fm):
+        edges = select_heavy_edges(busy_fm.store, min_samples=50, threshold=0.0)
+        a = fit_edge_model(busy_fm, *edges[0], model="gbt", threshold=0.0,
+                           seed=3, gbt=GBTSettings(n_estimators=30))
+        b = fit_edge_model(busy_fm, *edges[0], model="gbt", threshold=0.0,
+                           seed=3, gbt=GBTSettings(n_estimators=30))
+        assert a.mdape == b.mdape
+        assert np.array_equal(a.test_errors, b.test_errors)
+
+
+class TestFitAllAndGrid:
+    def test_grid_shape_and_scaling(self, busy_fm):
+        edges = select_heavy_edges(busy_fm.store, min_samples=50, threshold=0.0)
+        results = fit_all_edge_models(
+            busy_fm, edges, model="linear", threshold=0.0, explanation=True
+        )
+        grid = significance_grid(results)
+        assert grid.values.shape == (len(edges), 16)
+        for row in grid.values:
+            finite = row[np.isfinite(row)]
+            assert finite.max() == pytest.approx(1.0)
+
+    def test_grid_rejects_mixed_kinds(self, busy_fm):
+        edges = select_heavy_edges(busy_fm.store, min_samples=50, threshold=0.0)
+        r1 = fit_edge_model(busy_fm, *edges[0], model="linear", threshold=0.0)
+        r2 = fit_edge_model(busy_fm, *edges[0], model="gbt", threshold=0.0,
+                            gbt=GBTSettings(n_estimators=10))
+        with pytest.raises(ValueError):
+            significance_grid([r1, r2])
+
+    def test_grid_render_smoke(self, busy_fm):
+        edges = select_heavy_edges(busy_fm.store, min_samples=50, threshold=0.0)
+        results = fit_all_edge_models(
+            busy_fm, edges, model="linear", threshold=0.0, explanation=True
+        )
+        text = significance_grid(results).render()
+        assert "K_sout" in text
+
+
+class TestGlobalModel:
+    def test_runs_and_reports(self, busy_fm):
+        edges = select_heavy_edges(busy_fm.store, min_samples=50, threshold=0.0)
+        res = fit_global_model(
+            busy_fm, edges, model="gbt", threshold=0.0, seed=0,
+            gbt=GBTSettings(n_estimators=40),
+        )
+        assert res.n_train > res.n_test > 0
+        assert "ROmax_src" in res.feature_names
+        assert "RImax_dst" in res.feature_names
+
+    def test_capability_estimates_positive(self, busy_fm):
+        caps = estimate_endpoint_capabilities(busy_fm)
+        assert caps
+        for c in caps.values():
+            assert c.ro_max >= 0 and c.ri_max >= 0
+        ro, ri = capability_columns(busy_fm, caps)
+        assert ro.shape == (len(busy_fm),)
+        assert np.all(ro >= 0)
+
+    def test_capability_lower_bounds_rate(self, busy_fm):
+        """ROmax of an endpoint >= max rate of transfers it sourced."""
+        caps = estimate_endpoint_capabilities(busy_fm)
+        src = busy_fm.store.column("src")
+        for ep, c in caps.items():
+            mask = src == ep
+            if mask.any():
+                assert c.ro_max >= busy_fm.y[mask].max() - 1e-9

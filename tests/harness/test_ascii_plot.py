@@ -1,0 +1,71 @@
+"""Tests for the ASCII figure renderers."""
+
+import numpy as np
+import pytest
+
+from repro.harness.ascii_plot import line_overlay, scatter
+
+
+class TestScatter:
+    def test_dimensions(self):
+        rng = np.random.default_rng(0)
+        out = scatter(rng.uniform(size=100), rng.uniform(size=100),
+                      width=40, height=10)
+        lines = out.split("\n")
+        plot_rows = [l for l in lines if l.startswith("|")]
+        assert len(plot_rows) == 10
+        assert all(len(l) == 42 for l in plot_rows)
+
+    def test_density_shading_monotone(self):
+        # All points in one cell -> darkest shade appears.
+        x = np.zeros(500)
+        y = np.zeros(500)
+        x[0], y[0] = 1.0, 1.0  # spread the axes
+        out = scatter(x, y, width=20, height=8)
+        assert "@" in out
+
+    def test_log_axes(self):
+        x = np.logspace(0, 12, 200)
+        y = np.logspace(0, 9, 200)
+        out = scatter(x, y, log_x=True, log_y=True)
+        assert "log" in out
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scatter(np.array([0.0, 1.0]), np.array([1.0, 2.0]), log_x=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scatter(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            scatter(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            scatter(np.ones(3), np.ones(3), width=2)
+
+    def test_constant_values_handled(self):
+        out = scatter(np.ones(10), np.ones(10))
+        assert "|" in out  # renders without dividing by zero
+
+    def test_trend_visible(self):
+        """A monotone relationship puts marks on the rising diagonal."""
+        x = np.linspace(0, 1, 200)
+        out = scatter(x, x, width=20, height=20)
+        rows = [l[1:-1] for l in out.split("\n") if l.startswith("|")]
+        # Top row (max y) has its mark on the right half.
+        top_marks = [i for i, ch in enumerate(rows[0]) if ch != " "]
+        bottom_marks = [i for i, ch in enumerate(rows[-1]) if ch != " "]
+        assert min(top_marks) > max(bottom_marks)
+
+
+class TestLineOverlay:
+    def test_curve_marker_present(self):
+        x = np.linspace(1, 10, 30)
+        y = x**0.5
+        cx = np.linspace(1, 10, 50)
+        out = line_overlay(x, y, cx, cx**0.5)
+        assert "o" in out
+        assert "." in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_overlay(np.array([]), np.array([]), np.ones(2), np.ones(2))

@@ -1,0 +1,22 @@
+"""Tests for the repro-experiments CLI plumbing (no heavy runs)."""
+
+from repro.harness.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "figure11" in out
+        assert "standalone" in out and "study" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["figure99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_single_standalone_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Eq1 holds" in out
+        assert "elapsed" in out

@@ -1,0 +1,64 @@
+"""Unit tests for experiment helper functions (bucketing, curves)."""
+
+import numpy as np
+import pytest
+
+from repro.harness.exp_figure4 import concurrency_rate_curve
+from repro.harness.exp_figure5 import size_buckets
+
+
+class TestConcurrencyRateCurve:
+    def test_basic_binning(self):
+        conc = np.array([0, 1, 1, 1, 2, 2, 2, 5, 5, 5])
+        rate = np.array([9.0, 10, 20, 30, 40, 50, 60, 5, 5, 5])
+        levels, means = concurrency_rate_curve(conc, rate, min_samples=3)
+        assert levels.tolist() == [1.0, 2.0, 5.0]
+        assert means.tolist() == [20.0, 50.0, 5.0]
+
+    def test_zero_concurrency_excluded(self):
+        conc = np.zeros(10)
+        rate = np.ones(10)
+        levels, means = concurrency_rate_curve(conc, rate)
+        assert levels.size == 0
+
+    def test_min_samples_filter(self):
+        conc = np.array([1, 1, 2])
+        rate = np.array([1.0, 2.0, 3.0])
+        levels, _ = concurrency_rate_curve(conc, rate, min_samples=2)
+        assert levels.tolist() == [1.0]
+
+
+class TestSizeBuckets:
+    def _data(self, n=400, seed=0):
+        rng = np.random.default_rng(seed)
+        total = rng.lognormal(22, 2, n)
+        avg_file = rng.lognormal(17, 1.5, n)
+        rates = total**0.3 * avg_file**0.2 * rng.uniform(0.9, 1.1, n)
+        return total, avg_file, rates
+
+    def test_bucket_count_and_fields(self):
+        total, avg, rates = self._data()
+        buckets = size_buckets(total, avg, rates, n_groups=10)
+        assert 1 <= len(buckets) <= 10
+        for b in buckets:
+            assert b["rate_big_files"] > 0
+            assert b["rate_small_files"] > 0
+            assert b["n"] > 0
+
+    def test_buckets_ordered_by_total_size(self):
+        total, avg, rates = self._data()
+        buckets = size_buckets(total, avg, rates, n_groups=10)
+        sizes = [b["total_gb"] for b in buckets]
+        assert sizes == sorted(sizes)
+
+    def test_big_files_win_when_rate_depends_on_file_size(self):
+        total, avg, rates = self._data()
+        buckets = size_buckets(total, avg, rates, n_groups=10)
+        wins = sum(b["rate_big_files"] > b["rate_small_files"] for b in buckets)
+        assert wins >= 0.8 * len(buckets)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            size_buckets(np.ones(5), np.ones(5), np.ones(5), n_groups=20)
+        with pytest.raises(ValueError):
+            size_buckets(np.ones(50), np.ones(49), np.ones(50))

@@ -1,0 +1,55 @@
+"""Registry wiring and standalone-experiment integration tests.
+
+Study-based experiments are exercised end-to-end by the benchmark suite
+(which owns the expensive cached study); here we validate the registry and
+run the self-contained experiments at reduced scale.
+"""
+
+import pytest
+
+from repro.harness.registry import EXPERIMENTS, run_experiment
+from repro.harness import exp_figure3, exp_table1
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "table1", "table3", "table4", "table5",
+            "figure3", "figure4", "figure5", "figure6", "figure8",
+            "figure9", "figure10", "figure11", "figure12", "figure13",
+            "perfsonar", "single_model", "lmt", "online", "tunables", "overview",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("figure99")
+
+    def test_ids_match_spec(self):
+        for key, spec in EXPERIMENTS.items():
+            assert key == spec.experiment_id
+
+
+class TestTable1Experiment:
+    def test_full_run(self):
+        result = exp_table1.run(seed=1, reps=3)
+        assert len(result.rows) == 12
+        assert result.metrics["eq1_violations"] == 0
+        # Rows cover all ordered DTN pairs.
+        pairs = {(r[0], r[1]) for r in result.rows}
+        assert len(pairs) == 12
+
+    def test_deterministic(self):
+        a = exp_table1.run(seed=2, reps=2)
+        b = exp_table1.run(seed=2, reps=2)
+        assert a.rows == b.rows
+
+
+class TestFigure3Experiment:
+    def test_reduced_run(self):
+        result = exp_figure3.run(seed=1, n_per_edge=30)
+        assert len(result.rows) == 4
+        for row in result.rows:
+            assert row[2] == 30  # observed transfers per edge
+        # Rate declines with load on every testbed edge.
+        assert all(row[3] < 0 for row in result.rows)

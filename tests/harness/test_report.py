@@ -1,0 +1,41 @@
+"""Tests for the EXPERIMENTS.md generator (on a reduced experiment set)."""
+
+import pytest
+
+import repro.harness.report as report_mod
+from repro.harness.registry import EXPERIMENTS
+from repro.harness.runners import StudyConfig
+
+
+@pytest.fixture
+def tiny_registry(monkeypatch):
+    """Limit the registry to two cheap experiments for the test."""
+    subset = {k: EXPERIMENTS[k] for k in ("table1", "table3")}
+    monkeypatch.setattr(report_mod, "EXPERIMENTS", subset)
+    return subset
+
+
+class TestGenerateReport:
+    def test_writes_markdown_with_sections(self, tiny_registry, tmp_path):
+        out = report_mod.generate_report(
+            config=StudyConfig.quick(), path=tmp_path / "EXP.md"
+        )
+        text = out.read_text()
+        assert "# EXPERIMENTS" in text
+        assert "## table1:" in text
+        assert "## table3:" in text
+        assert "**Paper:**" in text
+        assert "```" in text
+        # The regenerated table made it into the document.
+        assert "Eq1 holds" in text
+
+    def test_failures_are_reported_not_raised(self, tiny_registry, tmp_path, monkeypatch):
+        def boom(*a, **k):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setattr(report_mod, "run_experiment", boom)
+        out = report_mod.generate_report(
+            config=StudyConfig.quick(), path=tmp_path / "EXP.md"
+        )
+        text = out.read_text()
+        assert "FAILED: synthetic failure" in text

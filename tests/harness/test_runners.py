@@ -1,0 +1,27 @@
+"""Tests for study configuration and cache-key discipline."""
+
+from repro.harness.runners import FIGURE4_ENDPOINTS, StudyConfig
+
+
+class TestStudyConfig:
+    def test_cache_key_distinguishes_configs(self):
+        keys = {
+            StudyConfig().cache_key,
+            StudyConfig.quick().cache_key,
+            StudyConfig(seed=8).cache_key,
+            StudyConfig(version=2).cache_key,
+        }
+        assert len(keys) == 4
+
+    def test_quick_is_shorter(self):
+        assert StudyConfig.quick().duration_days < StudyConfig().duration_days
+
+    def test_key_is_filesystem_safe(self):
+        key = StudyConfig(duration_days=3.5, seed=12).cache_key
+        assert "/" not in key and " " not in key
+
+    def test_figure4_endpoints_are_papers(self):
+        # The four endpoints of Figure 4.
+        assert set(FIGURE4_ENDPOINTS) == {
+            "NERSC-DTN", "Colorado-DTN", "JLAB-DTN", "UCAR-DTN"
+        }

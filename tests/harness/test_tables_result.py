@@ -1,0 +1,61 @@
+"""Tests for table rendering and the experiment result container."""
+
+import pytest
+
+from repro.harness.result import ExperimentResult
+from repro.harness.tables import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_floats(self):
+        assert format_cell(0.0) == "0"
+        assert format_cell(1234.5) == "1.23e+03"
+        assert format_cell(12.34) == "12.3"
+        assert format_cell(1.2345) == "1.234"
+        assert format_cell(0.0001) == "0.0001"
+
+    def test_bools_and_strings(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+        assert format_cell("x") == "x"
+
+    def test_ints(self):
+        assert format_cell(42) == "42"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2], [30, 40]])
+        lines = out.split("\n")
+        assert len(lines) == 4
+        # All lines same width pattern: header, separator, two rows.
+        assert lines[1].startswith("-")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_empty_rows(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestExperimentResult:
+    def test_render_contains_everything(self):
+        res = ExperimentResult(
+            experiment_id="tableX",
+            title="demo",
+            headers=["k", "v"],
+            rows=[["a", 1.5]],
+            metrics={"m": 2.0},
+            notes=["a note"],
+        )
+        text = res.render()
+        assert "tableX" in text
+        assert "demo" in text
+        assert "m=2" in text
+        assert "a note" in text
+
+    def test_render_without_rows(self):
+        res = ExperimentResult(experiment_id="x", title="t")
+        assert "x" in res.render()

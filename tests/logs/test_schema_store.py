@@ -1,0 +1,131 @@
+"""Unit tests for repro.logs.schema and repro.logs.store."""
+
+import numpy as np
+import pytest
+
+from repro.logs import LogStore, TransferLogRecord
+
+
+def _rec(i=0, src="A", dst="B", ts=0.0, te=10.0, nb=1e9, **kw):
+    defaults = dict(
+        transfer_id=i,
+        src=src,
+        dst=dst,
+        src_site="SA",
+        dst_site="SB",
+        src_type="GCS",
+        dst_type="GCS",
+        ts=ts,
+        te=te,
+        nb=nb,
+        nf=10,
+        nd=1,
+        c=2,
+        p=4,
+        nflt=0,
+        distance_km=1000.0,
+    )
+    defaults.update(kw)
+    return TransferLogRecord(**defaults)
+
+
+class TestRecord:
+    def test_rate_and_duration(self):
+        r = _rec(nb=100.0, ts=0.0, te=4.0)
+        assert r.duration == 4.0
+        assert r.rate == 25.0
+        assert r.edge == ("A", "B")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _rec(te=0.0)  # te <= ts
+        with pytest.raises(ValueError):
+            _rec(nb=0.0)
+        with pytest.raises(ValueError):
+            _rec(nf=0)
+        with pytest.raises(ValueError):
+            _rec(nflt=-1)
+        with pytest.raises(ValueError):
+            _rec(c=0)
+        with pytest.raises(ValueError):
+            _rec(src_type="XXX")
+
+
+class TestStore:
+    @pytest.fixture
+    def store(self):
+        recs = [
+            _rec(0, "A", "B", ts=0.0, te=10.0, nb=100.0),
+            _rec(1, "A", "B", ts=5.0, te=20.0, nb=300.0),
+            _rec(2, "B", "C", ts=2.0, te=4.0, nb=50.0),
+            _rec(3, "C", "A", ts=30.0, te=40.0, nb=400.0),
+        ]
+        return LogStore.from_records(recs)
+
+    def test_len_and_roundtrip(self, store):
+        assert len(store) == 4
+        rec = store.record(1)
+        assert rec.transfer_id == 1
+        assert rec.nb == 300.0
+
+    def test_rates_column(self, store):
+        assert np.allclose(store.rates, [10.0, 20.0, 25.0, 40.0])
+
+    def test_for_edge(self, store):
+        ab = store.for_edge("A", "B")
+        assert len(ab) == 2
+        assert len(store.for_edge("B", "A")) == 0
+
+    def test_involving_and_directional(self, store):
+        assert len(store.involving("A")) == 3
+        assert len(store.with_source("A")) == 2
+        assert len(store.with_destination("A")) == 1
+
+    def test_in_window(self, store):
+        # Transfers overlapping [4, 6): ids 0, 1.
+        w = store.in_window(4.0, 6.0)
+        assert sorted(w.column("transfer_id")) == [0, 1]
+        with pytest.raises(ValueError):
+            store.in_window(5.0, 5.0)
+
+    def test_edges_and_counts(self, store):
+        assert store.edges() == [("A", "B"), ("B", "C"), ("C", "A")]
+        counts = store.edge_transfer_counts()
+        assert counts[("A", "B")] == 2
+        assert store.heavy_edges(2) == [("A", "B")]
+
+    def test_max_rate(self, store):
+        assert store.max_rate() == 40.0
+        with pytest.raises(ValueError):
+            LogStore.empty().max_rate()
+
+    def test_sorted_by_start(self, store):
+        s = store.sorted_by_start()
+        assert list(s.column("ts")) == sorted(store.column("ts"))
+
+    def test_getitem_mask_and_index(self, store):
+        high = store[store.rates > 15.0]
+        assert len(high) == 3
+        one = store[2]
+        assert len(one) == 1
+        assert one.record(0).transfer_id == 2
+
+    def test_concat_and_empty(self, store):
+        both = LogStore.concat([store, store])
+        assert len(both) == 8
+        assert len(LogStore.concat([])) == 0
+        assert len(LogStore.empty()) == 0
+
+    def test_column_unknown(self, store):
+        with pytest.raises(KeyError):
+            store.column("nope")
+
+    def test_totals(self, store):
+        t = store.totals()
+        assert t["transfers"] == 4
+        assert t["bytes"] == 850.0
+
+    def test_immutability_of_column_copies(self, store):
+        col = store.column("nb")
+        col[:] = 0.0
+        assert store.column("nb").sum() == 850.0

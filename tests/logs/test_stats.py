@@ -1,0 +1,93 @@
+"""Tests for log summary statistics."""
+
+import numpy as np
+import pytest
+
+from repro.logs import LogStore, TransferLogRecord
+from repro.logs.stats import (
+    activity_series,
+    byte_weighted_rate_fractions,
+    edge_summaries,
+    edge_usage_funnel,
+)
+
+
+def _rec(i, src, dst, ts, dur, nb, nf=10):
+    return TransferLogRecord(
+        transfer_id=i, src=src, dst=dst, src_site=src, dst_site=dst,
+        src_type="GCS", dst_type="GCS", ts=ts, te=ts + dur, nb=nb,
+        nf=nf, nd=1, c=2, p=4, nflt=0, distance_km=100.0,
+    )
+
+
+@pytest.fixture
+def store():
+    recs = [
+        _rec(0, "A", "B", 0.0, 10.0, 1000.0),    # 100 B/s
+        _rec(1, "A", "B", 5.0, 10.0, 4000.0),    # 400 B/s
+        _rec(2, "A", "B", 20.0, 10.0, 100.0),    # 10 B/s
+        _rec(3, "B", "C", 0.0, 20.0, 8000.0),    # 400 B/s
+        _rec(4, "C", "A", 50.0, 10.0, 500.0),    # 50 B/s
+    ]
+    return LogStore.from_records(recs)
+
+
+class TestFunnel:
+    def test_thresholds(self, store):
+        funnel = edge_usage_funnel(store, thresholds=(1, 2, 3))
+        assert funnel == {1: 3, 2: 1, 3: 1}
+
+    def test_validation(self, store):
+        with pytest.raises(ValueError):
+            edge_usage_funnel(store, thresholds=(0,))
+
+
+class TestByteWeightedFractions:
+    def test_known_fractions(self, store):
+        # Bytes at rate >= 100 B/s: 1000 + 4000 + 8000 = 13000 of 13600.
+        frac = byte_weighted_rate_fractions(store, rate_cutoffs_bps=(100.0,))
+        assert frac[100.0] == pytest.approx(13000.0 / 13600.0)
+
+    def test_byte_weighting_differs_from_count_weighting(self, store):
+        # 3 of 5 transfers are >= 100 B/s but ~96% of bytes are.
+        frac = byte_weighted_rate_fractions(store, rate_cutoffs_bps=(100.0,))
+        assert frac[100.0] > 3 / 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            byte_weighted_rate_fractions(LogStore.empty())
+
+
+class TestEdgeSummaries:
+    def test_busiest_first_and_fields(self, store):
+        summaries = edge_summaries(store)
+        assert summaries[0].src == "A" and summaries[0].dst == "B"
+        assert summaries[0].n_transfers == 3
+        assert summaries[0].total_bytes == 5100.0
+        assert summaries[0].max_rate == pytest.approx(400.0)
+
+    def test_min_transfers_filter(self, store):
+        assert len(edge_summaries(store, min_transfers=2)) == 1
+
+    def test_validation(self, store):
+        with pytest.raises(ValueError):
+            edge_summaries(store, min_transfers=0)
+
+
+class TestActivitySeries:
+    def test_integrates_to_total_bytes(self, store):
+        starts, counts, byte_rate = activity_series(store, bin_s=5.0)
+        total = (byte_rate * 5.0).sum()
+        assert total == pytest.approx(store.column("nb").sum(), rel=1e-9)
+
+    def test_counts_reflect_overlap(self, store):
+        starts, counts, _ = activity_series(store, bin_s=5.0)
+        # In [5, 10): transfers 0, 1, 3 are active.
+        idx = int((5.0 - starts[0]) // 5.0)
+        assert counts[idx] == 3
+
+    def test_validation(self, store):
+        with pytest.raises(ValueError):
+            activity_series(store, bin_s=0.0)
+        with pytest.raises(ValueError):
+            activity_series(LogStore.empty())

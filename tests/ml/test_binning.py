@@ -1,0 +1,73 @@
+"""Unit and property tests for repro.ml.binning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.binning import QuantileBinner
+
+
+class TestQuantileBinner:
+    def test_small_cardinality_one_bin_per_value(self):
+        X = np.array([[1.0], [2.0], [2.0], [5.0]])
+        b = QuantileBinner(max_bins=8).fit(X)
+        assert b.n_bins_[0] == 3
+        codes = b.transform(X)
+        assert codes[:, 0].tolist() == [0, 1, 1, 2]
+
+    def test_codes_within_range(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(5000, 3))
+        b = QuantileBinner(max_bins=64).fit(X)
+        codes = b.transform(X)
+        for f in range(3):
+            assert codes[:, f].max() < b.n_bins_[f]
+
+    def test_unseen_values_clamp(self):
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        b = QuantileBinner(max_bins=10).fit(X)
+        codes = b.transform(np.array([[-5.0], [99.0]]))
+        assert codes[0, 0] == 0
+        assert codes[1, 0] == b.n_bins_[0] - 1
+
+    def test_threshold_value_consistent_with_codes(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(size=(1000, 1))
+        b = QuantileBinner(max_bins=16).fit(X)
+        codes = b.transform(X)
+        for cut in range(int(b.n_bins_[0]) - 1):
+            thr = b.threshold_value(0, cut)
+            # code <= cut  <=>  x <= threshold
+            assert np.array_equal(codes[:, 0] <= cut, X[:, 0] <= thr)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            QuantileBinner().fit(np.array([[np.nan], [1.0]]))
+
+    def test_rejects_bad_max_bins(self):
+        with pytest.raises(ValueError):
+            QuantileBinner(max_bins=1)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            QuantileBinner().transform(np.zeros((2, 2)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=4, max_size=300),
+    st.integers(2, 32),
+)
+def test_property_binning_preserves_order(values, max_bins):
+    """Bin codes are a monotone function of the raw values."""
+    X = np.array(values).reshape(-1, 1)
+    b = QuantileBinner(max_bins=max_bins).fit(X)
+    codes = b.transform(X)[:, 0].astype(np.int64)
+    order = np.argsort(X[:, 0], kind="stable")
+    sorted_codes = codes[order]
+    assert np.all(np.diff(sorted_codes) >= 0)
+    # Equal values always share a code.
+    v_sorted = X[order, 0]
+    same = np.diff(v_sorted) == 0
+    assert np.all(np.diff(sorted_codes)[same] == 0)

@@ -1,0 +1,135 @@
+"""Unit and property tests for repro.ml.correlation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import mic, pearson_cc
+from repro.ml.correlation import mutual_information_binned
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.arange(10.0)
+        assert pearson_cc(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10.0)
+        assert pearson_cc(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_input_returns_zero(self):
+        assert pearson_cc(np.ones(10), np.arange(10.0)) == 0.0
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=(2, 100))
+        assert pearson_cc(x, y) == pytest.approx(pearson_cc(y, x))
+
+    def test_matches_numpy_corrcoef(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=200)
+        y = 0.5 * x + rng.normal(size=200)
+        assert pearson_cc(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+    def test_parabola_is_nearly_uncorrelated(self):
+        x = np.linspace(-1, 1, 1001)
+        assert abs(pearson_cc(x, x**2)) < 1e-10
+
+    def test_shape_and_size_errors(self):
+        with pytest.raises(ValueError):
+            pearson_cc(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            pearson_cc(np.ones(1), np.ones(1))
+
+
+class TestMIC:
+    def test_linear_relationship_near_one(self):
+        x = np.linspace(0, 1, 500)
+        assert mic(x, 3 * x + 2) > 0.95
+
+    def test_monotone_nonlinear_near_one(self):
+        x = np.linspace(0.01, 1, 500)
+        assert mic(x, np.log(x)) > 0.95
+
+    def test_parabola_high_mic_low_cc(self):
+        """The Table 5 signature: MIC detects what Pearson misses."""
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, 800)
+        y = x**2
+        assert mic(x, y) > 0.7
+        assert abs(pearson_cc(x, y)) < 0.1
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(size=1500)
+        y = rng.uniform(size=1500)
+        assert mic(x, y) < 0.15
+
+    def test_constant_returns_zero(self):
+        assert mic(np.ones(100), np.arange(100.0)) == 0.0
+
+    def test_bounded_zero_one(self):
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            x = rng.normal(size=300)
+            y = rng.normal(size=300)
+            m = mic(x, y)
+            assert 0.0 <= m <= 1.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(size=400)
+        y = np.sin(5 * x) + rng.normal(0, 0.05, 400)
+        assert mic(x, y) == pytest.approx(mic(y, x), abs=0.1)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            mic(np.ones(3), np.ones(3))
+
+    def test_noise_degrades_mic(self):
+        rng = np.random.default_rng(4)
+        x = rng.uniform(size=600)
+        clean = mic(x, np.sin(4 * x))
+        noisy = mic(x, np.sin(4 * x) + rng.normal(0, 1.0, 600))
+        assert clean > noisy
+
+
+class TestMutualInformation:
+    def test_identical_codes_give_entropy(self):
+        codes = np.array([0, 0, 1, 1, 2, 2])
+        mi = mutual_information_binned(codes, codes, 3, 3)
+        assert mi == pytest.approx(np.log2(3))
+
+    def test_independent_codes_give_zero(self):
+        cx = np.array([0, 0, 1, 1])
+        cy = np.array([0, 1, 0, 1])
+        assert mutual_information_binned(cx, cy, 2, 2) == pytest.approx(0.0)
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(0)
+        cx = rng.integers(0, 4, 200)
+        cy = rng.integers(0, 5, 200)
+        assert mutual_information_binned(cx, cy, 4, 5) >= 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(10, 300), st.integers(0, 1000))
+def test_property_pearson_bounded(n, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=n)
+    y = rng.normal(size=n)
+    assert -1.0 - 1e-12 <= pearson_cc(x, y) <= 1.0 + 1e-12
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(50, 200), st.integers(0, 500))
+def test_property_mic_invariant_to_monotone_transforms(n, seed):
+    """Equal-frequency binning makes MIC rank-based, hence invariant to
+    strictly monotone transforms of either variable."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.1, 1.0, n)
+    y = rng.uniform(0.1, 1.0, n)
+    base = mic(x, y)
+    assert mic(np.log(x), y) == pytest.approx(base, abs=1e-12)
+    assert mic(x, y**3) == pytest.approx(base, abs=1e-12)

@@ -1,0 +1,102 @@
+"""Unit and property tests for repro.ml.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    absolute_percentage_errors,
+    mape,
+    mdape,
+    percentile_absolute_percentage_error,
+    r2_score,
+    rmse,
+)
+
+
+class TestMdAPE:
+    def test_perfect_prediction_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert mdape(y, y) == 0.0
+
+    def test_known_value(self):
+        y = np.array([100.0, 100.0, 100.0])
+        yhat = np.array([90.0, 100.0, 120.0])
+        # APEs are 10, 0, 20 -> median 10
+        assert mdape(y, yhat) == pytest.approx(10.0)
+
+    def test_median_robust_to_outlier(self):
+        y = np.full(5, 100.0)
+        yhat = np.array([101.0, 99.0, 100.0, 102.0, 1000.0])
+        assert mdape(y, yhat) == pytest.approx(1.0)
+        assert mape(y, yhat) > 100.0
+
+    def test_zero_true_value_raises(self):
+        with pytest.raises(ValueError):
+            mdape(np.array([0.0, 1.0]), np.array([1.0, 1.0]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mdape(np.array([]), np.array([]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mdape(np.ones(3), np.ones(4))
+
+
+class TestPercentileError:
+    def test_95th(self):
+        y = np.full(100, 100.0)
+        yhat = 100.0 + np.arange(100.0)  # APEs 0..99
+        got = percentile_absolute_percentage_error(y, yhat, 95.0)
+        assert got == pytest.approx(np.percentile(np.arange(100.0), 95.0))
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            percentile_absolute_percentage_error(np.ones(2), np.ones(2), 101.0)
+
+
+class TestRmseR2:
+    def test_rmse_known(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_r2_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_r2_mean_predictor_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_r2_constant_target(self):
+        y = np.full(4, 5.0)
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, y + 1.0) == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.floats(0.1, 1e6), min_size=1, max_size=50),
+    st.floats(-0.5, 0.5),
+)
+def test_property_uniform_relative_error(values, rel):
+    """Scaling all predictions by (1+rel) gives APE == |rel|*100 everywhere."""
+    y = np.array(values)
+    yhat = y * (1.0 + rel)
+    apes = absolute_percentage_errors(y, yhat)
+    assert np.allclose(apes, abs(rel) * 100.0, rtol=1e-9, atol=1e-9)
+    assert mdape(y, yhat) == pytest.approx(abs(rel) * 100.0, rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(0.1, 1e4), min_size=2, max_size=50))
+def test_property_mdape_le_mape_iff_median_le_mean(values):
+    y = np.array(values)
+    rng = np.random.default_rng(0)
+    yhat = y * rng.uniform(0.5, 1.5, y.size)
+    apes = absolute_percentage_errors(y, yhat)
+    assert mdape(y, yhat) == pytest.approx(np.median(apes))
+    assert mape(y, yhat) == pytest.approx(np.mean(apes))

@@ -1,0 +1,80 @@
+"""Tests for the MINE dynamic-programming MIC."""
+
+import numpy as np
+import pytest
+
+from repro.ml.correlation import _clump_boundaries, mic, mic_mine, pearson_cc
+
+
+class TestMicMine:
+    def test_noiseless_linear_is_one(self):
+        x = np.linspace(0, 1, 400)
+        assert mic_mine(x, 2 * x + 1) > 0.95
+
+    def test_noiseless_parabola_high(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, 500)
+        assert mic_mine(x, x**2) > 0.8
+
+    def test_beats_or_matches_equipartition_on_noisy_nonlinear(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, 500)
+        y = np.minimum(1.0, 2 * np.abs(x)) + rng.normal(0, 0.2, 500)
+        assert mic_mine(x, y) >= mic(x, y) - 1e-9
+
+    def test_detects_what_pearson_misses(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(-1, 1, 600)
+        y = x**2 + rng.normal(0, 0.25, 600)
+        assert abs(pearson_cc(x, y)) < 0.2
+        assert mic_mine(x, y) > 0.3
+
+    def test_independent_stays_low(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(size=800)
+        y = rng.uniform(size=800)
+        assert mic_mine(x, y) < 0.2
+
+    def test_bounded_and_symmetricish(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=300)
+        y = np.sin(3 * x) + rng.normal(0, 0.1, 300)
+        a = mic_mine(x, y)
+        b = mic_mine(y, x)
+        assert 0.0 <= a <= 1.0
+        # Both orientations are tried internally, so swapping args is a
+        # no-op up to floating noise.
+        assert a == pytest.approx(b, abs=1e-9)
+
+    def test_constant_input_zero(self):
+        assert mic_mine(np.ones(100), np.arange(100.0)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mic_mine(np.ones(3), np.ones(3))
+        with pytest.raises(ValueError):
+            mic_mine(np.ones(5), np.ones(4))
+        with pytest.raises(ValueError):
+            mic_mine(np.arange(10.0), np.arange(10.0), clump_factor=0)
+
+    def test_heavy_ties_handled(self):
+        # Half the x values identical: clumps must not split them.
+        rng = np.random.default_rng(5)
+        x = np.concatenate([np.zeros(200), rng.uniform(1, 2, 200)])
+        y = np.concatenate([rng.normal(0, 1, 200), rng.normal(5, 1, 200)])
+        m = mic_mine(x, y)
+        assert 0.3 < m <= 1.0
+
+
+class TestClumpBoundaries:
+    def test_covers_all_points(self):
+        x = np.sort(np.random.default_rng(0).uniform(size=100))
+        ends = _clump_boundaries(x, 10)
+        assert ends[-1] == 100
+        assert np.all(np.diff(ends) > 0)
+
+    def test_never_splits_ties(self):
+        x = np.sort(np.array([0.0] * 50 + [1.0] * 50))
+        ends = _clump_boundaries(x, 10)
+        for e in ends[:-1]:
+            assert x[e] != x[e - 1]

@@ -1,0 +1,109 @@
+"""Round-trip tests for model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.ml import GradientBoostingRegressor, LinearRegression, StandardScaler
+from repro.ml.persistence import (
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+
+
+def _data(seed=0, n=500):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n, 4))
+    y = np.sin(3 * X[:, 0]) + X[:, 1] ** 2 + rng.normal(0, 0.05, n)
+    return X, y
+
+
+class TestScalerRoundtrip:
+    def test_identical_transform(self, tmp_path):
+        X, _ = _data()
+        s = StandardScaler().fit(X)
+        path = tmp_path / "scaler.json"
+        save_model(s, path)
+        s2 = load_model(path)
+        assert np.array_equal(s2.transform(X), s.transform(X))
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ValueError):
+            model_to_dict(StandardScaler())
+
+
+class TestLinearRoundtrip:
+    def test_identical_predictions(self, tmp_path):
+        X, y = _data(1)
+        m = LinearRegression().fit(X, y)
+        path = tmp_path / "lr.json"
+        save_model(m, path)
+        m2 = load_model(path)
+        assert np.array_equal(m2.predict(X), m.predict(X))
+        assert m2.intercept_ == m.intercept_
+
+    def test_no_intercept_flag_preserved(self, tmp_path):
+        X, y = _data(2)
+        m = LinearRegression(fit_intercept=False).fit(X, y)
+        m2 = model_from_dict(model_to_dict(m))
+        assert m2.fit_intercept is False
+        assert np.array_equal(m2.predict(X), m.predict(X))
+
+
+class TestGBTRoundtrip:
+    def test_identical_predictions(self, tmp_path):
+        X, y = _data(3)
+        m = GradientBoostingRegressor(
+            n_estimators=40, max_depth=3, random_state=0
+        ).fit(X, y)
+        path = tmp_path / "gbt.json"
+        save_model(m, path)
+        m2 = load_model(path)
+        X_test = np.random.default_rng(9).uniform(size=(200, 4))
+        assert np.array_equal(m2.predict(X_test), m.predict(X_test))
+
+    def test_importances_preserved(self):
+        X, y = _data(4)
+        m = GradientBoostingRegressor(n_estimators=20, max_depth=3).fit(X, y)
+        m2 = model_from_dict(model_to_dict(m))
+        assert np.allclose(
+            m2.feature_importances("gain"), m.feature_importances("gain")
+        )
+
+    def test_hyperparameters_preserved(self):
+        X, y = _data(5)
+        m = GradientBoostingRegressor(
+            n_estimators=10, learning_rate=0.3, max_depth=2,
+            min_child_weight=3.0, reg_lambda=2.0, subsample=0.8,
+            colsample_bytree=0.9, random_state=7,
+        ).fit(X, y)
+        m2 = model_from_dict(model_to_dict(m))
+        assert m2.learning_rate == 0.3
+        assert m2.tree_params.min_child_weight == 3.0
+        assert m2.subsample == 0.8
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ValueError):
+            model_to_dict(GradientBoostingRegressor())
+
+
+class TestDispatch:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            model_to_dict(object())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            model_from_dict({"format_version": 1, "kind": "mystery"})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ValueError):
+            model_from_dict({"format_version": 99, "kind": "linear_regression"})
+
+    def test_json_file_is_plain_text(self, tmp_path):
+        X, y = _data(6)
+        m = LinearRegression().fit(X, y)
+        path = tmp_path / "m.json"
+        save_model(m, path)
+        assert '"kind": "linear_regression"' in path.read_text()

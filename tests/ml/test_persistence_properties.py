@@ -1,0 +1,53 @@
+"""Property-based round-trip tests for model persistence."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import GradientBoostingRegressor, LinearRegression, StandardScaler
+from repro.ml.persistence import model_from_dict, model_to_dict
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(10, 200),
+    st.integers(1, 6),
+    st.integers(0, 10_000),
+)
+def test_property_linear_roundtrip_exact(n, d, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    y = rng.normal(size=n)
+    m = LinearRegression().fit(X, y)
+    m2 = model_from_dict(model_to_dict(m))
+    assert np.array_equal(m2.predict(X), m.predict(X))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(10, 200), st.integers(1, 5), st.integers(0, 10_000))
+def test_property_scaler_roundtrip_exact(n, d, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1e6, 1e6, size=(n, d))
+    s = StandardScaler().fit(X)
+    s2 = model_from_dict(model_to_dict(s))
+    assert np.array_equal(s2.transform(X), s.transform(X))
+    assert np.array_equal(s2.inverse_transform(X), s.inverse_transform(X))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(30, 150),
+    st.integers(2, 4),
+    st.integers(1, 3),
+    st.integers(0, 1000),
+)
+def test_property_gbt_roundtrip_exact(n, d, depth, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n, d))
+    y = rng.normal(size=n)
+    m = GradientBoostingRegressor(
+        n_estimators=8, max_depth=depth, random_state=seed
+    ).fit(X, y)
+    m2 = model_from_dict(model_to_dict(m))
+    X_new = rng.uniform(-0.5, 1.5, size=(50, d))  # incl. out-of-range values
+    assert np.array_equal(m2.predict(X_new), m.predict(X_new))

@@ -1,0 +1,70 @@
+"""Unit and property tests for repro.ml.scaler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml import StandardScaler
+
+
+class TestStandardScalerBasics:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(500, 4))
+        Xt = StandardScaler().fit_transform(X)
+        assert np.allclose(Xt.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(Xt.std(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_column_maps_to_zero(self):
+        X = np.column_stack([np.full(10, 7.0), np.arange(10.0)])
+        Xt = StandardScaler().fit_transform(X)
+        assert np.all(Xt[:, 0] == 0.0)
+
+    def test_transform_uses_training_stats(self):
+        X_train = np.array([[0.0], [2.0]])
+        s = StandardScaler().fit(X_train)
+        out = s.transform(np.array([[4.0]]))
+        # mean 1, std 1 -> (4-1)/1 = 3
+        assert out[0, 0] == pytest.approx(3.0)
+
+    def test_inverse_transform_roundtrip(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-10, 10, size=(50, 3))
+        s = StandardScaler().fit(X)
+        assert np.allclose(s.inverse_transform(s.transform(X)), X)
+
+    def test_ddof_one(self):
+        X = np.array([[1.0], [3.0]])
+        s = StandardScaler(ddof=1).fit(X)
+        assert s.scale_[0] == pytest.approx(np.sqrt(2.0))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.arange(5.0))
+
+    def test_rejects_too_few_samples_for_ddof(self):
+        with pytest.raises(ValueError):
+            StandardScaler(ddof=1).fit(np.array([[1.0]]))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    hnp.arrays(
+        np.float64,
+        hnp.array_shapes(min_dims=2, max_dims=2, min_side=3, max_side=40),
+        elements=st.floats(-1e6, 1e6, allow_nan=False),
+    )
+)
+def test_property_roundtrip_and_bounds(X):
+    s = StandardScaler().fit(X)
+    Xt = s.transform(X)
+    assert np.all(np.isfinite(Xt))
+    assert np.allclose(s.inverse_transform(Xt), X, rtol=1e-8, atol=1e-6)
+    # Standardised columns of non-constant data have mean ~0.
+    assert np.allclose(Xt.mean(axis=0), 0.0, atol=1e-6)

@@ -1,0 +1,75 @@
+"""Unit and property tests for repro.ml.selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import low_variance_features, train_test_split
+
+
+class TestTrainTestSplit:
+    def test_partition_is_complete_and_disjoint(self):
+        tr, te = train_test_split(100, 0.7, rng=0)
+        merged = np.sort(np.concatenate([tr, te]))
+        assert np.array_equal(merged, np.arange(100))
+
+    def test_fraction_respected(self):
+        tr, te = train_test_split(1000, 0.7, rng=1)
+        assert tr.size == 700
+        assert te.size == 300
+
+    def test_deterministic_with_seed(self):
+        a = train_test_split(50, 0.6, rng=42)
+        b = train_test_split(50, 0.6, rng=42)
+        assert np.array_equal(a[0], b[0])
+
+    def test_both_sides_nonempty_extreme_fractions(self):
+        tr, te = train_test_split(3, 0.99, rng=0)
+        assert tr.size >= 1 and te.size >= 1
+        tr, te = train_test_split(3, 0.01, rng=0)
+        assert tr.size >= 1 and te.size >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            train_test_split(1, 0.5)
+        with pytest.raises(ValueError):
+            train_test_split(10, 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(10, 1.0)
+
+    def test_accepts_generator(self):
+        rng = np.random.default_rng(7)
+        tr, te = train_test_split(20, 0.5, rng=rng)
+        assert tr.size + te.size == 20
+
+
+class TestLowVarianceFeatures:
+    def test_constant_flagged(self):
+        X = np.column_stack([np.full(50, 4.0), np.arange(50.0)])
+        mask = low_variance_features(X)
+        assert mask.tolist() == [True, False]
+
+    def test_zero_column_flagged(self):
+        X = np.column_stack([np.zeros(20), np.arange(20.0)])
+        assert low_variance_features(X)[0]
+
+    def test_relative_criterion(self):
+        # Large mean, tiny jitter: relatively constant.
+        rng = np.random.default_rng(0)
+        X = (1e6 + rng.normal(0, 1e-2, size=(100, 1)))
+        assert low_variance_features(X, threshold=1e-3)[0]
+        assert not low_variance_features(X, threshold=1e-3, relative=False)[0]
+
+    def test_2d_required(self):
+        with pytest.raises(ValueError):
+            low_variance_features(np.arange(5.0))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 500), st.floats(0.05, 0.95), st.integers(0, 10_000))
+def test_property_split_partitions(n, frac, seed):
+    tr, te = train_test_split(n, frac, rng=seed)
+    assert tr.size + te.size == n
+    assert np.intersect1d(tr, te).size == 0
+    assert tr.size >= 1 and te.size >= 1

@@ -1,0 +1,66 @@
+"""Unit tests for repro.ml.weibull."""
+
+import numpy as np
+import pytest
+
+from repro.ml import WeibullCurve, fit_weibull_curve
+
+
+class TestWeibullCurve:
+    def test_zero_at_origin(self):
+        w = WeibullCurve(amplitude=100.0, shape=2.0, scale=10.0)
+        assert w(np.array([0.0]))[0] == 0.0
+
+    def test_mode_formula(self):
+        w = WeibullCurve(amplitude=1.0, shape=2.0, scale=10.0)
+        # mode = lam * ((k-1)/k)^(1/k) = 10 * sqrt(0.5)
+        assert w.mode == pytest.approx(10.0 * np.sqrt(0.5))
+
+    def test_peak_at_mode(self):
+        w = WeibullCurve(amplitude=50.0, shape=3.0, scale=8.0)
+        c = np.linspace(0.01, 40, 4000)
+        vals = w(c)
+        assert abs(c[np.argmax(vals)] - w.mode) < 0.05
+        assert w.peak_rate == pytest.approx(vals.max(), rel=1e-3)
+
+    def test_rise_then_fall(self):
+        w = WeibullCurve(amplitude=10.0, shape=2.5, scale=12.0)
+        c = np.linspace(0.1, 60, 600)
+        v = w(c)
+        peak = int(np.argmax(v))
+        assert 0 < peak < 599
+        assert np.all(np.diff(v[:peak]) > 0)
+        assert np.all(np.diff(v[peak:]) < 0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            WeibullCurve(amplitude=-1.0, shape=2.0, scale=1.0)
+        with pytest.raises(ValueError):
+            WeibullCurve(amplitude=1.0, shape=0.0, scale=1.0)
+
+
+class TestFitWeibull:
+    def test_recovers_synthetic_parameters(self):
+        truth = WeibullCurve(amplitude=2000.0, shape=2.2, scale=15.0)
+        c = np.linspace(0.5, 50, 120)
+        r = truth(c)
+        fit = fit_weibull_curve(c, r)
+        assert fit.shape == pytest.approx(truth.shape, rel=0.02)
+        assert fit.scale == pytest.approx(truth.scale, rel=0.02)
+        assert fit.mode == pytest.approx(truth.mode, rel=0.02)
+
+    def test_fit_with_noise_recovers_mode(self):
+        rng = np.random.default_rng(0)
+        truth = WeibullCurve(amplitude=5000.0, shape=1.8, scale=20.0)
+        c = rng.uniform(0.5, 60, 300)
+        r = np.maximum(truth(c) + rng.normal(0, 5.0, 300), 0.0)
+        fit = fit_weibull_curve(c, r)
+        assert fit.mode == pytest.approx(truth.mode, rel=0.25)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            fit_weibull_curve(np.ones(3), np.ones(3))  # too few points
+        with pytest.raises(ValueError):
+            fit_weibull_curve(np.ones(5), np.ones(4))
+        with pytest.raises(ValueError):
+            fit_weibull_curve(-np.ones(5), np.ones(5))

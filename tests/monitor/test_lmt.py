@@ -1,0 +1,125 @@
+"""Tests for the LMT storage monitor and the feature join."""
+
+import numpy as np
+import pytest
+
+from repro.monitor.lmt import (
+    LMT_FEATURE_NAMES,
+    LmtMonitor,
+    LmtSampleLog,
+    join_lmt_features,
+)
+from repro.sim import TransferRequest, TransferService, build_production_fleet
+from repro.sim.background import BackgroundLoad
+from repro.sim.units import GB
+
+
+def _service():
+    return TransferService(build_production_fleet(), seed=0)
+
+
+class TestLmtMonitor:
+    def test_requires_lustre_storage(self):
+        svc = _service()
+        with pytest.raises(ValueError):
+            LmtMonitor(svc, ["Berkeley-Laptop"])  # plain disk, no OSS/OST
+
+    def test_requires_endpoints_and_interval(self):
+        svc = _service()
+        with pytest.raises(ValueError):
+            LmtMonitor(svc, [])
+        with pytest.raises(ValueError):
+            LmtMonitor(svc, ["NERSC-DTN"], interval_s=0.0)
+
+    def test_samples_capture_transfer_io(self):
+        svc = _service()
+        monitor = LmtMonitor(svc, ["NERSC-DTN"], interval_s=5.0)
+        svc.submit(
+            TransferRequest(
+                src="NERSC-Edison", dst="NERSC-DTN", total_bytes=100 * GB,
+                n_files=16, concurrency=4,
+            )
+        )
+        svc.run()
+        log = monitor.logs["NERSC-DTN"]
+        assert log.times.size > 3
+        assert log.ost_write.max() > 0.0
+        assert 0.0 <= log.oss_cpu.max() <= 1.0
+
+    def test_monitor_sees_non_globus_load(self):
+        """The whole point of §5.5.2: LMT sees what the log cannot."""
+        svc = _service()
+        ep = svc.fabric.endpoint("NERSC-DTN")
+        monitor = LmtMonitor(svc, ["NERSC-DTN"], interval_s=5.0)
+        svc.add_background(
+            BackgroundLoad("hidden", (ep.write_resource,), rate_cap=2e9)
+        )
+        svc.run(until=60.0)
+        log = monitor.logs["NERSC-DTN"]
+        assert log.ost_write.max() > 0.0  # no Globus transfer ran at all
+
+
+class TestSampleLog:
+    def _log(self):
+        t = np.arange(0.0, 100.0, 5.0)
+        return LmtSampleLog(
+            endpoint="X",
+            times=t,
+            oss_cpu=np.linspace(0, 1, t.size),
+            ost_read=np.full(t.size, 10.0),
+            ost_write=np.arange(t.size, dtype=float),
+        )
+
+    def test_window_means(self):
+        log = self._log()
+        cpu, read, write = log.window_means(0.0, 100.0)
+        assert read == pytest.approx(10.0)
+        assert cpu == pytest.approx(0.5)
+
+    def test_short_window_falls_back_to_nearest(self):
+        log = self._log()
+        cpu, _, _ = log.window_means(12.0, 13.0)  # between samples
+        # Nearest sample to 12.5 is t=10 or t=15.
+        assert cpu in (
+            pytest.approx(log.oss_cpu[2]),
+            pytest.approx(log.oss_cpu[3]),
+        )
+
+    def test_validation(self):
+        log = self._log()
+        with pytest.raises(ValueError):
+            log.window_means(10.0, 5.0)
+
+
+class TestJoin:
+    def test_join_produces_aligned_columns(self):
+        svc = _service()
+        monitor = LmtMonitor(svc, ["NERSC-DTN", "NERSC-Edison"], interval_s=5.0)
+        for i in range(5):
+            svc.submit(
+                TransferRequest(
+                    src="NERSC-Edison", dst="NERSC-DTN",
+                    total_bytes=20 * GB, n_files=8,
+                    submit_time=i * 100.0,
+                )
+            )
+        log = svc.run()
+        cols = join_lmt_features(log, monitor.logs)
+        assert set(cols) == set(LMT_FEATURE_NAMES)
+        for v in cols.values():
+            assert v.shape == (len(log),)
+        # Transfers wrote into NERSC-DTN: dst write feature must be > 0.
+        assert cols["LMT_ost_write_dst"].max() > 0.0
+
+    def test_unmonitored_endpoints_get_zero(self):
+        svc = _service()
+        monitor = LmtMonitor(svc, ["NERSC-DTN"], interval_s=5.0)
+        svc.submit(
+            TransferRequest(
+                src="TACC-DTN", dst="ALCF-DTN", total_bytes=10 * GB, n_files=4
+            )
+        )
+        log = svc.run()
+        cols = join_lmt_features(log, monitor.logs)
+        assert cols["LMT_oss_cpu_src"][0] == 0.0
+        assert cols["LMT_ost_write_dst"][0] == 0.0

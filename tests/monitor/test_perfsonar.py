@@ -1,0 +1,81 @@
+"""Tests for the perfSONAR probe model."""
+
+import pytest
+
+from repro.monitor.perfsonar import PerfSonarDeployment
+from repro.sim import build_production_fleet
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    return build_production_fleet()
+
+
+class TestDeployment:
+    def test_full_deployment_everything_testable(self, fabric):
+        dep = PerfSonarDeployment(
+            fabric, host_probability=1.0, third_party_probability=1.0, seed=0
+        )
+        assert dep.edge_probeable("JLAB-DTN", "NERSC-DTN")
+        assert dep.edge_testable("JLAB-DTN", "NERSC-DTN")
+
+    def test_partial_deployment_filters_edges(self, fabric):
+        dep = PerfSonarDeployment(
+            fabric, host_probability=0.5, third_party_probability=0.5, seed=1
+        )
+        sites_with = sum(dep.has_host.values())
+        assert 0 < sites_with < len(fabric.sites)
+        # Third-party implies a host.
+        for site, allows in dep.allows_third_party.items():
+            if allows:
+                assert dep.has_host[site]
+
+    def test_deployment_deterministic(self, fabric):
+        d1 = PerfSonarDeployment(fabric, seed=3)
+        d2 = PerfSonarDeployment(fabric, seed=3)
+        assert d1.has_host == d2.has_host
+        assert d1.allows_third_party == d2.allows_third_party
+
+    def test_validation(self, fabric):
+        with pytest.raises(ValueError):
+            PerfSonarDeployment(fabric, host_probability=1.5)
+
+
+class TestProbing:
+    def test_probe_untestable_edge_rejected(self, fabric):
+        dep = PerfSonarDeployment(
+            fabric, host_probability=0.0, third_party_probability=0.0
+        )
+        with pytest.raises(ValueError):
+            dep.probe_edge("JLAB-DTN", "NERSC-DTN")
+
+    def test_probe_bounded_by_host_nic(self, fabric):
+        dep = PerfSonarDeployment(
+            fabric, host_probability=1.0, third_party_probability=1.0
+        )
+        res = dep.probe_edge("UCAR-DTN", "Colorado-DTN", n_streams=64)
+        assert res.mm_estimate <= dep.host_nic_bps
+
+    def test_long_path_probes_lower(self, fabric):
+        dep = PerfSonarDeployment(
+            fabric, host_probability=1.0, third_party_probability=1.0, seed=0
+        )
+        short = dep.probe_edge("FNAL-DTN", "ALCF-DTN", n_streams=8)
+        long = dep.probe_edge("CERN-DTN", "BNL-DTN", n_streams=8)
+        assert long.mm_estimate < short.mm_estimate
+
+    def test_interface_mismatch_on_multi_dtn_endpoints(self, fabric):
+        dep = PerfSonarDeployment(
+            fabric, host_probability=1.0, third_party_probability=1.0
+        )
+        # NERSC-DTN has 4 DTNs at 10 Gb/s each: aggregate beats the probe NIC.
+        assert dep.interface_mismatch("JLAB-DTN", "NERSC-DTN")
+        # Two single-DTN endpoints: no mismatch.
+        assert not dep.interface_mismatch("UCAR-DTN", "Colorado-DTN")
+
+    def test_probe_validation(self, fabric):
+        dep = PerfSonarDeployment(
+            fabric, host_probability=1.0, third_party_probability=1.0
+        )
+        with pytest.raises(ValueError):
+            dep.probe_edge("JLAB-DTN", "NERSC-DTN", n_streams=0)

@@ -1,0 +1,99 @@
+"""Tests for accessor-based storage contention (seek-heavy background load)."""
+
+import numpy as np
+import pytest
+
+from repro.sim import TransferRequest, TransferService
+from repro.sim.background import BackgroundLoad, OnOffLoad
+from repro.sim.storage import LustreStorage
+from repro.sim.units import GB
+
+
+class TestAccessorFields:
+    def test_background_load_accessors_validated(self):
+        with pytest.raises(ValueError):
+            BackgroundLoad("b", ("r",), rate_cap=1.0, accessors=-1)
+        b = BackgroundLoad("b", ("r",), rate_cap=1.0, accessors=32)
+        assert b.accessors == 32
+
+    def test_onoff_accessor_range_validated(self):
+        with pytest.raises(ValueError):
+            OnOffLoad("o", ("r",), accessors_low=10, accessors_high=5)
+
+    def test_onoff_accessor_sampling(self):
+        load = OnOffLoad("o", ("r",), accessors_low=8, accessors_high=120)
+        rng = np.random.default_rng(0)
+        draws = [load.sample_accessors(rng) for _ in range(200)]
+        assert min(draws) >= 8 and max(draws) <= 120
+        assert len(set(draws)) > 10
+
+    def test_fixed_accessors_constant(self):
+        load = OnOffLoad("o", ("r",), accessors_low=6, accessors_high=6)
+        rng = np.random.default_rng(0)
+        assert {load.sample_accessors(rng) for _ in range(20)} == {6}
+
+
+class TestOssCpuIops:
+    def _lustre(self):
+        return LustreStorage(
+            name="l", read_bps=5e9, write_bps=4e9, n_oss=4, n_ost=16,
+            oss_cpu_bps=2.5e9,
+        )
+
+    def test_iops_term_adds_cpu(self):
+        l = self._lustre()
+        base = l.oss_cpu_utilisation(1e9)
+        loaded = l.oss_cpu_utilisation(1e9, accessors=200)
+        assert loaded > base
+        assert loaded == pytest.approx(base + 200 / (4 * 100.0))
+
+    def test_clamped_at_one(self):
+        l = self._lustre()
+        assert l.oss_cpu_utilisation(1e12, accessors=10_000) == 1.0
+
+    def test_negative_accessors_rejected(self):
+        with pytest.raises(ValueError):
+            self._lustre().oss_cpu_utilisation(1e9, accessors=-1)
+
+
+class TestSeekHeavyLoadDegradesTransfers:
+    def test_accessor_heavy_background_slows_transfer_more(self):
+        """A seek-heavy background source hurts transfers far beyond its
+        byte rate — the §5.5.2 unknown-load mechanism."""
+        from repro.harness.exp_lmt import build_lmt_fabric
+
+        def run(accessors: int) -> float:
+            fabric = build_lmt_fabric()
+            svc = TransferService(fabric, seed=0)
+            ep = fabric.endpoint("NERSC-DTN")
+            svc.add_background(
+                BackgroundLoad(
+                    "compute-io", (ep.write_resource,), rate_cap=0.5e9,
+                    weight=48.0, accessors=accessors,
+                )
+            )
+            svc.submit(
+                TransferRequest(
+                    src="NERSC-Edison", dst="NERSC-DTN",
+                    total_bytes=50 * GB, n_files=16, concurrency=4,
+                )
+            )
+            return float(svc.run().rates[0])
+
+        streaming = run(accessors=4)      # same byte rate, few accessors
+        seek_heavy = run(accessors=120)   # same byte rate, many accessors
+        assert seek_heavy < 0.8 * streaming
+
+    def test_accessor_counts_visible_to_service(self):
+        from repro.harness.exp_lmt import build_lmt_fabric
+
+        fabric = build_lmt_fabric()
+        svc = TransferService(fabric, seed=0)
+        ep = fabric.endpoint("NERSC-DTN")
+        svc.add_background(
+            BackgroundLoad(
+                "x", (ep.write_resource,), rate_cap=1e8, accessors=64
+            )
+        )
+        svc.run(until=1.0)
+        assert svc.endpoint_storage_accessors("NERSC-DTN") == 64

@@ -1,0 +1,175 @@
+"""Unit and property tests for repro.sim.allocation (max-min fairness)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.allocation import FlowSpec, Resource, allocate_maxmin
+
+
+class TestBasicAllocation:
+    def test_single_flow_gets_capacity(self):
+        rates = allocate_maxmin(
+            [Resource("r", 100.0)], [FlowSpec("f", ("r",))]
+        )
+        assert rates["f"] == pytest.approx(100.0)
+
+    def test_equal_weights_split_equally(self):
+        rates = allocate_maxmin(
+            [Resource("r", 100.0)],
+            [FlowSpec("a", ("r",)), FlowSpec("b", ("r",))],
+        )
+        assert rates["a"] == pytest.approx(50.0)
+        assert rates["b"] == pytest.approx(50.0)
+
+    def test_weights_split_proportionally(self):
+        rates = allocate_maxmin(
+            [Resource("r", 90.0)],
+            [FlowSpec("a", ("r",), weight=1.0), FlowSpec("b", ("r",), weight=2.0)],
+        )
+        assert rates["a"] == pytest.approx(30.0)
+        assert rates["b"] == pytest.approx(60.0)
+
+    def test_rate_cap_redistributes_surplus(self):
+        rates = allocate_maxmin(
+            [Resource("r", 100.0)],
+            [FlowSpec("a", ("r",), rate_cap=10.0), FlowSpec("b", ("r",))],
+        )
+        assert rates["a"] == pytest.approx(10.0)
+        assert rates["b"] == pytest.approx(90.0)
+
+    def test_multi_resource_bottleneck(self):
+        # a crosses both; r2 is its bottleneck. b alone keeps the rest of r1.
+        rates = allocate_maxmin(
+            [Resource("r1", 100.0), Resource("r2", 30.0)],
+            [FlowSpec("a", ("r1", "r2")), FlowSpec("b", ("r1",))],
+        )
+        assert rates["a"] == pytest.approx(30.0)
+        assert rates["b"] == pytest.approx(70.0)
+
+    def test_classic_three_flow_maxmin(self):
+        # Two links of 1.0; flow c crosses both, a and b one each.
+        rates = allocate_maxmin(
+            [Resource("l1", 1.0), Resource("l2", 1.0)],
+            [
+                FlowSpec("a", ("l1",)),
+                FlowSpec("b", ("l2",)),
+                FlowSpec("c", ("l1", "l2")),
+            ],
+        )
+        assert rates["c"] == pytest.approx(0.5)
+        assert rates["a"] == pytest.approx(0.5)
+        assert rates["b"] == pytest.approx(0.5)
+
+    def test_no_flows(self):
+        assert allocate_maxmin([Resource("r", 1.0)], []) == {}
+
+    def test_flow_with_no_resources_uncapped(self):
+        rates = allocate_maxmin([], [FlowSpec("free", (), rate_cap=np.inf)])
+        assert rates["free"] == np.inf
+
+    def test_flow_with_no_resources_capped(self):
+        rates = allocate_maxmin([], [FlowSpec("free", (), rate_cap=42.0)])
+        assert rates["free"] == pytest.approx(42.0)
+
+    def test_zero_capacity_resource(self):
+        rates = allocate_maxmin(
+            [Resource("dead", 0.0)], [FlowSpec("f", ("dead",))]
+        )
+        assert rates["f"] == 0.0
+
+
+class TestValidation:
+    def test_duplicate_resource(self):
+        with pytest.raises(ValueError):
+            allocate_maxmin(
+                [Resource("r", 1.0), Resource("r", 2.0)],
+                [FlowSpec("f", ("r",))],
+            )
+
+    def test_duplicate_flow(self):
+        with pytest.raises(ValueError):
+            allocate_maxmin(
+                [Resource("r", 1.0)],
+                [FlowSpec("f", ("r",)), FlowSpec("f", ("r",))],
+            )
+
+    def test_unknown_resource(self):
+        with pytest.raises(ValueError):
+            allocate_maxmin([], [FlowSpec("f", ("ghost",))])
+
+    def test_bad_specs(self):
+        with pytest.raises(ValueError):
+            FlowSpec("f", ("r",), weight=0.0)
+        with pytest.raises(ValueError):
+            FlowSpec("f", ("r", "r"))
+        with pytest.raises(ValueError):
+            Resource("r", -1.0)
+
+
+@st.composite
+def _scenario(draw):
+    n_res = draw(st.integers(1, 5))
+    n_flows = draw(st.integers(1, 8))
+    resources = [
+        Resource(f"r{i}", draw(st.floats(0.0, 1000.0))) for i in range(n_res)
+    ]
+    flows = []
+    for j in range(n_flows):
+        k = draw(st.integers(1, n_res))
+        picks = draw(
+            st.lists(
+                st.integers(0, n_res - 1), min_size=k, max_size=k, unique=True
+            )
+        )
+        flows.append(
+            FlowSpec(
+                f"f{j}",
+                tuple(f"r{i}" for i in picks),
+                weight=draw(st.floats(0.1, 10.0)),
+                rate_cap=draw(
+                    st.one_of(st.just(float("inf")), st.floats(0.0, 500.0))
+                ),
+            )
+        )
+    return resources, flows
+
+
+@settings(max_examples=100, deadline=None)
+@given(_scenario())
+def test_property_feasibility_and_caps(scenario):
+    """Allocations are feasible (no resource over capacity) and respect caps."""
+    resources, flows = scenario
+    rates = allocate_maxmin(resources, flows)
+    tol = 1e-6
+    for f in flows:
+        assert rates[f.flow_id] >= -tol
+        assert rates[f.flow_id] <= f.rate_cap + tol
+    for r in resources:
+        used = sum(rates[f.flow_id] for f in flows if r.name in f.resources)
+        assert used <= r.capacity * (1 + 1e-9) + tol
+
+
+@settings(max_examples=100, deadline=None)
+@given(_scenario())
+def test_property_pareto_no_flow_can_grow(scenario):
+    """Max-min allocations are Pareto-efficient: every flow is blocked by
+    its cap or by a saturated resource."""
+    resources, flows = scenario
+    rates = allocate_maxmin(resources, flows)
+    cap_by_name = {r.name: r.capacity for r in resources}
+    used = {r.name: 0.0 for r in resources}
+    for f in flows:
+        for rn in f.resources:
+            used[rn] += rates[f.flow_id]
+    tol = 1e-5
+    for f in flows:
+        at_cap = rates[f.flow_id] >= f.rate_cap - tol
+        on_saturated = any(
+            used[rn] >= cap_by_name[rn] - max(tol, 1e-9 * cap_by_name[rn])
+            for rn in f.resources
+        )
+        assert at_cap or on_saturated, (
+            f"flow {f.flow_id} rate {rates[f.flow_id]} could still grow"
+        )

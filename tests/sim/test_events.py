@@ -1,0 +1,64 @@
+"""Unit tests for repro.sim.events."""
+
+import pytest
+
+from repro.sim.events import Event, EventQueue
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(3.0, "c")
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        assert [q.pop().kind for _ in range(3)] == ["a", "b", "c"]
+
+    def test_priority_breaks_ties(self):
+        q = EventQueue()
+        q.push(1.0, "arrival", priority=5)
+        q.push(1.0, "departure", priority=0)
+        assert q.pop().kind == "departure"
+        assert q.pop().kind == "arrival"
+
+    def test_insertion_order_breaks_remaining_ties(self):
+        q = EventQueue()
+        q.push(1.0, "first", priority=5)
+        q.push(1.0, "second", priority=5)
+        assert q.pop().kind == "first"
+        assert q.pop().kind == "second"
+
+    def test_cannot_schedule_into_popped_past(self):
+        q = EventQueue()
+        q.push(5.0, "x")
+        q.pop()
+        with pytest.raises(ValueError):
+            q.push(4.0, "late")
+        q.push(5.0, "ok")  # same time as last pop is allowed
+
+    def test_nan_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(float("nan"), "x")
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_len_bool_peek(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        assert q.peek_time() is None
+        q.push(7.0, "x")
+        assert q and len(q) == 1
+        assert q.peek_time() == 7.0
+
+    def test_payload_round_trips(self):
+        q = EventQueue()
+        payload = {"tid": 42}
+        q.push(1.0, "complete", payload)
+        assert q.pop().payload is payload
+
+    def test_event_ordering_dataclass(self):
+        a = Event(time=1.0, priority=0, seq=0, kind="a")
+        b = Event(time=1.0, priority=1, seq=0, kind="b")
+        assert a < b

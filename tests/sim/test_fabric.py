@@ -1,0 +1,89 @@
+"""Tests for Fabric construction, path derivation and distance-based loss."""
+
+import pytest
+
+from repro.sim.endpoint import Endpoint, EndpointType
+from repro.sim.network import Site, loss_for_distance
+from repro.sim.service import Fabric
+from repro.sim.storage import StorageSystem
+
+
+def _fabric():
+    sites = {
+        "X": Site("X", 40.0, -100.0, "NA"),
+        "Y": Site("Y", 41.0, -101.0, "NA"),
+        "Z": Site("Z", 50.0, 8.0, "EU"),
+    }
+    def ep(name, site):
+        return Endpoint(
+            name=name, site=site, etype=EndpointType.GCS, nic_bps=1.25e9,
+            storage=StorageSystem(name=f"{name}:s", read_bps=1e9, write_bps=1e9),
+        )
+    return Fabric(
+        sites=sites,
+        endpoints={"X1": ep("X1", "X"), "Y1": ep("Y1", "Y"), "Z1": ep("Z1", "Z"),
+                   "X2": ep("X2", "X")},
+    )
+
+
+class TestFabric:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            Fabric(
+                sites={},
+                endpoints={
+                    "E": Endpoint(
+                        name="E", site="GHOST", etype=EndpointType.GCS,
+                        nic_bps=1e9,
+                        storage=StorageSystem(name="s", read_bps=1e9, write_bps=1e9),
+                    )
+                },
+            )
+
+    def test_unknown_endpoint_lookup(self):
+        with pytest.raises(KeyError):
+            _fabric().endpoint("NOPE")
+
+    def test_same_site_has_no_wan_path(self):
+        fab = _fabric()
+        assert fab.path_between("X1", "X2") is None
+
+    def test_auto_path_created_and_cached(self):
+        fab = _fabric()
+        p1 = fab.path_between("X1", "Y1")
+        p2 = fab.path_between("X1", "Y1")
+        assert p1 is p2
+        assert p1.name == "wan:X->Y"
+        assert p1.rtt_s > 0
+
+    def test_directional_paths_are_distinct(self):
+        fab = _fabric()
+        fwd = fab.path_between("X1", "Y1")
+        back = fab.path_between("Y1", "X1")
+        assert fwd is not back
+        assert fwd.rtt_s == pytest.approx(back.rtt_s)
+
+    def test_longer_paths_get_more_loss(self):
+        fab = _fabric()
+        near = fab.path_between("X1", "Y1")     # ~140 km
+        far = fab.path_between("X1", "Z1")      # transatlantic
+        assert far.loss_rate > near.loss_rate
+        assert far.rtt_s > near.rtt_s
+
+    def test_distance_symmetric(self):
+        fab = _fabric()
+        assert fab.distance_km("X1", "Z1") == pytest.approx(
+            fab.distance_km("Z1", "X1")
+        )
+
+
+class TestLossForDistance:
+    def test_monotone(self):
+        assert loss_for_distance(0.0) < loss_for_distance(1000.0) < loss_for_distance(9000.0)
+
+    def test_base_at_zero(self):
+        assert loss_for_distance(0.0, base_loss=1e-7) == pytest.approx(1e-7)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            loss_for_distance(-1.0)

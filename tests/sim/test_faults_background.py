@@ -1,0 +1,100 @@
+"""Unit tests for repro.sim.faults and repro.sim.background."""
+
+import numpy as np
+import pytest
+
+from repro.sim.background import BackgroundLoad, OnOffLoad
+from repro.sim.faults import FaultModel
+
+
+class TestFaultModel:
+    def test_intensity_grows_superlinearly_with_load(self):
+        fm = FaultModel(base_rate_per_hour=0.0, load_rate_per_hour=4.0)
+        i25 = fm.intensity_per_hour(0.25)
+        i50 = fm.intensity_per_hour(0.5)
+        i100 = fm.intensity_per_hour(1.0)
+        assert i50 / i25 == pytest.approx(4.0)  # quadratic coupling
+        assert i100 / i50 == pytest.approx(4.0)
+
+    def test_load_clamped_to_one(self):
+        fm = FaultModel()
+        assert fm.intensity_per_hour(5.0) == fm.intensity_per_hour(1.0)
+        assert fm.intensity_per_hour(-0.3) == fm.intensity_per_hour(0.0)
+
+    def test_zero_duration_no_faults(self):
+        fm = FaultModel()
+        n, stall = fm.sample(0.0, 1.0, np.random.default_rng(0))
+        assert (n, stall) == (0, 0.0)
+
+    def test_loaded_transfers_fault_more(self):
+        fm = FaultModel(base_rate_per_hour=0.1, load_rate_per_hour=20.0)
+        rng = np.random.default_rng(0)
+        hours = 3600.0 * 2
+        quiet = sum(fm.sample(hours, 0.0, rng)[0] for _ in range(200))
+        loaded = sum(fm.sample(hours, 0.9, rng)[0] for _ in range(200))
+        assert loaded > quiet * 5
+
+    def test_stall_positive_when_faults(self):
+        fm = FaultModel(base_rate_per_hour=1000.0, stall_seconds=10.0)
+        rng = np.random.default_rng(1)
+        n, stall = fm.sample(3600.0, 0.0, rng)
+        assert n > 0
+        assert stall > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultModel(base_rate_per_hour=-1.0)
+        with pytest.raises(ValueError):
+            FaultModel(stall_seconds=-1.0)
+        with pytest.raises(ValueError):
+            FaultModel().sample(-1.0, 0.0, np.random.default_rng(0))
+
+
+class TestBackgroundLoad:
+    def test_valid(self):
+        b = BackgroundLoad("bg", ("ep:disk_write",), rate_cap=1e8)
+        assert b.weight > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackgroundLoad("bg", ("r",), rate_cap=0.0)
+        with pytest.raises(ValueError):
+            BackgroundLoad("bg", ("r",), rate_cap=1.0, weight=0.0)
+
+
+class TestOnOffLoad:
+    def _load(self, **kw):
+        defaults = dict(
+            name="oo",
+            resources=("ep:disk_read",),
+            mean_on_s=100.0,
+            mean_off_s=300.0,
+            rate_low=1e7,
+            rate_high=1e8,
+        )
+        defaults.update(kw)
+        return OnOffLoad(**defaults)
+
+    def test_sampled_rate_in_range(self):
+        load = self._load()
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            r = load.sample_rate(rng)
+            assert 1e7 <= r <= 1e8
+
+    def test_durations_positive_with_right_mean(self):
+        load = self._load()
+        rng = np.random.default_rng(1)
+        ons = [load.sample_on_duration(rng) for _ in range(3000)]
+        offs = [load.sample_off_duration(rng) for _ in range(3000)]
+        assert min(ons) > 0 and min(offs) > 0
+        assert np.mean(ons) == pytest.approx(100.0, rel=0.1)
+        assert np.mean(offs) == pytest.approx(300.0, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._load(mean_on_s=0.0)
+        with pytest.raises(ValueError):
+            self._load(rate_low=2e8)  # low > high
+        with pytest.raises(ValueError):
+            self._load(weight=0.0)

@@ -1,0 +1,111 @@
+"""Unit tests for repro.sim.network."""
+
+import math
+
+import pytest
+
+from repro.sim.network import (
+    Site,
+    WanPath,
+    great_circle_km,
+    mathis_stream_ceiling,
+    rtt_seconds,
+    stream_ceiling,
+)
+
+
+class TestSite:
+    def test_valid(self):
+        s = Site("X", 45.0, -90.0, "NA")
+        assert s.name == "X"
+
+    def test_invalid_coords(self):
+        with pytest.raises(ValueError):
+            Site("X", 91.0, 0.0)
+        with pytest.raises(ValueError):
+            Site("X", 0.0, 181.0)
+
+
+class TestGreatCircle:
+    def test_zero_distance(self):
+        a = Site("A", 40.0, -100.0)
+        assert great_circle_km(a, a) == 0.0
+
+    def test_symmetric(self):
+        a = Site("A", 41.71, -87.98)
+        b = Site("B", 46.23, 6.05)
+        assert great_circle_km(a, b) == pytest.approx(great_circle_km(b, a))
+
+    def test_known_distance_chicago_geneva(self):
+        # ANL to CERN is ~7,000 km.
+        a = Site("ANL", 41.71, -87.98)
+        b = Site("CERN", 46.23, 6.05)
+        d = great_circle_km(a, b)
+        assert 6500 < d < 7500
+
+    def test_quarter_circumference(self):
+        a = Site("P", 90.0, 0.0)
+        b = Site("Q", 0.0, 0.0)
+        assert great_circle_km(a, b) == pytest.approx(math.pi * 6371.0 / 2, rel=1e-6)
+
+
+class TestRtt:
+    def test_floor_at_zero_distance(self):
+        assert rtt_seconds(0.0) == pytest.approx(0.002)
+
+    def test_monotone_in_distance(self):
+        assert rtt_seconds(1000.0) < rtt_seconds(5000.0)
+
+    def test_transatlantic_magnitude(self):
+        # ~7000 km should give RTT on the order of 100 ms.
+        assert 0.08 < rtt_seconds(7000.0) < 0.15
+
+    def test_negative_distance(self):
+        with pytest.raises(ValueError):
+            rtt_seconds(-1.0)
+
+
+class TestStreamCeilings:
+    def test_mathis_decreases_with_rtt(self):
+        assert mathis_stream_ceiling(0.01, 1e-6) > mathis_stream_ceiling(0.1, 1e-6)
+
+    def test_mathis_decreases_with_loss(self):
+        assert mathis_stream_ceiling(0.05, 1e-7) > mathis_stream_ceiling(0.05, 1e-5)
+
+    def test_mathis_inverse_sqrt_loss(self):
+        r1 = mathis_stream_ceiling(0.05, 1e-6)
+        r2 = mathis_stream_ceiling(0.05, 4e-6)
+        assert r1 / r2 == pytest.approx(2.0)
+
+    def test_window_limits_clean_short_path(self):
+        # Tiny window on moderate RTT: window/RTT binds, not Mathis.
+        r = stream_ceiling(0.05, 1e-9, window_bytes=64 * 1024)
+        assert r == pytest.approx(64 * 1024 / 0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mathis_stream_ceiling(0.0, 1e-6)
+        with pytest.raises(ValueError):
+            mathis_stream_ceiling(0.1, 0.0)
+        with pytest.raises(ValueError):
+            stream_ceiling(0.1, 1e-6, window_bytes=0.0)
+
+
+class TestWanPath:
+    def test_name(self):
+        p = WanPath("A", "B", capacity=1e9, rtt_s=0.05)
+        assert p.name == "wan:A->B"
+
+    def test_per_stream_ceiling_uses_window(self):
+        p = WanPath("A", "B", capacity=1e9, rtt_s=0.1, loss_rate=1e-9)
+        small = p.per_stream_ceiling(1 * 2**20)
+        large = p.per_stream_ceiling(16 * 2**20)
+        assert small < large
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WanPath("A", "B", capacity=0.0, rtt_s=0.1)
+        with pytest.raises(ValueError):
+            WanPath("A", "B", capacity=1.0, rtt_s=0.0)
+        with pytest.raises(ValueError):
+            WanPath("A", "B", capacity=1.0, rtt_s=0.1, loss_rate=1.5)

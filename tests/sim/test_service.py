@@ -1,0 +1,231 @@
+"""Integration tests for the fluid transfer service."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    BackgroundLoad,
+    OnOffLoad,
+    TransferRequest,
+    TransferService,
+    build_esnet_testbed,
+)
+from repro.sim.units import GB
+
+
+def _service(seed=0):
+    return TransferService(build_esnet_testbed(), seed=seed)
+
+
+def _req(src="ANL-DTN", dst="BNL-DTN", nb=50 * GB, **kw):
+    defaults = dict(n_files=10, n_dirs=1, concurrency=4, parallelism=4, integrity=False)
+    defaults.update(kw)
+    return TransferRequest(src=src, dst=dst, total_bytes=nb, **defaults)
+
+
+class TestSingleTransfer:
+    def test_completes_and_logs(self):
+        svc = _service()
+        tid = svc.submit(_req())
+        log = svc.run()
+        assert len(log) == 1
+        rec = log.record(0)
+        assert rec.transfer_id == tid
+        assert rec.nb == 50 * GB
+        assert rec.te > rec.ts
+
+    def test_rate_bounded_by_slowest_subsystem(self):
+        svc = _service()
+        svc.submit(_req())
+        log = svc.run()
+        # BNL disk write is the binding subsystem: 7.843 Gb/s = ~980 MB/s.
+        assert log.rates[0] <= 7.843e9 / 8 * 1.001
+
+    def test_duration_includes_overhead(self):
+        svc = _service()
+        req = _req(nb=1 * GB, n_files=1000)
+        svc.submit(req)
+        log = svc.run()
+        overhead = req.overhead_seconds(svc.fabric.gridftp)
+        assert log.durations[0] > overhead
+
+    def test_integrity_costs_throughput(self):
+        r_plain = TransferService(build_esnet_testbed()).submit(
+            _req(integrity=False)
+        )
+        svc1 = TransferService(build_esnet_testbed())
+        svc1.submit(_req(integrity=False))
+        rate_plain = svc1.run().rates[0]
+        svc2 = TransferService(build_esnet_testbed())
+        svc2.submit(_req(integrity=True))
+        rate_chk = svc2.run().rates[0]
+        assert rate_chk < rate_plain
+
+    def test_small_files_slower(self):
+        svc1 = _service()
+        svc1.submit(_req(nb=10 * GB, n_files=10))
+        big = svc1.run().rates[0]
+        svc2 = _service()
+        svc2.submit(_req(nb=10 * GB, n_files=100_000))
+        small = svc2.run().rates[0]
+        assert small < big
+
+    def test_submit_unknown_endpoint(self):
+        svc = _service()
+        with pytest.raises(KeyError):
+            svc.submit(_req(src="NOPE-DTN"))
+
+
+class TestContention:
+    def test_competitors_slow_each_other(self):
+        svc1 = _service()
+        svc1.submit(_req())
+        solo = svc1.run().rates[0]
+
+        svc4 = _service()
+        for _ in range(4):
+            svc4.submit(_req())
+        rates = svc4.run().rates
+        assert len(rates) == 4
+        assert rates.max() < solo
+        # Four identical overlapping transfers share ~equally.
+        assert rates.std() / rates.mean() < 0.05
+
+    def test_aggregate_respects_capacity(self):
+        svc = _service()
+        for _ in range(6):
+            svc.submit(_req())
+        log = svc.run()
+        # All six overlap fully; aggregate <= BNL write capacity.
+        agg = log.rates.sum()
+        write_cap = svc.fabric.endpoint("BNL-DTN").storage.write_bps
+        assert agg <= write_cap * 1.05
+
+    def test_disjoint_edges_do_not_interfere(self):
+        svc = _service()
+        svc.submit(_req(src="ANL-DTN", dst="BNL-DTN"))
+        svc.submit(_req(src="CERN-DTN", dst="LBL-DTN"))
+        both = svc.run().rates
+
+        solo1 = _service()
+        solo1.submit(_req(src="ANL-DTN", dst="BNL-DTN"))
+        r1 = solo1.run().rates[0]
+        assert both[0] == pytest.approx(r1, rel=1e-6)
+
+    def test_sequential_transfers_do_not_contend(self):
+        svc = _service()
+        svc.submit(_req())
+        first = svc.run().rates[0]
+        svc.submit(
+            TransferRequest(
+                src="ANL-DTN", dst="BNL-DTN", total_bytes=50 * GB,
+                n_files=10, concurrency=4, parallelism=4, integrity=False,
+                submit_time=svc.now + 100.0,
+            )
+        )
+        log = svc.run()
+        assert log.rates[1] == pytest.approx(first, rel=1e-6)
+
+
+class TestBackground:
+    def test_constant_background_slows_transfer(self):
+        fab = build_esnet_testbed()
+        ep = fab.endpoint("BNL-DTN")
+        svc = TransferService(fab)
+        svc.add_background(
+            BackgroundLoad(
+                "hog", (ep.write_resource,), rate_cap=ep.storage.write_bps * 0.8,
+                weight=64.0,
+            )
+        )
+        svc.submit(_req())
+        loaded = svc.run().rates[0]
+
+        solo = _service()
+        solo.submit(_req())
+        assert loaded < solo.run().rates[0]
+
+    def test_onoff_load_toggles(self):
+        fab = build_esnet_testbed()
+        ep = fab.endpoint("BNL-DTN")
+        svc = TransferService(fab, seed=3, stop_background_after=100.0)
+        svc.add_onoff_load(
+            OnOffLoad(
+                name="burst",
+                resources=(ep.write_resource,),
+                mean_on_s=50.0,
+                mean_off_s=50.0,
+                rate_low=1e8,
+                rate_high=2e8,
+                start_on=True,
+            )
+        )
+        svc.run(until=1000.0)  # must terminate: toggling stops after t=100
+
+    def test_duplicate_background_rejected(self):
+        fab = build_esnet_testbed()
+        ep = fab.endpoint("BNL-DTN")
+        svc = TransferService(fab)
+        svc.add_background(BackgroundLoad("x", (ep.write_resource,), rate_cap=1e8))
+        with pytest.raises(ValueError):
+            svc.add_background(BackgroundLoad("x", (ep.read_resource,), rate_cap=1e8))
+
+    def test_unknown_resource_rejected(self):
+        svc = _service()
+        with pytest.raises(ValueError):
+            svc.add_background(BackgroundLoad("x", ("ghost:disk",), rate_cap=1e8))
+
+
+class TestFaultsAndAccounting:
+    def test_every_submission_is_logged_exactly_once(self):
+        svc = _service(seed=7)
+        n = 25
+        rng = np.random.default_rng(0)
+        for i in range(n):
+            svc.submit(
+                _req(
+                    nb=float(rng.uniform(1, 80)) * GB,
+                    submit_time=float(rng.uniform(0, 2000)),
+                )
+            )
+        log = svc.run()
+        assert len(log) == n
+        assert len(set(log.column("transfer_id"))) == n
+
+    def test_deterministic_given_seed(self):
+        def run_once():
+            svc = _service(seed=11)
+            for i in range(10):
+                svc.submit(_req(nb=(i + 1) * GB, submit_time=i * 50.0))
+            log = svc.run()
+            return log.column("te")
+
+        assert np.array_equal(run_once(), run_once())
+
+    def test_observability_during_run(self):
+        svc = _service()
+        samples = []
+
+        def cb(t, service):
+            samples.append(
+                (t, service.endpoint_throughput("BNL-DTN")["disk_write"],
+                 service.endpoint_process_count("BNL-DTN"))
+            )
+
+        svc.add_sampler(5.0, cb)
+        svc.submit(_req())
+        svc.run(until=30.0)
+        assert len(samples) >= 5
+        # During the data phase, the destination sees write throughput and
+        # a nonzero process count.
+        busy = [s for s in samples if s[1] > 0]
+        assert busy
+        assert any(s[2] > 0 for s in samples)
+
+    def test_run_until_then_resume(self):
+        svc = _service()
+        svc.submit(_req())
+        partial = svc.run(until=1.0)
+        assert len(partial) == 0  # still in setup/data at t=1
+        full = svc.run()
+        assert len(full) == 1

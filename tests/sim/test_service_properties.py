@@ -1,0 +1,158 @@
+"""Property-style invariant tests for the fluid transfer service."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import TransferRequest, TransferService, build_esnet_testbed
+from repro.sim.faults import FaultModel
+from repro.sim.units import GB
+
+
+def _run_workload(requests, seed=0):
+    svc = TransferService(build_esnet_testbed(), seed=seed)
+    for r in requests:
+        svc.submit(r)
+    return svc.run()
+
+
+class TestConservation:
+    def test_logged_bytes_match_requests(self):
+        rng = np.random.default_rng(0)
+        reqs = [
+            TransferRequest(
+                src="ANL-DTN", dst="BNL-DTN",
+                total_bytes=float(rng.uniform(1, 40)) * GB,
+                n_files=int(rng.integers(1, 100)),
+                submit_time=float(rng.uniform(0, 500)),
+            )
+            for _ in range(30)
+        ]
+        log = _run_workload(reqs)
+        assert len(log) == 30
+        assert log.column("nb").sum() == pytest.approx(
+            sum(r.total_bytes for r in reqs)
+        )
+
+    def test_start_times_match_submissions(self):
+        reqs = [
+            TransferRequest(
+                src="ANL-DTN", dst="BNL-DTN", total_bytes=1 * GB,
+                submit_time=float(t),
+            )
+            for t in (0.0, 100.0, 250.0)
+        ]
+        log = _run_workload(reqs).sorted_by_start()
+        assert list(log.column("ts")) == [0.0, 100.0, 250.0]
+
+    def test_end_after_start_always(self):
+        rng = np.random.default_rng(1)
+        reqs = [
+            TransferRequest(
+                src=str(rng.choice(["ANL-DTN", "CERN-DTN"])),
+                dst=str(rng.choice(["BNL-DTN", "LBL-DTN"])),
+                total_bytes=float(rng.uniform(0.001, 10)) * GB,
+                n_files=int(rng.integers(1, 50)),
+                submit_time=float(rng.uniform(0, 1000)),
+            )
+            for _ in range(40)
+        ]
+        log = _run_workload(reqs)
+        assert np.all(log.durations > 0)
+
+    def test_duration_at_least_overhead_plus_data_at_peak(self):
+        """No transfer finishes faster than physics allows."""
+        svc = TransferService(build_esnet_testbed(), seed=0)
+        req = TransferRequest(
+            src="ANL-DTN", dst="BNL-DTN", total_bytes=80 * GB, n_files=20,
+            concurrency=4, integrity=False,
+        )
+        svc.submit(req)
+        log = svc.run()
+        overhead = req.overhead_seconds(svc.fabric.gridftp)
+        # Fastest conceivable: the whole NIC at once.
+        nic = svc.fabric.endpoint("ANL-DTN").nic_capacity
+        assert log.durations[0] >= overhead + req.total_bytes / nic
+
+
+class TestFaultStalls:
+    def test_high_fault_rates_extend_durations(self):
+        def run_with(faults):
+            fabric = build_esnet_testbed()
+            fabric.faults = faults
+            svc = TransferService(fabric, seed=5)
+            for i in range(6):  # contention drives relative load up
+                svc.submit(
+                    TransferRequest(
+                        src="ANL-DTN", dst="BNL-DTN", total_bytes=200 * GB,
+                        n_files=50, submit_time=i * 5.0,
+                    )
+                )
+            return svc.run()
+
+        calm = run_with(FaultModel(0.0, 0.0, 0.0))
+        stormy = run_with(
+            FaultModel(base_rate_per_hour=50.0, load_rate_per_hour=100.0,
+                       stall_seconds=60.0)
+        )
+        assert stormy.column("nflt").sum() > 0
+        assert calm.column("nflt").sum() == 0
+        assert stormy.durations.mean() > calm.durations.mean()
+
+    def test_fault_counts_logged_per_transfer(self):
+        fabric = build_esnet_testbed()
+        fabric.faults = FaultModel(base_rate_per_hour=200.0, stall_seconds=5.0)
+        svc = TransferService(fabric, seed=2)
+        svc.submit(
+            TransferRequest(
+                src="ANL-DTN", dst="BNL-DTN", total_bytes=500 * GB, n_files=10
+            )
+        )
+        log = svc.run()
+        assert log.record(0).nflt > 0
+
+
+class TestEpochStaleness:
+    def test_rate_changes_do_not_lose_or_duplicate_completions(self):
+        """Arrivals/departures invalidate predicted completions constantly;
+        every transfer must still complete exactly once."""
+        rng = np.random.default_rng(3)
+        reqs = []
+        t = 0.0
+        for i in range(60):
+            t += float(rng.exponential(30.0))
+            reqs.append(
+                TransferRequest(
+                    src="ANL-DTN", dst="BNL-DTN",
+                    total_bytes=float(rng.uniform(0.5, 30)) * GB,
+                    n_files=int(rng.integers(1, 40)),
+                    submit_time=t,
+                )
+            )
+        log = _run_workload(reqs, seed=4)
+        ids = log.column("transfer_id")
+        assert len(ids) == 60
+        assert len(set(ids)) == 60
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(1, 12), st.integers(0, 10_000))
+def test_property_n_submissions_n_completions(n, seed):
+    rng = np.random.default_rng(seed)
+    reqs = [
+        TransferRequest(
+            src="ANL-DTN", dst="BNL-DTN",
+            total_bytes=float(rng.uniform(0.01, 20)) * GB,
+            n_files=int(rng.integers(1, 30)),
+            submit_time=float(rng.uniform(0, 300)),
+        )
+        for _ in range(n)
+    ]
+    log = _run_workload(reqs, seed=seed)
+    assert len(log) == n
+    # Aggregate instantaneous write rate never exceeded capacity: verify
+    # via the weaker end-to-end invariant that every average rate is below
+    # the destination's write capacity.
+    cap = build_esnet_testbed().endpoint("BNL-DTN").storage.write_bps
+    assert np.all(log.rates <= cap * 1.001)

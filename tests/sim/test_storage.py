@@ -1,0 +1,123 @@
+"""Unit tests for repro.sim.storage."""
+
+import pytest
+
+from repro.sim.storage import LustreStorage, StorageSystem
+
+
+def _store(**kw):
+    defaults = dict(
+        name="t:store",
+        read_bps=2e9,
+        write_bps=1.5e9,
+        file_overhead_s=0.01,
+        stream_bps=500e6,
+        optimal_concurrency=8,
+        thrash_coefficient=0.05,
+    )
+    defaults.update(kw)
+    return StorageSystem(**defaults)
+
+
+class TestPerFileRates:
+    def test_large_files_approach_stream_bandwidth(self):
+        s = _store()
+        rate = s.per_file_stream_rate(100e9)
+        assert rate == pytest.approx(500e6, rel=0.001)
+
+    def test_small_files_are_overhead_dominated(self):
+        s = _store()
+        # 1 MB files: 0.01 s overhead vs 0.002 s of data -> ~83 MB/s.
+        rate = s.per_file_stream_rate(1e6)
+        assert rate == pytest.approx(1e6 / (0.01 + 1e6 / 500e6))
+        assert rate < 100e6
+
+    def test_monotone_in_file_size(self):
+        s = _store()
+        rates = [s.per_file_stream_rate(x) for x in (1e4, 1e6, 1e8, 1e10)]
+        assert rates == sorted(rates)
+
+    def test_transfer_cap_scales_with_concurrency(self):
+        s = _store()
+        assert s.transfer_rate_cap(1e9, 4) == pytest.approx(
+            4 * s.per_file_stream_rate(1e9)
+        )
+
+    def test_validation(self):
+        s = _store()
+        with pytest.raises(ValueError):
+            s.per_file_stream_rate(0.0)
+        with pytest.raises(ValueError):
+            s.transfer_rate_cap(1e6, 0)
+
+
+class TestThrash:
+    def test_full_efficiency_below_optimal(self):
+        s = _store()
+        assert s.thrash_factor(8) == 1.0
+        assert s.effective_read_capacity(4) == pytest.approx(2e9)
+
+    def test_degrades_beyond_optimal(self):
+        s = _store()
+        assert s.thrash_factor(16) < 1.0
+        assert s.effective_write_capacity(28) == pytest.approx(1.5e9 / 2.0)
+
+    def test_monotone_nonincreasing(self):
+        s = _store()
+        factors = [s.thrash_factor(n) for n in range(0, 60, 5)]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_negative_accessors(self):
+        with pytest.raises(ValueError):
+            _store().thrash_factor(-1)
+
+
+class TestConstruction:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            _store(read_bps=0.0)
+        with pytest.raises(ValueError):
+            _store(file_overhead_s=-1.0)
+        with pytest.raises(ValueError):
+            _store(optimal_concurrency=0)
+        with pytest.raises(ValueError):
+            _store(thrash_coefficient=-0.1)
+
+
+class TestLustre:
+    def _lustre(self, **kw):
+        defaults = dict(
+            name="l:store",
+            read_bps=5e9,
+            write_bps=4e9,
+            n_oss=4,
+            n_ost=16,
+            oss_cpu_bps=1e9,
+        )
+        defaults.update(kw)
+        return LustreStorage(**defaults)
+
+    def test_oss_cpu_caps_capacity(self):
+        l = self._lustre()
+        # OSS ceiling 4 GB/s < disk read 5 GB/s.
+        assert l.effective_read_capacity(1) == pytest.approx(4e9)
+
+    def test_oss_utilisation(self):
+        l = self._lustre()
+        assert l.oss_cpu_utilisation(2e9) == pytest.approx(0.5)
+        assert l.oss_cpu_utilisation(10e9) == 1.0
+
+    def test_ost_share(self):
+        l = self._lustre()
+        assert l.ost_share(1.6e9) == pytest.approx(0.1e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._lustre(n_oss=0)
+        with pytest.raises(ValueError):
+            self._lustre(oss_cpu_bps=0.0)
+        l = self._lustre()
+        with pytest.raises(ValueError):
+            l.oss_cpu_utilisation(-1.0)
+        with pytest.raises(ValueError):
+            l.ost_share(-1.0)

@@ -1,0 +1,84 @@
+"""Integration tests over the (cached) quick production study.
+
+These validate that the simulated log has the population properties the
+paper reports — the calibration targets of DESIGN.md §2.  They share the
+benchmark suite's on-disk cache, so after the first build they run in
+seconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import threshold_mask
+from repro.harness.runners import StudyConfig, load_production_study
+from repro.logs.stats import byte_weighted_rate_fractions, edge_usage_funnel
+from repro.sim.fleet import PRODUCTION_EDGES
+
+
+@pytest.fixture(scope="module")
+def study():
+    return load_production_study(StudyConfig.quick())
+
+
+class TestLogPopulation:
+    def test_every_request_completed(self, study):
+        # The workload generator and service agree: nothing is lost.
+        assert len(study.log) > 5000
+
+    def test_rate_span_matches_paper(self, study):
+        """Figure 6: rates span many decades (0.1 B/s .. ~1 GB/s)."""
+        rates = study.log.rates
+        assert rates.min() < 1e3       # sub-KB/s floor (tiny transfers)
+        assert rates.max() > 5e8       # approaching GB/s at the top
+        assert rates.max() < 5e9       # nothing superluminal
+
+    def test_size_span_matches_paper(self, study):
+        sizes = study.log.column("nb")
+        assert sizes.min() <= 1e4      # tiny transfers exist
+        assert sizes.max() >= 1e12     # multi-TB transfers exist
+
+    def test_byte_weighted_rates_beat_count_average(self, study):
+        """§1: the byte-weighted view is far healthier than the mean —
+        '52% of all bytes moved at >100 MB/s' vs an 11.5 MB/s average."""
+        fracs = byte_weighted_rate_fractions(study.log, (100e6,))
+        median_rate = float(np.median(study.log.rates))
+        assert fracs[100e6] > 0.5
+        assert median_rate < 100e6 * 3  # count-typical far below the top
+
+    def test_edge_funnel_shape(self, study):
+        """§3.2: many single-transfer edges, few heavy ones."""
+        funnel = edge_usage_funnel(study.log, thresholds=(1, 10, 100))
+        assert funnel[1] > funnel[10] >= funnel[100] >= 25
+
+    def test_threshold_pass_rate_near_paper(self, study):
+        """§5.1: the 0.5*Rmax filter keeps 46.5% of raw transfers."""
+        rate = threshold_mask(study.log, 0.5).mean()
+        assert 0.30 < rate < 0.60
+
+    def test_heavy_edges_have_heavy_traffic(self, study):
+        counts = study.log.edge_transfer_counts()
+        for edge in PRODUCTION_EDGES:
+            assert counts.get(edge, 0) >= 50, f"{edge} underfed"
+
+    def test_faults_present_but_rare(self, study):
+        nflt = study.log.column("nflt")
+        frac = (nflt > 0).mean()
+        assert 0.0 < frac < 0.2
+
+    def test_gcp_edges_slower_than_facility_edges(self, study):
+        log = study.log
+        gcp = log.for_edge("NERSC-DTN", "NYU-Laptop")
+        gcs = log.for_edge("NERSC-DTN", "ALCF-DTN")
+        assert np.median(gcp.rates) < np.median(gcs.rates)
+
+    def test_concurrency_samples_cover_endpoints(self, study):
+        for ep, data in study.concurrency_samples.items():
+            assert data["times"].size > 100
+            assert data["concurrency"].max() > 0
+
+
+class TestStudyCache:
+    def test_cache_roundtrip_identical(self, study):
+        again = load_production_study(StudyConfig.quick())
+        assert len(again.log) == len(study.log)
+        assert np.array_equal(again.log.column("te"), study.log.column("te"))

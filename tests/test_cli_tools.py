@@ -1,0 +1,94 @@
+"""End-to-end tests for the repro-tools CLI workflow."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.logs.io import read_csv
+
+
+@pytest.fixture(scope="module")
+def workflow(tmp_path_factory):
+    """simulate -> train once for the whole module (the slow part)."""
+    root = tmp_path_factory.mktemp("cli")
+    log_path = root / "log.csv"
+    model_path = root / "model.json"
+    rc = main(["simulate", "--days", "0.6", "--seed", "3", "--out", str(log_path)])
+    assert rc == 0
+    log = read_csv(log_path)
+    # Pick the busiest edge so training has samples.
+    src, dst = log.heavy_edges(1)[0]
+    rc = main(
+        [
+            "train", "--log", str(log_path), "--src", src, "--dst", dst,
+            "--model", "gbt", "--threshold", "0.0", "--out", str(model_path),
+        ]
+    )
+    assert rc == 0
+    return log_path, model_path, src, dst
+
+
+class TestSimulate:
+    def test_log_written_and_readable(self, workflow):
+        log_path, *_ = workflow
+        log = read_csv(log_path)
+        assert len(log) > 50
+
+
+class TestTrain:
+    def test_bundle_contents(self, workflow):
+        _, model_path, src, dst = workflow
+        bundle = json.loads(model_path.read_text())
+        assert bundle["src"] == src and bundle["dst"] == dst
+        assert bundle["model_kind"] == "gbt"
+        assert bundle["mdape"] >= 0.0
+        assert len(bundle["feature_names"]) == 15
+
+    def test_train_unknown_edge_fails_cleanly(self, workflow, capsys):
+        log_path, model_path, *_ = workflow
+        rc = main(
+            [
+                "train", "--log", str(log_path), "--src", "GHOST-DTN",
+                "--dst", "NERSC-DTN", "--out", str(model_path) + ".tmp",
+            ]
+        )
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestPredictAndAdvise:
+    def test_predict_prints_rate(self, workflow, capsys):
+        log_path, model_path, *_ = workflow
+        rc = main(
+            [
+                "predict", "--model", str(model_path), "--log", str(log_path),
+                "--bytes", "5e10", "--files", "100", "--at", "20000",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "predicted" in out and "MB/s" in out
+
+    def test_advise_prints_grid(self, workflow, capsys):
+        log_path, model_path, *_ = workflow
+        rc = main(
+            [
+                "advise", "--model", str(model_path), "--log", str(log_path),
+                "--bytes", "5e10", "--files", "100", "--at", "20000",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recommended tunables" in out
+        assert "C=" in out
+
+    def test_missing_model_file(self, workflow, capsys):
+        log_path, *_ = workflow
+        rc = main(
+            [
+                "predict", "--model", "/nonexistent.json", "--log",
+                str(log_path), "--bytes", "1e9",
+            ]
+        )
+        assert rc == 2

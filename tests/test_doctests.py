@@ -1,0 +1,28 @@
+"""Run the doctest examples embedded in public docstrings.
+
+These keep the documentation honest: if an API example in a docstring
+drifts from the implementation, this test fails.
+"""
+
+import doctest
+
+import pytest
+
+import repro.ml.gbt
+import repro.ml.scaler
+import repro.ml.linear
+import repro.sim.service
+
+MODULES = [
+    repro.ml.scaler,
+    repro.ml.linear,
+    repro.ml.gbt,
+    repro.sim.service,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctests"
+    assert results.failed == 0

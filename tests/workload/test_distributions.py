@@ -1,0 +1,129 @@
+"""Unit and property tests for repro.workload.distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.distributions import (
+    DatasetShapeSampler,
+    DiurnalPoissonArrivals,
+    TunableSampler,
+)
+
+
+class TestDatasetShapeSampler:
+    def test_samples_valid_triples(self):
+        s = DatasetShapeSampler()
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            total, nf, nd = s.sample(rng)
+            assert total >= nf >= 1
+            assert nd >= 1
+            assert total <= 1e15
+
+    def test_single_file_probability(self):
+        s = DatasetShapeSampler(single_file_prob=0.5)
+        rng = np.random.default_rng(1)
+        singles = sum(1 for _ in range(4000) if s.sample(rng)[1] == 1)
+        assert 0.45 < singles / 4000 < 0.55
+
+    def test_max_total_cap_respected(self):
+        s = DatasetShapeSampler(max_total_bytes=1e9, median_file_bytes=1e9)
+        rng = np.random.default_rng(2)
+        for _ in range(200):
+            total, _, _ = s.sample(rng)
+            assert total <= 1e9
+
+    def test_max_files_cap(self):
+        s = DatasetShapeSampler(median_files=1e5, files_sigma=3.0, max_files=1000)
+        rng = np.random.default_rng(3)
+        assert max(s.sample(rng)[1] for _ in range(200)) <= 1000
+
+    def test_heavy_tail_spans_decades(self):
+        s = DatasetShapeSampler()
+        rng = np.random.default_rng(4)
+        totals = np.array([s.sample(rng)[0] for _ in range(3000)])
+        assert totals.max() / totals.min() > 1e6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DatasetShapeSampler(median_file_bytes=0.0)
+        with pytest.raises(ValueError):
+            DatasetShapeSampler(single_file_prob=1.5)
+        with pytest.raises(ValueError):
+            DatasetShapeSampler(files_per_dir=0.0)
+        with pytest.raises(ValueError):
+            DatasetShapeSampler(max_total_bytes=0.0)
+
+
+class TestTunableSampler:
+    def test_defaults_dominate(self):
+        t = TunableSampler(default_c=2, default_p=4, override_prob=0.05)
+        rng = np.random.default_rng(0)
+        draws = [t.sample(rng) for _ in range(2000)]
+        frac_default = sum(1 for d in draws if d == (2, 4)) / len(draws)
+        assert frac_default > 0.9
+
+    def test_zero_override_is_constant(self):
+        t = TunableSampler(override_prob=0.0)
+        rng = np.random.default_rng(1)
+        assert {t.sample(rng) for _ in range(100)} == {(2, 4)}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TunableSampler(default_c=0)
+        with pytest.raises(ValueError):
+            TunableSampler(override_prob=-0.1)
+
+
+class TestDiurnalArrivals:
+    def test_mean_rate_approximately_right(self):
+        arr = DiurnalPoissonArrivals(mean_per_hour=10.0, diurnal_amplitude=0.5)
+        rng = np.random.default_rng(0)
+        times = arr.sample(100 * 3600.0, rng)
+        # 100 hours at 10/hour -> ~1000 arrivals.
+        assert 850 < times.size < 1150
+
+    def test_times_sorted_and_in_range(self):
+        arr = DiurnalPoissonArrivals(mean_per_hour=5.0)
+        rng = np.random.default_rng(1)
+        t = arr.sample(3600.0 * 24, rng)
+        assert np.all(np.diff(t) >= 0)
+        assert t.min() >= 0.0 and t.max() < 3600.0 * 24
+
+    def test_intensity_peaks_at_peak_hour(self):
+        arr = DiurnalPoissonArrivals(
+            mean_per_hour=10.0, diurnal_amplitude=0.8, peak_hour=14.0
+        )
+        assert arr.intensity(14 * 3600.0) == pytest.approx(18.0)
+        assert arr.intensity(2 * 3600.0) == pytest.approx(2.0)
+
+    def test_diurnal_modulation_visible(self):
+        arr = DiurnalPoissonArrivals(
+            mean_per_hour=30.0, diurnal_amplitude=0.9, peak_hour=12.0
+        )
+        rng = np.random.default_rng(2)
+        times = arr.sample(30 * 86400.0, rng)
+        hours = (times / 3600.0) % 24
+        peak = np.sum((hours >= 10) & (hours < 14))
+        trough = np.sum((hours >= 22) | (hours < 2))
+        assert peak > 3 * trough
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalPoissonArrivals(mean_per_hour=0.0)
+        with pytest.raises(ValueError):
+            DiurnalPoissonArrivals(mean_per_hour=1.0, diurnal_amplitude=1.0)
+        with pytest.raises(ValueError):
+            DiurnalPoissonArrivals(mean_per_hour=1.0).sample(0.0, np.random.default_rng(0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_property_shapes_always_consistent(seed):
+    s = DatasetShapeSampler()
+    rng = np.random.default_rng(seed)
+    total, nf, nd = s.sample(rng)
+    assert total / nf >= 1.0  # at least one byte per file
+    assert nd <= max(1, nf)  # never more dirs than files

@@ -1,0 +1,48 @@
+"""Edge-case tests for workload sampling."""
+
+import numpy as np
+import pytest
+
+from repro.workload.distributions import DatasetShapeSampler, TunableSampler
+
+
+class TestTinyTransfers:
+    def test_tiny_prob_zero_never_tiny(self):
+        s = DatasetShapeSampler(tiny_prob=0.0, median_file_bytes=1e8)
+        rng = np.random.default_rng(0)
+        totals = [s.sample(rng)[0] for _ in range(500)]
+        assert min(totals) > 1e4
+
+    def test_tiny_prob_one_always_tiny(self):
+        s = DatasetShapeSampler(tiny_prob=1.0)
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            total, nf, nd = s.sample(rng)
+            assert total <= 1e4
+            assert nf == 1 and nd == 1
+            assert total >= 1.0
+
+    def test_tiny_sizes_span_the_low_decades(self):
+        s = DatasetShapeSampler(tiny_prob=1.0)
+        rng = np.random.default_rng(2)
+        totals = np.array([s.sample(rng)[0] for _ in range(2000)])
+        assert totals.min() < 10
+        assert totals.max() > 1e3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DatasetShapeSampler(tiny_prob=1.5)
+
+
+class TestSamplerDeterminism:
+    def test_same_generator_state_same_draws(self):
+        s = DatasetShapeSampler()
+        a = [s.sample(np.random.default_rng(5)) for _ in range(1)][0]
+        b = [s.sample(np.random.default_rng(5)) for _ in range(1)][0]
+        assert a == b
+
+    def test_tunables_deterministic(self):
+        t = TunableSampler(override_prob=0.5)
+        a = t.sample(np.random.default_rng(9))
+        b = t.sample(np.random.default_rng(9))
+        assert a == b

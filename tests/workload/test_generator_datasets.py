@@ -1,0 +1,113 @@
+"""Tests for workload generation and the canned datasets."""
+
+import numpy as np
+import pytest
+
+from repro.sim import build_production_fleet, PRODUCTION_EDGES
+from repro.sim.units import DAY
+from repro.workload import (
+    DiurnalPoissonArrivals,
+    EdgeWorkload,
+    generate_requests,
+    production_workload,
+    single_edge_workload,
+)
+
+
+class TestEdgeWorkload:
+    def test_generates_requests_on_edge(self):
+        wl = EdgeWorkload(
+            src="A", dst="B", arrivals=DiurnalPoissonArrivals(mean_per_hour=20.0)
+        )
+        rng = np.random.default_rng(0)
+        reqs = wl.generate(3600.0 * 10, rng)
+        assert len(reqs) > 100
+        assert all(r.src == "A" and r.dst == "B" for r in reqs)
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeWorkload(
+                src="A", dst="A", arrivals=DiurnalPoissonArrivals(mean_per_hour=1.0)
+            )
+
+    def test_merged_stream_sorted(self):
+        wls = [
+            EdgeWorkload(
+                src="A", dst="B", arrivals=DiurnalPoissonArrivals(mean_per_hour=5.0)
+            ),
+            EdgeWorkload(
+                src="C", dst="D", arrivals=DiurnalPoissonArrivals(mean_per_hour=5.0)
+            ),
+        ]
+        reqs = generate_requests(wls, 3600.0 * 20, rng=1)
+        times = [r.submit_time for r in reqs]
+        assert times == sorted(times)
+        assert {r.src for r in reqs} == {"A", "C"}
+
+    def test_deterministic_given_seed(self):
+        wl = [
+            EdgeWorkload(
+                src="A", dst="B", arrivals=DiurnalPoissonArrivals(mean_per_hour=5.0)
+            )
+        ]
+        a = generate_requests(wl, 3600.0, rng=7)
+        b = generate_requests(wl, 3600.0, rng=7)
+        assert len(a) == len(b)
+        assert all(
+            x.submit_time == y.submit_time and x.total_bytes == y.total_bytes
+            for x, y in zip(a, b)
+        )
+
+    def test_duration_validation(self):
+        with pytest.raises(ValueError):
+            generate_requests([], 0.0)
+
+
+class TestProductionWorkload:
+    @pytest.fixture(scope="class")
+    def fabric(self):
+        return build_production_fleet()
+
+    def test_covers_all_heavy_edges(self, fabric):
+        reqs = production_workload(fabric, duration_s=3 * DAY, seed=0)
+        edges = {(r.src, r.dst) for r in reqs if r.tag == "prod"}
+        assert edges == set(PRODUCTION_EDGES)
+
+    def test_tunables_constant_per_edge(self, fabric):
+        reqs = production_workload(fabric, duration_s=2 * DAY, seed=1)
+        per_edge = {}
+        for r in reqs:
+            if r.tag != "prod":
+                continue
+            per_edge.setdefault((r.src, r.dst), set()).add((r.concurrency, r.parallelism))
+        # The paper eliminates C and P for low variance on every edge.
+        assert all(len(v) == 1 for v in per_edge.values())
+
+    def test_long_tail_optional(self, fabric):
+        with_tail = production_workload(fabric, duration_s=2 * DAY, seed=2)
+        without = production_workload(
+            fabric, duration_s=2 * DAY, seed=2, include_long_tail=False
+        )
+        assert sum(1 for r in with_tail if r.tag == "tail") > 0
+        assert sum(1 for r in without if r.tag == "tail") == 0
+
+    def test_gcp_edges_get_smaller_datasets(self, fabric):
+        reqs = production_workload(fabric, duration_s=4 * DAY, seed=3)
+        personal = [
+            r.total_bytes for r in reqs if r.dst == "NYU-Laptop" and r.tag == "prod"
+        ]
+        server = [
+            r.total_bytes
+            for r in reqs
+            if (r.src, r.dst) == ("TACC-DTN", "ALCF-DTN") and r.tag == "prod"
+        ]
+        assert np.median(personal) < np.median(server)
+
+
+class TestSingleEdgeWorkload:
+    def test_basic(self):
+        reqs = single_edge_workload(
+            "JLAB-DTN", "NERSC-DTN", 3600.0 * 24, rate_per_hour=5.0, seed=0, tag="x"
+        )
+        assert len(reqs) > 50
+        assert all(r.tag == "x" for r in reqs)
