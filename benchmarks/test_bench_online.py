@@ -1,8 +1,25 @@
-"""Extension bench: submission-time prediction accuracy (scheduling use)."""
+"""Extension bench: submission-time prediction accuracy (scheduling use),
+plus serving throughput of the vectorized batch prediction engine."""
 
 from conftest import MIN_SAMPLES
 
 from repro.harness import exp_online
+from repro.serve import run_serve_bench
+
+
+def test_bench_serve_throughput(benchmark):
+    """1k concurrent requests against a 10k-transfer active window: the
+    batch engine must beat looping the scalar predictor by >= 10x while
+    producing the same rates."""
+    result = benchmark.pedantic(
+        run_serve_bench,
+        kwargs={"n_active": 10_000, "n_requests": 1_000, "n_endpoints": 40},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    assert result.speedup >= 10.0
+    assert result.max_abs_diff < 1e-6
 
 
 def test_bench_online(study, benchmark):

@@ -1,4 +1,4 @@
-"""Operational command-line tools: simulate, train, predict, advise.
+"""Operational command-line tools: simulate, train, predict, advise, bench.
 
 These commands form a file-based workflow mirroring how the paper's models
 would be operated against real logs::
@@ -10,10 +10,14 @@ would be operated against real logs::
                         --bytes 50e9 --files 100 --at 86400
     repro-tools advise --model model.json --log log.csv \\
                        --bytes 50e9 --files 100 --at 86400
+    repro-tools serve-bench --actives 10000 --requests 1000
 
 ``train`` writes a bundle (model + scaler + feature bookkeeping) as JSON;
 ``predict`` replays the log to reconstruct the active-transfer view at the
-requested instant and runs the online predictor; ``advise`` sweeps tunables.
+requested instant and runs the online predictor; ``advise`` sweeps tunables;
+``serve-bench`` measures batch-serving throughput (vectorized
+:class:`repro.serve.BatchOnlinePredictor` vs the looped scalar predictor)
+on a synthetic active population, optionally with a trained model bundle.
 """
 
 from __future__ import annotations
@@ -159,6 +163,24 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve.bench import run_serve_bench
+
+    result = _load_bundle(args.model) if args.model else None
+    bench = run_serve_bench(
+        n_active=args.actives,
+        n_requests=args.requests,
+        n_endpoints=args.endpoints,
+        seed=args.seed,
+        result=result,
+    )
+    print(bench.render())
+    if bench.max_abs_diff > 1e-6:
+        print("error: batch and scalar paths disagree", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-tools",
@@ -197,6 +219,18 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--parallelism", type=int, default=4)
         p.add_argument("--at", type=float, default=0.0)
         p.set_defaults(func=fn)
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="benchmark batch online prediction against the scalar loop",
+    )
+    p.add_argument("--actives", type=int, default=10_000)
+    p.add_argument("--requests", type=int, default=1_000)
+    p.add_argument("--endpoints", type=int, default=40)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--model", default=None,
+                   help="optional trained bundle (default: synthetic model)")
+    p.set_defaults(func=_cmd_serve_bench)
 
     args = parser.parse_args(argv)
     try:

@@ -13,7 +13,11 @@ Layers:
 - :mod:`~repro.core.explain` — coefficient/importance grids (Figures 9, 12).
 """
 
-from repro.core.contention import IntervalOverlapIndex, ContentionComputer
+from repro.core.contention import (
+    ActiveOverlapIndex,
+    ContentionComputer,
+    IntervalOverlapIndex,
+)
 from repro.core.features import (
     FEATURE_NAMES,
     EXPLANATION_FEATURE_NAMES,
@@ -41,6 +45,7 @@ from repro.core.online import (
     ActiveTransferView,
     OnlineFeatureEstimator,
     OnlinePredictor,
+    active_views_from_log,
 )
 from repro.core.advisor import (
     TunableAdvisor,
@@ -52,6 +57,7 @@ from repro.core.advisor import (
 
 __all__ = [
     "IntervalOverlapIndex",
+    "ActiveOverlapIndex",
     "ContentionComputer",
     "FEATURE_NAMES",
     "EXPLANATION_FEATURE_NAMES",
@@ -75,6 +81,7 @@ __all__ = [
     "ActiveTransferView",
     "OnlineFeatureEstimator",
     "OnlinePredictor",
+    "active_views_from_log",
     "TunableAdvisor",
     "TunableRecommendation",
     "SourceSelector",

@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.logs.store import LogStore
 
-__all__ = ["IntervalOverlapIndex", "ContentionComputer"]
+__all__ = ["IntervalOverlapIndex", "ActiveOverlapIndex", "ContentionComputer"]
 
 
 class IntervalOverlapIndex:
@@ -116,6 +116,83 @@ class IntervalOverlapIndex:
         out[np.abs(out) <= noise] = 0.0
         np.maximum(out, 0.0, out=out)
         return out
+
+
+class ActiveOverlapIndex:
+    """Prefix-sum index over weighted intervals that have *already started*.
+
+    The online-serving case of :class:`IntervalOverlapIndex`: every indexed
+    interval is known to start at or before any query's left edge ``a`` (the
+    in-flight transfer population at time ``a``), so only the end times
+    matter and the overlap of interval ``i`` with a query ``[a, b]`` is
+    ``max(0, min(te_i, b) - a)``.  Supports ``te = inf`` ("runs forever",
+    the conservative choice when a completion estimate is unknown): such
+    intervals always overlap the full query window.
+
+    Queries are vectorized two ways: one call answers the weighted-overlap
+    sum for a whole batch of query windows in O(q log n), and ``weights``
+    may be a 2-D ``(n, k)`` column stack so ``k`` different weightings of
+    the *same* intervals (e.g. a transfer population weighted by rate and
+    by stream count) share a single pair of binary searches per query.
+
+    Parameters
+    ----------
+    te:
+        Interval end times; may contain ``inf``.
+    weights:
+        Per-interval weights (rates, stream counts, instance counts, ...),
+        shape ``(n,)`` for one weighting or ``(n, k)`` for ``k`` of them.
+    """
+
+    def __init__(self, te: np.ndarray, weights: np.ndarray) -> None:
+        te = np.asarray(te, dtype=np.float64).ravel()
+        w = np.asarray(weights, dtype=np.float64)
+        self._multi = w.ndim == 2
+        if not self._multi:
+            w = w.reshape(-1, 1)
+        if w.ndim != 2 or w.shape[0] != te.size:
+            raise ValueError("weights must have shape (n,) or (n, k)")
+        self.n = te.size
+        finite = np.isfinite(te)
+        self._w_inf = w[~finite].sum(axis=0)
+        te_f, w_f = te[finite], w[finite]
+        order = np.argsort(te_f, kind="stable")
+        self._te_sorted = te_f[order]
+        zero = np.zeros((1, w.shape[1]))
+        self._w_cum = np.concatenate([zero, np.cumsum(w_f[order], axis=0)])
+        self._wte_cum = np.concatenate(
+            [zero, np.cumsum(w_f[order] * te_f[order][:, None], axis=0)]
+        )
+
+    def overlap_sum(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``sum_i w_i * max(0, min(te_i, b) - a)`` per query.
+
+        ``a`` and ``b`` broadcast against each other; requires ``b > a``.
+        The caller guarantees every indexed interval starts at or before
+        ``a`` (true by construction for an active-transfer population
+        queried at the current time).  Returns shape ``(q,)`` for 1-D
+        weights, ``(q, k)`` for ``(n, k)`` weights.
+        """
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if np.any(b <= a):
+            raise ValueError("queries must have b > a")
+        k = self._w_cum.shape[1]
+        shape = np.broadcast_shapes(a.shape, b.shape)
+        if self.n == 0:
+            out = np.zeros(shape + (k,))
+            return out if self._multi else out[..., 0]
+        # Ends in (a, b] contribute w*(te - a); ends > b contribute w*(b - a).
+        idx_a = np.searchsorted(self._te_sorted, a, side="right")
+        idx_b = np.searchsorted(self._te_sorted, b, side="right")
+        span = (b - a)[..., None]
+        mid = (self._wte_cum[idx_b] - self._wte_cum[idx_a]) - a[..., None] * (
+            self._w_cum[idx_b] - self._w_cum[idx_a]
+        )
+        tail = span * (self._w_cum[-1] - self._w_cum[idx_b])
+        out = mid + tail + self._w_inf * span
+        np.maximum(out, 0.0, out=out)
+        return out if self._multi else out[..., 0]
 
 
 @dataclass

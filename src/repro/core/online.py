@@ -30,7 +30,12 @@ from repro.core.pipeline import EdgeModelResult, GlobalModelResult
 from repro.logs.store import LogStore
 from repro.sim.gridftp import TransferRequest
 
-__all__ = ["ActiveTransferView", "OnlineFeatureEstimator", "OnlinePredictor"]
+__all__ = [
+    "ActiveTransferView",
+    "OnlineFeatureEstimator",
+    "OnlinePredictor",
+    "active_views_from_log",
+]
 
 
 @dataclass(frozen=True)
@@ -78,6 +83,48 @@ class ActiveTransferView:
         return self.instances * self.parallelism
 
 
+def active_views_from_log(
+    log: LogStore,
+    now: float,
+    lookback_s: float | None = None,
+    exclude_transfer_id: int | None = None,
+) -> list[tuple[int, ActiveTransferView]]:
+    """(transfer_id, view) pairs for every transfer in flight at ``now``.
+
+    Selection is ``ts <= now < te``; ``lookback_s``, when given, further
+    restricts to transfers started within the last ``lookback_s`` seconds
+    (an optional cap — long-running transfers are active regardless of age
+    unless the caller explicitly bounds the view).
+    """
+    data = log.raw()
+    mask = (data["ts"] <= now) & (data["te"] > now)
+    if lookback_s is not None:
+        if lookback_s <= 0:
+            raise ValueError("lookback_s must be > 0")
+        mask &= data["ts"] >= now - lookback_s
+    if exclude_transfer_id is not None:
+        mask &= data["transfer_id"] != exclude_transfer_id
+    out = []
+    for i in np.nonzero(mask)[0]:
+        rate = data["nb"][i] / (data["te"][i] - data["ts"][i])
+        out.append(
+            (
+                int(data["transfer_id"][i]),
+                ActiveTransferView(
+                    src=str(data["src"][i]),
+                    dst=str(data["dst"][i]),
+                    rate=float(rate),
+                    started_at=float(data["ts"][i]),
+                    expected_end=float(data["te"][i]),
+                    concurrency=int(data["c"][i]),
+                    parallelism=int(data["p"][i]),
+                    n_files=int(data["nf"][i]),
+                ),
+            )
+        )
+    return out
+
+
 class OnlineFeatureEstimator:
     """Estimates Eq. 2 features for a *hypothetical* transfer from the
     currently active population."""
@@ -90,38 +137,26 @@ class OnlineFeatureEstimator:
         cls,
         log: LogStore,
         now: float,
-        lookback_s: float = 3600.0,
+        lookback_s: float | None = None,
         exclude_transfer_id: int | None = None,
     ) -> "OnlineFeatureEstimator":
         """Build the active view from a log, treating transfers that span
         ``now`` as active (useful for replay evaluation).
 
+        A transfer is active iff ``ts <= now < te`` — regardless of how long
+        ago it started; a multi-hour transfer still in flight is exactly the
+        competition a scheduler must account for.  ``lookback_s`` is an
+        *optional* cap that additionally drops transfers older than
+        ``now - lookback_s`` (useful to bound the view when replaying huge
+        logs); by default no cap is applied.
+
         Pass ``exclude_transfer_id`` when evaluating a logged transfer at
         its own start time, so it does not count as its own competition.
         """
-        window = log.in_window(now - lookback_s, now + 1e-9)
-        data = window.raw()
-        active = []
-        for i in range(len(window)):
-            if exclude_transfer_id is not None and (
-                int(data["transfer_id"][i]) == exclude_transfer_id
-            ):
-                continue
-            if data["te"][i] > now >= data["ts"][i]:
-                rate = data["nb"][i] / (data["te"][i] - data["ts"][i])
-                active.append(
-                    ActiveTransferView(
-                        src=str(data["src"][i]),
-                        dst=str(data["dst"][i]),
-                        rate=float(rate),
-                        started_at=float(data["ts"][i]),
-                        expected_end=float(data["te"][i]),
-                        concurrency=int(data["c"][i]),
-                        parallelism=int(data["p"][i]),
-                        n_files=int(data["nf"][i]),
-                    )
-                )
-        return cls(active)
+        return cls([v for _, v in active_views_from_log(
+            log, now, lookback_s=lookback_s,
+            exclude_transfer_id=exclude_transfer_id,
+        )])
 
     def estimate(
         self,
@@ -196,38 +231,31 @@ class OnlinePredictor:
     max_iterations: int = 8
     tolerance: float = 0.01
     extra_columns: dict[str, float] = field(default_factory=dict)
+    _engine: object = field(default=None, repr=False, compare=False)
 
     def predict(self, request: TransferRequest, now: float) -> float:
-        """Predicted average rate (bytes/s) for ``request`` starting now."""
-        if isinstance(self.result, EdgeModelResult):
-            base_names = list(self.result.feature_names)
-        else:
-            base_names = list(self.result.feature_names)
-        # Initial duration guess: naive single-stream estimate.
-        rate = 50e6
-        for _ in range(self.max_iterations):
-            duration = max(1.0, request.total_bytes / rate)
-            feats = self.estimator.estimate(request, now, duration)
-            feats.update(self.extra_columns)
-            x = self._vector(feats, base_names)
-            new_rate = float(
-                self.result.model.predict(self.result.scaler.transform(x))[0]
-            )
-            new_rate = max(new_rate, 1.0)
-            if abs(new_rate - rate) <= self.tolerance * rate:
-                rate = new_rate
-                break
-            rate = new_rate
-        return rate
+        """Predicted average rate (bytes/s) for ``request`` starting now.
 
-    def _vector(self, feats: dict[str, float], names: list[str]) -> np.ndarray:
-        missing = [n for n in names if n not in feats]
-        if missing:
-            raise KeyError(
-                f"features {missing} required by the model but not provided; "
-                "pass them via extra_columns"
+        Delegates to :class:`repro.serve.BatchOnlinePredictor` with a batch
+        of one, so scalar and batch predictions are bit-identical.  The
+        estimator's active view is snapshotted into the engine on first use;
+        build a fresh predictor for a changed population.
+        """
+        return float(self.engine.predict_batch([request], now)[0])
+
+    @property
+    def engine(self):
+        """The underlying :class:`~repro.serve.BatchOnlinePredictor`
+        (created on first access), exposing per-call instrumentation as
+        ``engine.stats``."""
+        if self._engine is None:
+            from repro.serve import ActiveSet, BatchOnlinePredictor
+
+            self._engine = BatchOnlinePredictor(
+                self.result,
+                ActiveSet.from_views(self.estimator.active),
+                max_iterations=self.max_iterations,
+                tolerance=self.tolerance,
+                extra_columns=self.extra_columns,
             )
-        row = np.array([[feats[n] for n in names]])
-        if isinstance(self.result, EdgeModelResult):
-            return row[:, self.result.kept]
-        return row
+        return self._engine

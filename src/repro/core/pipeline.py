@@ -152,11 +152,17 @@ def _prepare_edge_data(
     features: FeatureMatrix,
     rows: np.ndarray,
     names: tuple[str, ...],
+    train_idx: np.ndarray,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """(X, y, kept-mask) for the given rows with low-variance elimination."""
+    """(X, y, kept-mask) for the given rows with low-variance elimination.
+
+    Elimination is decided from the *training* rows only — deciding it from
+    all rows would leak test-set variance into model selection (the global
+    pipeline already restricts to ``X[tr]``; the edge pipeline must too).
+    """
     X = features.matrix(names, rows)
     y = features.y[rows]
-    eliminated = low_variance_features(X, threshold=0.05)
+    eliminated = low_variance_features(X[train_idx], threshold=0.05)
     kept = ~eliminated
     if not kept.any():
         raise ValueError("all features eliminated — degenerate edge data")
@@ -209,9 +215,8 @@ def fit_edge_model(
             f"edge {src}->{dst}: only {rows.size} transfers above the "
             f"{threshold:.1f}*Rmax filter (need {min_samples})"
         )
-    X, y, kept = _prepare_edge_data(features, rows, names)
-
-    tr, te = train_test_split(X.shape[0], train_fraction, rng=seed)
+    tr, te = train_test_split(rows.size, train_fraction, rng=seed)
+    X, y, kept = _prepare_edge_data(features, rows, names, tr)
     scaler = StandardScaler().fit(X[tr])
     X_tr = scaler.transform(X[tr])
     X_te = scaler.transform(X[te])

@@ -69,8 +69,10 @@ def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
 def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
     """Coefficient of determination.
 
-    Returns 0.0 for a constant target predicted exactly, ``-inf``-free
-    negative values otherwise, matching the common convention.
+    A constant target is a degenerate case (``ss_tot == 0``): predicted
+    exactly it returns 1.0 (the model explains everything there is to
+    explain); predicted with any error it returns 0.0 rather than ``-inf``,
+    matching the common convention.
     """
     y_true, y_pred = _validate(y_true, y_pred)
     ss_res = float(np.sum((y_true - y_pred) ** 2))

@@ -1,0 +1,33 @@
+"""Online serving: batch submission-time prediction at scale.
+
+The paper motivates its models with "distributed workflow scheduling and
+optimization" — a service answering *many* "how fast would this transfer
+run right now?" questions against a live population of in-flight
+transfers.  This package is that serving layer:
+
+- :class:`ActiveSet` — the in-flight population under incremental
+  ``add``/``complete``/``progress`` updates, with per-endpoint prefix-sum
+  indexes rebuilt lazily and only for touched endpoints;
+- :class:`BatchOnlinePredictor` — the duration fix-point of
+  :class:`~repro.core.online.OnlinePredictor`, vectorized across a whole
+  batch of requests (the scalar predictor delegates here with a batch of
+  one, so the two paths always agree);
+- :class:`PredictorStats` / :class:`ActiveSetStats` — per-call counters and
+  timings for benchmarks and observability;
+- :mod:`repro.serve.bench` — synthetic workloads and the
+  ``repro-tools serve-bench`` harness.
+"""
+
+from repro.serve.active_set import ActiveSet, ActiveSetStats, EndpointState
+from repro.serve.batch import BatchOnlinePredictor, PredictorStats
+from repro.serve.bench import ServeBenchResult, run_serve_bench
+
+__all__ = [
+    "ActiveSet",
+    "ActiveSetStats",
+    "EndpointState",
+    "BatchOnlinePredictor",
+    "PredictorStats",
+    "ServeBenchResult",
+    "run_serve_bench",
+]

@@ -1,0 +1,233 @@
+"""Incremental in-flight transfer population for online serving.
+
+:class:`ActiveSet` is the serving-side counterpart of the replay-oriented
+:class:`~repro.core.online.OnlineFeatureEstimator`: it holds the transfers
+currently in flight, keyed by transfer id, and keeps per-endpoint
+prefix-sum indexes (:class:`~repro.core.contention.ActiveOverlapIndex`)
+ready for bulk feature queries.
+
+Mutations are cheap and local: ``add``/``complete``/``progress`` touch only
+the two endpoints the transfer involves, invalidating just those endpoints'
+indexes; every other endpoint's state survives untouched.  Indexes are
+rebuilt lazily on the next query of a dirtied endpoint, so a burst of
+updates between prediction batches costs one rebuild per touched endpoint,
+not one per update — and endpoints outside the burst pay nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.contention import ActiveOverlapIndex
+from repro.core.online import ActiveTransferView, active_views_from_log
+from repro.logs.store import LogStore
+
+__all__ = ["ActiveSet", "ActiveSetStats", "EndpointState"]
+
+
+@dataclass
+class ActiveSetStats:
+    """Mutation/rebuild counters (cheap observability for the serving path)."""
+
+    adds: int = 0
+    completes: int = 0
+    progress_updates: int = 0
+    state_rebuilds: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "adds": self.adds,
+            "completes": self.completes,
+            "progress_updates": self.progress_updates,
+            "state_rebuilds": self.state_rebuilds,
+        }
+
+
+@dataclass(frozen=True)
+class EndpointState:
+    """Bulk-query indexes over one endpoint's in-flight transfers.
+
+    Mirrors :class:`~repro.core.contention.ContentionComputer`'s
+    per-endpoint view.  ``outgoing`` and ``incoming`` are two-column
+    weight indexes (column 0: rate, for the K features; column 1: stream
+    count, for S), so one query answers both; ``touch_instances`` covers
+    transfers touching the endpoint on either side (the G features).
+    """
+
+    outgoing: ActiveOverlapIndex
+    incoming: ActiveOverlapIndex
+    touch_instances: ActiveOverlapIndex
+
+
+def _build_state(
+    endpoint: str,
+    out_views: list[ActiveTransferView],
+    in_views: list[ActiveTransferView],
+) -> EndpointState:
+    def rate_streams(views: list[ActiveTransferView]) -> ActiveOverlapIndex:
+        te = np.array([v.expected_end for v in views], dtype=np.float64)
+        w = np.array([(v.rate, v.streams) for v in views], dtype=np.float64)
+        return ActiveOverlapIndex(te, w.reshape(len(views), 2))
+
+    # A degenerate self-loop (src == dst == endpoint) appears in both view
+    # lists but must count once toward the G (instance) features.
+    touching = out_views + [v for v in in_views if v.src != endpoint]
+    return EndpointState(
+        outgoing=rate_streams(out_views),
+        incoming=rate_streams(in_views),
+        touch_instances=ActiveOverlapIndex(
+            np.array([v.expected_end for v in touching], dtype=np.float64),
+            np.array([v.instances for v in touching], dtype=np.float64),
+        ),
+    )
+
+
+class ActiveSet:
+    """Mutable registry of in-flight transfers with per-endpoint indexes.
+
+    Lifecycle::
+
+        active = ActiveSet()
+        active.add(tid, ActiveTransferView(...))      # submission
+        active.progress(tid, rate=..., expected_end=...)  # progress report
+        active.complete(tid)                          # completion / failure
+
+    Feature queries go through :meth:`endpoint_state`, which returns the
+    (lazily rebuilt) prefix-sum indexes for one endpoint.
+    """
+
+    def __init__(self) -> None:
+        self._views: dict[int, ActiveTransferView] = {}
+        # endpoint -> insertion-ordered {transfer_id: None} sets.  Dicts keep
+        # deterministic ordering, which keeps batch-of-one and batch-of-many
+        # prefix sums bit-identical.
+        self._by_src: dict[str, dict[int, None]] = {}
+        self._by_dst: dict[str, dict[int, None]] = {}
+        self._state: dict[str, EndpointState] = {}
+        self.stats = ActiveSetStats()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_views(cls, views) -> "ActiveSet":
+        """Build from bare views, assigning sequential ids ``0..n-1``."""
+        active = cls()
+        for i, v in enumerate(views):
+            active.add(i, v)
+        active.stats.adds = 0
+        return active
+
+    @classmethod
+    def from_log_window(
+        cls,
+        log: LogStore,
+        now: float,
+        lookback_s: float | None = None,
+        exclude_transfer_id: int | None = None,
+    ) -> "ActiveSet":
+        """Replay construction: every logged transfer with ``ts <= now < te``
+        becomes active, keyed by its logged transfer id (see
+        :func:`repro.core.online.active_views_from_log`)."""
+        active = cls()
+        for tid, view in active_views_from_log(
+            log, now, lookback_s=lookback_s,
+            exclude_transfer_id=exclude_transfer_id,
+        ):
+            active.add(tid, view)
+        active.stats.adds = 0
+        return active
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, transfer_id: int, view: ActiveTransferView) -> None:
+        """Register a newly started transfer."""
+        if transfer_id in self._views:
+            raise KeyError(f"transfer {transfer_id} already active")
+        self._views[transfer_id] = view
+        self._by_src.setdefault(view.src, {})[transfer_id] = None
+        self._by_dst.setdefault(view.dst, {})[transfer_id] = None
+        self._invalidate(view)
+        self.stats.adds += 1
+
+    def complete(self, transfer_id: int) -> ActiveTransferView:
+        """Remove a finished (or failed) transfer; returns its last view."""
+        view = self._pop(transfer_id)
+        self.stats.completes += 1
+        return view
+
+    def progress(
+        self,
+        transfer_id: int,
+        rate: float | None = None,
+        expected_end: float | None = None,
+    ) -> ActiveTransferView:
+        """Update a transfer's observed rate and/or completion estimate."""
+        if rate is None and expected_end is None:
+            raise ValueError("progress needs rate and/or expected_end")
+        old = self._views.get(transfer_id)
+        if old is None:
+            raise KeyError(f"transfer {transfer_id} not active")
+        changes: dict[str, float] = {}
+        if rate is not None:
+            changes["rate"] = float(rate)
+        if expected_end is not None:
+            changes["expected_end"] = float(expected_end)
+        view = replace(old, **changes)
+        self._views[transfer_id] = view
+        self._invalidate(view)
+        self.stats.progress_updates += 1
+        return view
+
+    def _pop(self, transfer_id: int) -> ActiveTransferView:
+        view = self._views.pop(transfer_id, None)
+        if view is None:
+            raise KeyError(f"transfer {transfer_id} not active")
+        self._by_src[view.src].pop(transfer_id, None)
+        self._by_dst[view.dst].pop(transfer_id, None)
+        self._invalidate(view)
+        return view
+
+    def _invalidate(self, view: ActiveTransferView) -> None:
+        self._state.pop(view.src, None)
+        self._state.pop(view.dst, None)
+
+    # -- queries -----------------------------------------------------------
+
+    def endpoint_state(self, endpoint: str) -> EndpointState:
+        """The endpoint's bulk-query indexes (rebuilt only if dirtied)."""
+        state = self._state.get(endpoint)
+        if state is None:
+            out_views = [
+                self._views[t] for t in self._by_src.get(endpoint, ())
+            ]
+            in_views = [
+                self._views[t] for t in self._by_dst.get(endpoint, ())
+            ]
+            state = _build_state(endpoint, out_views, in_views)
+            self._state[endpoint] = state
+            self.stats.state_rebuilds += 1
+        return state
+
+    def get(self, transfer_id: int) -> ActiveTransferView:
+        return self._views[transfer_id]
+
+    def views(self) -> list[ActiveTransferView]:
+        """All active views, insertion-ordered."""
+        return list(self._views.values())
+
+    def ids(self) -> list[int]:
+        return list(self._views)
+
+    def endpoints(self) -> set[str]:
+        """Endpoints with at least one in-flight transfer."""
+        return {v.src for v in self._views.values()} | {
+            v.dst for v in self._views.values()
+        }
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def __contains__(self, transfer_id: int) -> bool:
+        return transfer_id in self._views

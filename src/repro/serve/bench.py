@@ -1,0 +1,203 @@
+"""Synthetic serving workloads and the serve-bench harness.
+
+Shared by the ``repro-tools serve-bench`` CLI command and the benchmark
+suite: builds a reproducible synthetic active-transfer population, a batch
+of prediction requests, and a fitted model, then times the vectorized
+batch path against looping the scalar predictor over the same requests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.features import FEATURE_NAMES
+from repro.core.online import (
+    ActiveTransferView,
+    OnlineFeatureEstimator,
+    OnlinePredictor,
+)
+from repro.core.pipeline import EdgeModelResult
+from repro.ml.linear import LinearRegression
+from repro.ml.scaler import StandardScaler
+from repro.serve.active_set import ActiveSet
+from repro.serve.batch import BatchOnlinePredictor
+from repro.sim.gridftp import TransferRequest
+
+__all__ = [
+    "make_synthetic_views",
+    "make_synthetic_requests",
+    "make_synthetic_model",
+    "ServeBenchResult",
+    "run_serve_bench",
+]
+
+
+def make_synthetic_views(
+    n: int, n_endpoints: int = 40, seed: int = 0, now: float = 0.0
+) -> list[ActiveTransferView]:
+    """A random in-flight population: ``n`` transfers spread over
+    ``n_endpoints`` endpoints, all active at ``now``."""
+    rng = np.random.default_rng(seed)
+    eps = [f"EP{i:03d}" for i in range(n_endpoints)]
+    views = []
+    for _ in range(n):
+        s, d = rng.choice(len(eps), size=2, replace=False)
+        started = now - float(rng.uniform(1.0, 7200.0))
+        remaining = float(rng.uniform(5.0, 3600.0))
+        views.append(
+            ActiveTransferView(
+                src=eps[s],
+                dst=eps[d],
+                rate=float(rng.uniform(1e6, 5e8)),
+                started_at=started,
+                expected_end=now + remaining,
+                concurrency=int(rng.choice([1, 2, 4, 8])),
+                parallelism=int(rng.choice([1, 4, 8])),
+                n_files=int(rng.integers(1, 5000)),
+            )
+        )
+    return views
+
+
+def make_synthetic_requests(
+    n: int, n_endpoints: int = 40, seed: int = 1
+) -> list[TransferRequest]:
+    """``n`` pending transfer requests over the same endpoint universe."""
+    rng = np.random.default_rng(seed)
+    eps = [f"EP{i:03d}" for i in range(n_endpoints)]
+    requests = []
+    for _ in range(n):
+        s, d = rng.choice(len(eps), size=2, replace=False)
+        requests.append(
+            TransferRequest(
+                src=eps[s],
+                dst=eps[d],
+                total_bytes=float(rng.uniform(1e8, 1e12)),
+                n_files=int(rng.integers(1, 2000)),
+                n_dirs=int(rng.integers(1, 50)),
+                concurrency=int(rng.choice([2, 4])),
+                parallelism=int(rng.choice([4, 8])),
+            )
+        )
+    return requests
+
+
+def make_synthetic_model(seed: int = 0) -> EdgeModelResult:
+    """A linear rate model with a plausible contention response, fitted on
+    random standardized features (no log required — serving mechanics only).
+    """
+    rng = np.random.default_rng(seed)
+    n = 4000
+    X = np.zeros((n, len(FEATURE_NAMES)))
+    k_sout = FEATURE_NAMES.index("K_sout")
+    k_din = FEATURE_NAMES.index("K_din")
+    nb = FEATURE_NAMES.index("Nb")
+    X[:, k_sout] = rng.uniform(0, 1e11, n)
+    X[:, k_din] = rng.uniform(0, 1e11, n)
+    X[:, nb] = rng.uniform(1e8, 1e12, n)
+    # Gentle contention response: enough slope for the fix-point to have
+    # real feedback, small enough that it converges in a few rounds.
+    y = (
+        3e8
+        - 1e-3 * X[:, k_sout]
+        - 5e-4 * X[:, k_din]
+        + 2e-5 * np.sqrt(X[:, nb])
+        + rng.normal(0, 1e6, n)
+    )
+    y = np.maximum(y, 1e6)
+    scaler = StandardScaler().fit(X)
+    model = LinearRegression().fit(scaler.transform(X), y)
+    return EdgeModelResult(
+        src="EP000",
+        dst="EP001",
+        model_kind="linear",
+        feature_names=FEATURE_NAMES,
+        kept=np.ones(len(FEATURE_NAMES), dtype=bool),
+        significance=np.abs(model.coef_),
+        n_train=n,
+        n_test=0,
+        test_errors=np.array([0.0]),
+        mdape=0.0,
+        model=model,
+        scaler=scaler,
+    )
+
+
+@dataclass(frozen=True)
+class ServeBenchResult:
+    """Timings and throughput of batch vs looped scalar prediction."""
+
+    n_active: int
+    n_requests: int
+    batch_time_s: float
+    loop_time_s: float
+    max_abs_diff: float
+    stats: dict[str, float]
+
+    @property
+    def speedup(self) -> float:
+        return self.loop_time_s / self.batch_time_s if self.batch_time_s else 0.0
+
+    @property
+    def batch_throughput_rps(self) -> float:
+        return self.n_requests / self.batch_time_s if self.batch_time_s else 0.0
+
+    def render(self) -> str:
+        lines = [
+            f"active transfers          {self.n_active}",
+            f"requests                  {self.n_requests}",
+            f"batch predict             {self.batch_time_s * 1e3:9.2f} ms "
+            f"({self.batch_throughput_rps:,.0f} req/s)",
+            f"looped scalar predict     {self.loop_time_s * 1e3:9.2f} ms "
+            f"({self.n_requests / self.loop_time_s:,.0f} req/s)"
+            if self.loop_time_s
+            else "looped scalar predict     (skipped)",
+            f"speedup                   {self.speedup:9.1f}x",
+            f"max |batch - loop| rate   {self.max_abs_diff:9.3g} B/s",
+            "engine stats:",
+        ]
+        for k, v in self.stats.items():
+            lines.append(f"  {k:<24}{v:,.6g}")
+        return "\n".join(lines)
+
+
+def run_serve_bench(
+    n_active: int = 10_000,
+    n_requests: int = 1_000,
+    n_endpoints: int = 40,
+    seed: int = 0,
+    result: EdgeModelResult | None = None,
+    now: float = 0.0,
+) -> ServeBenchResult:
+    """Time ``BatchOnlinePredictor.predict_batch`` against looping
+    ``OnlinePredictor.predict`` over the same requests and verify the two
+    paths agree."""
+    views = make_synthetic_views(n_active, n_endpoints=n_endpoints, seed=seed, now=now)
+    requests = make_synthetic_requests(n_requests, n_endpoints=n_endpoints, seed=seed + 1)
+    result = result or make_synthetic_model(seed)
+
+    engine = BatchOnlinePredictor(result, ActiveSet.from_views(views))
+    engine.predict_batch(requests, now)  # warm all endpoint indexes
+    engine.stats.reset()
+    t0 = time.perf_counter()
+    batch_rates = engine.predict_batch(requests, now)
+    batch_time = time.perf_counter() - t0
+
+    scalar = OnlinePredictor(result, OnlineFeatureEstimator(views))
+    for r in requests:  # warm the delegated engine + endpoint indexes
+        scalar.predict(r, now)
+    t0 = time.perf_counter()
+    loop_rates = np.array([scalar.predict(r, now) for r in requests])
+    loop_time = time.perf_counter() - t0
+
+    return ServeBenchResult(
+        n_active=n_active,
+        n_requests=n_requests,
+        batch_time_s=batch_time,
+        loop_time_s=loop_time,
+        max_abs_diff=float(np.max(np.abs(batch_rates - loop_rates))),
+        stats=engine.stats.as_dict(),
+    )

@@ -96,6 +96,54 @@ class TestOnlineFeatureEstimator:
         expected = int(np.sum((data["ts"] <= mid) & (data["te"] > mid)))
         assert len(est.active) == expected
 
+    def test_long_running_transfer_stays_visible(self):
+        """Regression: a transfer started hours ago but still in flight is
+        active competition; it must not fall out of the window."""
+        from repro.logs import LogStore, TransferLogRecord
+
+        def rec(i, ts, te):
+            return TransferLogRecord(
+                transfer_id=i, src="A", dst="B", src_site="A", dst_site="B",
+                src_type="GCS", dst_type="GCS", ts=ts, te=te, nb=1e12,
+                nf=100, nd=1, c=2, p=4, nflt=0, distance_km=100.0,
+            )
+
+        now = 10_000.0
+        store = LogStore.from_records(
+            [
+                rec(0, now - 7200.0, now + 600.0),   # 2h old, still running
+                rec(1, now - 100.0, now + 100.0),    # recent, running
+                rec(2, now - 7200.0, now - 3600.0),  # finished long ago
+            ]
+        )
+        est = OnlineFeatureEstimator.from_log_window(store, now=now)
+        assert len(est.active) == 2
+        assert {v.started_at for v in est.active} == {now - 7200.0, now - 100.0}
+        # The old transfer's load shows up in the feature estimates.
+        feats = est.estimate(_request(src="A", dst="C"), now, 100.0)
+        assert feats["K_sout"] > 1e8
+
+    def test_lookback_is_an_optional_cap(self):
+        from repro.logs import LogStore, TransferLogRecord
+
+        def rec(i, ts, te):
+            return TransferLogRecord(
+                transfer_id=i, src="A", dst="B", src_site="A", dst_site="B",
+                src_type="GCS", dst_type="GCS", ts=ts, te=te, nb=1e10,
+                nf=10, nd=1, c=2, p=4, nflt=0, distance_km=100.0,
+            )
+
+        now = 10_000.0
+        store = LogStore.from_records(
+            [rec(0, now - 7200.0, now + 600.0), rec(1, now - 100.0, now + 100.0)]
+        )
+        est = OnlineFeatureEstimator.from_log_window(
+            store, now=now, lookback_s=3600.0
+        )
+        assert [v.started_at for v in est.active] == [now - 100.0]
+        with pytest.raises(ValueError):
+            OnlineFeatureEstimator.from_log_window(store, now=now, lookback_s=0.0)
+
 
 class TestOnlinePredictor:
     @pytest.fixture(scope="class")

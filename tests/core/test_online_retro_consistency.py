@@ -96,3 +96,97 @@ class TestOnlineMatchesRetrospective:
         req = TransferRequest(src="A", dst="B", total_bytes=1e10, n_files=50)
         online = est.estimate(req, now=100.0, assumed_duration_s=200.0)
         assert online["K_sout"] == 0.0  # online cannot
+
+
+CONTENTION_NAMES = (
+    "K_sout", "K_sin", "K_dout", "K_din",
+    "S_sout", "S_sin", "S_dout", "S_din",
+    "G_src", "G_dst",
+)
+
+
+def _make_replay_store(seed, n_background=60, n_endpoints=6):
+    """A log where every background transfer starts before T = 10_000 and
+    the target transfer (the last record) starts exactly at T.  No arrivals
+    during the target's lifetime, so online estimates can be exact."""
+    rng = np.random.default_rng(seed)
+    T = 10_000.0
+    eps = [f"E{i}" for i in range(n_endpoints)]
+    records = []
+    for i in range(n_background):
+        s, d = rng.choice(n_endpoints, size=2, replace=False)
+        ts = float(rng.uniform(0.0, T - 1.0))
+        te = ts + float(rng.uniform(10.0, 15_000.0))  # may end before or after T
+        records.append(
+            _rec(
+                i, eps[s], eps[d], ts, te, float(rng.uniform(1e8, 1e12)),
+                c=int(rng.choice([1, 2, 4, 8])), p=int(rng.choice([1, 4, 8])),
+                nf=int(rng.integers(1, 500)),
+            )
+        )
+    s, d = rng.choice(n_endpoints, size=2, replace=False)
+    target = _rec(
+        n_background, eps[s], eps[d], T, T + float(rng.uniform(100.0, 4000.0)),
+        float(rng.uniform(1e9, 1e11)),
+        c=int(rng.choice([2, 4])), p=int(rng.choice([4, 8])),
+        nf=int(rng.integers(1, 500)),
+    )
+    records.append(target)
+    return LogStore.from_records(records), target, T
+
+
+def _target_request(target):
+    return TransferRequest(
+        src=target.src, dst=target.dst, total_bytes=target.nb,
+        n_files=target.nf, n_dirs=target.nd,
+        concurrency=target.c, parallelism=target.p,
+    )
+
+
+class TestRandomizedReplayParity:
+    """Replay a random log: with actual end times supplied as
+    ``expected_end``, online estimates equal retrospective features for
+    every one of the ten contention features."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_online_matches_retrospective(self, seed):
+        store, target, T = _make_replay_store(seed)
+        data = store.raw()
+        pos = int(np.nonzero(data["transfer_id"] == target.transfer_id)[0][0])
+        retro = ContentionComputer(store).compute(np.array([pos]))
+
+        est = OnlineFeatureEstimator.from_log_window(
+            store, now=T, exclude_transfer_id=target.transfer_id
+        )
+        online = est.estimate(
+            _target_request(target), now=T,
+            assumed_duration_s=target.te - target.ts,
+        )
+        for name in CONTENTION_NAMES:
+            assert online[name] == pytest.approx(
+                retro[name][0], rel=1e-9, abs=1e-9
+            ), name
+
+    @pytest.mark.parametrize("seed", [0, 2])
+    def test_batch_path_matches_retrospective(self, seed):
+        """The vectorized serving path obeys the same parity invariant."""
+        from repro.serve import ActiveSet, BatchOnlinePredictor
+        from repro.serve.bench import make_synthetic_model
+
+        store, target, T = _make_replay_store(seed)
+        data = store.raw()
+        pos = int(np.nonzero(data["transfer_id"] == target.transfer_id)[0][0])
+        retro = ContentionComputer(store).compute(np.array([pos]))
+
+        active = ActiveSet.from_log_window(
+            store, now=T, exclude_transfer_id=target.transfer_id
+        )
+        engine = BatchOnlinePredictor(make_synthetic_model(0), active)
+        feats = engine.estimate_features(
+            [_target_request(target)], now=T,
+            durations=np.array([target.te - target.ts]),
+        )
+        for name in CONTENTION_NAMES:
+            assert feats[name][0] == pytest.approx(
+                retro[name][0], rel=1e-9, abs=1e-9
+            ), name

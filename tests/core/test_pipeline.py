@@ -150,3 +150,47 @@ class TestGlobalModel:
             mask = src == ep
             if mask.any():
                 assert c.ro_max >= busy_fm.y[mask].max() - 1e-9
+
+
+class TestTrainOnlyElimination:
+    """Regression: low-variance elimination must be decided from training
+    rows only — deciding from all rows leaks test-set variance into model
+    selection (the global path already did this correctly)."""
+
+    def test_feature_constant_in_train_is_eliminated(self):
+        from repro.core.features import FEATURE_NAMES
+        from repro.logs import LogStore, TransferLogRecord
+        from repro.ml.selection import train_test_split
+
+        n, seed = 80, 0
+        # The split depends only on (n, train_fraction, seed), so the test
+        # can reconstruct which rows land in the test set.
+        tr, te = train_test_split(n, 0.7, rng=seed)
+        te_set = set(te.tolist())
+        rng = np.random.default_rng(5)
+        recs = []
+        for i in range(n):
+            ts = float(rng.uniform(0, 5000.0))
+            # P: constant 4 on every training row, alternating 4/8 on the
+            # test rows -> high variance overall, zero variance in train.
+            p = (4 if i % 2 else 8) if i in te_set else 4
+            recs.append(
+                TransferLogRecord(
+                    transfer_id=i, src="A", dst="B", src_site="A",
+                    dst_site="B", src_type="GCS", dst_type="GCS",
+                    ts=ts, te=ts + float(rng.uniform(10, 400)),
+                    nb=float(rng.uniform(1e8, 1e11)),
+                    nf=int(rng.integers(1, 100)), nd=1, c=2, p=p,
+                    nflt=0, distance_km=100.0,
+                )
+            )
+        fm = build_feature_matrix(LogStore.from_records(recs))
+        res = fit_edge_model(fm, "A", "B", model="linear", threshold=0.0,
+                             seed=seed, min_samples=10)
+        p_idx = FEATURE_NAMES.index("P")
+        assert not res.kept[p_idx], (
+            "P varies only in the test split; elimination computed from "
+            "training rows must drop it"
+        )
+        # C really is constant everywhere -> still eliminated.
+        assert not res.kept[FEATURE_NAMES.index("C")]

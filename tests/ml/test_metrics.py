@@ -76,6 +76,22 @@ class TestRmseR2:
         assert r2_score(y, y) == 1.0
         assert r2_score(y, y + 1.0) == 0.0
 
+    def test_r2_constant_target_exact_prediction_is_one(self):
+        """Degenerate ss_tot == 0 branch: a model that nails a constant
+        target explains everything there is to explain."""
+        y = np.zeros(7)
+        assert r2_score(y, np.zeros(7)) == 1.0
+        assert r2_score(np.full(3, -2.5), np.full(3, -2.5)) == 1.0
+
+    def test_r2_constant_target_any_error_is_zero_not_neg_inf(self):
+        """Degenerate ss_tot == 0 branch with residual error: 0.0 by
+        convention, never -inf (and never a NaN from 0/0)."""
+        y = np.full(5, 3.0)
+        for yhat in (y + 1e-9, y - 100.0, np.array([3.0, 3.0, 3.0, 3.0, 4.0])):
+            score = r2_score(y, yhat)
+            assert score == 0.0
+            assert np.isfinite(score)
+
 
 @settings(max_examples=60, deadline=None)
 @given(

@@ -1,0 +1,110 @@
+"""Tests for the incremental in-flight population (repro.serve.ActiveSet)."""
+
+import numpy as np
+import pytest
+
+from repro.core.online import ActiveTransferView, OnlineFeatureEstimator
+from repro.serve import ActiveSet
+from tests.core.conftest import make_random_store
+
+
+def _view(src="A", dst="B", rate=1e8, started=0.0, end=1000.0, c=2, p=4, nf=50):
+    return ActiveTransferView(
+        src=src, dst=dst, rate=rate, started_at=started,
+        expected_end=end, concurrency=c, parallelism=p, n_files=nf,
+    )
+
+
+class TestLifecycle:
+    def test_add_complete(self):
+        active = ActiveSet()
+        active.add(1, _view())
+        active.add(2, _view(src="B", dst="C"))
+        assert len(active) == 2 and 1 in active
+        gone = active.complete(1)
+        assert gone.src == "A"
+        assert len(active) == 1 and 1 not in active
+        assert active.endpoints() == {"B", "C"}
+
+    def test_duplicate_add_raises(self):
+        active = ActiveSet()
+        active.add(1, _view())
+        with pytest.raises(KeyError):
+            active.add(1, _view())
+
+    def test_complete_unknown_raises(self):
+        with pytest.raises(KeyError):
+            ActiveSet().complete(99)
+
+    def test_progress_updates_view(self):
+        active = ActiveSet()
+        active.add(7, _view(rate=1e8, end=500.0))
+        updated = active.progress(7, rate=2e8, expected_end=800.0)
+        assert updated.rate == 2e8 and updated.expected_end == 800.0
+        assert active.get(7).rate == 2e8
+
+    def test_progress_requires_a_change(self):
+        active = ActiveSet()
+        active.add(7, _view())
+        with pytest.raises(ValueError):
+            active.progress(7)
+        with pytest.raises(KeyError):
+            active.progress(8, rate=1.0)
+
+    def test_stats_counters(self):
+        active = ActiveSet.from_views([_view(), _view(src="C", dst="D")])
+        assert active.stats.adds == 0  # construction doesn't count
+        active.add(10, _view(src="A", dst="D"))
+        active.progress(10, rate=5e7)
+        active.complete(10)
+        s = active.stats.as_dict()
+        assert s["adds"] == 1 and s["progress_updates"] == 1
+        assert s["completes"] == 1
+
+
+class TestIncrementalState:
+    def test_mutation_only_invalidates_touched_endpoints(self):
+        active = ActiveSet()
+        active.add(1, _view(src="A", dst="B"))
+        active.add(2, _view(src="C", dst="D"))
+        sa, sc = active.endpoint_state("A"), active.endpoint_state("C")
+        rebuilds = active.stats.state_rebuilds
+        # Touch only C<->D: A's and B's state must survive by identity.
+        active.add(3, _view(src="C", dst="D", rate=5e7))
+        assert active.endpoint_state("A") is sa
+        assert active.endpoint_state("C") is not sc
+        assert active.stats.state_rebuilds == rebuilds + 1
+
+    def test_updates_are_visible_in_queries(self):
+        active = ActiveSet()
+        active.add(1, _view(src="A", dst="B", rate=1e8, end=float("inf")))
+        out = active.endpoint_state("A").outgoing.overlap_sum(0.0, np.array([10.0]))
+        assert out[0, 0] == pytest.approx(1e9)  # rate * 10s
+        active.progress(1, rate=2e8)
+        out = active.endpoint_state("A").outgoing.overlap_sum(0.0, np.array([10.0]))
+        assert out[0, 0] == pytest.approx(2e9)
+        active.complete(1)
+        out = active.endpoint_state("A").outgoing.overlap_sum(0.0, np.array([10.0]))
+        assert out[0, 0] == 0.0
+
+
+class TestFromLogWindow:
+    def test_matches_estimator_view(self):
+        store = make_random_store(n=150, seed=4, horizon=2000.0)
+        now = 900.0
+        active = ActiveSet.from_log_window(store, now=now)
+        est = OnlineFeatureEstimator.from_log_window(store, now=now)
+        assert len(active) == len(est.active)
+        assert sorted(v.started_at for v in active.views()) == sorted(
+            v.started_at for v in est.active
+        )
+
+    def test_keyed_by_transfer_id(self):
+        store = make_random_store(n=80, seed=1, horizon=1000.0)
+        now = 500.0
+        data = store.raw()
+        expected = set(
+            data["transfer_id"][(data["ts"] <= now) & (data["te"] > now)]
+        )
+        active = ActiveSet.from_log_window(store, now=now)
+        assert set(active.ids()) == {int(t) for t in expected}

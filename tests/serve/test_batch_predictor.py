@@ -1,0 +1,188 @@
+"""Tests for the vectorized batch prediction engine (repro.serve.batch)."""
+
+import numpy as np
+import pytest
+
+from repro.core.online import (
+    ActiveTransferView,
+    OnlineFeatureEstimator,
+    OnlinePredictor,
+)
+from repro.serve import ActiveSet, BatchOnlinePredictor
+from repro.serve.bench import (
+    make_synthetic_model,
+    make_synthetic_requests,
+    make_synthetic_views,
+    run_serve_bench,
+)
+from repro.sim.gridftp import TransferRequest
+
+
+@pytest.fixture(scope="module")
+def model():
+    return make_synthetic_model(seed=0)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return make_synthetic_views(400, n_endpoints=12, seed=3)
+
+
+class TestBatchFeatureParity:
+    def test_matches_scalar_estimator(self, model, population):
+        """Bulk feature estimates must equal the reference per-transfer
+        Python loop for every request."""
+        requests = make_synthetic_requests(60, n_endpoints=12, seed=5)
+        durations = np.linspace(10.0, 5000.0, len(requests))
+        engine = BatchOnlinePredictor(model, ActiveSet.from_views(population))
+        batch = engine.estimate_features(requests, now=0.0, durations=durations)
+        scalar = OnlineFeatureEstimator(population)
+        for j, req in enumerate(requests):
+            ref = scalar.estimate(req, now=0.0, assumed_duration_s=durations[j])
+            for name, arr in batch.items():
+                assert arr[j] == pytest.approx(ref[name], rel=1e-9, abs=1e-6), (
+                    name, j,
+                )
+
+    def test_infinite_expected_end(self, model):
+        active = ActiveSet.from_views(
+            [
+                ActiveTransferView(
+                    src="EP000", dst="EP001", rate=2e8, started_at=0.0,
+                )
+            ]
+        )
+        engine = BatchOnlinePredictor(model, active)
+        req = TransferRequest(src="EP000", dst="EP002", total_bytes=1e9)
+        feats = engine.estimate_features([req], now=100.0, durations=np.array([50.0]))
+        assert feats["K_sout"][0] == pytest.approx(2e8)  # full overlap forever
+
+    def test_idle_endpoints_zero_contention(self, model):
+        engine = BatchOnlinePredictor(model, ActiveSet())
+        req = TransferRequest(src="EP000", dst="EP001", total_bytes=1e9)
+        feats = engine.estimate_features([req], now=0.0, durations=np.array([100.0]))
+        for name in ("K_sout", "K_din", "S_sin", "G_dst"):
+            assert feats[name][0] == 0.0
+        assert feats["Nb"][0] == 1e9
+
+
+class TestPredictionParity:
+    def test_batch_equals_looped_scalar(self, model, population):
+        """The acceptance invariant: identical predictions between the
+        batch engine and looping OnlinePredictor.predict."""
+        requests = make_synthetic_requests(100, n_endpoints=12, seed=6)
+        engine = BatchOnlinePredictor(model, ActiveSet.from_views(population))
+        batch = engine.predict_batch(requests, now=0.0)
+        scalar = OnlinePredictor(model, OnlineFeatureEstimator(population))
+        loop = np.array([scalar.predict(r, now=0.0) for r in requests])
+        assert np.allclose(batch, loop, rtol=1e-12, atol=0.0)
+
+    def test_batch_of_one_matches_scalar(self, model, population):
+        req = make_synthetic_requests(1, n_endpoints=12, seed=7)[0]
+        engine = BatchOnlinePredictor(model, ActiveSet.from_views(population))
+        scalar = OnlinePredictor(model, OnlineFeatureEstimator(population))
+        assert engine.predict(req, now=0.0) == scalar.predict(req, now=0.0)
+
+    def test_gbt_model_parity(self, population):
+        """Same invariant through the nonlinear model's tree traversal."""
+        from repro.core.features import FEATURE_NAMES
+        from repro.core.pipeline import EdgeModelResult
+        from repro.ml.gbt import GradientBoostingRegressor
+        from repro.ml.scaler import StandardScaler
+
+        rng = np.random.default_rng(0)
+        n = 800
+        X = rng.uniform(0, 1e9, (n, len(FEATURE_NAMES)))
+        y = 3e8 - 0.1 * X[:, 0] + rng.normal(0, 1e6, n)
+        scaler = StandardScaler().fit(X)
+        gbt = GradientBoostingRegressor(
+            n_estimators=40, max_depth=3, random_state=0
+        ).fit(scaler.transform(X), np.maximum(y, 1e6))
+        res = EdgeModelResult(
+            src="EP000", dst="EP001", model_kind="gbt",
+            feature_names=FEATURE_NAMES,
+            kept=np.ones(len(FEATURE_NAMES), dtype=bool),
+            significance=np.zeros(len(FEATURE_NAMES)),
+            n_train=n, n_test=0, test_errors=np.array([0.0]),
+            mdape=0.0, model=gbt, scaler=scaler,
+        )
+        requests = make_synthetic_requests(40, n_endpoints=12, seed=8)
+        batch = BatchOnlinePredictor(
+            res, ActiveSet.from_views(population)
+        ).predict_batch(requests, now=0.0)
+        scalar = OnlinePredictor(res, OnlineFeatureEstimator(population))
+        loop = np.array([scalar.predict(r, now=0.0) for r in requests])
+        assert np.allclose(batch, loop, rtol=1e-12, atol=0.0)
+
+    def test_population_mutations_change_predictions(self, model):
+        active = ActiveSet()
+        engine = BatchOnlinePredictor(model, active)
+        req = TransferRequest(src="EP000", dst="EP001", total_bytes=5e10)
+        quiet = engine.predict(req, now=0.0)
+        for i in range(4):
+            active.add(
+                i,
+                ActiveTransferView(
+                    src="EP000", dst="EP005", rate=4e8, started_at=0.0,
+                    concurrency=8, parallelism=8, n_files=1000,
+                ),
+            )
+        busy = engine.predict(req, now=0.0)
+        assert busy < quiet
+        for i in range(4):
+            active.complete(i)
+        assert engine.predict(req, now=0.0) == pytest.approx(quiet)
+
+
+class TestValidationAndStats:
+    def test_missing_extra_columns_raise(self, model, population):
+        import dataclasses
+
+        fake = dataclasses.replace(
+            model, feature_names=model.feature_names + ("ROmax_src",),
+            kept=np.ones(len(model.feature_names) + 1, dtype=bool),
+        )
+        with pytest.raises(KeyError):
+            BatchOnlinePredictor(fake, ActiveSet.from_views(population))
+
+    def test_empty_batch(self, model):
+        engine = BatchOnlinePredictor(model, ActiveSet())
+        assert engine.predict_batch([], now=0.0).shape == (0,)
+
+    def test_bad_controls(self, model):
+        with pytest.raises(ValueError):
+            BatchOnlinePredictor(model, ActiveSet(), max_iterations=0)
+        with pytest.raises(ValueError):
+            BatchOnlinePredictor(model, ActiveSet(), tolerance=0.0)
+
+    def test_stats_populated(self, model, population):
+        engine = BatchOnlinePredictor(model, ActiveSet.from_views(population))
+        requests = make_synthetic_requests(25, n_endpoints=12, seed=9)
+        engine.predict_batch(requests, now=0.0)
+        s = engine.stats
+        assert s.predict_calls == 1 and s.requests == 25
+        assert s.fixpoint_iterations >= 1
+        assert s.feature_rows >= 25
+        assert s.total_time_s > 0.0
+        assert s.feature_time_s >= 0.0 and s.model_time_s >= 0.0
+        assert s.mean_iterations_per_request >= 1.0
+        engine.stats.reset()
+        assert engine.stats.requests == 0 and engine.stats.total_time_s == 0.0
+
+    def test_scalar_predictor_exposes_engine_stats(self, model, population):
+        scalar = OnlinePredictor(model, OnlineFeatureEstimator(population))
+        req = make_synthetic_requests(1, n_endpoints=12, seed=10)[0]
+        scalar.predict(req, now=0.0)
+        assert scalar.engine.stats.predict_calls == 1
+        assert scalar.engine.stats.requests == 1
+
+
+class TestServeBenchHarness:
+    def test_small_run_agrees_and_reports(self):
+        result = run_serve_bench(
+            n_active=300, n_requests=40, n_endpoints=8, seed=0
+        )
+        assert result.max_abs_diff < 1e-6
+        assert result.batch_time_s > 0 and result.loop_time_s > 0
+        text = result.render()
+        assert "speedup" in text and "engine stats" in text

@@ -92,3 +92,28 @@ class TestPredictAndAdvise:
             ]
         )
         assert rc == 2
+
+
+class TestServeBench:
+    def test_synthetic_bench_runs_and_agrees(self, capsys):
+        rc = main(
+            [
+                "serve-bench", "--actives", "200", "--requests", "40",
+                "--endpoints", "8", "--seed", "0",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "engine stats" in out
+
+    def test_with_trained_model_bundle(self, workflow, capsys):
+        _, model_path, *_ = workflow
+        rc = main(
+            [
+                "serve-bench", "--actives", "150", "--requests", "30",
+                "--endpoints", "6", "--model", str(model_path),
+            ]
+        )
+        assert rc == 0
+        assert "requests" in capsys.readouterr().out
