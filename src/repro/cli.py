@@ -11,18 +11,26 @@ would be operated against real logs::
     repro-tools advise --model model.json --log log.csv \\
                        --bytes 50e9 --files 100 --at 86400
     repro-tools serve-bench --actives 10000 --requests 1000
+    repro-tools logs validate --log log.csv --report quarantine.json
+    repro-tools chaos --quick
 
 ``train`` writes a bundle (model + scaler + feature bookkeeping) as JSON;
 ``predict`` replays the log to reconstruct the active-transfer view at the
 requested instant and runs the online predictor; ``advise`` sweeps tunables;
 ``serve-bench`` measures batch-serving throughput (vectorized
 :class:`repro.serve.BatchOnlinePredictor` vs the looped scalar predictor)
-on a synthetic active population, optionally with a trained model bundle.
+on a synthetic active population, optionally with a trained model bundle;
+``logs validate`` runs lenient ingestion over a CSV/JSONL log and prints
+the quarantine report; ``chaos`` replays a synthetic log through the
+serving engine under fault injection (duplicate/unknown completions, bad
+progress values, never-completing transfers, clock skew) and fails if the
+engine loses consistency or emits a non-finite prediction.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -181,6 +189,37 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_logs_validate(args: argparse.Namespace) -> int:
+    from repro.logs.io import read_jsonl
+
+    path = Path(args.log)
+    fmt = args.format
+    if fmt == "auto":
+        fmt = "jsonl" if path.suffix in (".jsonl", ".ndjson", ".json") else "csv"
+    reader = read_jsonl if fmt == "jsonl" else read_csv
+    store, report = reader(path, strict=False)
+    print(report.summary() if not report.ok else
+          f"{path}: {report.kept_rows}/{report.total_rows} rows kept, clean")
+    if args.report:
+        Path(args.report).write_text(json.dumps(report.as_dict(), indent=2))
+        print(f"wrote quarantine report to {args.report}")
+    return 0 if report.ok else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.serve.chaos import ChaosConfig, run_chaos_replay
+
+    if args.quick:
+        config = ChaosConfig.quick(seed=args.seed)
+    else:
+        config = ChaosConfig(seed=args.seed, n_transfers=args.transfers)
+    if args.strict_active:
+        config = dataclasses.replace(config, lenient=False)
+    report = run_chaos_replay(config)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-tools",
@@ -231,6 +270,31 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--model", default=None,
                    help="optional trained bundle (default: synthetic model)")
     p.set_defaults(func=_cmd_serve_bench)
+
+    p = sub.add_parser("logs", help="log ingestion utilities")
+    logs_sub = p.add_subparsers(dest="logs_command", required=True)
+    v = logs_sub.add_parser(
+        "validate",
+        help="lenient-read a log, quarantining malformed rows",
+    )
+    v.add_argument("--log", required=True)
+    v.add_argument("--format", choices=("auto", "csv", "jsonl"), default="auto")
+    v.add_argument("--report", default=None,
+                   help="also write the quarantine report as JSON here")
+    v.set_defaults(func=_cmd_logs_validate)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection replay against the serving engine",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="seconds-scale configuration for CI smoke runs")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--transfers", type=int, default=400)
+    p.add_argument("--strict-active", action="store_true",
+                   help="strict ActiveSet: injected faults raise and are "
+                        "counted as rejections instead of being absorbed")
+    p.set_defaults(func=_cmd_chaos)
 
     args = parser.parse_args(argv)
     try:

@@ -67,8 +67,15 @@ class ActiveTransferView:
     n_files: int = 1_000_000
 
     def __post_init__(self) -> None:
-        if self.rate < 0:
-            raise ValueError("rate must be >= 0")
+        # NaN slips through plain comparisons (every NaN comparison is
+        # False), then poisons every contention feature it touches — reject
+        # it here so the serving layer can never ingest a poisoned view.
+        if not np.isfinite(self.rate) or self.rate < 0:
+            raise ValueError(f"rate must be finite and >= 0, got {self.rate}")
+        if not np.isfinite(self.started_at):
+            raise ValueError(f"started_at must be finite, got {self.started_at}")
+        if np.isnan(self.expected_end):
+            raise ValueError("expected_end must not be NaN (use inf for unknown)")
         if self.expected_end <= self.started_at:
             raise ValueError("expected_end must be after started_at")
         if self.concurrency < 1 or self.parallelism < 1 or self.n_files < 1:

@@ -21,8 +21,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.analytical import threshold_mask
+from repro.core.analytical import EndpointMaxima, threshold_mask
 from repro.core.endpoint_features import (
+    EndpointCapability,
     capability_columns,
     estimate_endpoint_capabilities,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "GBTSettings",
     "EdgeModelResult",
     "GlobalModelResult",
+    "GlobalFeatureAdapter",
     "select_heavy_edges",
     "fit_edge_model",
     "fit_all_edge_models",
@@ -131,6 +133,116 @@ class GlobalModelResult:
     mdape: float
     model: object = field(repr=False, default=None)
     scaler: StandardScaler | None = field(repr=False, default=None)
+
+
+# Extra regressors a global model may carry beyond the Table 2 features.
+_GLOBAL_EXTRA_NAMES = ("ROmax_src", "RImax_dst", "distance_km")
+
+
+@dataclass(frozen=True)
+class GlobalFeatureAdapter:
+    """Maps a transfer request onto a global model's extra features.
+
+    A :class:`GlobalModelResult` needs per-request values for Eq. 5's
+    endpoint-capability regressors (``ROmax_src``, ``RImax_dst``) and,
+    when fitted with ``include_rtt=True``, the edge's ``distance_km``.
+    At serving time those come from *this* adapter, not from the request:
+    the serving layer looks up the request's endpoints here and feeds the
+    resulting columns into the batch predictor.  This is what lets the
+    §5.4 global model act as the fallback tier for edges that have no
+    dedicated model (see :class:`repro.serve.FallbackChain`).
+
+    Attributes
+    ----------
+    capabilities:
+        Per-endpoint ROmax/RImax estimates; 0.0 in a direction means
+        "never observed", i.e. the adapter does not cover that endpoint
+        in that role.
+    distances:
+        Optional per-edge great-circle distances, required only by
+        ``include_rtt`` models.
+    """
+
+    capabilities: dict[str, EndpointCapability]
+    distances: dict[tuple[str, str], float] | None = None
+
+    @classmethod
+    def from_features(cls, features: FeatureMatrix) -> "GlobalFeatureAdapter":
+        """Estimate capabilities (and edge distances) from a feature matrix,
+        typically the same training data the global model was fitted on."""
+        caps = estimate_endpoint_capabilities(features)
+        store = features.store
+        distances: dict[tuple[str, str], float] = {}
+        src = store.column("src")
+        dst = store.column("dst")
+        dist = store.column("distance_km")
+        for s, d, km in zip(src, dst, dist):
+            distances.setdefault((str(s), str(d)), float(km))
+        return cls(capabilities=caps, distances=distances)
+
+    @classmethod
+    def from_endpoint_maxima(
+        cls, maxima: dict[str, EndpointMaxima]
+    ) -> "GlobalFeatureAdapter":
+        """Build from §3.2 log-estimated endpoint maxima.
+
+        ``DRmax`` (max observed rate as source) lower-bounds ``ROmax`` and
+        ``DWmax`` lower-bounds ``RImax`` — a single transfer's rate is the
+        degenerate aggregate — so the maxima are a usable, if conservative,
+        capability estimate when no feature matrix is at hand.
+        """
+        caps = {
+            ep: EndpointCapability(endpoint=ep, ro_max=m.dr_max, ri_max=m.dw_max)
+            for ep, m in maxima.items()
+        }
+        return cls(capabilities=caps)
+
+    def _extra_names(self, result: GlobalModelResult) -> list[str]:
+        return [n for n in result.feature_names if n in _GLOBAL_EXTRA_NAMES]
+
+    def covers(self, result: GlobalModelResult, src: str, dst: str) -> bool:
+        """Whether every extra feature ``result`` needs is available for a
+        ``src -> dst`` request (capability 0.0 counts as unavailable)."""
+        for name in self._extra_names(result):
+            if name == "ROmax_src":
+                cap = self.capabilities.get(src)
+                if cap is None or cap.ro_max <= 0:
+                    return False
+            elif name == "RImax_dst":
+                cap = self.capabilities.get(dst)
+                if cap is None or cap.ri_max <= 0:
+                    return False
+            elif name == "distance_km":
+                if self.distances is None or (src, dst) not in self.distances:
+                    return False
+        return True
+
+    def extra_columns(
+        self, result: GlobalModelResult, requests
+    ) -> dict[str, np.ndarray]:
+        """Per-request arrays for the extra features ``result`` needs.
+
+        Callers should check :meth:`covers` first; uncovered endpoints get
+        0.0 here (the fitted model saw no such value, so predictions would
+        be extrapolations).
+        """
+        out: dict[str, np.ndarray] = {}
+        default = EndpointCapability("?", 0.0, 0.0)
+        for name in self._extra_names(result):
+            if name == "ROmax_src":
+                out[name] = np.array(
+                    [self.capabilities.get(r.src, default).ro_max for r in requests]
+                )
+            elif name == "RImax_dst":
+                out[name] = np.array(
+                    [self.capabilities.get(r.dst, default).ri_max for r in requests]
+                )
+            else:
+                dist = self.distances or {}
+                out[name] = np.array(
+                    [dist.get((r.src, r.dst), 0.0) for r in requests]
+                )
+        return out
 
 
 def select_heavy_edges(

@@ -9,9 +9,16 @@ operations the feature pipeline needs, round-trip IO, and the anonymiser
 the authors applied before publishing their training data.
 """
 
-from repro.logs.schema import TransferLogRecord, LOG_DTYPE
+from repro.logs.schema import TransferLogRecord, LOG_DTYPE, record_violations
 from repro.logs.store import LogStore
-from repro.logs.io import write_csv, read_csv, write_jsonl, read_jsonl
+from repro.logs.io import (
+    write_csv,
+    read_csv,
+    write_jsonl,
+    read_jsonl,
+    QuarantinedRow,
+    QuarantineReport,
+)
 from repro.logs.anonymize import anonymize_store
 from repro.logs.stats import (
     edge_usage_funnel,
@@ -25,10 +32,13 @@ __all__ = [
     "TransferLogRecord",
     "LOG_DTYPE",
     "LogStore",
+    "record_violations",
     "write_csv",
     "read_csv",
     "write_jsonl",
     "read_jsonl",
+    "QuarantinedRow",
+    "QuarantineReport",
     "anonymize_store",
     "edge_usage_funnel",
     "byte_weighted_rate_fractions",

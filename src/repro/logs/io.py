@@ -1,25 +1,122 @@
-"""Log round-trip IO: CSV and JSONL.
+"""Log round-trip IO: CSV and JSONL, with strict and lenient ingestion.
 
 The paper published its (anonymised) training/testing data [27]; these
 helpers give the reproduction the same capability, and let experiments
 cache expensive simulation runs on disk.
+
+Production Globus logs are noisy (§4.3 is devoted to "unknown load" and
+log imperfections), so ``read_csv``/``read_jsonl`` support two modes:
+
+- **strict** (default): any malformed line or invariant violation raises,
+  exactly what replay experiments want — a corrupt cache should fail loudly;
+- **lenient** (``strict=False``): bad rows are *quarantined* into a
+  structured :class:`QuarantineReport` (line number, field, reason, raw
+  text) and the clean remainder is returned, which is what a serving
+  pipeline ingesting live telemetry wants.  Lenient reads return a
+  ``(LogStore, QuarantineReport)`` pair.
+
+``repro-tools logs validate`` wraps the lenient path as a CLI linter.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 import numpy as np
 
-from repro.logs.schema import LOG_DTYPE
+from repro.logs.schema import LOG_DTYPE, record_violations
 from repro.logs.store import LogStore
 
-__all__ = ["write_csv", "read_csv", "write_jsonl", "read_jsonl"]
+__all__ = [
+    "write_csv",
+    "read_csv",
+    "write_jsonl",
+    "read_jsonl",
+    "QuarantinedRow",
+    "QuarantineReport",
+]
 
 _FLOAT_FIELDS = {"ts", "te", "nb", "distance_km"}
 _INT_FIELDS = {"transfer_id", "nf", "nd", "c", "p", "nflt"}
+
+_RAW_TRUNCATE = 160
+
+
+@dataclass(frozen=True)
+class QuarantinedRow:
+    """One quarantined violation: where it was, what was wrong.
+
+    A single input line can contribute several rows (one per violated
+    field); ``line_no`` groups them back together.
+    """
+
+    line_no: int
+    field: str
+    reason: str
+    raw: str = ""
+
+
+@dataclass
+class QuarantineReport:
+    """Structured record of everything lenient ingestion refused.
+
+    Round-trips through :meth:`as_dict` / :meth:`from_dict` so a serving
+    pipeline can persist the report next to the ingested store and audit
+    quarantined telemetry later.
+    """
+
+    source: str = ""
+    total_rows: int = 0
+    kept_rows: int = 0
+    rows: list[QuarantinedRow] = field(default_factory=list)
+
+    def add(self, line_no: int, field_name: str, reason: str, raw: str = "") -> None:
+        self.rows.append(
+            QuarantinedRow(
+                line_no=line_no,
+                field=field_name,
+                reason=reason,
+                raw=raw[:_RAW_TRUNCATE],
+            )
+        )
+
+    @property
+    def quarantined_rows(self) -> int:
+        """Distinct input lines quarantined (not violation count)."""
+        return len({r.line_no for r in self.rows})
+
+    @property
+    def ok(self) -> bool:
+        return not self.rows
+
+    def as_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "total_rows": self.total_rows,
+            "kept_rows": self.kept_rows,
+            "rows": [asdict(r) for r in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "QuarantineReport":
+        return cls(
+            source=d.get("source", ""),
+            total_rows=int(d.get("total_rows", 0)),
+            kept_rows=int(d.get("kept_rows", 0)),
+            rows=[QuarantinedRow(**r) for r in d.get("rows", [])],
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.source or '<log>'}: {self.kept_rows}/{self.total_rows} "
+            f"rows kept, {self.quarantined_rows} quarantined"
+        ]
+        for r in self.rows:
+            lines.append(f"  line {r.line_no}: [{r.field}] {r.reason}")
+        return "\n".join(lines)
 
 
 def write_csv(store: LogStore, path: str | Path) -> None:
@@ -33,17 +130,70 @@ def write_csv(store: LogStore, path: str | Path) -> None:
             writer.writerow([row[name].item() for name in LOG_DTYPE.names])
 
 
-def read_csv(path: str | Path) -> LogStore:
-    """Read a store written by :func:`write_csv`."""
+def read_csv(path: str | Path, strict: bool = True):
+    """Read a store written by :func:`write_csv`.
+
+    With ``strict=True`` (default) the first malformed line raises
+    ``ValueError``; with ``strict=False`` bad rows are quarantined and the
+    return value is a ``(LogStore, QuarantineReport)`` pair.
+    """
     path = Path(path)
+    report = QuarantineReport(source=str(path))
+    rows: list[tuple] = []
     with path.open(newline="") as fh:
         reader = csv.reader(fh)
-        header = next(reader)
-        if tuple(header) != LOG_DTYPE.names:
-            raise ValueError(f"unexpected CSV header in {path}: {header}")
-        rows = [_parse_row(r) for r in reader]
+        header = next(reader, None)
+        if header is None:
+            if strict:
+                raise ValueError(f"{path}: empty file (no CSV header)")
+            report.add(0, "<header>", "empty file (no CSV header)")
+        elif tuple(header) != LOG_DTYPE.names:
+            if strict:
+                raise ValueError(f"unexpected CSV header in {path}: {header}")
+            report.add(1, "<header>", f"unexpected CSV header: {header}")
+            header = None
+        if header is not None:
+            for line_no, raw in enumerate(reader, 2):
+                if not raw:
+                    continue
+                report.total_rows += 1
+                row = _ingest_csv_row(path, line_no, raw, strict, report)
+                if row is not None:
+                    rows.append(row)
+    report.kept_rows = len(rows)
     arr = np.array(rows, dtype=LOG_DTYPE) if rows else np.empty(0, dtype=LOG_DTYPE)
-    return LogStore(arr)
+    store = LogStore(arr)
+    return store if strict else (store, report)
+
+
+def _ingest_csv_row(
+    path: Path,
+    line_no: int,
+    raw: list[str],
+    strict: bool,
+    report: QuarantineReport,
+) -> tuple | None:
+    raw_text = ",".join(raw)
+    if len(raw) != len(LOG_DTYPE.names):
+        if strict:
+            raise ValueError(
+                f"{path}:{line_no}: expected {len(LOG_DTYPE.names)} columns, "
+                f"got {len(raw)}"
+            )
+        report.add(
+            line_no, "<row>",
+            f"expected {len(LOG_DTYPE.names)} columns, got {len(raw)}",
+            raw_text,
+        )
+        return None
+    try:
+        values = dict(zip(LOG_DTYPE.names, _parse_row(raw)))
+    except ValueError as exc:
+        if strict:
+            raise ValueError(f"{path}:{line_no}: {exc}") from exc
+        report.add(line_no, "<row>", f"unparseable value: {exc}", raw_text)
+        return None
+    return _validated(path, line_no, values, raw_text, strict, report)
 
 
 def write_jsonl(store: LogStore, path: str | Path) -> None:
@@ -56,22 +206,70 @@ def write_jsonl(store: LogStore, path: str | Path) -> None:
             fh.write(json.dumps(obj) + "\n")
 
 
-def read_jsonl(path: str | Path) -> LogStore:
-    """Read a store written by :func:`write_jsonl`."""
+def read_jsonl(path: str | Path, strict: bool = True):
+    """Read a store written by :func:`write_jsonl`.
+
+    Same contract as :func:`read_csv`: strict mode raises on the first bad
+    line (including a truncated final line); ``strict=False`` quarantines
+    bad lines and returns ``(LogStore, QuarantineReport)``.
+    """
     path = Path(path)
-    rows = []
+    report = QuarantineReport(source=str(path))
+    rows: list[tuple] = []
     with path.open() as fh:
         for line_no, line in enumerate(fh, 1):
             line = line.strip()
             if not line:
                 continue
-            obj = json.loads(line)
+            report.total_rows += 1
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if strict:
+                    raise ValueError(f"{path}:{line_no}: invalid JSON: {exc}") from exc
+                report.add(line_no, "<row>", f"invalid JSON: {exc}", line)
+                continue
+            if not isinstance(obj, dict):
+                if strict:
+                    raise ValueError(f"{path}:{line_no}: expected a JSON object")
+                report.add(line_no, "<row>", "expected a JSON object", line)
+                continue
             missing = set(LOG_DTYPE.names) - set(obj)
             if missing:
-                raise ValueError(f"{path}:{line_no}: missing fields {sorted(missing)}")
-            rows.append(tuple(obj[name] for name in LOG_DTYPE.names))
+                if strict:
+                    raise ValueError(
+                        f"{path}:{line_no}: missing fields {sorted(missing)}"
+                    )
+                for name in sorted(missing):
+                    report.add(line_no, name, "missing field", line)
+                continue
+            row = _validated(path, line_no, obj, line, strict, report)
+            if row is not None:
+                rows.append(row)
+    report.kept_rows = len(rows)
     arr = np.array(rows, dtype=LOG_DTYPE) if rows else np.empty(0, dtype=LOG_DTYPE)
-    return LogStore(arr)
+    store = LogStore(arr)
+    return store if strict else (store, report)
+
+
+def _validated(
+    path: Path,
+    line_no: int,
+    values: dict,
+    raw_text: str,
+    strict: bool,
+    report: QuarantineReport,
+) -> tuple | None:
+    """Invariant-check a parsed record; returns its LOG_DTYPE tuple or None."""
+    violations = record_violations(values)
+    if violations:
+        if strict:
+            detail = "; ".join(f"{f}: {r}" for f, r in violations)
+            raise ValueError(f"{path}:{line_no}: {detail}")
+        for field_name, reason in violations:
+            report.add(line_no, field_name, reason, raw_text)
+        return None
+    return tuple(values[name] for name in LOG_DTYPE.names)
 
 
 def _parse_row(row: list[str]) -> tuple:

@@ -7,11 +7,13 @@ endpoint metadata (types, coordinates) needed for Tables 3–4 and Figure 6.
 
 from __future__ import annotations
 
+import math
+from collections.abc import Mapping
 from dataclasses import dataclass, fields
 
 import numpy as np
 
-__all__ = ["TransferLogRecord", "LOG_DTYPE"]
+__all__ = ["TransferLogRecord", "LOG_DTYPE", "record_violations"]
 
 # Columnar dtype for LogStore.  Endpoint names are fixed-width unicode —
 # plenty for simulator names, and hash-anonymised names fit too.
@@ -36,6 +38,65 @@ LOG_DTYPE = np.dtype(
         ("tag", "U24"),
     ]
 )
+
+
+_FINITE_FIELDS = ("ts", "te", "nb", "distance_km")
+_GE1_FIELDS = ("nf", "c", "p")
+_GE0_FIELDS = ("nd", "nflt")
+
+
+def record_violations(values: Mapping[str, object]) -> list[tuple[str, str]]:
+    """LOG_DTYPE invariant violations in a parsed record, as (field, reason)
+    pairs — empty when the record is clean.
+
+    This is the single validation surface behind lenient ingestion
+    (:func:`repro.logs.io.read_csv` / :func:`repro.logs.io.read_jsonl` with
+    ``strict=False``): every reason string here ends up verbatim in a
+    :class:`repro.logs.io.QuarantineReport` row.  Checks mirror
+    :class:`TransferLogRecord.__post_init__` plus finiteness (a NaN ``nb``
+    would otherwise sail through the dataclass comparisons, since every
+    comparison against NaN is False).
+    """
+    out: list[tuple[str, str]] = []
+    for name in LOG_DTYPE.names:
+        if name not in values:
+            out.append((name, "missing field"))
+    if out:
+        return out
+
+    def _num(name: str) -> float | None:
+        v = values[name]
+        if isinstance(v, bool) or not isinstance(v, (int, float, np.number)):
+            out.append((name, f"expected a number, got {type(v).__name__}"))
+            return None
+        return float(v)
+
+    nums = {n: _num(n) for n in _FINITE_FIELDS + _GE1_FIELDS + _GE0_FIELDS}
+    for name in _FINITE_FIELDS:
+        v = nums[name]
+        if v is not None and not math.isfinite(v):
+            out.append((name, f"must be finite, got {v}"))
+            nums[name] = None
+    ts, te = nums["ts"], nums["te"]
+    if ts is not None and te is not None and te <= ts:
+        out.append(("te", f"te ({te}) <= ts ({ts})"))
+    if nums["nb"] is not None and nums["nb"] <= 0:
+        out.append(("nb", f"nb must be > 0, got {nums['nb']}"))
+    for name in _GE1_FIELDS:
+        v = nums[name]
+        if v is not None and v < 1:
+            out.append((name, f"{name} must be >= 1, got {v}"))
+    for name in _GE0_FIELDS:
+        v = nums[name]
+        if v is not None and v < 0:
+            out.append((name, f"{name} must be >= 0, got {v}"))
+    for name in ("src_type", "dst_type"):
+        if values[name] not in ("GCS", "GCP"):
+            out.append((name, f"must be 'GCS' or 'GCP', got {values[name]!r}"))
+    for name in ("src", "dst"):
+        if not str(values[name]):
+            out.append((name, "endpoint name must be non-empty"))
+    return out
 
 
 @dataclass(frozen=True)

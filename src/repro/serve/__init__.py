@@ -7,27 +7,43 @@ transfers.  This package is that serving layer:
 
 - :class:`ActiveSet` — the in-flight population under incremental
   ``add``/``complete``/``progress`` updates, with per-endpoint prefix-sum
-  indexes rebuilt lazily and only for touched endpoints;
+  indexes rebuilt lazily and only for touched endpoints; ``lenient=True``
+  absorbs duplicate/unknown/bad-value mutations instead of raising;
 - :class:`BatchOnlinePredictor` — the duration fix-point of
   :class:`~repro.core.online.OnlinePredictor`, vectorized across a whole
   batch of requests (the scalar predictor delegates here with a batch of
   one, so the two paths always agree);
-- :class:`PredictorStats` / :class:`ActiveSetStats` — per-call counters and
-  timings for benchmarks and observability;
+- :class:`FallbackChain` / :class:`ModelTier` — the degradation ladder
+  (per-edge model → global model → analytical bound → median → default)
+  that lets the predictor answer for edges it has no model for, tagging
+  each prediction with its provenance tier;
+- :class:`PredictorStats` / :class:`ActiveSetStats` — per-call counters
+  (including per-tier predictions and fix-point non-convergence) for
+  benchmarks and observability;
 - :mod:`repro.serve.bench` — synthetic workloads and the
-  ``repro-tools serve-bench`` harness.
+  ``repro-tools serve-bench`` harness;
+- :mod:`repro.serve.chaos` — the fault-injection replay harness behind
+  ``repro-tools chaos``.
 """
 
 from repro.serve.active_set import ActiveSet, ActiveSetStats, EndpointState
-from repro.serve.batch import BatchOnlinePredictor, PredictorStats
+from repro.serve.batch import BatchOnlinePredictor, BatchPrediction, PredictorStats
 from repro.serve.bench import ServeBenchResult, run_serve_bench
+from repro.serve.chaos import ChaosConfig, ChaosReport, run_chaos_replay
+from repro.serve.fallback import FallbackChain, ModelTier
 
 __all__ = [
     "ActiveSet",
     "ActiveSetStats",
     "EndpointState",
     "BatchOnlinePredictor",
+    "BatchPrediction",
     "PredictorStats",
+    "FallbackChain",
+    "ModelTier",
+    "ChaosConfig",
+    "ChaosReport",
+    "run_chaos_replay",
     "ServeBenchResult",
     "run_serve_bench",
 ]

@@ -29,20 +29,35 @@ __all__ = ["ActiveSet", "ActiveSetStats", "EndpointState"]
 
 @dataclass
 class ActiveSetStats:
-    """Mutation/rebuild counters (cheap observability for the serving path)."""
+    """Mutation/rebuild counters (cheap observability for the serving path).
+
+    The ``ignored_*``/``rejected_*`` counters only move in lenient mode
+    (:class:`ActiveSet` with ``lenient=True``): they count malformed
+    mutations that were dropped instead of raising — duplicate ids,
+    completions/progress for unknown ids, and progress updates carrying
+    non-finite or negative values.
+    """
 
     adds: int = 0
     completes: int = 0
     progress_updates: int = 0
     state_rebuilds: int = 0
+    ignored_adds: int = 0
+    ignored_completes: int = 0
+    ignored_progress: int = 0
+    rejected_progress: int = 0
 
     def as_dict(self) -> dict[str, int]:
-        return {
-            "adds": self.adds,
-            "completes": self.completes,
-            "progress_updates": self.progress_updates,
-            "state_rebuilds": self.state_rebuilds,
-        }
+        return {f: getattr(self, f) for f in self.__dataclass_fields__}
+
+    @property
+    def ignored_total(self) -> int:
+        return (
+            self.ignored_adds
+            + self.ignored_completes
+            + self.ignored_progress
+            + self.rejected_progress
+        )
 
 
 @dataclass(frozen=True)
@@ -96,9 +111,18 @@ class ActiveSet:
 
     Feature queries go through :meth:`endpoint_state`, which returns the
     (lazily rebuilt) prefix-sum indexes for one endpoint.
+
+    By default malformed mutations raise (``KeyError`` for unknown or
+    duplicate ids, ``ValueError`` for bad values) — correct for replay,
+    where a bad call means a bug.  With ``lenient=True`` they are instead
+    idempotently ignored and counted in :attr:`stats`, which is what a
+    serving process fed by an at-least-once event stream wants: a
+    duplicated completion event must not corrupt endpoint counters or kill
+    the server.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, lenient: bool = False) -> None:
+        self.lenient = bool(lenient)
         self._views: dict[int, ActiveTransferView] = {}
         # endpoint -> insertion-ordered {transfer_id: None} sets.  Dicts keep
         # deterministic ordering, which keeps batch-of-one and batch-of-many
@@ -142,8 +166,16 @@ class ActiveSet:
     # -- mutation ----------------------------------------------------------
 
     def add(self, transfer_id: int, view: ActiveTransferView) -> None:
-        """Register a newly started transfer."""
+        """Register a newly started transfer.
+
+        A duplicate id raises ``KeyError`` (strict) or is ignored, keeping
+        the original view (lenient) — a replayed start event must not
+        double-count the transfer's contention.
+        """
         if transfer_id in self._views:
+            if self.lenient:
+                self.stats.ignored_adds += 1
+                return
             raise KeyError(f"transfer {transfer_id} already active")
         self._views[transfer_id] = view
         self._by_src.setdefault(view.src, {})[transfer_id] = None
@@ -151,8 +183,15 @@ class ActiveSet:
         self._invalidate(view)
         self.stats.adds += 1
 
-    def complete(self, transfer_id: int) -> ActiveTransferView:
-        """Remove a finished (or failed) transfer; returns its last view."""
+    def complete(self, transfer_id: int) -> ActiveTransferView | None:
+        """Remove a finished (or failed) transfer; returns its last view.
+
+        An unknown id (never added, or already completed) raises
+        ``KeyError`` (strict) or returns ``None`` (lenient).
+        """
+        if transfer_id not in self._views and self.lenient:
+            self.stats.ignored_completes += 1
+            return None
         view = self._pop(transfer_id)
         self.stats.completes += 1
         return view
@@ -162,19 +201,34 @@ class ActiveSet:
         transfer_id: int,
         rate: float | None = None,
         expected_end: float | None = None,
-    ) -> ActiveTransferView:
-        """Update a transfer's observed rate and/or completion estimate."""
+    ) -> ActiveTransferView | None:
+        """Update a transfer's observed rate and/or completion estimate.
+
+        Unknown ids and invalid values (non-finite or negative rate, NaN or
+        non-increasing expected_end) raise in strict mode; in lenient mode
+        the update is dropped — counted as ``ignored_progress`` /
+        ``rejected_progress`` — and the stored view stays unchanged.
+        """
         if rate is None and expected_end is None:
             raise ValueError("progress needs rate and/or expected_end")
         old = self._views.get(transfer_id)
         if old is None:
+            if self.lenient:
+                self.stats.ignored_progress += 1
+                return None
             raise KeyError(f"transfer {transfer_id} not active")
         changes: dict[str, float] = {}
         if rate is not None:
             changes["rate"] = float(rate)
         if expected_end is not None:
             changes["expected_end"] = float(expected_end)
-        view = replace(old, **changes)
+        try:
+            view = replace(old, **changes)
+        except ValueError:
+            if self.lenient:
+                self.stats.rejected_progress += 1
+                return old
+            raise
         self._views[transfer_id] = view
         self._invalidate(view)
         self.stats.progress_updates += 1

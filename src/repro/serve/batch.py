@@ -14,23 +14,35 @@ across a whole batch at once:
 - each request converges on its own schedule: converged elements freeze
   while the rest keep iterating, exactly mirroring the scalar loop, so a
   batch of one is bit-identical to ``OnlinePredictor.predict``;
-- :class:`PredictorStats` counts calls, requests, fix-point iterations and
-  wall time split between feature computation and model inference.
+- :class:`PredictorStats` counts calls, requests, fix-point iterations,
+  non-converged requests, per-tier predictions, and wall time split
+  between feature computation and model inference.
+
+The predictor also accepts a :class:`~repro.serve.fallback.FallbackChain`
+(or a plain ``{(src, dst): EdgeModelResult}`` dict, which is wrapped into
+one) in place of a single model.  In that mode ``predict_batch`` never
+raises for an unknown edge: requests are partitioned across the chain's
+tiers — per-edge model, global model, analytical bound, median, default —
+and :meth:`~BatchOnlinePredictor.predict_batch_detailed` reports which
+tier served each request.  ``strict=True`` restores the old refuse-loudly
+behavior for edges without a usable per-edge model.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Sequence
+import warnings
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.core.pipeline import EdgeModelResult, GlobalModelResult
 from repro.serve.active_set import ActiveSet
+from repro.serve.fallback import FallbackChain, ModelTier
 from repro.sim.gridftp import TransferRequest
 
-__all__ = ["BatchOnlinePredictor", "PredictorStats"]
+__all__ = ["BatchOnlinePredictor", "BatchPrediction", "PredictorStats"]
 
 # Contention feature names computed from the active population (the Eq. 2
 # estimates; the request-characteristic columns C/P/Nd/Nb/Nf are appended
@@ -58,6 +70,14 @@ class PredictorStats:
     feature_rows:
         Request-rows of features computed (sum of active-subset sizes over
         all rounds).
+    nonconverged_requests:
+        Requests whose fix-point hit ``max_iterations`` without the rate
+        stabilising — previously a silent failure mode; the returned rate
+        is the last iterate.
+    tier_counts:
+        Predictions served per :class:`~repro.serve.fallback.ModelTier`
+        value (``{"edge": ..., "median": ...}``); single-model predictors
+        count everything under their model's own tier.
     feature_time_s / model_time_s:
         Wall time in bulk feature estimation vs scaler+model inference.
     total_time_s:
@@ -68,6 +88,8 @@ class PredictorStats:
     requests: int = 0
     fixpoint_iterations: int = 0
     feature_rows: int = 0
+    nonconverged_requests: int = 0
+    tier_counts: dict[str, int] = field(default_factory=dict)
     feature_time_s: float = 0.0
     model_time_s: float = 0.0
     total_time_s: float = 0.0
@@ -76,13 +98,46 @@ class PredictorStats:
         for f in self.__dataclass_fields__:
             setattr(self, f, type(getattr(self, f))())
 
+    def count_tier(self, tier: ModelTier, n: int) -> None:
+        if n:
+            self.tier_counts[tier.value] = self.tier_counts.get(tier.value, 0) + n
+
     def as_dict(self) -> dict[str, float]:
-        return {f: getattr(self, f) for f in self.__dataclass_fields__}
+        """Flat numeric dict (tier counts expand to ``tier_<name>`` keys)."""
+        out: dict[str, float] = {}
+        for f in self.__dataclass_fields__:
+            if f == "tier_counts":
+                continue
+            out[f] = getattr(self, f)
+        for tier in ModelTier:
+            if tier.value in self.tier_counts:
+                out[f"tier_{tier.value}"] = self.tier_counts[tier.value]
+        return out
 
     @property
     def mean_iterations_per_request(self) -> float:
         """Average fix-point feature rows per request (convergence speed)."""
         return self.feature_rows / self.requests if self.requests else 0.0
+
+
+@dataclass(frozen=True)
+class BatchPrediction:
+    """One batch's predictions with provenance.
+
+    Attributes
+    ----------
+    rates:
+        Predicted average rates, bytes/s (same order as the requests).
+    tiers:
+        Per-request :class:`~repro.serve.fallback.ModelTier` provenance.
+    nonconverged:
+        Boolean mask: True where the fix-point hit ``max_iterations``
+        without stabilising (the rate is the last iterate, still finite).
+    """
+
+    rates: np.ndarray
+    tiers: tuple[ModelTier, ...]
+    nonconverged: np.ndarray
 
 
 @dataclass(frozen=True)
@@ -121,6 +176,12 @@ def _columns(requests: Sequence[TransferRequest]) -> _RequestColumns:
     )
 
 
+def _model_label(result: EdgeModelResult | GlobalModelResult) -> str:
+    if isinstance(result, EdgeModelResult):
+        return f"{result.model_kind} edge model {result.src}->{result.dst}"
+    return f"{result.model_kind} global model"
+
+
 class BatchOnlinePredictor:
     """Submission-time rate prediction, vectorized across requests.
 
@@ -128,7 +189,11 @@ class BatchOnlinePredictor:
     ----------
     result:
         A fitted per-edge (:class:`EdgeModelResult`) or global
-        (:class:`GlobalModelResult`) pipeline result.
+        (:class:`GlobalModelResult`) pipeline result — or a
+        :class:`~repro.serve.fallback.FallbackChain` (a plain
+        ``{(src, dst): EdgeModelResult}`` dict is also accepted and
+        wrapped), in which case requests are routed per edge through the
+        chain's tiers.
     active:
         The in-flight transfer population (mutate it freely between calls —
         predictions always reflect the current population).
@@ -137,44 +202,94 @@ class BatchOnlinePredictor:
         :class:`~repro.core.online.OnlinePredictor`.
     extra_columns:
         Constant extra features required by the model (e.g. ``ROmax_src``,
-        ``RImax_dst`` for the global model).
+        ``RImax_dst`` for the global model).  In chain mode these are
+        offered to every tier; the global tier's per-request adapter
+        columns take precedence.
     initial_rate:
         Starting rate guess for the fix-point, bytes/s.
+    strict:
+        Chain mode only: raise ``KeyError`` for a request whose edge has
+        no usable per-edge model instead of falling back (the pre-chain
+        behavior).
+    warn_nonconverged:
+        Emit a ``RuntimeWarning`` whenever a call leaves requests
+        non-converged (always counted in ``stats.nonconverged_requests``).
     """
 
     def __init__(
         self,
-        result: EdgeModelResult | GlobalModelResult,
+        result: EdgeModelResult | GlobalModelResult | FallbackChain | Mapping,
         active: ActiveSet,
         max_iterations: int = 8,
         tolerance: float = 0.01,
         extra_columns: dict[str, float] | None = None,
         initial_rate: float = 50e6,
+        strict: bool = False,
+        warn_nonconverged: bool = False,
     ) -> None:
         if max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
         if tolerance <= 0:
             raise ValueError("tolerance must be > 0")
+        if isinstance(result, Mapping):
+            result = FallbackChain(edge_models=dict(result))
         self.result = result
         self.active = active
         self.max_iterations = max_iterations
         self.tolerance = tolerance
         self.extra_columns = dict(extra_columns or {})
         self.initial_rate = float(initial_rate)
+        self.strict = bool(strict)
+        self.warn_nonconverged = bool(warn_nonconverged)
         self.stats = PredictorStats()
-        self._names = tuple(result.feature_names)
+        self.unusable_edges: dict[tuple[str, str], str] = {}
+        if isinstance(result, FallbackChain):
+            self._chain = result
+            self._edge_engines: dict[tuple[str, str], BatchOnlinePredictor] = {}
+            for edge, edge_result in result.edge_models.items():
+                try:
+                    engine = BatchOnlinePredictor(
+                        edge_result,
+                        active,
+                        max_iterations=max_iterations,
+                        tolerance=tolerance,
+                        extra_columns=self.extra_columns,
+                        initial_rate=initial_rate,
+                    )
+                except KeyError as exc:
+                    if self.strict:
+                        raise
+                    # A half-configured model is as unusable as a missing
+                    # one: remember why and let its edge fall through.
+                    self.unusable_edges[edge] = str(exc).strip("'\"")
+                else:
+                    engine.stats = self.stats
+                    self._edge_engines[edge] = engine
+        else:
+            self._chain = None
+            self._check_features(result, self.extra_columns)
+
+    def _check_features(
+        self,
+        result: EdgeModelResult | GlobalModelResult,
+        extra: Mapping[str, object],
+    ) -> tuple[str, ...]:
+        names = tuple(result.feature_names)
         missing = [
             n
-            for n in self._names
+            for n in names
             if n not in _CONTENTION_NAMES
             and n not in ("C", "P", "Nd", "Nb", "Nf")
-            and n not in self.extra_columns
+            and n not in extra
         ]
         if missing:
             raise KeyError(
-                f"features {missing} required by the model but not provided; "
-                "pass them via extra_columns"
+                f"{_model_label(result)} requires features {missing} that are "
+                f"neither contention/request columns nor in extra_columns "
+                f"(provided: {sorted(extra) or 'none'}); pass them via "
+                "extra_columns or route through a FallbackChain"
             )
+        return names
 
     # -- prediction --------------------------------------------------------
 
@@ -187,10 +302,116 @@ class BatchOnlinePredictor:
     ) -> np.ndarray:
         """Predicted average rates (bytes/s) for ``requests`` starting at
         ``now``, one fix-point per request, all vectorized."""
+        return self.predict_batch_detailed(requests, now).rates
+
+    def predict_batch_detailed(
+        self, requests: Sequence[TransferRequest], now: float
+    ) -> BatchPrediction:
+        """Like :meth:`predict_batch`, but with per-request provenance
+        (:class:`ModelTier`) and convergence flags."""
         t0 = time.perf_counter()
         m = len(requests)
         if m == 0:
-            return np.zeros(0)
+            return BatchPrediction(np.zeros(0), (), np.zeros(0, dtype=bool))
+        if self._chain is None:
+            rates, nonconv = self._fixpoint(self.result, requests, now,
+                                            self.extra_columns)
+            tier = (
+                ModelTier.EDGE
+                if isinstance(self.result, EdgeModelResult)
+                else ModelTier.GLOBAL
+            )
+            tiers: tuple[ModelTier, ...] = (tier,) * m
+            self.stats.count_tier(tier, m)
+        else:
+            rates, tiers, nonconv = self._predict_chain(requests, now)
+
+        n_bad = int(nonconv.sum())
+        self.stats.nonconverged_requests += n_bad
+        if n_bad and self.warn_nonconverged:
+            warnings.warn(
+                f"{n_bad}/{m} request(s) did not converge within "
+                f"{self.max_iterations} fix-point iterations "
+                f"(tolerance={self.tolerance})",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        self.stats.predict_calls += 1
+        self.stats.requests += m
+        self.stats.total_time_s += time.perf_counter() - t0
+        return BatchPrediction(rates, tiers, nonconv)
+
+    def _predict_chain(
+        self, requests: Sequence[TransferRequest], now: float
+    ) -> tuple[np.ndarray, tuple[ModelTier, ...], np.ndarray]:
+        """Partition the batch across the fallback chain's tiers."""
+        chain = self._chain
+        m = len(requests)
+        rates = np.zeros(m)
+        nonconv = np.zeros(m, dtype=bool)
+        tiers: list[ModelTier] = [ModelTier.DEFAULT] * m
+        edge_groups: dict[tuple[str, str], list[int]] = {}
+        global_idx: list[int] = []
+        for i, r in enumerate(requests):
+            edge = (r.src, r.dst)
+            if edge in self._edge_engines:
+                edge_groups.setdefault(edge, []).append(i)
+                tiers[i] = ModelTier.EDGE
+            elif self.strict:
+                known = sorted(f"{s}->{d}" for s, d in self._edge_engines)
+                raise KeyError(
+                    f"no usable per-edge model for {r.src}->{r.dst} and "
+                    f"strict=True (usable edges: {known or 'none'}); pass "
+                    "strict=False to fall back through the chain"
+                )
+            elif chain.global_covers(r.src, r.dst):
+                global_idx.append(i)
+                tiers[i] = ModelTier.GLOBAL
+            else:
+                tier, rate = chain.constant_rate(r.src, r.dst)
+                tiers[i] = tier
+                rates[i] = rate
+
+        for edge, idx in edge_groups.items():
+            subset = [requests[i] for i in idx]
+            sub_rates, sub_nonconv = self._edge_engines[edge]._fixpoint(
+                chain.edge_models[edge], subset, now, self.extra_columns
+            )
+            rates[idx] = sub_rates
+            nonconv[idx] = sub_nonconv
+
+        if global_idx:
+            subset = [requests[i] for i in global_idx]
+            extra = dict(self.extra_columns)
+            if chain.global_adapter is not None:
+                extra.update(
+                    chain.global_adapter.extra_columns(chain.global_model, subset)
+                )
+            sub_rates, sub_nonconv = self._fixpoint(
+                chain.global_model, subset, now, extra
+            )
+            rates[global_idx] = sub_rates
+            nonconv[global_idx] = sub_nonconv
+
+        for tier in ModelTier:
+            self.stats.count_tier(tier, sum(1 for t in tiers if t is tier))
+        return rates, tuple(tiers), nonconv
+
+    def _fixpoint(
+        self,
+        result: EdgeModelResult | GlobalModelResult,
+        requests: Sequence[TransferRequest],
+        now: float,
+        extra: Mapping[str, object],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The duration fix-point for one model over ``requests``.
+
+        Per-request independence means running a subset of a batch here is
+        bit-identical to running it inside the full batch.  Returns
+        ``(rates, nonconverged-mask)`` and accumulates into ``self.stats``.
+        """
+        names = self._check_features(result, extra)
+        m = len(requests)
         cols = _columns(requests)
         rates = np.full(m, self.initial_rate)
         alive = np.arange(m)
@@ -199,14 +420,14 @@ class BatchOnlinePredictor:
             durations = np.maximum(1.0, cols.nb[alive] / sub_rates)
 
             tf = time.perf_counter()
-            feats = self._feature_matrix(cols, alive, now, durations)
+            feats = self._feature_matrix(names, extra, cols, alive, now, durations)
             self.stats.feature_time_s += time.perf_counter() - tf
 
             tm = time.perf_counter()
-            if isinstance(self.result, EdgeModelResult):
-                feats = feats[:, self.result.kept]
+            if isinstance(result, EdgeModelResult):
+                feats = feats[:, result.kept]
             new_rates = np.maximum(
-                self.result.model.predict(self.result.scaler.transform(feats)),
+                result.model.predict(result.scaler.transform(feats)),
                 1.0,
             )
             self.stats.model_time_s += time.perf_counter() - tm
@@ -218,11 +439,9 @@ class BatchOnlinePredictor:
             alive = alive[~done]
             if alive.size == 0:
                 break
-
-        self.stats.predict_calls += 1
-        self.stats.requests += m
-        self.stats.total_time_s += time.perf_counter() - t0
-        return rates
+        nonconverged = np.zeros(m, dtype=bool)
+        nonconverged[alive] = True
+        return rates, nonconverged
 
     # -- feature estimation ------------------------------------------------
 
@@ -286,6 +505,8 @@ class BatchOnlinePredictor:
 
     def _feature_matrix(
         self,
+        names: Sequence[str],
+        extra: Mapping[str, object],
         cols: _RequestColumns,
         idx: np.ndarray,
         now: float,
@@ -293,7 +514,7 @@ class BatchOnlinePredictor:
     ) -> np.ndarray:
         feats = self._contention(cols, idx, now, durations)
         columns = []
-        for name in self._names:
+        for name in names:
             if name in feats:
                 columns.append(feats[name])
             elif name == "C":
@@ -307,5 +528,11 @@ class BatchOnlinePredictor:
             elif name == "Nf":
                 columns.append(cols.nf[idx])
             else:
-                columns.append(np.full(idx.size, self.extra_columns[name]))
+                value = extra[name]
+                # Adapter-supplied extras are per-request arrays; plain
+                # extra_columns entries are batch-wide constants.
+                if isinstance(value, np.ndarray):
+                    columns.append(value[idx])
+                else:
+                    columns.append(np.full(idx.size, value))
         return np.column_stack(columns)

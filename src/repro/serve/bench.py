@@ -19,7 +19,7 @@ from repro.core.online import (
     OnlineFeatureEstimator,
     OnlinePredictor,
 )
-from repro.core.pipeline import EdgeModelResult
+from repro.core.pipeline import EdgeModelResult, GlobalModelResult
 from repro.ml.linear import LinearRegression
 from repro.ml.scaler import StandardScaler
 from repro.serve.active_set import ActiveSet
@@ -30,6 +30,7 @@ __all__ = [
     "make_synthetic_views",
     "make_synthetic_requests",
     "make_synthetic_model",
+    "make_synthetic_global_model",
     "ServeBenchResult",
     "run_serve_bench",
 ]
@@ -117,6 +118,43 @@ def make_synthetic_model(seed: int = 0) -> EdgeModelResult:
         feature_names=FEATURE_NAMES,
         kept=np.ones(len(FEATURE_NAMES), dtype=bool),
         significance=np.abs(model.coef_),
+        n_train=n,
+        n_test=0,
+        test_errors=np.array([0.0]),
+        mdape=0.0,
+        model=model,
+        scaler=scaler,
+    )
+
+
+def make_synthetic_global_model(seed: int = 0) -> GlobalModelResult:
+    """A §5.4-shaped global model (base features + ROmax/RImax extras),
+    fitted on random data — for serving mechanics and fallback tests."""
+    rng = np.random.default_rng(seed)
+    names = FEATURE_NAMES + ("ROmax_src", "RImax_dst")
+    n = 4000
+    X = np.zeros((n, len(names)))
+    k_sout = names.index("K_sout")
+    nb = names.index("Nb")
+    ro, ri = names.index("ROmax_src"), names.index("RImax_dst")
+    X[:, k_sout] = rng.uniform(0, 1e11, n)
+    X[:, nb] = rng.uniform(1e8, 1e12, n)
+    X[:, ro] = rng.uniform(1e8, 5e9, n)
+    X[:, ri] = rng.uniform(1e8, 5e9, n)
+    # Capability-capped response: the endpoint maxima dominate, contention
+    # subtracts — rough Eq. 5 shape, enough for fix-point feedback.
+    y = (
+        0.05 * np.minimum(X[:, ro], X[:, ri])
+        - 1e-3 * X[:, k_sout]
+        + 2e-5 * np.sqrt(X[:, nb])
+        + rng.normal(0, 1e6, n)
+    )
+    y = np.maximum(y, 1e6)
+    scaler = StandardScaler().fit(X)
+    model = LinearRegression().fit(scaler.transform(X), y)
+    return GlobalModelResult(
+        model_kind="linear",
+        feature_names=names,
         n_train=n,
         n_test=0,
         test_errors=np.array([0.0]),

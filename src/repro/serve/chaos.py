@@ -1,0 +1,364 @@
+"""Chaos-replay fault injection for the serving engine.
+
+§4.3 of the paper is devoted to log imperfections and §5.3 shows faults
+are load-coupled — a serving layer fed by real Globus telemetry will see
+duplicated events, impossible values, and clocks that disagree.  This
+harness replays a synthetic transfer log through the live serving stack
+(:class:`~repro.serve.active_set.ActiveSet` +
+:class:`~repro.serve.batch.BatchOnlinePredictor` over a
+:class:`~repro.serve.fallback.FallbackChain`) while injecting exactly
+those faults:
+
+- duplicate ``add``/``complete`` events and completions for ids that were
+  never started (at-least-once delivery);
+- progress reports carrying NaN, negative, or infinite rates;
+- transfers whose completion event never arrives;
+- clock skew between the predictor's ``now`` and the event timestamps;
+- prediction batches mixing known edges, modeled edges, and ghost edges
+  that appear in no log.
+
+Throughout, the harness asserts the engine stays consistent — the active
+population matches the replay's ground truth, every prediction is finite
+and positive, memory stays bounded by the injected load — and reports
+everything in a :class:`ChaosReport`, including per-tier prediction
+counts and fix-point non-convergence (``repro-tools chaos [--quick]``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.analytical import estimate_endpoint_maxima
+from repro.core.online import ActiveTransferView
+from repro.core.pipeline import GlobalFeatureAdapter
+from repro.logs.schema import TransferLogRecord
+from repro.logs.store import LogStore
+from repro.serve.active_set import ActiveSet
+from repro.serve.batch import BatchOnlinePredictor
+from repro.serve.bench import make_synthetic_global_model, make_synthetic_model
+from repro.serve.fallback import FallbackChain
+from repro.sim.gridftp import TransferRequest
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosReport",
+    "make_chaos_log",
+    "make_chaos_chain",
+    "run_chaos_replay",
+]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Replay size, fault-injection probabilities, and engine mode."""
+
+    n_transfers: int = 400
+    n_endpoints: int = 12
+    horizon_s: float = 4000.0
+    seed: int = 0
+    # Fault-injection probabilities, each applied per opportunity.
+    p_duplicate_add: float = 0.05
+    p_duplicate_complete: float = 0.10
+    p_unknown_complete: float = 0.10
+    p_never_complete: float = 0.05
+    p_bad_progress: float = 0.10
+    p_good_progress: float = 0.15
+    clock_skew_s: float = 120.0
+    # Prediction cadence.
+    predict_every: int = 25
+    batch_size: int = 8
+    n_edge_models: int = 3
+    # Drop the global tier so known-but-unmodeled edges exercise the
+    # analytical Eq. 1 bound instead (the global model otherwise covers
+    # every endpoint the analytical tier could).
+    use_global_model: bool = True
+    # Engine mode: lenient ActiveSet absorbs faults silently (counted in
+    # stats); strict raises, and the harness counts the rejections instead.
+    lenient: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_transfers < 1 or self.n_endpoints < 4:
+            raise ValueError("need >= 1 transfer and >= 4 endpoints")
+        for name in (
+            "p_duplicate_add", "p_duplicate_complete", "p_unknown_complete",
+            "p_never_complete", "p_bad_progress", "p_good_progress",
+        ):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.predict_every < 1 or self.batch_size < 1:
+            raise ValueError("predict_every and batch_size must be >= 1")
+
+    @classmethod
+    def quick(cls, seed: int = 0) -> "ChaosConfig":
+        """A seconds-scale configuration for CI smoke runs."""
+        return cls(n_transfers=120, n_endpoints=8, horizon_s=1500.0,
+                   seed=seed, predict_every=15, batch_size=6)
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos-replay run observed.
+
+    ``ok`` requires: no unexpected exceptions, no NaN/non-finite/
+    non-positive predictions, and a final active population exactly
+    matching the replay's ground truth (bounded memory: nothing leaks past
+    the injected never-completing transfers).
+    """
+
+    events: int = 0
+    prediction_batches: int = 0
+    predictions: int = 0
+    injected: dict[str, int] = field(default_factory=dict)
+    rejected_strict: int = 0
+    bad_predictions: int = 0
+    nonconverged: int = 0
+    never_completed: int = 0
+    max_active: int = 0
+    final_active: int = 0
+    expected_active: int = 0
+    consistent: bool = False
+    tier_counts: dict[str, int] = field(default_factory=dict)
+    predictor_stats: dict[str, float] = field(default_factory=dict)
+    active_stats: dict[str, int] = field(default_factory=dict)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.consistent and self.bad_predictions == 0 and not self.errors
+
+    def render(self) -> str:
+        lines = [
+            f"chaos replay: {self.events} events, "
+            f"{self.prediction_batches} prediction batches "
+            f"({self.predictions} predictions)",
+            f"verdict                   {'OK' if self.ok else 'FAILED'}",
+            f"bad (non-finite) preds    {self.bad_predictions}",
+            f"nonconverged preds        {self.nonconverged}",
+            f"active population         final {self.final_active} / "
+            f"expected {self.expected_active} (max {self.max_active}) "
+            f"{'consistent' if self.consistent else 'INCONSISTENT'}",
+            f"never-completing leaked   {self.never_completed}",
+            f"strict-mode rejections    {self.rejected_strict}",
+            "injected faults:",
+        ]
+        for k in sorted(self.injected):
+            lines.append(f"  {k:<24}{self.injected[k]}")
+        lines.append("prediction tiers:")
+        for k, v in sorted(self.tier_counts.items()):
+            lines.append(f"  {k:<24}{v}")
+        lines.append("active-set stats:")
+        for k, v in self.active_stats.items():
+            lines.append(f"  {k:<24}{v}")
+        for e in self.errors:
+            lines.append(f"error: {e}")
+        return "\n".join(lines)
+
+
+def make_chaos_log(config: ChaosConfig) -> LogStore:
+    """A reproducible synthetic completed-transfer log to replay."""
+    rng = np.random.default_rng(config.seed)
+    eps = [f"EP{i:03d}" for i in range(config.n_endpoints)]
+    records = []
+    for i in range(config.n_transfers):
+        s, d = rng.choice(len(eps), size=2, replace=False)
+        ts = float(rng.uniform(0.0, config.horizon_s * 0.75))
+        te = ts + float(rng.uniform(10.0, config.horizon_s * 0.25))
+        records.append(
+            TransferLogRecord(
+                transfer_id=i,
+                src=eps[s],
+                dst=eps[d],
+                src_site=f"SITE{s}",
+                dst_site=f"SITE{d}",
+                src_type="GCS",
+                dst_type="GCS",
+                ts=ts,
+                te=te,
+                nb=float(rng.uniform(1e8, 1e12)),
+                nf=int(rng.integers(1, 2000)),
+                nd=int(rng.integers(1, 40)),
+                c=int(rng.choice([1, 2, 4, 8])),
+                p=int(rng.choice([1, 4, 8])),
+                nflt=int(rng.integers(0, 4)),
+                distance_km=float(rng.uniform(50.0, 9000.0)),
+            )
+        )
+    return LogStore.from_records(records)
+
+
+def make_chaos_chain(log: LogStore, config: ChaosConfig) -> FallbackChain:
+    """A full five-tier chain over the replay log: synthetic per-edge
+    models for the busiest edges, a synthetic global model fed by
+    log-estimated endpoint capabilities, and log-derived analytical
+    bounds and medians."""
+    base = make_synthetic_model(config.seed)
+    edges = log.heavy_edges(1)[: config.n_edge_models]
+    edge_models = {
+        (s, d): dataclasses.replace(base, src=s, dst=d) for s, d in edges
+    }
+    maxima = estimate_endpoint_maxima(log) if len(log) else {}
+    return FallbackChain.from_log(
+        log,
+        edge_models=edge_models,
+        global_model=(
+            make_synthetic_global_model(config.seed)
+            if config.use_global_model
+            else None
+        ),
+        global_adapter=GlobalFeatureAdapter.from_endpoint_maxima(maxima),
+    )
+
+
+def _view_from_row(row) -> ActiveTransferView:
+    return ActiveTransferView(
+        src=str(row["src"]),
+        dst=str(row["dst"]),
+        rate=float(row["nb"]) / (float(row["te"]) - float(row["ts"])),
+        started_at=float(row["ts"]),
+        expected_end=float(row["te"]),
+        concurrency=int(row["c"]),
+        parallelism=int(row["p"]),
+        n_files=int(row["nf"]),
+    )
+
+
+def _make_batch(
+    rng: np.random.Generator,
+    config: ChaosConfig,
+    chain: FallbackChain,
+    log_endpoints: list[str],
+) -> list[TransferRequest]:
+    """A prediction batch deliberately spanning the tiers: modeled edges,
+    known-but-unmodeled edges, half-known edges, and ghost edges."""
+    modeled = sorted(chain.edge_models)
+    requests = []
+    for _ in range(config.batch_size):
+        kind = rng.choice(4)
+        if kind == 0 and modeled:
+            src, dst = modeled[int(rng.integers(len(modeled)))]
+        elif kind == 1:
+            src, dst = rng.choice(log_endpoints, size=2, replace=False)
+        elif kind == 2:
+            src = str(rng.choice(log_endpoints))
+            dst = f"GHOST-{int(rng.integers(100))}"
+        else:
+            src = f"GHOST-{int(rng.integers(100))}"
+            dst = f"GHOST-{int(rng.integers(100, 200))}"
+        requests.append(
+            TransferRequest(
+                src=str(src),
+                dst=str(dst),
+                total_bytes=float(rng.uniform(1e8, 1e12)),
+                n_files=int(rng.integers(1, 1000)),
+                n_dirs=int(rng.integers(1, 20)),
+                concurrency=int(rng.choice([2, 4])),
+                parallelism=int(rng.choice([4, 8])),
+            )
+        )
+    return requests
+
+
+def run_chaos_replay(config: ChaosConfig | None = None) -> ChaosReport:
+    """Replay a synthetic log through the serving stack under fault
+    injection; see the module docstring for the fault menu."""
+    cfg = config or ChaosConfig()
+    rng = np.random.default_rng(cfg.seed + 1)
+    log = make_chaos_log(cfg)
+    chain = make_chaos_chain(log, cfg)
+    active = ActiveSet(lenient=cfg.lenient)
+    engine = BatchOnlinePredictor(chain, active)
+    log_endpoints = sorted({str(e) for pair in log.edges() for e in pair})
+
+    data = log.raw()
+    events: list[tuple[float, int, int]] = []  # (time, kind 0=start/1=end, row)
+    for i in range(len(data)):
+        events.append((float(data["ts"][i]), 0, i))
+        events.append((float(data["te"][i]), 1, i))
+    events.sort()
+
+    report = ChaosReport()
+    inj = report.injected
+    started: set[int] = set()
+    completed: set[int] = set()
+    never: set[int] = set()
+
+    def bump(key: str) -> None:
+        inj[key] = inj.get(key, 0) + 1
+
+    def faulty(fn) -> None:
+        """Run one injected-fault mutation; strict mode rejects by raising."""
+        try:
+            fn()
+        except (KeyError, ValueError):
+            report.rejected_strict += 1
+
+    for n_event, (t, kind, i) in enumerate(events, 1):
+        tid = int(data["transfer_id"][i])
+        if kind == 0:
+            active.add(tid, _view_from_row(data[i]))
+            started.add(tid)
+            if rng.random() < cfg.p_duplicate_add:
+                bump("duplicate_add")
+                faulty(lambda: active.add(tid, _view_from_row(data[i])))
+        else:
+            if rng.random() < cfg.p_never_complete:
+                never.add(tid)
+            else:
+                active.complete(tid)
+                completed.add(tid)
+                if rng.random() < cfg.p_duplicate_complete:
+                    bump("duplicate_complete")
+                    faulty(lambda: active.complete(tid))
+            if rng.random() < cfg.p_unknown_complete:
+                bump("unknown_complete")
+                faulty(lambda: active.complete(10**9 + tid))
+        if rng.random() < cfg.p_bad_progress and len(active):
+            ids = active.ids()
+            victim = int(ids[int(rng.integers(len(ids)))])
+            bad = float(rng.choice([np.nan, -1e8, np.inf]))
+            bump("bad_progress")
+            faulty(lambda: active.progress(victim, rate=bad))
+        if rng.random() < cfg.p_good_progress and len(active):
+            ids = active.ids()
+            victim = int(ids[int(rng.integers(len(ids)))])
+            active.progress(victim, rate=float(rng.uniform(1e6, 5e8)))
+
+        report.events = n_event
+        report.max_active = max(report.max_active, len(active))
+
+        if n_event % cfg.predict_every == 0:
+            now = t + float(rng.uniform(-cfg.clock_skew_s, cfg.clock_skew_s))
+            batch = _make_batch(rng, cfg, chain, log_endpoints)
+            try:
+                pred = engine.predict_batch_detailed(batch, now)
+            except Exception as exc:  # noqa: BLE001 - the whole point
+                report.errors.append(
+                    f"predict_batch raised at event {n_event}: {exc!r}"
+                )
+                continue
+            report.prediction_batches += 1
+            report.predictions += len(batch)
+            finite = np.isfinite(pred.rates) & (pred.rates > 0)
+            report.bad_predictions += int((~finite).sum())
+
+    expected = started - completed
+    actual = set(active.ids())
+    report.final_active = len(actual)
+    report.expected_active = len(expected)
+    report.never_completed = len(never & actual)
+    report.consistent = actual == expected
+    if not report.consistent:
+        leaked = sorted(actual - expected)[:5]
+        missing = sorted(expected - actual)[:5]
+        report.errors.append(
+            f"active population diverged: leaked {leaked}, missing {missing}"
+        )
+    report.nonconverged = engine.stats.nonconverged_requests
+    report.tier_counts = dict(engine.stats.tier_counts)
+    report.predictor_stats = engine.stats.as_dict()
+    report.active_stats = active.stats.as_dict()
+    return report

@@ -62,6 +62,90 @@ class TestLifecycle:
         assert s["completes"] == 1
 
 
+class TestStrictRejectsBadValues:
+    def test_nan_progress_raises(self):
+        active = ActiveSet()
+        active.add(1, _view())
+        with pytest.raises(ValueError):
+            active.progress(1, rate=float("nan"))
+        with pytest.raises(ValueError):
+            active.progress(1, rate=-1.0)
+        with pytest.raises(ValueError):
+            active.progress(1, rate=float("inf"))
+        with pytest.raises(ValueError):
+            active.progress(1, expected_end=float("nan"))
+        assert active.get(1).rate == 1e8  # untouched
+
+    def test_nan_view_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            _view(rate=float("nan"))
+
+
+class TestLenientMode:
+    """Regression: malformed mutations must neither raise nor corrupt the
+    endpoint counters — they are dropped and counted."""
+
+    def test_duplicate_complete_ignored(self):
+        active = ActiveSet(lenient=True)
+        active.add(1, _view())
+        assert active.complete(1) is not None
+        assert active.complete(1) is None  # duplicate: idempotent
+        s = active.stats
+        assert s.completes == 1 and s.ignored_completes == 1
+        assert len(active) == 0
+
+    def test_unknown_complete_and_progress_ignored(self):
+        active = ActiveSet(lenient=True)
+        active.add(1, _view())
+        assert active.complete(99) is None
+        assert active.progress(99, rate=2e8) is None
+        s = active.stats
+        assert s.ignored_completes == 1 and s.ignored_progress == 1
+        assert s.completes == 0 and s.progress_updates == 0
+        assert len(active) == 1
+
+    def test_duplicate_add_keeps_original_view(self):
+        active = ActiveSet(lenient=True)
+        active.add(1, _view(rate=1e8))
+        active.add(1, _view(rate=9e9, src="X", dst="Y"))
+        assert active.stats.ignored_adds == 1 and active.stats.adds == 1
+        assert active.get(1).rate == 1e8
+        assert active.endpoints() == {"A", "B"}
+
+    def test_bad_progress_values_rejected_not_applied(self):
+        active = ActiveSet(lenient=True)
+        active.add(1, _view(rate=1e8, end=500.0))
+        for bad in (float("nan"), -5.0, float("inf")):
+            returned = active.progress(1, rate=bad)
+            assert returned is active.get(1)
+        assert active.stats.rejected_progress == 3
+        assert active.get(1).rate == 1e8 and active.get(1).expected_end == 500.0
+
+    def test_ignored_mutations_leave_features_intact(self):
+        """The actual corruption regression: after a storm of malformed
+        mutations, endpoint overlap sums must be exactly what the one real
+        transfer implies."""
+        active = ActiveSet(lenient=True)
+        active.add(1, _view(src="A", dst="B", rate=1e8, end=float("inf")))
+        active.complete(42)                       # unknown
+        active.complete(1); active.add(1, _view(src="A", dst="B",
+                                                rate=1e8, end=float("inf")))
+        active.complete(1)                        # re-add/re-complete cycle
+        active.add(2, _view(src="A", dst="B", rate=3e8, end=float("inf")))
+        active.add(2, _view(src="A", dst="B", rate=7e8, end=float("inf")))
+        active.progress(2, rate=float("nan"))
+        active.progress(77, rate=1e6)
+        out = active.endpoint_state("A").outgoing.overlap_sum(
+            0.0, np.array([10.0])
+        )
+        assert out[0, 0] == pytest.approx(3e8 * 10.0)
+        assert len(active) == 1
+        assert active.stats.ignored_total == 4
+
+    def test_strict_default_unchanged(self):
+        assert ActiveSet().lenient is False
+
+
 class TestIncrementalState:
     def test_mutation_only_invalidates_touched_endpoints(self):
         active = ActiveSet()

@@ -1,0 +1,95 @@
+"""Tests for the chaos-replay fault-injection harness (repro.serve.chaos)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.serve import ModelTier
+from repro.serve.chaos import (
+    ChaosConfig,
+    make_chaos_chain,
+    make_chaos_log,
+    run_chaos_replay,
+)
+
+
+class TestConfig:
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(p_bad_progress=1.5)
+        with pytest.raises(ValueError):
+            ChaosConfig(n_endpoints=2)
+        with pytest.raises(ValueError):
+            ChaosConfig(predict_every=0)
+
+    def test_quick_is_small(self):
+        quick = ChaosConfig.quick()
+        assert quick.n_transfers < ChaosConfig().n_transfers
+
+
+class TestLogAndChain:
+    def test_log_reproducible(self):
+        cfg = ChaosConfig.quick(seed=5)
+        a, b = make_chaos_log(cfg), make_chaos_log(cfg)
+        assert np.array_equal(a.raw(), b.raw())
+        assert len(a) == cfg.n_transfers
+
+    def test_chain_has_all_tiers(self):
+        cfg = ChaosConfig.quick()
+        chain = make_chaos_chain(make_chaos_log(cfg), cfg)
+        assert len(chain.edge_models) == cfg.n_edge_models
+        assert chain.global_model is not None
+        assert chain.endpoint_maxima and chain.edge_medians
+        assert chain.global_median > 0
+
+
+class TestReplay:
+    def test_lenient_run_is_clean(self):
+        """Acceptance: all injectors enabled, zero crashes, zero NaN
+        predictions, consistent active population."""
+        report = run_chaos_replay(ChaosConfig.quick())
+        assert report.ok, report.render()
+        assert report.bad_predictions == 0
+        assert report.errors == []
+        assert report.final_active == report.expected_active
+        assert report.predictions > 0
+        # Faults were actually injected and absorbed.
+        assert sum(report.injected.values()) > 0
+        assert sum(
+            report.active_stats[k]
+            for k in ("ignored_adds", "ignored_completes", "rejected_progress")
+        ) > 0
+        # Fallback routing happened: at least edge + one degraded tier.
+        assert ModelTier.EDGE.value in report.tier_counts
+        assert len(report.tier_counts) >= 2
+
+    def test_strict_active_survives_via_rejections(self):
+        cfg = dataclasses.replace(ChaosConfig.quick(), lenient=False)
+        report = run_chaos_replay(cfg)
+        assert report.ok, report.render()
+        assert report.rejected_strict > 0
+        assert report.active_stats["ignored_completes"] == 0
+
+    def test_no_global_model_exercises_analytical_tier(self):
+        cfg = dataclasses.replace(
+            ChaosConfig.quick(), use_global_model=False, seed=3
+        )
+        report = run_chaos_replay(cfg)
+        assert report.ok, report.render()
+        assert ModelTier.GLOBAL.value not in report.tier_counts
+        assert ModelTier.ANALYTICAL.value in report.tier_counts
+
+    def test_deterministic_given_seed(self):
+        cfg = ChaosConfig.quick(seed=11)
+        a, b = run_chaos_replay(cfg), run_chaos_replay(cfg)
+        assert a.injected == b.injected
+        assert a.tier_counts == b.tier_counts
+        assert a.predictions == b.predictions
+        assert a.final_active == b.final_active
+
+    def test_render_summarises(self):
+        report = run_chaos_replay(ChaosConfig.quick())
+        text = report.render()
+        assert "verdict" in text and "OK" in text
+        assert "prediction tiers" in text and "injected faults" in text

@@ -94,6 +94,54 @@ class TestPredictAndAdvise:
         assert rc == 2
 
 
+class TestLogsValidate:
+    def test_clean_log_returns_zero(self, workflow, capsys):
+        log_path, *_ = workflow
+        rc = main(["logs", "validate", "--log", str(log_path)])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_corrupted_log_returns_one_and_writes_report(
+        self, workflow, tmp_path, capsys
+    ):
+        log_path, *_ = workflow
+        lines = log_path.read_text().splitlines()
+        lines[3] = "garbage,row"
+        lines[5] = lines[5].replace("GCS", "WAT")
+        bad_path = tmp_path / "bad.csv"
+        bad_path.write_text("\n".join(lines) + "\n")
+        report_path = tmp_path / "report.json"
+        rc = main(
+            [
+                "logs", "validate", "--log", str(bad_path),
+                "--report", str(report_path),
+            ]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "quarantined" in out
+        report = json.loads(report_path.read_text())
+        assert report["kept_rows"] == report["total_rows"] - 2
+        assert len(report["rows"]) == 2
+
+    def test_jsonl_format_autodetected(self, workflow, tmp_path):
+        from repro.logs.io import write_jsonl
+
+        log_path, *_ = workflow
+        jsonl_path = tmp_path / "log.jsonl"
+        write_jsonl(read_csv(log_path), jsonl_path)
+        rc = main(["logs", "validate", "--log", str(jsonl_path)])
+        assert rc == 0
+
+
+class TestChaos:
+    def test_quick_run_is_clean(self, capsys):
+        rc = main(["chaos", "--quick", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out and "OK" in out
+
+
 class TestServeBench:
     def test_synthetic_bench_runs_and_agrees(self, capsys):
         rc = main(
