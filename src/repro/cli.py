@@ -12,7 +12,8 @@ would be operated against real logs::
                        --bytes 50e9 --files 100 --at 86400
     repro-tools serve-bench --actives 10000 --requests 1000
     repro-tools logs validate --log log.csv --report quarantine.json
-    repro-tools chaos --quick
+    repro-tools chaos --quick --metrics-out metrics.json
+    repro-tools metrics --quick --json metrics.json --prom metrics.prom
 
 ``train`` writes a bundle (model + scaler + feature bookkeeping) as JSON;
 ``predict`` replays the log to reconstruct the active-transfer view at the
@@ -24,7 +25,11 @@ on a synthetic active population, optionally with a trained model bundle;
 the quarantine report; ``chaos`` replays a synthetic log through the
 serving engine under fault injection (duplicate/unknown completions, bad
 progress values, never-completing transfers, clock skew) and fails if the
-engine loses consistency or emits a non-finite prediction.
+engine loses consistency or emits a non-finite prediction; ``metrics``
+runs the full observed-replay pipeline (corrupt JSONL -> lenient ingest
+-> instrumented chaos replay with drift scoring) and exports the unified
+metrics registry as JSON and/or Prometheus text, with ``--watch``-style
+in-flight replay summaries.
 """
 
 from __future__ import annotations
@@ -172,17 +177,24 @@ def _cmd_advise(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.obs import Observability
     from repro.serve.bench import run_serve_bench
 
     result = _load_bundle(args.model) if args.model else None
+    obs = Observability.create()
     bench = run_serve_bench(
         n_active=args.actives,
         n_requests=args.requests,
         n_endpoints=args.endpoints,
         seed=args.seed,
         result=result,
+        repeats=args.repeats,
+        obs=obs,
     )
     print(bench.render())
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(obs.registry.to_json(indent=2))
+        print(f"wrote metrics JSON to {args.metrics_out}")
     if bench.max_abs_diff > 1e-6:
         print("error: batch and scalar paths disagree", file=sys.stderr)
         return 1
@@ -206,18 +218,78 @@ def _cmd_logs_validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.serve.chaos import ChaosConfig, run_chaos_replay
+def _chaos_config(args: argparse.Namespace):
+    from repro.serve.chaos import ChaosConfig
 
     if args.quick:
         config = ChaosConfig.quick(seed=args.seed)
     else:
         config = ChaosConfig(seed=args.seed, n_transfers=args.transfers)
-    if args.strict_active:
+    if getattr(args, "strict_active", False):
         config = dataclasses.replace(config, lenient=False)
-    report = run_chaos_replay(config)
+    return config
+
+
+def _write_metric_exports(registry, json_path, prom_path) -> None:
+    if json_path:
+        Path(json_path).write_text(registry.to_json(indent=2))
+        print(f"wrote metrics JSON to {json_path}")
+    if prom_path:
+        Path(prom_path).write_text(registry.to_prometheus())
+        print(f"wrote Prometheus text to {prom_path}")
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.obs import Observability
+    from repro.serve.chaos import run_chaos_replay
+
+    config = _chaos_config(args)
+    want_metrics = bool(args.metrics_out or args.metrics_prom)
+    obs = Observability.create() if want_metrics else None
+    report = run_chaos_replay(config, obs=obs)
     print(report.render())
+    if obs is not None:
+        _write_metric_exports(obs.registry, args.metrics_out, args.metrics_prom)
     return 0 if report.ok else 1
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import Observability
+    from repro.serve.chaos import run_observed_replay
+
+    config = _chaos_config(args)
+    obs = Observability.create()
+
+    def watch(report) -> None:
+        drift = obs.drift.overall()
+        mdape = f"{drift.mdape:.1f}%" if drift.n else "n/a"
+        print(
+            f"[{report.events:>5} events] active={report.final_active:<4} "
+            f"predictions={report.predictions:<5} drift MdAPE={mdape} "
+            f"({drift.n} scored)"
+        )
+
+    observed = run_observed_replay(
+        config,
+        obs=obs,
+        progress=watch if args.watch else None,
+        progress_every=args.watch_every if args.watch else 0,
+    )
+    print(observed.quarantine.summary().splitlines()[0])
+    print(observed.report.render())
+
+    latency = obs.registry.histogram("serve_predict_batch_latency_seconds")
+    if latency.count:
+        print(
+            f"predict latency p50/p95/p99 "
+            f"{latency.quantile(0.5) * 1e3:.2f} / "
+            f"{latency.quantile(0.95) * 1e3:.2f} / "
+            f"{latency.quantile(0.99) * 1e3:.2f} ms "
+            f"over {latency.count} batches"
+        )
+    print(f"registry: {len(obs.registry)} series")
+    _write_metric_exports(obs.registry, args.json, args.prom)
+    return 0 if observed.report.ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -269,6 +341,12 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--model", default=None,
                    help="optional trained bundle (default: synthetic model)")
+    p.add_argument("--repeats", type=int, default=1,
+                   help="timed repetitions; >1 averages timings and fills "
+                        "the latency percentiles")
+    p.add_argument("--metrics-out", default=None,
+                   help="write the instrumented run's metrics registry "
+                        "as JSON here")
     p.set_defaults(func=_cmd_serve_bench)
 
     p = sub.add_parser("logs", help="log ingestion utilities")
@@ -294,7 +372,33 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--strict-active", action="store_true",
                    help="strict ActiveSet: injected faults raise and are "
                         "counted as rejections instead of being absorbed")
+    p.add_argument("--metrics-out", default=None,
+                   help="instrument the replay and write the metrics "
+                        "registry as JSON here")
+    p.add_argument("--metrics-prom", default=None,
+                   help="instrument the replay and write Prometheus "
+                        "exposition text here")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "metrics",
+        help="observed replay: corrupt JSONL -> lenient ingest -> "
+             "instrumented chaos replay; export the metrics registry",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="seconds-scale configuration for CI smoke runs")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--transfers", type=int, default=400)
+    p.add_argument("--json", default=None,
+                   help="write the registry snapshot as JSON here")
+    p.add_argument("--prom", default=None,
+                   help="write Prometheus exposition text here")
+    p.add_argument("--watch", action="store_true",
+                   help="print in-flight replay summaries (active "
+                        "population, predictions, live drift MdAPE)")
+    p.add_argument("--watch-every", type=int, default=50,
+                   help="events between --watch summaries")
+    p.set_defaults(func=_cmd_metrics)
 
     args = parser.parse_args(argv)
     try:

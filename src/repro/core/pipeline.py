@@ -13,6 +13,12 @@ Workflow per edge (the paper's §5.1/§5.2 recipe):
 The single all-edges model (§5.4) pools the 30 edges' filtered transfers
 and appends the two endpoint-capability features ROmax/RImax of Eq. 5,
 estimated from training rows only.
+
+Every fit function accepts an optional :class:`~repro.obs.Tracer`: the
+prepare / train / evaluate stages emit nested spans
+(``pipeline.fit_edge`` -> ``pipeline.prepare`` / ``pipeline.train`` /
+``pipeline.eval``), so refit time shows up in the same trace buffer and
+``trace_span_seconds`` histograms as the serving path.
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ from repro.ml.linear import LinearRegression
 from repro.ml.metrics import absolute_percentage_errors, mdape
 from repro.ml.scaler import StandardScaler
 from repro.ml.selection import low_variance_features, train_test_split
+from repro.obs.tracing import NULL_SPAN, Tracer
 
 __all__ = [
     "GBTSettings",
@@ -49,6 +56,13 @@ __all__ = [
     "fit_all_edge_models",
     "fit_global_model",
 ]
+
+
+def _span(tracer: Tracer | None, name: str, **attrs):
+    """A tracer span, or the shared no-op when tracing is off."""
+    if tracer is None or not tracer.enabled:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)
 
 
 @dataclass(frozen=True)
@@ -303,6 +317,7 @@ def fit_edge_model(
     explanation: bool = False,
     min_samples: int = 30,
     gbt: GBTSettings | None = None,
+    tracer: Tracer | None = None,
     _threshold_mask: np.ndarray | None = None,
 ) -> EdgeModelResult:
     """Train and evaluate one edge's model (§5.1 linear / §5.2 nonlinear).
@@ -312,38 +327,45 @@ def fit_edge_model(
     explanation:
         If True, include Nflt (the 16-feature Figures 9/12 view); the
         default 15-feature view is the prediction model.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; the prepare/train/eval
+        stages emit nested spans.
     """
     if model not in ("linear", "gbt"):
         raise ValueError(f"model must be 'linear' or 'gbt', got {model!r}")
     names = EXPLANATION_FEATURE_NAMES if explanation else FEATURE_NAMES
-    mask = (
-        _threshold_mask
-        if _threshold_mask is not None
-        else threshold_mask(features.store, threshold)
-    )
-    rows = _filtered_edge_rows(features, src, dst, threshold, mask)
-    if rows.size < min_samples:
-        raise ValueError(
-            f"edge {src}->{dst}: only {rows.size} transfers above the "
-            f"{threshold:.1f}*Rmax filter (need {min_samples})"
+    with _span(tracer, "pipeline.fit_edge", src=src, dst=dst, model=model):
+        mask = (
+            _threshold_mask
+            if _threshold_mask is not None
+            else threshold_mask(features.store, threshold)
         )
-    tr, te = train_test_split(rows.size, train_fraction, rng=seed)
-    X, y, kept = _prepare_edge_data(features, rows, names, tr)
-    scaler = StandardScaler().fit(X[tr])
-    X_tr = scaler.transform(X[tr])
-    X_te = scaler.transform(X[te])
+        rows = _filtered_edge_rows(features, src, dst, threshold, mask)
+        if rows.size < min_samples:
+            raise ValueError(
+                f"edge {src}->{dst}: only {rows.size} transfers above the "
+                f"{threshold:.1f}*Rmax filter (need {min_samples})"
+            )
+        with _span(tracer, "pipeline.prepare", rows=int(rows.size)):
+            tr, te = train_test_split(rows.size, train_fraction, rng=seed)
+            X, y, kept = _prepare_edge_data(features, rows, names, tr)
+            scaler = StandardScaler().fit(X[tr])
+            X_tr = scaler.transform(X[tr])
+            X_te = scaler.transform(X[te])
 
-    significance = np.full(len(names), np.nan)
-    if model == "linear":
-        fitted = LinearRegression().fit(X_tr, y[tr])
-        sig_kept = np.abs(fitted.coef_)
-    else:
-        fitted = (gbt or GBTSettings()).build(seed).fit(X_tr, y[tr])
-        sig_kept = fitted.feature_importances("gain")
-    significance[kept] = sig_kept
+        significance = np.full(len(names), np.nan)
+        with _span(tracer, "pipeline.train", n_train=int(tr.size)):
+            if model == "linear":
+                fitted = LinearRegression().fit(X_tr, y[tr])
+                sig_kept = np.abs(fitted.coef_)
+            else:
+                fitted = (gbt or GBTSettings()).build(seed).fit(X_tr, y[tr])
+                sig_kept = fitted.feature_importances("gain")
+            significance[kept] = sig_kept
 
-    pred = fitted.predict(X_te)
-    errors = absolute_percentage_errors(y[te], pred)
+        with _span(tracer, "pipeline.eval", n_test=int(te.size)):
+            pred = fitted.predict(X_te)
+            errors = absolute_percentage_errors(y[te], pred)
 
     return EdgeModelResult(
         src=src,
@@ -370,24 +392,27 @@ def fit_all_edge_models(
     seed: int = 0,
     explanation: bool = False,
     gbt: GBTSettings | None = None,
+    tracer: Tracer | None = None,
 ) -> list[EdgeModelResult]:
     """Per-edge models over a list of edges (shared threshold mask)."""
-    mask = threshold_mask(features.store, threshold)
-    return [
-        fit_edge_model(
-            features,
-            s,
-            d,
-            model=model,
-            threshold=threshold,
-            train_fraction=train_fraction,
-            seed=seed,
-            explanation=explanation,
-            gbt=gbt,
-            _threshold_mask=mask,
-        )
-        for s, d in edges
-    ]
+    with _span(tracer, "pipeline.fit_all_edges", edges=len(edges)):
+        mask = threshold_mask(features.store, threshold)
+        return [
+            fit_edge_model(
+                features,
+                s,
+                d,
+                model=model,
+                threshold=threshold,
+                train_fraction=train_fraction,
+                seed=seed,
+                explanation=explanation,
+                gbt=gbt,
+                tracer=tracer,
+                _threshold_mask=mask,
+            )
+            for s, d in edges
+        ]
 
 
 def fit_global_model(
@@ -399,6 +424,7 @@ def fit_global_model(
     seed: int = 0,
     gbt: GBTSettings | None = None,
     include_rtt: bool = False,
+    tracer: Tracer | None = None,
 ) -> GlobalModelResult:
     """The §5.4 single model for all edges (Eq. 5/6).
 
@@ -413,44 +439,48 @@ def fit_global_model(
     """
     if model not in ("linear", "gbt"):
         raise ValueError(f"model must be 'linear' or 'gbt', got {model!r}")
-    mask = threshold_mask(features.store, threshold)
-    row_list = [
-        _filtered_edge_rows(features, s, d, threshold, mask) for s, d in edges
-    ]
-    rows = np.sort(np.concatenate([r for r in row_list if r.size]))
-    if rows.size < 10:
-        raise ValueError("too few pooled transfers for a global model")
+    with _span(tracer, "pipeline.fit_global", edges=len(edges), model=model):
+        mask = threshold_mask(features.store, threshold)
+        row_list = [
+            _filtered_edge_rows(features, s, d, threshold, mask) for s, d in edges
+        ]
+        rows = np.sort(np.concatenate([r for r in row_list if r.size]))
+        if rows.size < 10:
+            raise ValueError("too few pooled transfers for a global model")
 
-    X_base = features.matrix(FEATURE_NAMES, rows)
-    y = features.y[rows]
+        with _span(tracer, "pipeline.prepare", rows=int(rows.size)):
+            X_base = features.matrix(FEATURE_NAMES, rows)
+            y = features.y[rows]
 
-    tr, te = train_test_split(rows.size, train_fraction, rng=seed)
-    # Capability features from training transfers only.
-    train_features = features.subset(rows[tr])
-    caps = estimate_endpoint_capabilities(train_features)
-    pooled = features.subset(rows)
-    ro, ri = capability_columns(pooled, caps)
+            tr, te = train_test_split(rows.size, train_fraction, rng=seed)
+            # Capability features from training transfers only.
+            train_features = features.subset(rows[tr])
+            caps = estimate_endpoint_capabilities(train_features)
+            pooled = features.subset(rows)
+            ro, ri = capability_columns(pooled, caps)
 
-    extra_cols = [ro, ri]
-    names = FEATURE_NAMES + ("ROmax_src", "RImax_dst")
-    if include_rtt:
-        extra_cols.append(features.store.column("distance_km")[rows])
-        names = names + ("distance_km",)
-    X = np.column_stack([X_base, *extra_cols])
+            extra_cols = [ro, ri]
+            names = FEATURE_NAMES + ("ROmax_src", "RImax_dst")
+            if include_rtt:
+                extra_cols.append(features.store.column("distance_km")[rows])
+                names = names + ("distance_km",)
+            X = np.column_stack([X_base, *extra_cols])
 
-    eliminated = low_variance_features(X[tr], threshold=0.05)
-    kept = ~eliminated
-    scaler = StandardScaler().fit(X[tr][:, kept])
-    X_tr = scaler.transform(X[tr][:, kept])
-    X_te = scaler.transform(X[te][:, kept])
+            eliminated = low_variance_features(X[tr], threshold=0.05)
+            kept = ~eliminated
+            scaler = StandardScaler().fit(X[tr][:, kept])
+            X_tr = scaler.transform(X[tr][:, kept])
+            X_te = scaler.transform(X[te][:, kept])
 
-    if model == "linear":
-        fitted = LinearRegression().fit(X_tr, y[tr])
-    else:
-        fitted = (gbt or GBTSettings()).build(seed).fit(X_tr, y[tr])
+        with _span(tracer, "pipeline.train", n_train=int(tr.size)):
+            if model == "linear":
+                fitted = LinearRegression().fit(X_tr, y[tr])
+            else:
+                fitted = (gbt or GBTSettings()).build(seed).fit(X_tr, y[tr])
 
-    pred = fitted.predict(X_te)
-    errors = absolute_percentage_errors(y[te], pred)
+        with _span(tracer, "pipeline.eval", n_test=int(te.size)):
+            pred = fitted.predict(X_te)
+            errors = absolute_percentage_errors(y[te], pred)
     return GlobalModelResult(
         model_kind=model,
         feature_names=tuple(np.array(names)[kept]),

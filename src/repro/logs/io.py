@@ -10,10 +10,19 @@ log imperfections), so ``read_csv``/``read_jsonl`` support two modes:
 - **strict** (default): any malformed line or invariant violation raises,
   exactly what replay experiments want — a corrupt cache should fail loudly;
 - **lenient** (``strict=False``): bad rows are *quarantined* into a
-  structured :class:`QuarantineReport` (line number, field, reason, raw
-  text) and the clean remainder is returned, which is what a serving
-  pipeline ingesting live telemetry wants.  Lenient reads return a
-  ``(LogStore, QuarantineReport)`` pair.
+  structured :class:`QuarantineReport` (line number, field, reason
+  category, raw text) and the clean remainder is returned, which is what
+  a serving pipeline ingesting live telemetry wants.  Lenient reads
+  return a ``(LogStore, QuarantineReport)`` pair.
+
+Both readers accept a ``registry`` (:class:`~repro.obs.MetricsRegistry`):
+rows read, rows kept, and quarantined violations per reason category are
+counted into ``ingest_rows_total`` / ``ingest_rows_kept_total`` /
+``ingest_quarantined_total{reason=...}`` so ingestion health shows up in
+the same export as the serving metrics.  They also accept a ``tracer``
+(:class:`~repro.obs.Tracer`): each read is wrapped in an
+``ingest.read_csv`` / ``ingest.read_jsonl`` span carrying the final
+``rows``/``kept`` counts.
 
 ``repro-tools logs validate`` wraps the lenient path as a CLI linter.
 """
@@ -29,6 +38,8 @@ import numpy as np
 
 from repro.logs.schema import LOG_DTYPE, record_violations
 from repro.logs.store import LogStore
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.tracing import NULL_SPAN
 
 __all__ = [
     "write_csv",
@@ -50,13 +61,23 @@ class QuarantinedRow:
     """One quarantined violation: where it was, what was wrong.
 
     A single input line can contribute several rows (one per violated
-    field); ``line_no`` groups them back together.
+    field); ``line_no`` groups them back together.  ``category`` is a
+    stable machine-readable reason key (``invalid_json``,
+    ``column_shape``, ``invariant_<field>``, ...) suitable for metric
+    labels, where ``reason`` stays human-readable free text.
     """
 
     line_no: int
     field: str
     reason: str
     raw: str = ""
+    category: str = ""
+
+    @property
+    def reason_key(self) -> str:
+        """The stable category, falling back to the field name for rows
+        written before categories existed."""
+        return self.category or self.field.strip("<>") or "unknown"
 
 
 @dataclass
@@ -73,13 +94,21 @@ class QuarantineReport:
     kept_rows: int = 0
     rows: list[QuarantinedRow] = field(default_factory=list)
 
-    def add(self, line_no: int, field_name: str, reason: str, raw: str = "") -> None:
+    def add(
+        self,
+        line_no: int,
+        field_name: str,
+        reason: str,
+        raw: str = "",
+        category: str = "",
+    ) -> None:
         self.rows.append(
             QuarantinedRow(
                 line_no=line_no,
                 field=field_name,
                 reason=reason,
                 raw=raw[:_RAW_TRUNCATE],
+                category=category,
             )
         )
 
@@ -92,16 +121,31 @@ class QuarantineReport:
     def ok(self) -> bool:
         return not self.rows
 
+    def reason_counts(self) -> dict[str, int]:
+        """Violations per stable reason category, sorted by category.
+
+        Counts *violations*, not lines: a line missing three fields
+        contributes 3 to ``missing_field``; :attr:`quarantined_rows` has
+        the distinct-line count.
+        """
+        counts: dict[str, int] = {}
+        for r in self.rows:
+            key = r.reason_key
+            counts[key] = counts.get(key, 0) + 1
+        return dict(sorted(counts.items()))
+
     def as_dict(self) -> dict:
         return {
             "source": self.source,
             "total_rows": self.total_rows,
             "kept_rows": self.kept_rows,
+            "reason_counts": self.reason_counts(),
             "rows": [asdict(r) for r in self.rows],
         }
 
     @classmethod
     def from_dict(cls, d: dict) -> "QuarantineReport":
+        # reason_counts is derived, never read back.
         return cls(
             source=d.get("source", ""),
             total_rows=int(d.get("total_rows", 0)),
@@ -114,9 +158,32 @@ class QuarantineReport:
             f"{self.source or '<log>'}: {self.kept_rows}/{self.total_rows} "
             f"rows kept, {self.quarantined_rows} quarantined"
         ]
+        if self.rows:
+            by_reason = ", ".join(
+                f"{k}={n}" for k, n in self.reason_counts().items()
+            )
+            lines.append(f"  violations by reason: {by_reason}")
         for r in self.rows:
             lines.append(f"  line {r.line_no}: [{r.field}] {r.reason}")
         return "\n".join(lines)
+
+    def count_into(self, registry: MetricsRegistry, fmt: str) -> None:
+        """Mirror this report into ingestion counters on ``registry``."""
+        labels = {"format": fmt}
+        registry.counter(
+            "ingest_rows_total", "Input rows seen by the log readers.",
+            labels=labels,
+        ).inc(self.total_rows)
+        registry.counter(
+            "ingest_rows_kept_total", "Rows that passed parsing + invariants.",
+            labels=labels,
+        ).inc(self.kept_rows)
+        for reason, n in self.reason_counts().items():
+            registry.counter(
+                "ingest_quarantined_total",
+                "Quarantined violations by reason category.",
+                labels={"format": fmt, "reason": reason},
+            ).inc(n)
 
 
 def write_csv(store: LogStore, path: str | Path) -> None:
@@ -130,37 +197,60 @@ def write_csv(store: LogStore, path: str | Path) -> None:
             writer.writerow([row[name].item() for name in LOG_DTYPE.names])
 
 
-def read_csv(path: str | Path, strict: bool = True):
+def _ingest_span(tracer: Tracer | None, name: str):
+    if tracer is None or not tracer.enabled:
+        return NULL_SPAN
+    return tracer.span(name)
+
+
+def read_csv(
+    path: str | Path,
+    strict: bool = True,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+):
     """Read a store written by :func:`write_csv`.
 
     With ``strict=True`` (default) the first malformed line raises
     ``ValueError``; with ``strict=False`` bad rows are quarantined and the
-    return value is a ``(LogStore, QuarantineReport)`` pair.
+    return value is a ``(LogStore, QuarantineReport)`` pair.  A
+    ``registry`` receives ingestion counters (rows read/kept, quarantined
+    violations per reason) for reads that complete; a ``tracer`` records
+    the read as an ``ingest.read_csv`` span.
     """
     path = Path(path)
     report = QuarantineReport(source=str(path))
     rows: list[tuple] = []
-    with path.open(newline="") as fh:
-        reader = csv.reader(fh)
-        header = next(reader, None)
-        if header is None:
-            if strict:
-                raise ValueError(f"{path}: empty file (no CSV header)")
-            report.add(0, "<header>", "empty file (no CSV header)")
-        elif tuple(header) != LOG_DTYPE.names:
-            if strict:
-                raise ValueError(f"unexpected CSV header in {path}: {header}")
-            report.add(1, "<header>", f"unexpected CSV header: {header}")
-            header = None
-        if header is not None:
-            for line_no, raw in enumerate(reader, 2):
-                if not raw:
-                    continue
-                report.total_rows += 1
-                row = _ingest_csv_row(path, line_no, raw, strict, report)
-                if row is not None:
-                    rows.append(row)
-    report.kept_rows = len(rows)
+    with _ingest_span(tracer, "ingest.read_csv") as span:
+        with path.open(newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader, None)
+            if header is None:
+                if strict:
+                    raise ValueError(f"{path}: empty file (no CSV header)")
+                report.add(0, "<header>", "empty file (no CSV header)",
+                           category="bad_header")
+            elif tuple(header) != LOG_DTYPE.names:
+                if strict:
+                    raise ValueError(
+                        f"unexpected CSV header in {path}: {header}"
+                    )
+                report.add(1, "<header>", f"unexpected CSV header: {header}",
+                           category="bad_header")
+                header = None
+            if header is not None:
+                for line_no, raw in enumerate(reader, 2):
+                    if not raw:
+                        continue
+                    report.total_rows += 1
+                    row = _ingest_csv_row(path, line_no, raw, strict, report)
+                    if row is not None:
+                        rows.append(row)
+        report.kept_rows = len(rows)
+        span.attrs["rows"] = report.total_rows
+        span.attrs["kept"] = report.kept_rows
+    if registry is not None:
+        report.count_into(registry, "csv")
     arr = np.array(rows, dtype=LOG_DTYPE) if rows else np.empty(0, dtype=LOG_DTYPE)
     store = LogStore(arr)
     return store if strict else (store, report)
@@ -184,6 +274,7 @@ def _ingest_csv_row(
             line_no, "<row>",
             f"expected {len(LOG_DTYPE.names)} columns, got {len(raw)}",
             raw_text,
+            category="column_shape",
         )
         return None
     try:
@@ -191,7 +282,8 @@ def _ingest_csv_row(
     except ValueError as exc:
         if strict:
             raise ValueError(f"{path}:{line_no}: {exc}") from exc
-        report.add(line_no, "<row>", f"unparseable value: {exc}", raw_text)
+        report.add(line_no, "<row>", f"unparseable value: {exc}", raw_text,
+                   category="unparseable_value")
         return None
     return _validated(path, line_no, values, raw_text, strict, report)
 
@@ -206,47 +298,66 @@ def write_jsonl(store: LogStore, path: str | Path) -> None:
             fh.write(json.dumps(obj) + "\n")
 
 
-def read_jsonl(path: str | Path, strict: bool = True):
+def read_jsonl(
+    path: str | Path,
+    strict: bool = True,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+):
     """Read a store written by :func:`write_jsonl`.
 
     Same contract as :func:`read_csv`: strict mode raises on the first bad
     line (including a truncated final line); ``strict=False`` quarantines
-    bad lines and returns ``(LogStore, QuarantineReport)``.
+    bad lines and returns ``(LogStore, QuarantineReport)``; a ``registry``
+    receives ingestion counters; a ``tracer`` records the read as an
+    ``ingest.read_jsonl`` span.
     """
     path = Path(path)
     report = QuarantineReport(source=str(path))
     rows: list[tuple] = []
-    with path.open() as fh:
-        for line_no, line in enumerate(fh, 1):
-            line = line.strip()
-            if not line:
-                continue
-            report.total_rows += 1
-            try:
-                obj = json.loads(line)
-            except json.JSONDecodeError as exc:
-                if strict:
-                    raise ValueError(f"{path}:{line_no}: invalid JSON: {exc}") from exc
-                report.add(line_no, "<row>", f"invalid JSON: {exc}", line)
-                continue
-            if not isinstance(obj, dict):
-                if strict:
-                    raise ValueError(f"{path}:{line_no}: expected a JSON object")
-                report.add(line_no, "<row>", "expected a JSON object", line)
-                continue
-            missing = set(LOG_DTYPE.names) - set(obj)
-            if missing:
-                if strict:
-                    raise ValueError(
-                        f"{path}:{line_no}: missing fields {sorted(missing)}"
-                    )
-                for name in sorted(missing):
-                    report.add(line_no, name, "missing field", line)
-                continue
-            row = _validated(path, line_no, obj, line, strict, report)
-            if row is not None:
-                rows.append(row)
-    report.kept_rows = len(rows)
+    with _ingest_span(tracer, "ingest.read_jsonl") as span:
+        with path.open() as fh:
+            for line_no, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                report.total_rows += 1
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    if strict:
+                        raise ValueError(
+                            f"{path}:{line_no}: invalid JSON: {exc}"
+                        ) from exc
+                    report.add(line_no, "<row>", f"invalid JSON: {exc}", line,
+                               category="invalid_json")
+                    continue
+                if not isinstance(obj, dict):
+                    if strict:
+                        raise ValueError(
+                            f"{path}:{line_no}: expected a JSON object"
+                        )
+                    report.add(line_no, "<row>", "expected a JSON object", line,
+                               category="not_object")
+                    continue
+                missing = set(LOG_DTYPE.names) - set(obj)
+                if missing:
+                    if strict:
+                        raise ValueError(
+                            f"{path}:{line_no}: missing fields {sorted(missing)}"
+                        )
+                    for name in sorted(missing):
+                        report.add(line_no, name, "missing field", line,
+                                   category="missing_field")
+                    continue
+                row = _validated(path, line_no, obj, line, strict, report)
+                if row is not None:
+                    rows.append(row)
+        report.kept_rows = len(rows)
+        span.attrs["rows"] = report.total_rows
+        span.attrs["kept"] = report.kept_rows
+    if registry is not None:
+        report.count_into(registry, "jsonl")
     arr = np.array(rows, dtype=LOG_DTYPE) if rows else np.empty(0, dtype=LOG_DTYPE)
     store = LogStore(arr)
     return store if strict else (store, report)
@@ -267,7 +378,8 @@ def _validated(
             detail = "; ".join(f"{f}: {r}" for f, r in violations)
             raise ValueError(f"{path}:{line_no}: {detail}")
         for field_name, reason in violations:
-            report.add(line_no, field_name, reason, raw_text)
+            report.add(line_no, field_name, reason, raw_text,
+                       category=f"invariant_{field_name}")
         return None
     return tuple(values[name] for name in LOG_DTYPE.names)
 

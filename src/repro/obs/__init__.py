@@ -1,0 +1,89 @@
+"""Unified observability layer: metrics, tracing, drift monitoring.
+
+The reproduction's thesis (and the paper's) is that transfer performance
+is explainable from measurements; this package applies the same standard
+to the serving stack itself.  Everything is stdlib-only and cheap enough
+to leave on in production paths:
+
+- :mod:`repro.obs.metrics` — :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` (fixed exponential buckets, so merging shards is
+  deterministic) under a :class:`MetricsRegistry` with Prometheus-text
+  and JSON exporters;
+- :mod:`repro.obs.tracing` — :class:`Tracer` / :class:`Span`:
+  monotonic-clock timing with parent/child nesting and a bounded span
+  buffer, optionally mirrored into the registry;
+- :mod:`repro.obs.drift` — :class:`DriftMonitor`: rolling-window MdAPE /
+  p95 APE / signed bias per edge and per model tier, the paper's §5
+  metrics recomputed live as transfers complete.
+
+:class:`Observability` bundles the three with one shared registry; the
+serving layer (:class:`~repro.serve.BatchOnlinePredictor`,
+:class:`~repro.serve.ActiveSet`, the chaos harness) and lenient log
+ingestion all accept one and instrument themselves through it.  See
+``docs/observability.md`` for the metric catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.drift import DriftMonitor, DriftStats
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+)
+from repro.obs.tracing import Span, SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "exponential_buckets",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Tracer",
+    "Span",
+    "SpanRecord",
+    "DriftMonitor",
+    "DriftStats",
+    "Observability",
+]
+
+
+@dataclass
+class Observability:
+    """One serving stack's worth of instrumentation, sharing a registry.
+
+    Build with :meth:`create` and hand the same instance to every
+    component of one serving process::
+
+        obs = Observability.create()
+        active = ActiveSet(lenient=True, obs=obs)
+        engine = BatchOnlinePredictor(chain, active, obs=obs)
+        ...
+        print(obs.registry.to_prometheus())
+    """
+
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Tracer | None = None
+    drift: DriftMonitor | None = None
+
+    @classmethod
+    def create(
+        cls,
+        trace: bool = True,
+        max_spans: int = 4096,
+        drift_window: int = 256,
+    ) -> "Observability":
+        """A fully wired bundle: tracer and drift monitor share the
+        registry, so one export carries spans, counters, and drift."""
+        registry = MetricsRegistry()
+        return cls(
+            registry=registry,
+            tracer=Tracer(enabled=trace, max_spans=max_spans, registry=registry),
+            drift=DriftMonitor(registry=registry, window=drift_window),
+        )

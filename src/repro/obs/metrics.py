@@ -1,0 +1,388 @@
+"""Metric primitives and the process-wide registry.
+
+The paper's argument is that wide-area transfer performance can be
+*measured and explained*; the serving stack deserves the same treatment.
+This module provides the three classic metric kinds — :class:`Counter`,
+:class:`Gauge`, :class:`Histogram` — owned by a :class:`MetricsRegistry`
+that can export itself as Prometheus exposition text or JSON.
+
+Design constraints, in order:
+
+- **stdlib-only** (like the rest of the repo): no prometheus_client;
+- **deterministic merges**: histograms use *fixed* bucket boundaries
+  (exponential by default), so merging two registries — e.g. shards of a
+  replay, or successive snapshots — is bucket-wise addition and the result
+  is independent of merge order (counters/histograms add, gauges take the
+  max: all commutative, all associative);
+- **cheap**: a counter increment is one float add on a plain attribute;
+  the serving hot path can afford it unconditionally.
+
+Series identity is ``(name, sorted labels)``; registering the same name
+with a different metric kind raises.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "exponential_buckets",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
+    """``count`` upper bounds ``start, start*factor, ...`` (the +Inf bucket
+    is implicit).  Fixed boundaries are what make histogram merges
+    deterministic — two histograms with the same spec always align."""
+    if start <= 0 or not math.isfinite(start):
+        raise ValueError("start must be finite and > 0")
+    if factor <= 1.0:
+        raise ValueError("factor must be > 1")
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    return tuple(start * factor**i for i in range(count))
+
+
+# 100 µs .. ~13 s: spans single-request scalar predicts through multi-second
+# cold batches.
+DEFAULT_LATENCY_BUCKETS = exponential_buckets(1e-4, 2.0, 18)
+
+_LabelsKey = tuple[tuple[str, str], ...]
+
+
+def _labels_key(labels: Mapping[str, str] | None) -> _LabelsKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: _LabelsKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = labels + extra
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(v: float) -> str:
+    if v == math.inf:
+        return "+Inf"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(float(v))
+
+
+class _Series:
+    """Base: one (name, labels) time series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labels: _LabelsKey) -> None:
+        self.name = name
+        self.help = help_text
+        self.labels = labels
+
+    @property
+    def labels_dict(self) -> dict[str, str]:
+        return dict(self.labels)
+
+
+class Counter(_Series):
+    """Monotonically increasing count (resets only via :meth:`reset`)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = "", labels: _LabelsKey = ()) -> None:
+        super().__init__(name, help_text, labels)
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def set_total(self, value: float) -> None:
+        """Overwrite the running total — for stats views that expose the
+        counter as a plain assignable attribute (e.g. ``stats.adds = 0``)."""
+        if value < 0 or not math.isfinite(value):
+            raise ValueError(f"counter {self.name} total must be finite and >= 0")
+        self.value = float(value)
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+
+class Gauge(_Series):
+    """A value that can go up and down (population sizes, rolling stats)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = "", labels: _LabelsKey = ()) -> None:
+        super().__init__(name, help_text, labels)
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def merge(self, other: "Gauge") -> None:
+        # max is the only commutative/associative choice that keeps a
+        # merged snapshot meaningful for "high water mark"-style gauges.
+        self.value = max(self.value, other.value)
+
+
+class Histogram(_Series):
+    """Fixed-bucket histogram with cumulative Prometheus semantics.
+
+    ``bounds`` are the finite upper bounds; an implicit +Inf bucket
+    catches the tail.  Because bounds are fixed at construction, two
+    histograms created from the same spec merge by element-wise addition.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: _LabelsKey = (),
+        bounds: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, labels)
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one finite bucket bound")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError("bucket bounds must be finite (+Inf is implicit)")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # last = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        if not math.isfinite(value):
+            raise ValueError(f"histogram {self.name} observed non-finite {value}")
+        i = 0
+        for i, bound in enumerate(self.bounds):  # noqa: B007 - index reused
+            if value <= bound:
+                break
+        else:
+            i = len(self.bounds)
+        self.bucket_counts[i] += 1
+        self.sum += value
+        self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0..1), linearly interpolated inside the
+        covering bucket.  NaN when empty; observations landing in the +Inf
+        bucket clamp to the largest finite bound."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile q={q} outside [0, 1]")
+        if self.count == 0:
+            return math.nan
+        target = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.bucket_counts):
+            if n == 0:
+                continue
+            if cumulative + n >= target:
+                if i >= len(self.bounds):
+                    return self.bounds[-1]
+                lo = 0.0 if i == 0 else self.bounds[i - 1]
+                hi = self.bounds[i]
+                frac = (target - cumulative) / n
+                return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+            cumulative += n
+        return self.bounds[-1]
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else math.nan
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histogram {self.name}: bucket bounds differ "
+                f"({len(self.bounds)} vs {len(other.bounds)} buckets)"
+            )
+        for i, n in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += n
+        self.sum += other.sum
+        self.count += other.count
+
+
+class MetricsRegistry:
+    """Get-or-create owner of every metric series in one serving stack.
+
+    One registry per serving process (or per shard, merged afterwards):
+    the serve/ingest instrumentation assumes each predictor/active-set
+    writes to its own series, so two predictors sharing a registry would
+    sum into the same counters.
+    """
+
+    def __init__(self) -> None:
+        self._series: dict[tuple[str, _LabelsKey], _Series] = {}
+
+    # -- get-or-create -----------------------------------------------------
+
+    def _get(self, cls, name: str, help_text: str, labels, **kwargs) -> _Series:
+        key = (name, _labels_key(labels))
+        series = self._series.get(key)
+        if series is None:
+            series = cls(name, help_text, key[1], **kwargs)
+            self._series[key] = series
+        elif not isinstance(series, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {series.kind}, "
+                f"requested {cls.kind}"
+            )
+        return series
+
+    def counter(
+        self, name: str, help_text: str = "", labels: Mapping[str, str] | None = None
+    ) -> Counter:
+        return self._get(Counter, name, help_text, labels)
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: Mapping[str, str] | None = None
+    ) -> Gauge:
+        return self._get(Gauge, name, help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Mapping[str, str] | None = None,
+        bounds: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get(Histogram, name, help_text, labels, bounds=bounds)
+
+    # -- collection --------------------------------------------------------
+
+    def series(self) -> list[_Series]:
+        """All series, sorted by (name, labels) — the export order."""
+        return [self._series[k] for k in sorted(self._series)]
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return any(k[0] == name for k in self._series)
+
+    def reset(self) -> None:
+        for s in self._series.values():
+            s.reset()
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry (commutative per series:
+        counters/histograms add, gauges take the max) and return self."""
+        for (name, labels), series in sorted(other._series.items()):
+            if isinstance(series, Histogram):
+                mine = self._get(Histogram, name, series.help, dict(labels),
+                                 bounds=series.bounds)
+            else:
+                mine = self._get(type(series), name, series.help, dict(labels))
+            mine.merge(series)
+        return self
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready nested structure (stable ordering)."""
+        out: dict = {"counters": [], "gauges": [], "histograms": []}
+        for s in self.series():
+            entry: dict = {"name": s.name, "labels": s.labels_dict}
+            if s.help:
+                entry["help"] = s.help
+            if isinstance(s, Histogram):
+                # +Inf encoded as a string: json.dumps would otherwise emit
+                # the non-standard Infinity token that strict parsers reject.
+                entry["buckets"] = [
+                    [b if math.isfinite(b) else "+Inf", n]
+                    for b, n in zip(self._bounds_with_inf(s), s.bucket_counts)
+                ]
+                entry["sum"] = s.sum
+                entry["count"] = s.count
+                out["histograms"].append(entry)
+            elif isinstance(s, Gauge):
+                entry["value"] = s.value
+                out["gauges"].append(entry)
+            else:
+                entry["value"] = s.value
+                out["counters"].append(entry)
+        return out
+
+    @staticmethod
+    def _bounds_with_inf(h: Histogram) -> tuple[float, ...]:
+        return h.bounds + (math.inf,)
+
+    def flat(self) -> dict[str, float]:
+        """Flat ``name{k=v,...} -> value`` view (histograms contribute
+        ``_count`` and ``_sum``) — convenient for asserts and summaries."""
+        out: dict[str, float] = {}
+        for s in self.series():
+            key = s.name + _format_labels(s.labels)
+            if isinstance(s, Histogram):
+                out[key + "_count"] = float(s.count)
+                out[key + "_sum"] = s.sum
+            else:
+                out[key] = s.value
+        return out
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, allow_nan=False)
+
+    def to_prometheus(self) -> str:
+        """Prometheus exposition text (v0.0.4) for every series."""
+        lines: list[str] = []
+        seen_headers: set[str] = set()
+        for s in self.series():
+            if s.name not in seen_headers:
+                seen_headers.add(s.name)
+                if s.help:
+                    lines.append(f"# HELP {s.name} {s.help}")
+                lines.append(f"# TYPE {s.name} {s.kind}")
+            if isinstance(s, Histogram):
+                cumulative = 0
+                for bound, n in zip(self._bounds_with_inf(s), s.bucket_counts):
+                    cumulative += n
+                    label_str = _format_labels(
+                        s.labels, (("le", _format_value(bound)),)
+                    )
+                    lines.append(f"{s.name}_bucket{label_str} {cumulative}")
+                base = _format_labels(s.labels)
+                lines.append(f"{s.name}_sum{base} {_format_value(s.sum)}")
+                lines.append(f"{s.name}_count{base} {s.count}")
+            else:
+                label_str = _format_labels(s.labels)
+                lines.append(f"{s.name}{label_str} {_format_value(s.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")

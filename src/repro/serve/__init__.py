@@ -18,18 +18,29 @@ transfers.  This package is that serving layer:
   that lets the predictor answer for edges it has no model for, tagging
   each prediction with its provenance tier;
 - :class:`PredictorStats` / :class:`ActiveSetStats` — per-call counters
-  (including per-tier predictions and fix-point non-convergence) for
-  benchmarks and observability;
+  (including per-tier predictions and fix-point non-convergence), now
+  thin views over a :class:`~repro.obs.MetricsRegistry`; pass an
+  :class:`~repro.obs.Observability` bundle (``obs=``) to share one
+  registry/tracer/drift-monitor across the whole stack;
 - :mod:`repro.serve.bench` — synthetic workloads and the
-  ``repro-tools serve-bench`` harness;
+  ``repro-tools serve-bench`` harness (latency percentiles and the
+  instrumentation-overhead delta included);
 - :mod:`repro.serve.chaos` — the fault-injection replay harness behind
-  ``repro-tools chaos``.
+  ``repro-tools chaos``, plus the observed-replay pipeline
+  (:func:`run_observed_replay`) behind ``repro-tools metrics``.
 """
 
 from repro.serve.active_set import ActiveSet, ActiveSetStats, EndpointState
 from repro.serve.batch import BatchOnlinePredictor, BatchPrediction, PredictorStats
 from repro.serve.bench import ServeBenchResult, run_serve_bench
-from repro.serve.chaos import ChaosConfig, ChaosReport, run_chaos_replay
+from repro.serve.chaos import (
+    ChaosConfig,
+    ChaosReport,
+    ObservedReplay,
+    run_chaos_replay,
+    run_observed_replay,
+    write_corrupt_jsonl,
+)
 from repro.serve.fallback import FallbackChain, ModelTier
 
 __all__ = [
@@ -43,7 +54,10 @@ __all__ = [
     "ModelTier",
     "ChaosConfig",
     "ChaosReport",
+    "ObservedReplay",
     "run_chaos_replay",
+    "run_observed_replay",
+    "write_corrupt_jsonl",
     "ServeBenchResult",
     "run_serve_bench",
 ]

@@ -23,11 +23,33 @@ import numpy as np
 from repro.core.contention import ActiveOverlapIndex
 from repro.core.online import ActiveTransferView, active_views_from_log
 from repro.logs.store import LogStore
+from repro.obs import MetricsRegistry, Observability
 
 __all__ = ["ActiveSet", "ActiveSetStats", "EndpointState"]
 
+# ActiveSetStats field -> (metric name, help).
+_ACTIVE_METRICS: dict[str, tuple[str, str]] = {
+    "adds": ("active_set_adds_total", "Transfers registered."),
+    "completes": ("active_set_completes_total", "Transfers completed/removed."),
+    "progress_updates": (
+        "active_set_progress_updates_total", "Accepted progress reports."),
+    "state_rebuilds": (
+        "active_set_state_rebuilds_total",
+        "Per-endpoint prefix-sum index rebuilds."),
+    "ignored_adds": (
+        "active_set_ignored_adds_total", "Duplicate adds dropped (lenient)."),
+    "ignored_completes": (
+        "active_set_ignored_completes_total",
+        "Unknown/duplicate completes dropped (lenient)."),
+    "ignored_progress": (
+        "active_set_ignored_progress_total",
+        "Progress for unknown ids dropped (lenient)."),
+    "rejected_progress": (
+        "active_set_rejected_progress_total",
+        "Progress with invalid values dropped (lenient)."),
+}
 
-@dataclass
+
 class ActiveSetStats:
     """Mutation/rebuild counters (cheap observability for the serving path).
 
@@ -36,19 +58,27 @@ class ActiveSetStats:
     mutations that were dropped instead of raising — duplicate ids,
     completions/progress for unknown ids, and progress updates carrying
     non-finite or negative values.
+
+    Like :class:`~repro.serve.batch.PredictorStats`, each field is a view
+    over an ``active_set_*_total`` counter in a
+    :class:`~repro.obs.MetricsRegistry`, so the same numbers appear in the
+    metrics export; the attribute API (``stats.adds += 1``, ``as_dict()``)
+    is unchanged.
     """
 
-    adds: int = 0
-    completes: int = 0
-    progress_updates: int = 0
-    state_rebuilds: int = 0
-    ignored_adds: int = 0
-    ignored_completes: int = 0
-    ignored_progress: int = 0
-    rejected_progress: int = 0
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(metric, help_text)
+            for name, (metric, help_text) in _ACTIVE_METRICS.items()
+        }
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
 
     def as_dict(self) -> dict[str, int]:
-        return {f: getattr(self, f) for f in self.__dataclass_fields__}
+        return {name: getattr(self, name) for name in _ACTIVE_METRICS}
 
     @property
     def ignored_total(self) -> int:
@@ -58,6 +88,21 @@ class ActiveSetStats:
             + self.ignored_progress
             + self.rejected_progress
         )
+
+
+def _active_stat_property(name: str, metric: str) -> property:
+    def fget(self: ActiveSetStats) -> int:
+        return int(self._counters[name].value)
+
+    def fset(self: ActiveSetStats, value) -> None:
+        self._counters[name].set_total(float(value))
+
+    return property(fget, fset, doc=f"View over the {metric} counter.")
+
+
+for _name, (_metric, _help) in _ACTIVE_METRICS.items():
+    setattr(ActiveSetStats, _name, _active_stat_property(_name, _metric))
+del _name, _metric, _help
 
 
 @dataclass(frozen=True)
@@ -121,7 +166,9 @@ class ActiveSet:
     the server.
     """
 
-    def __init__(self, lenient: bool = False) -> None:
+    def __init__(
+        self, lenient: bool = False, obs: Observability | None = None
+    ) -> None:
         self.lenient = bool(lenient)
         self._views: dict[int, ActiveTransferView] = {}
         # endpoint -> insertion-ordered {transfer_id: None} sets.  Dicts keep
@@ -130,14 +177,20 @@ class ActiveSet:
         self._by_src: dict[str, dict[int, None]] = {}
         self._by_dst: dict[str, dict[int, None]] = {}
         self._state: dict[str, EndpointState] = {}
-        self.stats = ActiveSetStats()
+        registry = obs.registry if obs is not None else None
+        self.stats = ActiveSetStats(registry)
+        self.tracer = obs.tracer if obs is not None and obs.tracer is not None \
+            and obs.tracer.enabled else None
+        self._size_gauge = self.stats.registry.gauge(
+            "active_set_size", "In-flight transfers currently tracked."
+        )
 
     # -- construction ------------------------------------------------------
 
     @classmethod
-    def from_views(cls, views) -> "ActiveSet":
+    def from_views(cls, views, obs: Observability | None = None) -> "ActiveSet":
         """Build from bare views, assigning sequential ids ``0..n-1``."""
-        active = cls()
+        active = cls(obs=obs)
         for i, v in enumerate(views):
             active.add(i, v)
         active.stats.adds = 0
@@ -150,11 +203,12 @@ class ActiveSet:
         now: float,
         lookback_s: float | None = None,
         exclude_transfer_id: int | None = None,
+        obs: Observability | None = None,
     ) -> "ActiveSet":
         """Replay construction: every logged transfer with ``ts <= now < te``
         becomes active, keyed by its logged transfer id (see
         :func:`repro.core.online.active_views_from_log`)."""
-        active = cls()
+        active = cls(obs=obs)
         for tid, view in active_views_from_log(
             log, now, lookback_s=lookback_s,
             exclude_transfer_id=exclude_transfer_id,
@@ -182,6 +236,7 @@ class ActiveSet:
         self._by_dst.setdefault(view.dst, {})[transfer_id] = None
         self._invalidate(view)
         self.stats.adds += 1
+        self._size_gauge.set(len(self._views))
 
     def complete(self, transfer_id: int) -> ActiveTransferView | None:
         """Remove a finished (or failed) transfer; returns its last view.
@@ -241,6 +296,7 @@ class ActiveSet:
         self._by_src[view.src].pop(transfer_id, None)
         self._by_dst[view.dst].pop(transfer_id, None)
         self._invalidate(view)
+        self._size_gauge.set(len(self._views))
         return view
 
     def _invalidate(self, view: ActiveTransferView) -> None:
@@ -253,13 +309,22 @@ class ActiveSet:
         """The endpoint's bulk-query indexes (rebuilt only if dirtied)."""
         state = self._state.get(endpoint)
         if state is None:
+            span = (
+                self.tracer.span("active_set.rebuild", endpoint=endpoint)
+                if self.tracer else None
+            )
             out_views = [
                 self._views[t] for t in self._by_src.get(endpoint, ())
             ]
             in_views = [
                 self._views[t] for t in self._by_dst.get(endpoint, ())
             ]
-            state = _build_state(endpoint, out_views, in_views)
+            if span is None:
+                state = _build_state(endpoint, out_views, in_views)
+            else:
+                with span as sp:
+                    sp.attrs["transfers"] = len(out_views) + len(in_views)
+                    state = _build_state(endpoint, out_views, in_views)
             self._state[endpoint] = state
             self.stats.state_rebuilds += 1
         return state

@@ -16,7 +16,14 @@ across a whole batch at once:
   batch of one is bit-identical to ``OnlinePredictor.predict``;
 - :class:`PredictorStats` counts calls, requests, fix-point iterations,
   non-converged requests, per-tier predictions, and wall time split
-  between feature computation and model inference.
+  between feature computation and model inference — each counter a thin
+  view over a :class:`~repro.obs.MetricsRegistry` series, so the same
+  numbers flow into the Prometheus/JSON metrics export, alongside a
+  per-call latency histogram.  Pass an :class:`~repro.obs.Observability`
+  bundle via ``obs=`` to share a registry with the rest of the serving
+  stack and to emit tracing spans (``serve.predict_batch`` →
+  ``serve.route`` / ``serve.tier.*`` → ``serve.columns`` /
+  ``serve.fixpoint``) through its tracer.
 
 The predictor also accepts a :class:`~repro.serve.fallback.FallbackChain`
 (or a plain ``{(src, dst): EdgeModelResult}`` dict, which is wrapped into
@@ -32,12 +39,14 @@ from __future__ import annotations
 
 import time
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.core.pipeline import EdgeModelResult, GlobalModelResult
+from repro.obs import MetricsRegistry, Observability
+from repro.obs.tracing import NULL_SPAN
 from repro.serve.active_set import ActiveSet
 from repro.serve.fallback import FallbackChain, ModelTier
 from repro.sim.gridftp import TransferRequest
@@ -54,9 +63,119 @@ _CONTENTION_NAMES = (
 )
 
 
-@dataclass
+# PredictorStats field -> (metric name, help, exported type).
+_STAT_METRICS: dict[str, tuple[str, str, type]] = {
+    "predict_calls": (
+        "serve_predict_calls_total", "predict_batch invocations.", int),
+    "requests": (
+        "serve_requests_total", "Requests predicted across all calls.", int),
+    "fixpoint_iterations": (
+        "serve_fixpoint_iterations_total",
+        "Fix-point rounds executed (each round may cover only the "
+        "not-yet-converged subset of a batch).", int),
+    "feature_rows": (
+        "serve_feature_rows_total",
+        "Request-rows of features computed (sum of active-subset sizes "
+        "over all rounds).", int),
+    "nonconverged_requests": (
+        "serve_nonconverged_requests_total",
+        "Requests whose fix-point hit max_iterations without stabilising.",
+        int),
+    "feature_time_s": (
+        "serve_feature_seconds_total",
+        "Wall time in bulk feature estimation.", float),
+    "model_time_s": (
+        "serve_model_seconds_total",
+        "Wall time in scaler + model inference.", float),
+    "total_time_s": (
+        "serve_predict_seconds_total",
+        "End-to-end wall time inside predict_batch.", float),
+}
+
+_TIER_METRIC = "serve_tier_predictions_total"
+_LATENCY_METRIC = "serve_predict_batch_latency_seconds"
+
+
+class _TierCounts:
+    """Dict-like view over the per-tier prediction counters.
+
+    Behaves like the plain ``{tier: count}`` dict it replaced — equality
+    against dicts, truthiness, iteration — but every write lands in the
+    registry's ``serve_tier_predictions_total{tier=...}`` counter, so the
+    tier mix is visible in the metrics export.  Only tiers touched since
+    the last :meth:`clear` appear as keys (the registry keeps exporting
+    cleared series at zero, which is what Prometheus expects).
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
+        self._keys: set[str] = set()
+
+    def _counter(self, tier: str):
+        return self._registry.counter(
+            _TIER_METRIC,
+            "Predictions served per fallback tier.",
+            labels={"tier": tier},
+        )
+
+    def inc(self, tier: str, n: int) -> None:
+        self._counter(tier).inc(n)
+        self._keys.add(tier)
+
+    def get(self, tier: str, default: int | None = None) -> int | None:
+        if tier not in self._keys:
+            return default
+        return int(self._counter(tier).value)
+
+    def __getitem__(self, tier: str) -> int:
+        if tier not in self._keys:
+            raise KeyError(tier)
+        return int(self._counter(tier).value)
+
+    def __setitem__(self, tier: str, value: int) -> None:
+        self._counter(tier).set_total(float(value))
+        self._keys.add(tier)
+
+    def __contains__(self, tier: object) -> bool:
+        return tier in self._keys
+
+    def keys(self) -> list[str]:
+        return sorted(self._keys)
+
+    def items(self) -> list[tuple[str, int]]:
+        return [(k, self[k]) for k in self.keys()]
+
+    def __iter__(self):
+        return iter(self.keys())
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, _TierCounts):
+            return dict(self.items()) == dict(other.items())
+        if isinstance(other, Mapping) or isinstance(other, dict):
+            return dict(self.items()) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"_TierCounts({dict(self.items())!r})"
+
+    def clear(self) -> None:
+        for tier in self._keys:
+            self._counter(tier).reset()
+        self._keys.clear()
+
+
 class PredictorStats:
-    """Lightweight per-predictor instrumentation.
+    """Per-predictor instrumentation, backed by a metrics registry.
+
+    Historically a plain dataclass of counters; now a thin view over
+    :class:`~repro.obs.MetricsRegistry` series so the same numbers flow
+    into the Prometheus/JSON export.  The attribute API is unchanged —
+    ``stats.requests += n`` works, ``reset()`` zeroes everything,
+    ``as_dict()`` stays flat-numeric — so existing callers and tests are
+    unaffected.
 
     Attributes
     ----------
@@ -82,42 +201,62 @@ class PredictorStats:
         Wall time in bulk feature estimation vs scaler+model inference.
     total_time_s:
         End-to-end wall time inside ``predict_batch``.
+    latency:
+        :class:`~repro.obs.Histogram` of per-``predict_batch`` wall time
+        (the p50/p95/p99 reported by serve-bench).
     """
 
-    predict_calls: int = 0
-    requests: int = 0
-    fixpoint_iterations: int = 0
-    feature_rows: int = 0
-    nonconverged_requests: int = 0
-    tier_counts: dict[str, int] = field(default_factory=dict)
-    feature_time_s: float = 0.0
-    model_time_s: float = 0.0
-    total_time_s: float = 0.0
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(metric, help_text)
+            for name, (metric, help_text, _) in _STAT_METRICS.items()
+        }
+        self.tier_counts = _TierCounts(self.registry)
+        self.latency = self.registry.histogram(
+            _LATENCY_METRIC, "predict_batch wall time per call, seconds."
+        )
 
     def reset(self) -> None:
-        for f in self.__dataclass_fields__:
-            setattr(self, f, type(getattr(self, f))())
+        for counter in self._counters.values():
+            counter.reset()
+        self.tier_counts.clear()
+        self.latency.reset()
 
     def count_tier(self, tier: ModelTier, n: int) -> None:
         if n:
-            self.tier_counts[tier.value] = self.tier_counts.get(tier.value, 0) + n
+            self.tier_counts.inc(tier.value, n)
 
     def as_dict(self) -> dict[str, float]:
-        """Flat numeric dict (tier counts expand to ``tier_<name>`` keys)."""
-        out: dict[str, float] = {}
-        for f in self.__dataclass_fields__:
-            if f == "tier_counts":
-                continue
-            out[f] = getattr(self, f)
+        """Flat numeric dict.  Tier counts expand to ``tier_<name>`` keys
+        for *every* tier (0 when unused), so the export schema is stable
+        across runs regardless of which tiers happened to fire."""
+        out: dict[str, float] = {
+            name: getattr(self, name) for name in _STAT_METRICS
+        }
         for tier in ModelTier:
-            if tier.value in self.tier_counts:
-                out[f"tier_{tier.value}"] = self.tier_counts[tier.value]
+            out[f"tier_{tier.value}"] = self.tier_counts.get(tier.value, 0)
         return out
 
     @property
     def mean_iterations_per_request(self) -> float:
         """Average fix-point feature rows per request (convergence speed)."""
         return self.feature_rows / self.requests if self.requests else 0.0
+
+
+def _stat_property(name: str, metric: str, cast: type) -> property:
+    def fget(self: PredictorStats):
+        return cast(self._counters[name].value)
+
+    def fset(self: PredictorStats, value) -> None:
+        self._counters[name].set_total(float(value))
+
+    return property(fget, fset, doc=f"View over the {metric} counter.")
+
+
+for _name, (_metric, _help, _cast) in _STAT_METRICS.items():
+    setattr(PredictorStats, _name, _stat_property(_name, _metric, _cast))
+del _name, _metric, _help, _cast
 
 
 @dataclass(frozen=True)
@@ -214,6 +353,12 @@ class BatchOnlinePredictor:
     warn_nonconverged:
         Emit a ``RuntimeWarning`` whenever a call leaves requests
         non-converged (always counted in ``stats.nonconverged_requests``).
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle.  When given,
+        ``stats`` counters land in ``obs.registry`` (one predictor per
+        registry — two would sum into the same series) and the predict
+        path emits spans through ``obs.tracer``; when omitted the
+        predictor keeps a private registry and skips tracing entirely.
     """
 
     def __init__(
@@ -226,6 +371,7 @@ class BatchOnlinePredictor:
         initial_rate: float = 50e6,
         strict: bool = False,
         warn_nonconverged: bool = False,
+        obs: Observability | None = None,
     ) -> None:
         if max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
@@ -241,7 +387,10 @@ class BatchOnlinePredictor:
         self.initial_rate = float(initial_rate)
         self.strict = bool(strict)
         self.warn_nonconverged = bool(warn_nonconverged)
-        self.stats = PredictorStats()
+        self.obs = obs
+        self.tracer = obs.tracer if obs is not None and obs.tracer is not None \
+            and obs.tracer.enabled else None
+        self.stats = PredictorStats(obs.registry if obs is not None else None)
         self.unusable_edges: dict[tuple[str, str], str] = {}
         if isinstance(result, FallbackChain):
             self._chain = result
@@ -263,7 +412,10 @@ class BatchOnlinePredictor:
                     # one: remember why and let its edge fall through.
                     self.unusable_edges[edge] = str(exc).strip("'\"")
                 else:
+                    # Tier engines share the parent's stats and tracer so
+                    # the whole chain reports as one predictor.
                     engine.stats = self.stats
+                    engine.tracer = self.tracer
                     self._edge_engines[edge] = engine
         else:
             self._chain = None
@@ -291,6 +443,12 @@ class BatchOnlinePredictor:
             )
         return names
 
+    def _span(self, name: str, **attrs):
+        """A tracer span, or the shared no-op when tracing is off."""
+        if self.tracer is None:
+            return NULL_SPAN
+        return self.tracer.span(name, **attrs)
+
     # -- prediction --------------------------------------------------------
 
     def predict(self, request: TransferRequest, now: float) -> float:
@@ -313,18 +471,19 @@ class BatchOnlinePredictor:
         m = len(requests)
         if m == 0:
             return BatchPrediction(np.zeros(0), (), np.zeros(0, dtype=bool))
-        if self._chain is None:
-            rates, nonconv = self._fixpoint(self.result, requests, now,
-                                            self.extra_columns)
-            tier = (
-                ModelTier.EDGE
-                if isinstance(self.result, EdgeModelResult)
-                else ModelTier.GLOBAL
-            )
-            tiers: tuple[ModelTier, ...] = (tier,) * m
-            self.stats.count_tier(tier, m)
-        else:
-            rates, tiers, nonconv = self._predict_chain(requests, now)
+        with self._span("serve.predict_batch", requests=m):
+            if self._chain is None:
+                rates, nonconv = self._fixpoint(self.result, requests, now,
+                                                self.extra_columns)
+                tier = (
+                    ModelTier.EDGE
+                    if isinstance(self.result, EdgeModelResult)
+                    else ModelTier.GLOBAL
+                )
+                tiers: tuple[ModelTier, ...] = (tier,) * m
+                self.stats.count_tier(tier, m)
+            else:
+                rates, tiers, nonconv = self._predict_chain(requests, now)
 
         n_bad = int(nonconv.sum())
         self.stats.nonconverged_requests += n_bad
@@ -338,7 +497,9 @@ class BatchOnlinePredictor:
             )
         self.stats.predict_calls += 1
         self.stats.requests += m
-        self.stats.total_time_s += time.perf_counter() - t0
+        elapsed = time.perf_counter() - t0
+        self.stats.total_time_s += elapsed
+        self.stats.latency.observe(elapsed)
         return BatchPrediction(rates, tiers, nonconv)
 
     def _predict_chain(
@@ -352,46 +513,52 @@ class BatchOnlinePredictor:
         tiers: list[ModelTier] = [ModelTier.DEFAULT] * m
         edge_groups: dict[tuple[str, str], list[int]] = {}
         global_idx: list[int] = []
-        for i, r in enumerate(requests):
-            edge = (r.src, r.dst)
-            if edge in self._edge_engines:
-                edge_groups.setdefault(edge, []).append(i)
-                tiers[i] = ModelTier.EDGE
-            elif self.strict:
-                known = sorted(f"{s}->{d}" for s, d in self._edge_engines)
-                raise KeyError(
-                    f"no usable per-edge model for {r.src}->{r.dst} and "
-                    f"strict=True (usable edges: {known or 'none'}); pass "
-                    "strict=False to fall back through the chain"
-                )
-            elif chain.global_covers(r.src, r.dst):
-                global_idx.append(i)
-                tiers[i] = ModelTier.GLOBAL
-            else:
-                tier, rate = chain.constant_rate(r.src, r.dst)
-                tiers[i] = tier
-                rates[i] = rate
+        with self._span("serve.route", requests=m):
+            for i, r in enumerate(requests):
+                edge = (r.src, r.dst)
+                if edge in self._edge_engines:
+                    edge_groups.setdefault(edge, []).append(i)
+                    tiers[i] = ModelTier.EDGE
+                elif self.strict:
+                    known = sorted(f"{s}->{d}" for s, d in self._edge_engines)
+                    raise KeyError(
+                        f"no usable per-edge model for {r.src}->{r.dst} and "
+                        f"strict=True (usable edges: {known or 'none'}); pass "
+                        "strict=False to fall back through the chain"
+                    )
+                elif chain.global_covers(r.src, r.dst):
+                    global_idx.append(i)
+                    tiers[i] = ModelTier.GLOBAL
+                else:
+                    tier, rate = chain.constant_rate(r.src, r.dst)
+                    tiers[i] = tier
+                    rates[i] = rate
 
-        for edge, idx in edge_groups.items():
-            subset = [requests[i] for i in idx]
-            sub_rates, sub_nonconv = self._edge_engines[edge]._fixpoint(
-                chain.edge_models[edge], subset, now, self.extra_columns
-            )
-            rates[idx] = sub_rates
-            nonconv[idx] = sub_nonconv
+        if edge_groups:
+            with self._span("serve.tier.edge", edges=len(edge_groups)):
+                for edge, idx in edge_groups.items():
+                    subset = [requests[i] for i in idx]
+                    sub_rates, sub_nonconv = self._edge_engines[edge]._fixpoint(
+                        chain.edge_models[edge], subset, now, self.extra_columns
+                    )
+                    rates[idx] = sub_rates
+                    nonconv[idx] = sub_nonconv
 
         if global_idx:
-            subset = [requests[i] for i in global_idx]
-            extra = dict(self.extra_columns)
-            if chain.global_adapter is not None:
-                extra.update(
-                    chain.global_adapter.extra_columns(chain.global_model, subset)
+            with self._span("serve.tier.global", requests=len(global_idx)):
+                subset = [requests[i] for i in global_idx]
+                extra = dict(self.extra_columns)
+                if chain.global_adapter is not None:
+                    extra.update(
+                        chain.global_adapter.extra_columns(
+                            chain.global_model, subset
+                        )
+                    )
+                sub_rates, sub_nonconv = self._fixpoint(
+                    chain.global_model, subset, now, extra
                 )
-            sub_rates, sub_nonconv = self._fixpoint(
-                chain.global_model, subset, now, extra
-            )
-            rates[global_idx] = sub_rates
-            nonconv[global_idx] = sub_nonconv
+                rates[global_idx] = sub_rates
+                nonconv[global_idx] = sub_nonconv
 
         for tier in ModelTier:
             self.stats.count_tier(tier, sum(1 for t in tiers if t is tier))
@@ -412,33 +579,40 @@ class BatchOnlinePredictor:
         """
         names = self._check_features(result, extra)
         m = len(requests)
-        cols = _columns(requests)
+        with self._span("serve.columns", requests=m):
+            cols = _columns(requests)
         rates = np.full(m, self.initial_rate)
         alive = np.arange(m)
-        for _ in range(self.max_iterations):
-            sub_rates = rates[alive]
-            durations = np.maximum(1.0, cols.nb[alive] / sub_rates)
+        with self._span("serve.fixpoint", requests=m) as span:
+            iterations = 0
+            for _ in range(self.max_iterations):
+                sub_rates = rates[alive]
+                durations = np.maximum(1.0, cols.nb[alive] / sub_rates)
 
-            tf = time.perf_counter()
-            feats = self._feature_matrix(names, extra, cols, alive, now, durations)
-            self.stats.feature_time_s += time.perf_counter() - tf
+                tf = time.perf_counter()
+                feats = self._feature_matrix(names, extra, cols, alive, now,
+                                             durations)
+                self.stats.feature_time_s += time.perf_counter() - tf
 
-            tm = time.perf_counter()
-            if isinstance(result, EdgeModelResult):
-                feats = feats[:, result.kept]
-            new_rates = np.maximum(
-                result.model.predict(result.scaler.transform(feats)),
-                1.0,
-            )
-            self.stats.model_time_s += time.perf_counter() - tm
+                tm = time.perf_counter()
+                if isinstance(result, EdgeModelResult):
+                    feats = feats[:, result.kept]
+                new_rates = np.maximum(
+                    result.model.predict(result.scaler.transform(feats)),
+                    1.0,
+                )
+                self.stats.model_time_s += time.perf_counter() - tm
 
-            done = np.abs(new_rates - sub_rates) <= self.tolerance * sub_rates
-            rates[alive] = new_rates
-            self.stats.fixpoint_iterations += 1
-            self.stats.feature_rows += int(alive.size)
-            alive = alive[~done]
-            if alive.size == 0:
-                break
+                done = np.abs(new_rates - sub_rates) <= self.tolerance * sub_rates
+                rates[alive] = new_rates
+                iterations += 1
+                self.stats.fixpoint_iterations += 1
+                self.stats.feature_rows += int(alive.size)
+                alive = alive[~done]
+                if alive.size == 0:
+                    break
+            span.attrs["iterations"] = iterations
+            span.attrs["nonconverged"] = int(alive.size)
         nonconverged = np.zeros(m, dtype=bool)
         nonconverged[alive] = True
         return rates, nonconverged

@@ -8,6 +8,7 @@ batch path against looping the scalar predictor over the same requests.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 
@@ -22,6 +23,7 @@ from repro.core.online import (
 from repro.core.pipeline import EdgeModelResult, GlobalModelResult
 from repro.ml.linear import LinearRegression
 from repro.ml.scaler import StandardScaler
+from repro.obs import Observability
 from repro.serve.active_set import ActiveSet
 from repro.serve.batch import BatchOnlinePredictor
 from repro.sim.gridftp import TransferRequest
@@ -166,7 +168,16 @@ def make_synthetic_global_model(seed: int = 0) -> GlobalModelResult:
 
 @dataclass(frozen=True)
 class ServeBenchResult:
-    """Timings and throughput of batch vs looped scalar prediction."""
+    """Timings and throughput of batch vs looped scalar prediction.
+
+    ``batch_time_s`` / ``loop_time_s`` are mean per-repeat times of the
+    *uninstrumented* paths; ``instrumented_time_s`` re-times the batch
+    path with a full :class:`~repro.obs.Observability` bundle attached
+    (tracer + registry-backed stats), and ``overhead_pct`` is the relative
+    cost of that instrumentation — the acceptance target is <= 5%.  The
+    latency percentiles come from the instrumented engine's per-call
+    latency :class:`~repro.obs.Histogram`.
+    """
 
     n_active: int
     n_requests: int
@@ -174,6 +185,11 @@ class ServeBenchResult:
     loop_time_s: float
     max_abs_diff: float
     stats: dict[str, float]
+    repeats: int = 1
+    instrumented_time_s: float = 0.0
+    latency_p50_s: float = math.nan
+    latency_p95_s: float = math.nan
+    latency_p99_s: float = math.nan
 
     @property
     def speedup(self) -> float:
@@ -183,10 +199,20 @@ class ServeBenchResult:
     def batch_throughput_rps(self) -> float:
         return self.n_requests / self.batch_time_s if self.batch_time_s else 0.0
 
+    @property
+    def overhead_pct(self) -> float:
+        """Instrumented-vs-plain batch-path cost, percent (negative means
+        the instrumented run happened to be faster — i.e. noise floor)."""
+        if not self.batch_time_s or not self.instrumented_time_s:
+            return math.nan
+        return (self.instrumented_time_s - self.batch_time_s) \
+            / self.batch_time_s * 100.0
+
     def render(self) -> str:
         lines = [
             f"active transfers          {self.n_active}",
-            f"requests                  {self.n_requests}",
+            f"requests                  {self.n_requests} "
+            f"(x{self.repeats} repeats)",
             f"batch predict             {self.batch_time_s * 1e3:9.2f} ms "
             f"({self.batch_throughput_rps:,.0f} req/s)",
             f"looped scalar predict     {self.loop_time_s * 1e3:9.2f} ms "
@@ -195,8 +221,21 @@ class ServeBenchResult:
             else "looped scalar predict     (skipped)",
             f"speedup                   {self.speedup:9.1f}x",
             f"max |batch - loop| rate   {self.max_abs_diff:9.3g} B/s",
-            "engine stats:",
         ]
+        if self.instrumented_time_s:
+            lines.append(
+                f"instrumented batch        "
+                f"{self.instrumented_time_s * 1e3:9.2f} ms "
+                f"(overhead {self.overhead_pct:+.1f}% vs plain)"
+            )
+        if not math.isnan(self.latency_p50_s):
+            lines.append(
+                f"batch latency p50/p95/p99 "
+                f"{self.latency_p50_s * 1e3:.2f} / "
+                f"{self.latency_p95_s * 1e3:.2f} / "
+                f"{self.latency_p99_s * 1e3:.2f} ms"
+            )
+        lines.append("engine stats:")
         for k, v in self.stats.items():
             lines.append(f"  {k:<24}{v:,.6g}")
         return "\n".join(lines)
@@ -209,10 +248,23 @@ def run_serve_bench(
     seed: int = 0,
     result: EdgeModelResult | None = None,
     now: float = 0.0,
+    repeats: int = 1,
+    obs: Observability | None = None,
 ) -> ServeBenchResult:
     """Time ``BatchOnlinePredictor.predict_batch`` against looping
     ``OnlinePredictor.predict`` over the same requests and verify the two
-    paths agree."""
+    paths agree.
+
+    The batch path is timed twice — once plain, once with a full
+    :class:`~repro.obs.Observability` bundle attached — so the report
+    carries the instrumentation overhead alongside the speedup, plus
+    p50/p95/p99 per-call latency from the instrumented engine's
+    histogram.  Pass ``obs`` to reuse a caller-owned bundle (e.g. so the
+    CLI can export its registry afterwards); pass ``repeats > 1`` to
+    average timings and populate the latency percentiles meaningfully.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
     views = make_synthetic_views(n_active, n_endpoints=n_endpoints, seed=seed, now=now)
     requests = make_synthetic_requests(n_requests, n_endpoints=n_endpoints, seed=seed + 1)
     result = result or make_synthetic_model(seed)
@@ -221,8 +273,21 @@ def run_serve_bench(
     engine.predict_batch(requests, now)  # warm all endpoint indexes
     engine.stats.reset()
     t0 = time.perf_counter()
-    batch_rates = engine.predict_batch(requests, now)
-    batch_time = time.perf_counter() - t0
+    for _ in range(repeats):
+        batch_rates = engine.predict_batch(requests, now)
+    batch_time = (time.perf_counter() - t0) / repeats
+
+    obs = obs if obs is not None else Observability.create()
+    instrumented = BatchOnlinePredictor(
+        result, ActiveSet.from_views(views, obs=obs), obs=obs
+    )
+    instrumented.predict_batch(requests, now)  # warm, symmetric with plain
+    instrumented.stats.reset()
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        instrumented.predict_batch(requests, now)
+    instrumented_time = (time.perf_counter() - t0) / repeats
+    latency = instrumented.stats.latency
 
     scalar = OnlinePredictor(result, OnlineFeatureEstimator(views))
     for r in requests:  # warm the delegated engine + endpoint indexes
@@ -237,5 +302,10 @@ def run_serve_bench(
         batch_time_s=batch_time,
         loop_time_s=loop_time,
         max_abs_diff=float(np.max(np.abs(batch_rates - loop_rates))),
-        stats=engine.stats.as_dict(),
+        stats=instrumented.stats.as_dict(),
+        repeats=repeats,
+        instrumented_time_s=instrumented_time,
+        latency_p50_s=latency.quantile(0.5),
+        latency_p95_s=latency.quantile(0.95),
+        latency_p99_s=latency.quantile(0.99),
     )

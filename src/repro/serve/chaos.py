@@ -27,15 +27,20 @@ counts and fix-point non-convergence (``repro-tools chaos [--quick]``).
 from __future__ import annotations
 
 import dataclasses
+import json
+import math
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.analytical import estimate_endpoint_maxima
 from repro.core.online import ActiveTransferView
 from repro.core.pipeline import GlobalFeatureAdapter
-from repro.logs.schema import TransferLogRecord
+from repro.logs.io import QuarantineReport, read_jsonl
+from repro.logs.schema import LOG_DTYPE, TransferLogRecord
 from repro.logs.store import LogStore
+from repro.obs import Observability
 from repro.serve.active_set import ActiveSet
 from repro.serve.batch import BatchOnlinePredictor
 from repro.serve.bench import make_synthetic_global_model, make_synthetic_model
@@ -45,9 +50,12 @@ from repro.sim.gridftp import TransferRequest
 __all__ = [
     "ChaosConfig",
     "ChaosReport",
+    "ObservedReplay",
     "make_chaos_log",
     "make_chaos_chain",
     "run_chaos_replay",
+    "write_corrupt_jsonl",
+    "run_observed_replay",
 ]
 
 
@@ -124,6 +132,7 @@ class ChaosReport:
     tier_counts: dict[str, int] = field(default_factory=dict)
     predictor_stats: dict[str, float] = field(default_factory=dict)
     active_stats: dict[str, int] = field(default_factory=dict)
+    drift: dict = field(default_factory=dict)
     errors: list[str] = field(default_factory=list)
 
     @property
@@ -153,6 +162,15 @@ class ChaosReport:
         lines.append("active-set stats:")
         for k, v in self.active_stats.items():
             lines.append(f"  {k:<24}{v}")
+        if self.drift:
+            overall = self.drift.get("overall", {})
+            lines.append(
+                f"prediction drift          "
+                f"{self.drift.get('observations', 0)} scored, "
+                f"MdAPE {overall.get('mdape', float('nan')):.1f}% "
+                f"p95 {overall.get('p95_ape', float('nan')):.1f}% "
+                f"bias {overall.get('bias_pct', float('nan')):+.1f}%"
+            )
         for e in self.errors:
             lines.append(f"error: {e}")
         return "\n".join(lines)
@@ -262,15 +280,39 @@ def _make_batch(
     return requests
 
 
-def run_chaos_replay(config: ChaosConfig | None = None) -> ChaosReport:
+def run_chaos_replay(
+    config: ChaosConfig | None = None,
+    obs: Observability | None = None,
+    log: LogStore | None = None,
+    progress=None,
+    progress_every: int = 0,
+) -> ChaosReport:
     """Replay a synthetic log through the serving stack under fault
-    injection; see the module docstring for the fault menu."""
+    injection; see the module docstring for the fault menu.
+
+    With an :class:`~repro.obs.Observability` bundle the whole stack
+    instruments itself through its registry, and — when the bundle has a
+    drift monitor — every transfer is additionally *scored*: its rate is
+    predicted at submission time (just before its start event mutates the
+    active set) and compared against the realized ``nb / (te - ts)`` when
+    its completion arrives, feeding the rolling per-edge / per-tier MdAPE
+    gauges.  The scoring probes consume no replay randomness, so runs with
+    and without ``obs`` inject the identical fault sequence.
+
+    ``log`` substitutes a caller-supplied store (e.g. the kept rows of a
+    lenient ingest) for the freshly synthesized chaos log.  ``progress``
+    (with ``progress_every > 0``) is called with the live, still-mutating
+    report every ``progress_every`` events — the hook behind the CLI's
+    ``--watch`` replay summaries.
+    """
     cfg = config or ChaosConfig()
     rng = np.random.default_rng(cfg.seed + 1)
-    log = make_chaos_log(cfg)
+    log = log if log is not None else make_chaos_log(cfg)
     chain = make_chaos_chain(log, cfg)
-    active = ActiveSet(lenient=cfg.lenient)
-    engine = BatchOnlinePredictor(chain, active)
+    active = ActiveSet(lenient=cfg.lenient, obs=obs)
+    engine = BatchOnlinePredictor(chain, active, obs=obs)
+    drift = obs.drift if obs is not None else None
+    pending_scores: dict[int, tuple[str, str, object, float]] = {}
     log_endpoints = sorted({str(e) for pair in log.edges() for e in pair})
 
     data = log.raw()
@@ -296,9 +338,43 @@ def run_chaos_replay(config: ChaosConfig | None = None) -> ChaosReport:
         except (KeyError, ValueError):
             report.rejected_strict += 1
 
+    def score_start(t: float, i: int, tid: int) -> None:
+        """Predict the starting transfer's rate (submission-time view:
+        before its own start event lands in the active set)."""
+        row = data[i]
+        req = TransferRequest(
+            src=str(row["src"]),
+            dst=str(row["dst"]),
+            total_bytes=float(row["nb"]),
+            n_files=int(row["nf"]),
+            n_dirs=int(row["nd"]),
+            concurrency=int(row["c"]),
+            parallelism=int(row["p"]),
+        )
+        try:
+            pred = engine.predict_batch_detailed([req], t)
+        except Exception:  # noqa: BLE001 - scoring must never sink the replay
+            return
+        rate = float(pred.rates[0])
+        if math.isfinite(rate) and rate >= 0:
+            pending_scores[tid] = (req.src, req.dst, pred.tiers[0], rate)
+
+    def score_complete(i: int, tid: int) -> None:
+        scored = pending_scores.pop(tid, None)
+        if scored is None:
+            return
+        src, dst, tier, predicted = scored
+        row = data[i]
+        elapsed = float(row["te"]) - float(row["ts"])
+        if elapsed <= 0 or float(row["nb"]) <= 0:
+            return
+        drift.record(src, dst, tier, predicted, float(row["nb"]) / elapsed)
+
     for n_event, (t, kind, i) in enumerate(events, 1):
         tid = int(data["transfer_id"][i])
         if kind == 0:
+            if drift is not None:
+                score_start(t, i, tid)
             active.add(tid, _view_from_row(data[i]))
             started.add(tid)
             if rng.random() < cfg.p_duplicate_add:
@@ -310,6 +386,8 @@ def run_chaos_replay(config: ChaosConfig | None = None) -> ChaosReport:
             else:
                 active.complete(tid)
                 completed.add(tid)
+                if drift is not None:
+                    score_complete(i, tid)
                 if rng.random() < cfg.p_duplicate_complete:
                     bump("duplicate_complete")
                     faulty(lambda: active.complete(tid))
@@ -329,6 +407,10 @@ def run_chaos_replay(config: ChaosConfig | None = None) -> ChaosReport:
 
         report.events = n_event
         report.max_active = max(report.max_active, len(active))
+        if progress is not None and progress_every \
+                and n_event % progress_every == 0:
+            report.final_active = len(active)
+            progress(report)
 
         if n_event % cfg.predict_every == 0:
             now = t + float(rng.uniform(-cfg.clock_skew_s, cfg.clock_skew_s))
@@ -361,4 +443,97 @@ def run_chaos_replay(config: ChaosConfig | None = None) -> ChaosReport:
     report.tier_counts = dict(engine.stats.tier_counts)
     report.predictor_stats = engine.stats.as_dict()
     report.active_stats = active.stats.as_dict()
+    if drift is not None:
+        report.drift = drift.snapshot()
     return report
+
+
+# Cycled through by write_corrupt_jsonl, one fault per corrupted line.
+_JSONL_FAULTS = ("truncated_json", "not_object", "missing_field", "invariant")
+
+
+def write_corrupt_jsonl(
+    store: LogStore, path: str | Path, every: int = 7
+) -> int:
+    """Write ``store`` as JSONL with every ``every``-th line corrupted.
+
+    Deterministic (the fault kind cycles through :data:`_JSONL_FAULTS` in
+    row order, no RNG), so a given store always yields the same corrupt
+    file — the ingestion half of the observed-replay pipeline stays as
+    reproducible as the replay half.  Returns the number of corrupted
+    lines.
+    """
+    if every < 1:
+        raise ValueError("every must be >= 1")
+    path = Path(path)
+    data = store.raw()
+    corrupted = 0
+    with path.open("w") as fh:
+        for i in range(len(data)):
+            obj = {name: data[i][name].item() for name in LOG_DTYPE.names}
+            if (i + 1) % every == 0:
+                fault = _JSONL_FAULTS[corrupted % len(_JSONL_FAULTS)]
+                corrupted += 1
+                if fault == "truncated_json":
+                    fh.write(json.dumps(obj)[:-9] + "\n")
+                    continue
+                if fault == "not_object":
+                    fh.write(json.dumps([obj["transfer_id"]]) + "\n")
+                    continue
+                if fault == "missing_field":
+                    del obj["nb"], obj["te"]
+                else:  # invariant: finished before it started
+                    obj["te"] = obj["ts"] - 1.0
+            fh.write(json.dumps(obj) + "\n")
+    return corrupted
+
+
+@dataclass
+class ObservedReplay:
+    """The observed-replay pipeline's artifacts: the chaos report, the
+    ingestion quarantine report, and the shared observability bundle whose
+    registry holds every metric the run produced."""
+
+    report: ChaosReport
+    quarantine: QuarantineReport
+    obs: Observability
+
+    @property
+    def registry(self):
+        return self.obs.registry
+
+
+def run_observed_replay(
+    config: ChaosConfig | None = None,
+    path: str | Path | None = None,
+    obs: Observability | None = None,
+    corrupt_every: int = 7,
+    progress=None,
+    progress_every: int = 0,
+) -> ObservedReplay:
+    """The full telemetry-to-metrics pipeline in one call: synthesize a
+    chaos log, write it as JSONL with injected corruption, lenient-ingest
+    it (quarantine counters land in the registry), then chaos-replay the
+    kept rows with drift scoring.  One metrics export afterwards carries
+    predictor latency histograms, fallback-tier counters, ingestion
+    quarantine counts, and per-edge rolling MdAPE.
+
+    ``path`` is where the corrupt JSONL goes (a temp file when omitted).
+    """
+    cfg = config or ChaosConfig()
+    bundle = obs if obs is not None else Observability.create()
+    log = make_chaos_log(cfg)
+    if path is None:
+        import tempfile
+
+        with tempfile.NamedTemporaryFile(
+            mode="w", suffix=".jsonl", delete=False
+        ) as tmp:
+            path = tmp.name
+    write_corrupt_jsonl(log, path, every=corrupt_every)
+    kept, quarantine = read_jsonl(
+        path, strict=False, registry=bundle.registry, tracer=bundle.tracer
+    )
+    report = run_chaos_replay(cfg, obs=bundle, log=kept,
+                              progress=progress, progress_every=progress_every)
+    return ObservedReplay(report=report, quarantine=quarantine, obs=bundle)

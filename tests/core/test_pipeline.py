@@ -152,6 +152,55 @@ class TestGlobalModel:
                 assert c.ro_max >= busy_fm.y[mask].max() - 1e-9
 
 
+class TestPipelineTracing:
+    def test_fit_edge_emits_nested_spans(self, busy_fm):
+        from repro.obs import Tracer
+
+        edges = select_heavy_edges(busy_fm.store, min_samples=50, threshold=0.0)
+        tracer = Tracer()
+        traced = fit_edge_model(
+            busy_fm, *edges[0], model="linear", threshold=0.0, seed=1,
+            tracer=tracer,
+        )
+        plain = fit_edge_model(
+            busy_fm, *edges[0], model="linear", threshold=0.0, seed=1
+        )
+        # Instrumentation must not perturb the fit.
+        assert traced.mdape == plain.mdape
+        assert np.array_equal(traced.test_errors, plain.test_errors)
+        spans = {s.name: s for s in tracer.spans()}
+        assert set(spans) == {
+            "pipeline.fit_edge", "pipeline.prepare", "pipeline.train",
+            "pipeline.eval",
+        }
+        root = spans["pipeline.fit_edge"]
+        assert root.parent is None and root.depth == 0
+        assert root.attrs["model"] == "linear"
+        for child in ("pipeline.prepare", "pipeline.train", "pipeline.eval"):
+            assert spans[child].parent == "pipeline.fit_edge"
+            assert spans[child].depth == 1
+            assert spans[child].duration_s <= root.duration_s
+
+    def test_fit_all_and_global_share_tracer(self, busy_fm):
+        from repro.obs import Tracer
+
+        edges = select_heavy_edges(busy_fm.store, min_samples=50, threshold=0.0)
+        tracer = Tracer()
+        fit_all_edge_models(
+            busy_fm, edges, model="linear", threshold=0.0, tracer=tracer
+        )
+        fit_global_model(
+            busy_fm, edges, model="linear", threshold=0.0, tracer=tracer
+        )
+        summary = tracer.summary()
+        assert summary["pipeline.fit_all_edges"]["count"] == 1
+        assert summary["pipeline.fit_edge"]["count"] == len(edges)
+        assert summary["pipeline.fit_global"]["count"] == 1
+        # Edge fits nest under fit_all_edges.
+        edge_spans = [s for s in tracer.spans() if s.name == "pipeline.fit_edge"]
+        assert all(s.parent == "pipeline.fit_all_edges" for s in edge_spans)
+
+
 class TestTrainOnlyElimination:
     """Regression: low-variance elimination must be decided from training
     rows only — deciding from all rows leaks test-set variance into model

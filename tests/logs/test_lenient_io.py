@@ -15,6 +15,7 @@ from repro.logs.io import (
 )
 from repro.logs.schema import LOG_DTYPE, TransferLogRecord, record_violations
 from repro.logs.store import LogStore
+from repro.obs import MetricsRegistry
 
 
 def _record(i=0, **kw):
@@ -215,3 +216,92 @@ class TestQuarantineReportRoundTrip:
         text = report.summary()
         assert "line 4" in text and "dst_type" in text
         assert "4/5 rows kept" in text
+        assert "violations by reason" in text
+
+
+def _corrupt_jsonl(tmp_path):
+    """One line per reason category: bad JSON, non-object, missing
+    fields, invariant violation, plus two clean rows."""
+    path = tmp_path / "log.jsonl"
+    obj = json.loads(_jsonl_line(3))
+    del obj["te"], obj["nb"]
+    path.write_text(
+        "\n".join([
+            _jsonl_line(0),
+            "{this is not json",
+            "[1, 2]",
+            json.dumps(obj),
+            _jsonl_line(4, te=-5.0),
+            _jsonl_line(5),
+        ]) + "\n"
+    )
+    return path
+
+
+class TestQuarantineReasonCounts:
+    def test_per_reason_counts(self, tmp_path):
+        _, report = read_jsonl(_corrupt_jsonl(tmp_path), strict=False)
+        assert report.reason_counts() == {
+            "invalid_json": 1,
+            "not_object": 1,
+            "missing_field": 2,  # te and nb both missing on one line
+            "invariant_te": 1,
+        }
+        assert report.quarantined_rows == 4
+        assert report.as_dict()["reason_counts"] == report.reason_counts()
+
+    def test_reason_counts_survive_round_trip(self, tmp_path):
+        _, report = read_jsonl(_corrupt_jsonl(tmp_path), strict=False)
+        clone = QuarantineReport.from_dict(
+            json.loads(json.dumps(report.as_dict()))
+        )
+        assert clone.reason_counts() == report.reason_counts()
+
+    def test_reason_key_falls_back_for_legacy_rows(self):
+        report = QuarantineReport()
+        report.add(1, "<row>", "old-style violation")
+        report.add(2, "nb", "old-style field violation")
+        assert report.reason_counts() == {"row": 1, "nb": 1}
+
+    def test_counts_surface_through_metrics_exporter(self, tmp_path):
+        registry = MetricsRegistry()
+        _, report = read_jsonl(
+            _corrupt_jsonl(tmp_path), strict=False, registry=registry
+        )
+        flat = registry.flat()
+        assert flat['ingest_rows_total{format="jsonl"}'] == 6
+        assert flat['ingest_rows_kept_total{format="jsonl"}'] == 2
+        for reason, n in report.reason_counts().items():
+            key = f'ingest_quarantined_total{{format="jsonl",reason="{reason}"}}'
+            assert flat[key] == n
+        prom = registry.to_prometheus()
+        assert 'ingest_quarantined_total{format="jsonl",reason="invalid_json"} 1' \
+            in prom
+
+    def test_readers_emit_ingest_spans(self, store, tmp_path):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        jsonl = tmp_path / "log.jsonl"
+        write_jsonl(store, jsonl)
+        read_jsonl(jsonl, tracer=tracer)
+        csv_path = tmp_path / "log.csv"
+        write_csv(store, csv_path)
+        read_csv(csv_path, strict=False, tracer=tracer)
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["ingest.read_jsonl"].attrs == {"rows": 5, "kept": 5}
+        assert spans["ingest.read_csv"].attrs == {"rows": 5, "kept": 5}
+
+    def test_csv_reader_counts_too(self, store, tmp_path):
+        registry = MetricsRegistry()
+        path = tmp_path / "log.csv"
+        write_csv(store, path)
+        lines = path.read_text().splitlines()
+        lines[2] = "not,enough,columns"
+        path.write_text("\n".join(lines) + "\n")
+        _, report = read_csv(path, strict=False, registry=registry)
+        flat = registry.flat()
+        assert flat['ingest_rows_total{format="csv"}'] == 5
+        assert flat['ingest_rows_kept_total{format="csv"}'] == 4
+        assert flat['ingest_quarantined_total{format="csv",reason="column_shape"}'] == 1
+        assert report.rows[0].reason_key == "column_shape"

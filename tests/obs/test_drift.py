@@ -1,0 +1,131 @@
+"""DriftMonitor: signed APE accounting, rolling windows, gauge export."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import DriftMonitor, MetricsRegistry, Observability
+from repro.serve.fallback import ModelTier
+
+
+class TestRecording:
+    def test_signed_ape_sign_convention(self):
+        mon = DriftMonitor(window=8)
+        over = mon.record("A", "B", ModelTier.EDGE, 150.0, 100.0)
+        under = mon.record("A", "B", ModelTier.EDGE, 50.0, 100.0)
+        assert over == pytest.approx(50.0)
+        assert under == pytest.approx(-50.0)
+        stats = mon.overall()
+        assert stats.n == 2
+        assert stats.mdape == pytest.approx(50.0)
+        assert stats.bias_pct == pytest.approx(0.0)
+
+    def test_rejects_unusable_rates(self):
+        mon = DriftMonitor()
+        for predicted, realized in [
+            (100.0, 0.0), (100.0, -5.0), (100.0, math.nan),
+            (-1.0, 100.0), (math.inf, 100.0),
+        ]:
+            with pytest.raises(ValueError):
+                mon.record("A", "B", ModelTier.EDGE, predicted, realized)
+        assert mon.observations == 0
+
+    def test_tier_accepts_enum_or_string(self):
+        mon = DriftMonitor(window=4)
+        mon.record("A", "B", ModelTier.GLOBAL, 100.0, 100.0)
+        mon.record("A", "B", "global", 120.0, 100.0)
+        assert mon.tier_stats("global").n == 2
+        assert mon.tiers() == ["global"]
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            DriftMonitor(window=0)
+
+
+class TestRollingWindowEviction:
+    def test_old_samples_evicted_fifo(self):
+        mon = DriftMonitor(window=4)
+        # Four terrible predictions, then four perfect ones: with a
+        # window of 4 the early errors must be fully evicted.
+        for _ in range(4):
+            mon.record("A", "B", ModelTier.EDGE, 300.0, 100.0)
+        assert mon.edge_stats("A", "B").mdape == pytest.approx(200.0)
+        for _ in range(4):
+            mon.record("A", "B", ModelTier.EDGE, 100.0, 100.0)
+        stats = mon.edge_stats("A", "B")
+        assert stats.n == 4
+        assert stats.mdape == pytest.approx(0.0)
+        # The monotonic observation counter still remembers everything.
+        assert mon.observations == 8
+
+    def test_windows_are_per_scope(self):
+        mon = DriftMonitor(window=2)
+        mon.record("A", "B", ModelTier.EDGE, 200.0, 100.0)
+        mon.record("C", "D", ModelTier.MEDIAN, 100.0, 100.0)
+        assert mon.edge_stats("A", "B").n == 1
+        assert mon.edge_stats("C", "D").n == 1
+        assert mon.overall().n == 2
+        assert mon.edges() == [("A", "B"), ("C", "D")]
+
+    def test_percentiles_match_numpy(self):
+        mon = DriftMonitor(window=256)
+        rng = np.random.default_rng(3)
+        realized = rng.uniform(50.0, 150.0, 100)
+        for r in realized:
+            mon.record("A", "B", ModelTier.EDGE, 100.0, float(r))
+        apes = np.abs((100.0 - realized) / realized * 100.0)
+        stats = mon.edge_stats("A", "B")
+        assert stats.mdape == pytest.approx(float(np.percentile(apes, 50)))
+        assert stats.p95_ape == pytest.approx(float(np.percentile(apes, 95)))
+
+
+class TestExportAndReset:
+    def test_gauges_exported_per_scope(self):
+        reg = MetricsRegistry()
+        mon = DriftMonitor(registry=reg, window=8)
+        mon.record("A", "B", ModelTier.EDGE, 110.0, 100.0)
+        flat = reg.flat()
+        assert flat['drift_mdape{key="A->B",scope="edge"}'] == pytest.approx(10.0)
+        assert flat['drift_mdape{key="edge",scope="tier"}'] == pytest.approx(10.0)
+        assert flat['drift_samples{key="all",scope="overall"}'] == 1
+        assert flat["drift_observations_total"] == 1
+
+    def test_empty_stats_are_nan(self):
+        stats = DriftMonitor().edge_stats("X", "Y")
+        assert stats.n == 0
+        assert math.isnan(stats.mdape)
+        assert math.isnan(stats.p95_ape)
+
+    def test_snapshot_shape(self):
+        mon = DriftMonitor(window=8)
+        mon.record("A", "B", ModelTier.MEDIAN, 90.0, 100.0)
+        snap = mon.snapshot()
+        assert snap["observations"] == 1
+        assert snap["edges"]["A->B"]["n"] == 1
+        assert snap["tiers"]["median"]["mdape"] == pytest.approx(10.0)
+
+    def test_reset(self):
+        mon = DriftMonitor(window=8)
+        mon.record("A", "B", ModelTier.EDGE, 90.0, 100.0)
+        mon.reset()
+        assert mon.observations == 0
+        assert mon.overall().n == 0
+        assert mon.edges() == []
+
+
+class TestObservabilityBundle:
+    def test_create_shares_one_registry(self):
+        obs = Observability.create()
+        assert obs.tracer.registry is obs.registry
+        assert obs.drift.registry is obs.registry
+        with obs.tracer.span("x"):
+            pass
+        obs.drift.record("A", "B", ModelTier.EDGE, 100.0, 100.0)
+        flat = obs.registry.flat()
+        assert flat['trace_spans_total{span="x"}'] == 1
+        assert flat["drift_observations_total"] == 1
+
+    def test_create_without_tracing(self):
+        obs = Observability.create(trace=False)
+        assert not obs.tracer.enabled

@@ -1,0 +1,207 @@
+"""Metrics primitives: buckets, merge determinism, exporters."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    exponential_buckets,
+)
+
+
+class TestExponentialBuckets:
+    def test_geometric_progression(self):
+        bounds = exponential_buckets(0.1, 2.0, 4)
+        assert bounds == pytest.approx((0.1, 0.2, 0.4, 0.8))
+
+    def test_rejects_bad_specs(self):
+        with pytest.raises(ValueError):
+            exponential_buckets(0.0, 2.0, 4)
+        with pytest.raises(ValueError):
+            exponential_buckets(0.1, 1.0, 4)
+        with pytest.raises(ValueError):
+            exponential_buckets(0.1, 2.0, 0)
+
+    def test_default_latency_span(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] == pytest.approx(1e-4)
+        assert DEFAULT_LATENCY_BUCKETS[-1] > 10.0
+
+
+class TestCounterGauge:
+    def test_counter_monotonic(self):
+        reg = MetricsRegistry()
+        c = reg.counter("events_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_counter_set_total_for_stats_views(self):
+        c = MetricsRegistry().counter("x_total")
+        c.set_total(7)
+        assert c.value == 7
+        with pytest.raises(ValueError):
+            c.set_total(-1)
+        with pytest.raises(ValueError):
+            c.set_total(math.inf)
+
+    def test_gauge_moves_both_ways(self):
+        g = MetricsRegistry().gauge("size")
+        g.set(3)
+        g.inc()
+        g.dec(2)
+        assert g.value == 2
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("thing")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("thing")
+
+    def test_labels_identity_is_order_independent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("c", labels={"x": "1", "y": "2"})
+        b = reg.counter("c", labels={"y": "2", "x": "1"})
+        assert a is b
+
+
+class TestHistogram:
+    def test_bucket_boundaries_are_inclusive_upper(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", bounds=(1.0, 2.0, 4.0))
+        # A value exactly on a bound lands in that bound's bucket
+        # (Prometheus `le` semantics).
+        for v in (0.5, 1.0, 2.0, 4.0, 5.0):
+            h.observe(v)
+        assert h.bucket_counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(12.5)
+
+    def test_rejects_bad_bounds_and_values(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("a", bounds=())
+        with pytest.raises(ValueError):
+            reg.histogram("b", bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            reg.histogram("c", bounds=(1.0, math.inf))
+        h = reg.histogram("d", bounds=(1.0,))
+        with pytest.raises(ValueError):
+            h.observe(math.nan)
+
+    def test_quantile_interpolates_and_clamps(self):
+        h = MetricsRegistry().histogram("q", bounds=(1.0, 2.0, 4.0))
+        assert math.isnan(h.quantile(0.5))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert 0.0 < h.quantile(0.25) <= 1.0
+        # +Inf-bucket observations clamp to the largest finite bound.
+        assert h.quantile(1.0) == 4.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_quantile_tracks_real_percentiles(self):
+        h = MetricsRegistry().histogram(
+            "lat", bounds=exponential_buckets(1e-3, 1.5, 30)
+        )
+        rng = np.random.default_rng(0)
+        samples = rng.uniform(0.01, 1.0, 2000)
+        for v in samples:
+            h.observe(float(v))
+        for q in (0.5, 0.95, 0.99):
+            exact = float(np.quantile(samples, q))
+            # within one bucket's relative width (factor 1.5)
+            assert exact / 1.5 <= h.quantile(q) <= exact * 1.5
+
+
+def _make_shard(events):
+    reg = MetricsRegistry()
+    for kind, name, value in events:
+        if kind == "c":
+            reg.counter(name, labels={"shard": "x"}).inc(value)
+        elif kind == "g":
+            reg.gauge(name).set(value)
+        else:
+            reg.histogram(name, bounds=(0.1, 1.0, 10.0)).observe(value)
+    return reg
+
+
+class TestRegistryMerge:
+    EVENTS_A = [("c", "n_total", 3), ("g", "size", 5), ("h", "lat", 0.05),
+                ("h", "lat", 2.0)]
+    EVENTS_B = [("c", "n_total", 4), ("g", "size", 2), ("h", "lat", 0.5)]
+
+    def test_merge_is_commutative(self):
+        ab = _make_shard(self.EVENTS_A).merge(_make_shard(self.EVENTS_B))
+        ba = _make_shard(self.EVENTS_B).merge(_make_shard(self.EVENTS_A))
+        assert ab.to_prometheus() == ba.to_prometheus()
+        assert ab.to_json() == ba.to_json()
+        assert ab.flat()['n_total{shard="x"}'] == 7
+        assert ab.flat()["size"] == 5  # gauges take the max
+        assert ab.flat()["lat_count"] == 3
+
+    def test_merge_rejects_mismatched_histogram_bounds(self):
+        a = MetricsRegistry()
+        a.histogram("h", bounds=(1.0, 2.0)).observe(1.5)
+        b = MetricsRegistry()
+        b.histogram("h", bounds=(1.0, 2.0, 4.0)).observe(1.5)
+        with pytest.raises(ValueError, match="bucket bounds differ"):
+            a.merge(b)
+
+    def test_export_is_deterministic(self):
+        # Same operations, different registration order -> identical text.
+        r1 = MetricsRegistry()
+        r1.counter("b_total").inc()
+        r1.counter("a_total").inc(2)
+        r2 = MetricsRegistry()
+        r2.counter("a_total").inc(2)
+        r2.counter("b_total").inc()
+        assert r1.to_prometheus() == r2.to_prometheus()
+        assert r1.to_json() == r2.to_json()
+
+
+class TestExportFormats:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("req_total", "Requests.", labels={"tier": "edge"}).inc(3)
+        reg.gauge("active", "Active now.").set(7)
+        h = reg.histogram("lat_seconds", "Latency.", bounds=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(5.0)
+        return reg
+
+    def test_prometheus_text_shape(self):
+        text = self._populated().to_prometheus()
+        assert '# TYPE req_total counter' in text
+        assert 'req_total{tier="edge"} 3' in text
+        assert "# TYPE lat_seconds histogram" in text
+        # Cumulative buckets, +Inf last.
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "lat_seconds_count 2" in text
+
+    def test_json_round_trips(self):
+        data = json.loads(self._populated().to_json())
+        assert {c["name"] for c in data["counters"]} == {"req_total"}
+        (hist,) = data["histograms"]
+        assert hist["count"] == 2
+        assert hist["buckets"][-1][0] == "+Inf"
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", labels={"p": 'a"b\\c\nd'}).inc()
+        text = reg.to_prometheus()
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+
+    def test_reset_zeroes_but_keeps_series(self):
+        reg = self._populated()
+        reg.reset()
+        flat = reg.flat()
+        assert flat['req_total{tier="edge"}'] == 0
+        assert flat["lat_seconds_count"] == 0
+        assert len(reg) == 3

@@ -1,0 +1,124 @@
+"""Tracer/Span: nesting, timing, buffering, registry mirroring."""
+
+import time
+
+import pytest
+
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.tracing import NULL_SPAN
+
+
+class TestSpanNesting:
+    def test_parent_child_recorded(self):
+        tracer = Tracer()
+        with tracer.span("outer", requests=2):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans()
+        assert (inner.name, inner.parent, inner.depth) == ("inner", "outer", 1)
+        assert (outer.name, outer.parent, outer.depth) == ("outer", None, 0)
+        assert outer.attrs == {"requests": 2}
+
+    def test_child_timing_nested_inside_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            time.sleep(0.002)
+            with tracer.span("inner"):
+                time.sleep(0.002)
+        inner, outer = tracer.spans()
+        assert inner.duration_s >= 0.002
+        assert outer.duration_s > inner.duration_s
+        assert inner.start_s >= outer.start_s
+        assert inner.start_s + inner.duration_s <= \
+            outer.start_s + outer.duration_s + 1e-9
+
+    def test_attrs_mutable_while_open(self):
+        tracer = Tracer()
+        with tracer.span("fixpoint") as sp:
+            sp.attrs["iterations"] = 5
+        (rec,) = tracer.spans()
+        assert rec.attrs["iterations"] == 5
+
+    def test_exception_recorded_and_stack_unwound(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        inner, outer = tracer.spans()
+        assert inner.attrs["error"] == "RuntimeError"
+        assert outer.attrs["error"] == "RuntimeError"
+        assert tracer._stack == []
+        # The tracer still works after the exception.
+        with tracer.span("again"):
+            pass
+        assert tracer.spans()[-1].name == "again"
+
+
+class TestTracerBuffer:
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(max_spans=3)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [r.name for r in tracer.spans()] == ["s2", "s3", "s4"]
+
+    def test_rejects_bad_max_spans(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+    def test_summary_aggregates_per_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("a"):
+                pass
+        with tracer.span("b"):
+            pass
+        summary = tracer.summary()
+        assert list(summary) == ["a", "b"]
+        assert summary["a"]["count"] == 3
+        assert summary["a"]["total_s"] >= summary["a"]["max_s"]
+        assert summary["a"]["mean_s"] == pytest.approx(
+            summary["a"]["total_s"] / 3
+        )
+
+    def test_reset_clears(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert tracer.spans() == []
+
+
+class TestDisabledTracer:
+    def test_disabled_returns_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("anything", k=1)
+        assert span is NULL_SPAN
+        with span as sp:
+            sp.attrs["ignored"] = True
+        assert tracer.spans() == []
+
+    def test_null_span_attrs_do_not_accumulate(self):
+        with NULL_SPAN as a:
+            a.attrs["one"] = 1
+        with NULL_SPAN as b:
+            assert b.attrs == {}
+
+
+class TestRegistryMirroring:
+    def test_spans_feed_histogram_and_counter(self):
+        reg = MetricsRegistry()
+        tracer = Tracer(registry=reg)
+        for _ in range(2):
+            with tracer.span("serve.predict_batch"):
+                pass
+        flat = reg.flat()
+        assert flat['trace_spans_total{span="serve.predict_batch"}'] == 2
+        assert flat['trace_span_seconds{span="serve.predict_batch"}_count'] == 2
+
+    def test_no_registry_no_series(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        assert tracer.registry is None

@@ -177,6 +177,73 @@ class TestValidationAndStats:
         assert scalar.engine.stats.requests == 1
 
 
+class TestPredictorStatsRegistryView:
+    """Regression: the per-tier dict handling of reset()/as_dict()."""
+
+    def test_reset_empties_tier_counts(self, model, population):
+        from repro.serve import FallbackChain, ModelTier
+
+        chain = FallbackChain(
+            edge_models={("EP000", "EP001"): model}, default_rate=1e6
+        )
+        engine = BatchOnlinePredictor(chain, ActiveSet.from_views(population))
+        requests = make_synthetic_requests(10, n_endpoints=12, seed=11)
+        engine.predict_batch(requests, now=0.0)
+        assert len(engine.stats.tier_counts) > 0
+        engine.stats.reset()
+        # Cleared view: no keys, equal to the empty dict, falsy.
+        assert dict(engine.stats.tier_counts) == {}
+        assert engine.stats.tier_counts == {}
+        assert not engine.stats.tier_counts
+        with pytest.raises(KeyError):
+            engine.stats.tier_counts[ModelTier.DEFAULT.value]
+        # And the next batch counts from zero, not from stale totals.
+        engine.predict_batch(requests, now=0.0)
+        assert sum(dict(engine.stats.tier_counts).values()) == 10
+
+    def test_as_dict_has_stable_tier_keys(self, model, population):
+        from repro.serve import ModelTier
+
+        engine = BatchOnlinePredictor(model, ActiveSet.from_views(population))
+        d = engine.stats.as_dict()
+        # Every tier key present even before any prediction (0 default),
+        # so the export schema never depends on which tiers fired.
+        for tier in ModelTier:
+            assert d[f"tier_{tier.value}"] == 0
+        engine.predict_batch(
+            make_synthetic_requests(5, n_endpoints=12, seed=12), now=0.0
+        )
+        d = engine.stats.as_dict()
+        assert d["tier_edge"] == 5
+        assert d["tier_default"] == 0
+
+    def test_counters_flow_into_shared_registry(self, model, population):
+        from repro.obs import Observability
+
+        obs = Observability.create()
+        engine = BatchOnlinePredictor(
+            model, ActiveSet.from_views(population, obs=obs), obs=obs
+        )
+        requests = make_synthetic_requests(8, n_endpoints=12, seed=13)
+        engine.predict_batch(requests, now=0.0)
+        flat = obs.registry.flat()
+        assert flat["serve_requests_total"] == 8
+        assert flat["serve_predict_calls_total"] == 1
+        assert flat["serve_predict_batch_latency_seconds_count"] == 1
+        assert flat['serve_tier_predictions_total{tier="edge"}'] == 8
+        # Tracing spans from the predict path land in the same registry.
+        assert flat['trace_spans_total{span="serve.predict_batch"}'] == 1
+
+    def test_stats_attributes_stay_assignable(self, model):
+        engine = BatchOnlinePredictor(model, ActiveSet())
+        engine.stats.requests = 5
+        engine.stats.requests += 2
+        assert engine.stats.requests == 7
+        assert isinstance(engine.stats.requests, int)
+        engine.stats.total_time_s = 1.5
+        assert engine.stats.total_time_s == pytest.approx(1.5)
+
+
 class TestServeBenchHarness:
     def test_small_run_agrees_and_reports(self):
         result = run_serve_bench(
@@ -186,3 +253,23 @@ class TestServeBenchHarness:
         assert result.batch_time_s > 0 and result.loop_time_s > 0
         text = result.render()
         assert "speedup" in text and "engine stats" in text
+
+    def test_latency_percentiles_and_overhead(self):
+        import math
+
+        result = run_serve_bench(
+            n_active=200, n_requests=30, n_endpoints=8, seed=0, repeats=3
+        )
+        assert result.repeats == 3
+        assert result.instrumented_time_s > 0
+        assert math.isfinite(result.overhead_pct)
+        # Percentiles come from the latency histogram and are ordered.
+        assert 0 < result.latency_p50_s <= result.latency_p95_s \
+            <= result.latency_p99_s
+        text = result.render()
+        assert "batch latency p50/p95/p99" in text
+        assert "overhead" in text
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(ValueError):
+            run_serve_bench(n_active=10, n_requests=2, repeats=0)
