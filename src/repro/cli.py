@@ -14,6 +14,9 @@ would be operated against real logs::
     repro-tools logs validate --log log.csv --report quarantine.json
     repro-tools chaos --quick --metrics-out metrics.json
     repro-tools metrics --quick --json metrics.json --prom metrics.prom
+    repro-tools state verify --quick --corrupt-snapshot
+    repro-tools state recover --dir state/ --json recovery.json
+    repro-tools state snapshot --dir state/
 
 ``train`` writes a bundle (model + scaler + feature bookkeeping) as JSON;
 ``predict`` replays the log to reconstruct the active-transfer view at the
@@ -29,7 +32,11 @@ engine loses consistency or emits a non-finite prediction; ``metrics``
 runs the full observed-replay pipeline (corrupt JSONL -> lenient ingest
 -> instrumented chaos replay with drift scoring) and exports the unified
 metrics registry as JSON and/or Prometheus text, with ``--watch``-style
-in-flight replay summaries.
+in-flight replay summaries; ``state`` operates the durability layer —
+``verify`` runs the crash-injection property check (kill mid-stream, tear
+the journal tail, recover, prove equivalence to an uninterrupted run),
+``recover`` loads a state directory and prints the recovery report, and
+``snapshot`` forces a fresh snapshot generation and rotates the journal.
 """
 
 from __future__ import annotations
@@ -42,6 +49,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.atomicio import atomic_write_text
 from repro.core.advisor import TunableAdvisor
 from repro.core.features import build_feature_matrix
 from repro.core.online import OnlineFeatureEstimator, OnlinePredictor
@@ -103,7 +111,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         "model": model_to_dict(result.model),
         "scaler": model_to_dict(result.scaler),
     }
-    Path(args.out).write_text(json.dumps(bundle))
+    atomic_write_text(args.out, json.dumps(bundle))
     print(
         f"wrote {args.out}: {args.model} model for {args.src} -> {args.dst}, "
         f"test MdAPE {result.mdape:.2f}% "
@@ -193,7 +201,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     )
     print(bench.render())
     if args.metrics_out:
-        Path(args.metrics_out).write_text(obs.registry.to_json(indent=2))
+        atomic_write_text(args.metrics_out, obs.registry.to_json(indent=2))
         print(f"wrote metrics JSON to {args.metrics_out}")
     if bench.max_abs_diff > 1e-6:
         print("error: batch and scalar paths disagree", file=sys.stderr)
@@ -213,7 +221,7 @@ def _cmd_logs_validate(args: argparse.Namespace) -> int:
     print(report.summary() if not report.ok else
           f"{path}: {report.kept_rows}/{report.total_rows} rows kept, clean")
     if args.report:
-        Path(args.report).write_text(json.dumps(report.as_dict(), indent=2))
+        atomic_write_text(args.report, json.dumps(report.as_dict(), indent=2))
         print(f"wrote quarantine report to {args.report}")
     return 0 if report.ok else 1
 
@@ -232,10 +240,10 @@ def _chaos_config(args: argparse.Namespace):
 
 def _write_metric_exports(registry, json_path, prom_path) -> None:
     if json_path:
-        Path(json_path).write_text(registry.to_json(indent=2))
+        atomic_write_text(json_path, registry.to_json(indent=2))
         print(f"wrote metrics JSON to {json_path}")
     if prom_path:
-        Path(prom_path).write_text(registry.to_prometheus())
+        atomic_write_text(prom_path, registry.to_prometheus())
         print(f"wrote Prometheus text to {prom_path}")
 
 
@@ -290,6 +298,50 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     print(f"registry: {len(obs.registry)} series")
     _write_metric_exports(obs.registry, args.json, args.prom)
     return 0 if observed.report.ok else 1
+
+
+def _cmd_state_snapshot(args: argparse.Namespace) -> int:
+    from repro.serve.durability import recover_serving_state
+
+    state, report = recover_serving_state(args.dir)
+    generation = state.snapshot()
+    state.close()
+    print(report.render())
+    print(f"wrote snapshot generation {generation} to {args.dir} "
+          f"(journal rotated, last_seq {state.last_seq})")
+    return 0
+
+
+def _cmd_state_recover(args: argparse.Namespace) -> int:
+    from repro.serve.durability import recover_serving_state
+
+    state, report = recover_serving_state(args.dir)
+    state.close()
+    print(report.render())
+    if args.json:
+        atomic_write_text(args.json, json.dumps(report.as_dict(), indent=2))
+        print(f"wrote recovery report to {args.json}")
+    return 0
+
+
+def _cmd_state_verify(args: argparse.Namespace) -> int:
+    from repro.obs import Observability
+    from repro.serve.chaos import run_crash_replay
+
+    config = _chaos_config(args)
+    obs = Observability.create()
+    report = run_crash_replay(
+        config,
+        state_dir=args.dir,
+        kill_after_events=args.kill_event,
+        cut_bytes=args.cut_bytes,
+        corrupt_snapshot=args.corrupt_snapshot,
+        snapshot_every=args.snapshot_every,
+        obs=obs,
+    )
+    print(report.render())
+    _write_metric_exports(obs.registry, args.metrics_out, args.metrics_prom)
+    return 0 if report.ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -399,6 +451,60 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--watch-every", type=int, default=50,
                    help="events between --watch summaries")
     p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "state",
+        help="durable serving state: snapshots, recovery, crash verification",
+    )
+    state_sub = p.add_subparsers(dest="state_command", required=True)
+
+    s = state_sub.add_parser(
+        "snapshot",
+        help="recover a state directory, then force a fresh snapshot "
+             "(rotates the journal)",
+    )
+    s.add_argument("--dir", required=True,
+                   help="durable state directory (journal + snapshots)")
+    s.set_defaults(func=_cmd_state_snapshot)
+
+    s = state_sub.add_parser(
+        "recover",
+        help="recover a state directory and print the recovery report",
+    )
+    s.add_argument("--dir", required=True,
+                   help="durable state directory (journal + snapshots)")
+    s.add_argument("--json", default=None,
+                   help="also write the recovery report as JSON here")
+    s.set_defaults(func=_cmd_state_recover)
+
+    s = state_sub.add_parser(
+        "verify",
+        help="crash-injection property check: kill mid-stream, tear the "
+             "journal tail, recover, and prove state equivalence",
+    )
+    s.add_argument("--quick", action="store_true",
+                   help="seconds-scale configuration for CI smoke runs")
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--transfers", type=int, default=400)
+    s.add_argument("--dir", default=None,
+                   help="state directory to use (default: a temporary one, "
+                        "removed afterwards)")
+    s.add_argument("--kill-event", type=int, default=None,
+                   help="kill after this many events (default: ~60%% of "
+                        "the stream)")
+    s.add_argument("--cut-bytes", type=int, default=17,
+                   help="bytes to tear off the journal tail after the kill")
+    s.add_argument("--corrupt-snapshot", action="store_true",
+                   help="also flip a byte in the newest snapshot so "
+                        "recovery must fall back a generation")
+    s.add_argument("--snapshot-every", type=int, default=64,
+                   help="journal records between automatic snapshots")
+    s.add_argument("--metrics-out", default=None,
+                   help="write the recovered run's metrics registry as "
+                        "JSON here")
+    s.add_argument("--metrics-prom", default=None,
+                   help="write Prometheus exposition text here")
+    s.set_defaults(func=_cmd_state_verify)
 
     args = parser.parse_args(argv)
     try:

@@ -9,15 +9,27 @@ Top-level entry points :func:`save_model` / :func:`load_model` dispatch on
 a ``kind`` tag and cover :class:`~repro.ml.linear.LinearRegression`,
 :class:`~repro.ml.gbt.GradientBoostingRegressor` and
 :class:`~repro.ml.scaler.StandardScaler`.
+
+Format version 2 adds a ``checksum`` field (SHA-256 over the canonical
+JSON of the rest of the document) verified at load time — a corrupted or
+hand-edited artifact raises :class:`ModelIntegrityError` instead of
+deserialising into a silently wrong model.  Version-1 artifacts (no
+checksum) still load, with a :class:`UserWarning` and a module-level
+counter (:func:`legacy_load_count`) so operators can see how much
+unchecksummed inventory is still in rotation.  :func:`save_model` writes
+atomically (write-temp -> fsync -> ``os.replace``): a crash mid-save
+leaves the previous artifact intact, never a truncated JSON file.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 
 import numpy as np
 
+from repro.atomicio import atomic_write_text, checksum_payload
 from repro.ml.binning import QuantileBinner
 from repro.ml.gbt import GradientBoostingRegressor
 from repro.ml.linear import LinearRegression
@@ -29,9 +41,27 @@ __all__ = [
     "load_model",
     "model_to_dict",
     "model_from_dict",
+    "ModelIntegrityError",
+    "legacy_load_count",
 ]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+# Version-1 (pre-checksum) artifacts loaded this process; see
+# legacy_load_count().
+_legacy_loads = 0
+
+
+class ModelIntegrityError(ValueError):
+    """A persisted model failed its checksum (or carries none where one is
+    required) — the artifact is corrupt, not merely outdated."""
+
+
+def legacy_load_count() -> int:
+    """How many version-1 (checksum-less) artifacts this process has
+    loaded.  Mirrored into ``durability_legacy_artifacts_total`` by the
+    serving artifact store."""
+    return _legacy_loads
 
 
 def _arr(a: np.ndarray | None) -> list | None:
@@ -183,19 +213,47 @@ _DECODERS = {
 
 
 def model_to_dict(model) -> dict:
-    """Serialise a fitted estimator to a JSON-compatible dict."""
+    """Serialise a fitted estimator to a JSON-compatible dict (format
+    version 2: includes a SHA-256 ``checksum`` over the rest)."""
     enc = _ENCODERS.get(type(model))
     if enc is None:
         raise TypeError(f"cannot persist {type(model).__name__}")
     out = enc(model)
     out["format_version"] = _FORMAT_VERSION
+    out["checksum"] = checksum_payload(out)
     return out
 
 
 def model_from_dict(d: dict):
-    """Inverse of :func:`model_to_dict`."""
+    """Inverse of :func:`model_to_dict`.
+
+    Version-2 documents are checksum-verified (raising
+    :class:`ModelIntegrityError` on mismatch or a missing checksum);
+    version-1 documents predate the checksum and load with a warning.
+    """
+    global _legacy_loads
     version = d.get("format_version")
-    if version != _FORMAT_VERSION:
+    if version == _FORMAT_VERSION:
+        stored = d.get("checksum")
+        if stored is None:
+            raise ModelIntegrityError(
+                "format_version 2 artifact is missing its checksum"
+            )
+        expected = checksum_payload(d)
+        if stored != expected:
+            raise ModelIntegrityError(
+                f"model checksum mismatch: stored {stored[:12]}..., "
+                f"computed {expected[:12]}... (corrupt or tampered artifact)"
+            )
+    elif version == 1:
+        _legacy_loads += 1
+        warnings.warn(
+            "loading a version-1 model artifact without a checksum; "
+            "re-save to upgrade it to the checksummed format",
+            UserWarning,
+            stacklevel=2,
+        )
+    else:
         raise ValueError(f"unsupported format_version {version!r}")
     dec = _DECODERS.get(d.get("kind"))
     if dec is None:
@@ -204,8 +262,9 @@ def model_from_dict(d: dict):
 
 
 def save_model(model, path: str | Path) -> None:
-    """Write a fitted estimator to a JSON file."""
-    Path(path).write_text(json.dumps(model_to_dict(model)))
+    """Write a fitted estimator to a JSON file atomically: the document
+    lands at ``path`` complete or not at all (see :mod:`repro.atomicio`)."""
+    atomic_write_text(path, json.dumps(model_to_dict(model)))
 
 
 def load_model(path: str | Path):

@@ -206,3 +206,51 @@ class DriftMonitor:
         self._tiers.clear()
         self._overall.clear()
         self._observations.reset()
+
+    # -- durability --------------------------------------------------------
+
+    def dump_state(self) -> dict:
+        """Lossless counterpart of :meth:`snapshot`: the raw rolling
+        windows (not just their aggregates), JSON-ready, for the
+        durability layer's snapshots.  :meth:`load_snapshot` restores."""
+        return {
+            "window": self.window,
+            "observations": self.observations,
+            "overall": list(self._overall),
+            "tiers": {t: list(w) for t, w in sorted(self._tiers.items())},
+            "edges": [
+                [s, d, list(w)] for (s, d), w in sorted(self._edges.items())
+            ],
+        }
+
+    def load_snapshot(self, state: dict) -> None:
+        """Restore the monitor from a :meth:`dump_state` payload.
+
+        Existing windows are replaced wholesale.  If this monitor's
+        ``window`` is smaller than the dumped one, each restored window
+        keeps only its newest ``window`` samples (deque semantics — the
+        aggregates stay a true rolling view).  All gauges are re-exported
+        so the registry immediately reflects the restored windows, which
+        is what makes a recovered process's drift gauges identical to an
+        uninterrupted run's.
+        """
+        self._edges.clear()
+        self._tiers.clear()
+        self._overall = deque(
+            (float(v) for v in state.get("overall", ())), maxlen=self.window
+        )
+        for tier_name, values in state.get("tiers", {}).items():
+            self._tiers[str(tier_name)] = deque(
+                (float(v) for v in values), maxlen=self.window
+            )
+        for src, dst, values in state.get("edges", ()):
+            self._edges[(str(src), str(dst))] = deque(
+                (float(v) for v in values), maxlen=self.window
+            )
+        self._observations.set_total(float(state.get("observations", 0)))
+        for (src, dst), window in self._edges.items():
+            self._export("edge", f"{src}->{dst}", _stats(window))
+        for tier_name, window in self._tiers.items():
+            self._export("tier", tier_name, _stats(window))
+        if self._overall:
+            self._export("overall", "all", _stats(self._overall))

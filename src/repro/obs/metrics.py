@@ -306,12 +306,19 @@ class MetricsRegistry:
         """Fold ``other`` into this registry (commutative per series:
         counters/histograms add, gauges take the max) and return self."""
         for (name, labels), series in sorted(other._series.items()):
+            existed = (name, labels) in self._series
             if isinstance(series, Histogram):
                 mine = self._get(Histogram, name, series.help, dict(labels),
                                  bounds=series.bounds)
             else:
                 mine = self._get(type(series), name, series.help, dict(labels))
-            mine.merge(series)
+            if not existed and isinstance(series, Gauge):
+                # A series this registry never observed is *absent*, not
+                # zero: max-merging a negative gauge (e.g. a drift bias)
+                # against an implicit 0 would silently clamp it.  Copy.
+                mine.set(series.value)
+            else:
+                mine.merge(series)
         return self
 
     # -- export ------------------------------------------------------------
@@ -344,6 +351,51 @@ class MetricsRegistry:
     @staticmethod
     def _bounds_with_inf(h: Histogram) -> tuple[float, ...]:
         return h.bounds + (math.inf,)
+
+    def load_snapshot(self, snapshot: Mapping) -> "MetricsRegistry":
+        """Inverse of :meth:`snapshot`: fold a previously exported
+        snapshot back into this registry and return self.
+
+        Restoration goes through the deterministic-merge path — the
+        snapshot is materialised into a scratch registry holding the
+        absolute exported values, then :meth:`merge`-d in (counters and
+        histograms add, gauges take the max).  Loading into a fresh
+        registry therefore reproduces the exported totals exactly, and
+        because merge is commutative/associative, counters accumulated
+        across process generations combine in any order to the same
+        result.  Raises ``ValueError`` on malformed entries (negative
+        counters, bucket rows not matching their bounds).
+        """
+        scratch = MetricsRegistry()
+        for entry in snapshot.get("counters", ()):
+            scratch.counter(
+                entry["name"], entry.get("help", ""), entry.get("labels")
+            ).set_total(float(entry["value"]))
+        for entry in snapshot.get("gauges", ()):
+            scratch.gauge(
+                entry["name"], entry.get("help", ""), entry.get("labels")
+            ).set(float(entry["value"]))
+        for entry in snapshot.get("histograms", ()):
+            buckets = entry["buckets"]
+            bounds = [float(b) for b, _ in buckets if b != "+Inf"]
+            if len(buckets) != len(bounds) + 1:
+                raise ValueError(
+                    f"histogram {entry['name']!r} snapshot must end with "
+                    f"exactly one +Inf bucket"
+                )
+            h = scratch.histogram(
+                entry["name"], entry.get("help", ""), entry.get("labels"),
+                bounds=bounds,
+            )
+            counts = [int(n) for _, n in buckets]
+            if any(n < 0 for n in counts):
+                raise ValueError(
+                    f"histogram {entry['name']!r} has negative bucket counts"
+                )
+            h.bucket_counts = counts
+            h.sum = float(entry["sum"])
+            h.count = int(entry["count"])
+        return self.merge(scratch)
 
     def flat(self) -> dict[str, float]:
         """Flat ``name{k=v,...} -> value`` view (histograms contribute

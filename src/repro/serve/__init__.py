@@ -27,19 +27,42 @@ transfers.  This package is that serving layer:
   instrumentation-overhead delta included);
 - :mod:`repro.serve.chaos` — the fault-injection replay harness behind
   ``repro-tools chaos``, plus the observed-replay pipeline
-  (:func:`run_observed_replay`) behind ``repro-tools metrics``.
+  (:func:`run_observed_replay`) behind ``repro-tools metrics``, plus the
+  crash-injection mode (:func:`run_crash_replay`) behind
+  ``repro-tools state verify``;
+- :mod:`repro.serve.durability` — the write-ahead journal, checksummed
+  generation-numbered snapshots, :func:`recover_serving_state`, and the
+  probe-gated hot-reload model artifact store, behind
+  ``repro-tools state snapshot|recover|verify``.
 """
 
-from repro.serve.active_set import ActiveSet, ActiveSetStats, EndpointState
+from repro.serve.active_set import (
+    ActiveSet,
+    ActiveSetStats,
+    EndpointState,
+    view_from_dict,
+    view_to_dict,
+)
 from repro.serve.batch import BatchOnlinePredictor, BatchPrediction, PredictorStats
 from repro.serve.bench import ServeBenchResult, run_serve_bench
 from repro.serve.chaos import (
     ChaosConfig,
     ChaosReport,
+    CrashReport,
     ObservedReplay,
+    make_durable_events,
     run_chaos_replay,
+    run_crash_replay,
     run_observed_replay,
     write_corrupt_jsonl,
+)
+from repro.serve.durability import (
+    DurabilityConfig,
+    DurableServingState,
+    ModelArtifactStore,
+    ModelReloader,
+    RecoveryReport,
+    recover_serving_state,
 )
 from repro.serve.fallback import FallbackChain, ModelTier
 
@@ -47,6 +70,8 @@ __all__ = [
     "ActiveSet",
     "ActiveSetStats",
     "EndpointState",
+    "view_to_dict",
+    "view_from_dict",
     "BatchOnlinePredictor",
     "BatchPrediction",
     "PredictorStats",
@@ -54,10 +79,19 @@ __all__ = [
     "ModelTier",
     "ChaosConfig",
     "ChaosReport",
+    "CrashReport",
     "ObservedReplay",
+    "make_durable_events",
     "run_chaos_replay",
+    "run_crash_replay",
     "run_observed_replay",
     "write_corrupt_jsonl",
     "ServeBenchResult",
     "run_serve_bench",
+    "DurabilityConfig",
+    "DurableServingState",
+    "RecoveryReport",
+    "recover_serving_state",
+    "ModelArtifactStore",
+    "ModelReloader",
 ]

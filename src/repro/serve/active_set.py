@@ -25,7 +25,47 @@ from repro.core.online import ActiveTransferView, active_views_from_log
 from repro.logs.store import LogStore
 from repro.obs import MetricsRegistry, Observability
 
-__all__ = ["ActiveSet", "ActiveSetStats", "EndpointState"]
+__all__ = [
+    "ActiveSet",
+    "ActiveSetStats",
+    "EndpointState",
+    "view_to_dict",
+    "view_from_dict",
+]
+
+
+def view_to_dict(view: ActiveTransferView) -> dict:
+    """JSON-ready encoding of one view (strict JSON: an unknown
+    ``expected_end`` — ``inf`` — is encoded as ``None``, since strict
+    parsers reject the Infinity token)."""
+    return {
+        "src": view.src,
+        "dst": view.dst,
+        "rate": view.rate,
+        "started_at": view.started_at,
+        "expected_end": (
+            None if np.isinf(view.expected_end) else view.expected_end
+        ),
+        "concurrency": view.concurrency,
+        "parallelism": view.parallelism,
+        "n_files": view.n_files,
+    }
+
+
+def view_from_dict(d: dict) -> ActiveTransferView:
+    """Inverse of :func:`view_to_dict` (full validation re-runs in
+    ``ActiveTransferView.__post_init__``)."""
+    expected_end = d.get("expected_end")
+    return ActiveTransferView(
+        src=str(d["src"]),
+        dst=str(d["dst"]),
+        rate=float(d["rate"]),
+        started_at=float(d["started_at"]),
+        expected_end=float("inf") if expected_end is None else float(expected_end),
+        concurrency=int(d.get("concurrency", 2)),
+        parallelism=int(d.get("parallelism", 4)),
+        n_files=int(d.get("n_files", 1_000_000)),
+    )
 
 # ActiveSetStats field -> (metric name, help).
 _ACTIVE_METRICS: dict[str, tuple[str, str]] = {
@@ -350,3 +390,42 @@ class ActiveSet:
 
     def __contains__(self, transfer_id: int) -> bool:
         return transfer_id in self._views
+
+    # -- durability --------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """JSON-ready encoding of the in-flight population, insertion-
+        ordered — the durability layer's snapshot section.  Ordering is
+        part of the contract: restoring preserves it, which keeps the
+        per-endpoint prefix sums (and therefore predictions) bit-identical
+        to the pre-snapshot process."""
+        return {
+            "views": [
+                [int(tid), view_to_dict(view)]
+                for tid, view in self._views.items()
+            ],
+        }
+
+    def load_snapshot(self, state: dict) -> None:
+        """Restore the population from a :meth:`snapshot_state` payload.
+
+        Replaces the current contents wholesale and rebuilds the endpoint
+        key maps; indexes stay lazy (rebuilt on first query).  Mutation
+        counters are deliberately *not* touched — the durability layer
+        restores counter totals separately via
+        :meth:`~repro.obs.MetricsRegistry.load_snapshot`, so a restored
+        process continues the old totals instead of re-counting them.
+        """
+        self._views.clear()
+        self._by_src.clear()
+        self._by_dst.clear()
+        self._state.clear()
+        for tid, encoded in state.get("views", ()):
+            tid = int(tid)
+            if tid in self._views:
+                raise ValueError(f"snapshot repeats transfer id {tid}")
+            view = view_from_dict(encoded)
+            self._views[tid] = view
+            self._by_src.setdefault(view.src, {})[tid] = None
+            self._by_dst.setdefault(view.dst, {})[tid] = None
+        self._size_gauge.set(len(self._views))

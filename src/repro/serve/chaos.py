@@ -50,10 +50,13 @@ from repro.sim.gridftp import TransferRequest
 __all__ = [
     "ChaosConfig",
     "ChaosReport",
+    "CrashReport",
     "ObservedReplay",
     "make_chaos_log",
     "make_chaos_chain",
+    "make_durable_events",
     "run_chaos_replay",
+    "run_crash_replay",
     "write_corrupt_jsonl",
     "run_observed_replay",
 ]
@@ -537,3 +540,328 @@ def run_observed_replay(
     report = run_chaos_replay(cfg, obs=bundle, log=kept,
                               progress=progress, progress_every=progress_every)
     return ObservedReplay(report=report, quarantine=quarantine, obs=bundle)
+
+
+# -- crash injection ----------------------------------------------------------
+#
+# The crash-injection mode exercises the durability layer the same way the
+# fault-injection mode exercises the lenient serving engine: a deterministic
+# event stream is fed through a journaled DurableServingState, the process is
+# "killed" at an arbitrary event — with the journal tail torn at an arbitrary
+# byte offset, and optionally the newest snapshot corrupted — then recovery
+# plus re-delivery of the unacknowledged suffix must reproduce, bit for bit,
+# the state of an uninterrupted run over the same stream.
+
+
+def make_durable_events(config: ChaosConfig) -> list[dict]:
+    """A reproducible mutation stream for the durability layer.
+
+    Pure function of ``config`` (fresh RNG, no shared state), so the
+    crashed run, the recovery's re-delivery, and the uninterrupted
+    reference all see the identical stream — and a run with journaling
+    enabled consumes exactly the same randomness as one without, keeping
+    replays bit-identical either way.
+
+    The stream mirrors the fault-injection replay's menu in journal-op
+    form: ``add`` (with duplicates), good and NaN/negative ``progress``,
+    ``complete`` (with duplicates, unknown ids, and never-completing
+    transfers), and ``drift`` observations scoring each completion
+    against a pseudo-prediction.
+    """
+    from repro.serve.active_set import view_to_dict
+
+    log = make_chaos_log(config)
+    rng = np.random.default_rng(config.seed + 3)
+    data = log.raw()
+    timeline: list[tuple[float, int, int]] = []
+    for i in range(len(data)):
+        timeline.append((float(data["ts"][i]), 0, i))
+        timeline.append((float(data["te"][i]), 1, i))
+    timeline.sort()
+
+    tiers = ("edge", "global", "analytical", "median", "default")
+    events: list[dict] = []
+    live: list[int] = []  # generator-side mirror of the active population
+
+    for t, kind, i in timeline:
+        tid = int(data["transfer_id"][i])
+        row = data[i]
+        if kind == 0:
+            view = view_to_dict(_view_from_row(row))
+            events.append({"op": "add", "tid": tid, "view": view})
+            live.append(tid)
+            if rng.random() < config.p_duplicate_add:
+                events.append({"op": "add", "tid": tid, "view": view})
+        else:
+            if rng.random() < config.p_never_complete:
+                pass  # its completion event never arrives
+            else:
+                events.append({"op": "complete", "tid": tid})
+                if tid in live:
+                    live.remove(tid)
+                realized = float(row["nb"]) / (float(row["te"]) - float(row["ts"]))
+                events.append({
+                    "op": "drift",
+                    "src": str(row["src"]),
+                    "dst": str(row["dst"]),
+                    "tier": str(tiers[int(rng.integers(len(tiers)))]),
+                    "predicted": realized * float(rng.uniform(0.7, 1.3)),
+                    "realized": realized,
+                })
+                if rng.random() < config.p_duplicate_complete:
+                    events.append({"op": "complete", "tid": tid})
+            if rng.random() < config.p_unknown_complete:
+                events.append({"op": "complete", "tid": 10**9 + tid})
+        if rng.random() < config.p_bad_progress and live:
+            victim = live[int(rng.integers(len(live)))]
+            bad = float(rng.choice([np.nan, -1e8, np.inf]))
+            events.append({"op": "progress", "tid": victim, "rate": bad})
+        if rng.random() < config.p_good_progress and live:
+            victim = live[int(rng.integers(len(live)))]
+            events.append({
+                "op": "progress", "tid": victim,
+                "rate": float(rng.uniform(1e6, 5e8)),
+            })
+    return events
+
+
+def _apply_event(target, event: dict) -> None:
+    """Feed one stream event to either a plain (ActiveSet, DriftMonitor)
+    pair or a DurableServingState — the same mutation either way."""
+    op = event["op"]
+    if op == "add":
+        from repro.serve.active_set import view_from_dict
+
+        target.add(int(event["tid"]), view_from_dict(event["view"]))
+    elif op == "progress":
+        target.progress(
+            int(event["tid"]),
+            rate=event.get("rate"),
+            expected_end=event.get("expected_end"),
+        )
+    elif op == "complete":
+        target.complete(int(event["tid"]))
+    elif op == "drift":
+        target.record_drift(
+            event["src"], event["dst"], event["tier"],
+            float(event["predicted"]), float(event["realized"]),
+        )
+    else:  # pragma: no cover - generator emits only the ops above
+        raise ValueError(f"unknown event op {op!r}")
+
+
+class _PlainState:
+    """Journal-free twin of DurableServingState: the uninterrupted
+    reference a recovered process is compared against."""
+
+    def __init__(self, config: ChaosConfig, obs) -> None:
+        from repro.serve.active_set import ActiveSet as _ActiveSet
+
+        self.obs = obs
+        self.active = _ActiveSet(lenient=config.lenient, obs=obs)
+        self.drift = obs.drift
+
+    def add(self, tid, view):
+        self.active.add(tid, view)
+
+    def progress(self, tid, rate=None, expected_end=None):
+        self.active.progress(tid, rate=rate, expected_end=expected_end)
+
+    def complete(self, tid):
+        self.active.complete(tid)
+
+    def record_drift(self, src, dst, tier, predicted, realized):
+        self.drift.record(src, dst, tier, predicted, realized)
+
+    def state_fingerprint(self) -> dict:
+        return {
+            "active": self.active.snapshot_state(),
+            "drift": self.drift.dump_state(),
+        }
+
+
+def _drift_gauges(registry) -> dict[str, float]:
+    return {k: v for k, v in registry.flat().items() if k.startswith("drift_")}
+
+
+@dataclass
+class CrashReport:
+    """One crash-injection trial: kill, tear, recover, prove equivalence.
+
+    ``ok`` is the acceptance property: after recovery plus re-delivery of
+    the unacknowledged suffix, the active population, the drift windows,
+    every ``drift_*`` metric, and the predictions served off the
+    recovered state are *identical* to an uninterrupted run.
+    """
+
+    events_total: int = 0
+    kill_after: int = 0
+    cut_bytes: int = 0
+    corrupt_snapshot: bool = False
+    recovery: dict = field(default_factory=dict)
+    resumed_events: int = 0
+    fingerprint_equal: bool = False
+    drift_gauges_equal: bool = False
+    predictions_equal: bool = False
+    probe_predictions: int = 0
+    max_prediction_delta: float = 0.0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.fingerprint_equal
+            and self.drift_gauges_equal
+            and self.predictions_equal
+            and not self.errors
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"crash replay: killed after {self.kill_after}/{self.events_total} "
+            f"events, journal tail torn by {self.cut_bytes} bytes"
+            + (", newest snapshot corrupted" if self.corrupt_snapshot else ""),
+            f"verdict                   {'OK' if self.ok else 'FAILED'}",
+            f"recovered from snapshot   "
+            f"gen {self.recovery.get('snapshot_generation', 0)} "
+            f"({self.recovery.get('snapshot_fallbacks', 0)} fallbacks)",
+            f"journal records replayed  "
+            f"{self.recovery.get('replayed_records', 0)} "
+            f"(+{self.resumed_events} re-delivered)",
+            f"torn bytes truncated      "
+            f"{self.recovery.get('truncated_bytes', 0)}",
+            f"active population equal   {self.fingerprint_equal}",
+            f"drift gauges equal        {self.drift_gauges_equal}",
+            f"predictions equal         {self.predictions_equal} "
+            f"(max |delta| {self.max_prediction_delta:.3g} B/s over "
+            f"{self.probe_predictions} probes)",
+        ]
+        for e in self.errors:
+            lines.append(f"error: {e}")
+        return "\n".join(lines)
+
+
+def run_crash_replay(
+    config: ChaosConfig | None = None,
+    state_dir: str | Path | None = None,
+    kill_after_events: int | None = None,
+    cut_bytes: int = 17,
+    corrupt_snapshot: bool = False,
+    snapshot_every: int = 64,
+    probe_requests: int = 32,
+    obs: Observability | None = None,
+) -> CrashReport:
+    """One full crash-injection trial against the durability layer.
+
+    1. Run the uninterrupted reference: the full event stream through a
+       journal-free state (this also proves journaling consumes no
+       replay randomness — both runs share one stream).
+    2. Run the durable process: the stream up to ``kill_after_events``
+       through a journaled :class:`~repro.serve.durability.DurableServingState`
+       (auto-snapshotting every ``snapshot_every`` records), then kill it.
+    3. Injure the disk like a real crash would: tear ``cut_bytes`` off
+       the journal tail (a write killed at an arbitrary byte offset);
+       with ``corrupt_snapshot``, also flip a byte inside the newest
+       snapshot so recovery must fall back a generation.
+    4. Recover, re-deliver every event after the recovered ``last_seq``
+       (the unacknowledged suffix a real event source would re-send),
+       and require the result to be indistinguishable from (1).
+    """
+    from repro.serve.durability import DurabilityConfig, recover_serving_state
+
+    cfg = config or ChaosConfig()
+    events = make_durable_events(cfg)
+    # Default kill point: ~60% through the stream — late enough that
+    # several snapshot generations exist, early enough that a meaningful
+    # suffix must be re-delivered.
+    kill = (len(events) * 3) // 5 if kill_after_events is None \
+        else int(kill_after_events)
+    kill = max(0, min(kill, len(events)))
+    report = CrashReport(
+        events_total=len(events),
+        kill_after=kill,
+        cut_bytes=int(cut_bytes),
+        corrupt_snapshot=bool(corrupt_snapshot),
+    )
+
+    cleanup = None
+    if state_dir is None:
+        import tempfile
+
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-crash-")
+        state_dir = cleanup.name
+    state_dir = Path(state_dir)
+    try:
+        # 1. uninterrupted reference (no journal).
+        reference = _PlainState(cfg, Observability.create(trace=False))
+        for event in events:
+            _apply_event(reference, event)
+
+        # 2. the durable process, killed mid-stream.
+        durability = DurabilityConfig(snapshot_every=snapshot_every)
+        victim, _ = recover_serving_state(
+            state_dir, lenient=cfg.lenient, config=durability)
+        for event in events[:kill]:
+            _apply_event(victim, event)
+        wal_path = victim._wal_path(victim.generation)
+        victim.close()  # every append already flushed; the tear is below
+
+        # 3. injure the disk.
+        if cut_bytes and wal_path.exists():
+            size = wal_path.stat().st_size
+            cut = min(int(cut_bytes), size)
+            with wal_path.open("r+b") as fh:
+                fh.truncate(size - cut)
+        if corrupt_snapshot:
+            generations = victim.snapshots.generations()
+            if generations:
+                path = victim.snapshots.path_for(generations[-1])
+                blob = bytearray(path.read_bytes())
+                if blob:
+                    blob[len(blob) // 2] ^= 0xFF
+                    path.write_bytes(bytes(blob))
+
+        # 4. recover and re-deliver the unacknowledged suffix.
+        bundle = obs if obs is not None else Observability.create(trace=False)
+        recovered, recovery = recover_serving_state(
+            state_dir, obs=bundle, lenient=cfg.lenient, config=durability)
+        report.recovery = recovery.as_dict()
+        resume_from = recovery.last_seq
+        if resume_from > kill:
+            report.errors.append(
+                f"journal acknowledged {resume_from} records but only "
+                f"{kill} events were delivered"
+            )
+            resume_from = kill
+        for event in events[resume_from:]:
+            _apply_event(recovered, event)
+        report.resumed_events = len(events) - resume_from
+
+        # -- the equivalence proof ---------------------------------------
+        report.fingerprint_equal = (
+            recovered.state_fingerprint() == reference.state_fingerprint()
+        )
+        report.drift_gauges_equal = (
+            _drift_gauges(recovered.registry)
+            == _drift_gauges(reference.obs.registry)
+        )
+        log = make_chaos_log(cfg)
+        chain = make_chaos_chain(log, cfg)
+        from repro.serve.bench import make_synthetic_requests
+
+        requests = make_synthetic_requests(
+            probe_requests, n_endpoints=cfg.n_endpoints, seed=cfg.seed + 9)
+        now = cfg.horizon_s
+        ref_rates = BatchOnlinePredictor(
+            chain, reference.active).predict_batch(requests, now)
+        rec_rates = BatchOnlinePredictor(
+            chain, recovered.active).predict_batch(requests, now)
+        report.probe_predictions = len(requests)
+        report.predictions_equal = bool(np.array_equal(ref_rates, rec_rates))
+        deltas = np.abs(ref_rates - rec_rates)
+        report.max_prediction_delta = float(deltas.max()) if deltas.size else 0.0
+        recovered.close()
+        return report
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()

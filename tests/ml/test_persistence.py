@@ -5,6 +5,8 @@ import pytest
 
 from repro.ml import GradientBoostingRegressor, LinearRegression, StandardScaler
 from repro.ml.persistence import (
+    ModelIntegrityError,
+    legacy_load_count,
     load_model,
     model_from_dict,
     model_to_dict,
@@ -94,8 +96,9 @@ class TestDispatch:
             model_to_dict(object())
 
     def test_unknown_kind_rejected(self):
-        with pytest.raises(ValueError):
-            model_from_dict({"format_version": 1, "kind": "mystery"})
+        with pytest.warns(UserWarning, match="version-1"):
+            with pytest.raises(ValueError):
+                model_from_dict({"format_version": 1, "kind": "mystery"})
 
     def test_wrong_version_rejected(self):
         with pytest.raises(ValueError):
@@ -107,3 +110,76 @@ class TestDispatch:
         path = tmp_path / "m.json"
         save_model(m, path)
         assert '"kind": "linear_regression"' in path.read_text()
+
+
+class TestIntegrity:
+    """Format-v2 checksum verification and v1 compatibility."""
+
+    def test_v2_documents_carry_a_checksum(self):
+        X, y = _data(7)
+        doc = model_to_dict(LinearRegression().fit(X, y))
+        assert doc["format_version"] == 2
+        assert isinstance(doc["checksum"], str) and len(doc["checksum"]) == 64
+        # The checksum round-trips through load without complaint.
+        model_from_dict(doc)
+
+    def test_tampered_document_rejected(self):
+        X, y = _data(8)
+        doc = model_to_dict(LinearRegression().fit(X, y))
+        doc["intercept"] = float(doc["intercept"]) + 1.0
+        with pytest.raises(ModelIntegrityError):
+            model_from_dict(doc)
+
+    def test_missing_checksum_rejected(self):
+        X, y = _data(8)
+        doc = model_to_dict(LinearRegression().fit(X, y))
+        del doc["checksum"]
+        with pytest.raises(ModelIntegrityError):
+            model_from_dict(doc)
+
+    def test_tampered_file_rejected(self, tmp_path):
+        X, y = _data(9)
+        path = tmp_path / "m.json"
+        save_model(LinearRegression().fit(X, y), path)
+        text = path.read_text()
+        path.write_text(text.replace('"fit_intercept": true',
+                                     '"fit_intercept": false'))
+        with pytest.raises(ModelIntegrityError):
+            load_model(path)
+
+    def test_v1_document_loads_with_warning(self):
+        """Pre-checksum artifacts keep loading (a fleet upgrade must not
+        orphan existing model files) but are counted and warned about."""
+        X, y = _data(10)
+        doc = model_to_dict(LinearRegression().fit(X, y))
+        del doc["checksum"]
+        doc["format_version"] = 1
+        before = legacy_load_count()
+        with pytest.warns(UserWarning, match="re-save"):
+            m = model_from_dict(doc)
+        assert legacy_load_count() == before + 1
+        assert np.array_equal(m.predict(X), model_from_dict(
+            model_to_dict(m)).predict(X))
+
+    def test_save_is_atomic_under_fault(self, tmp_path, monkeypatch):
+        """A crash mid-save must leave the previous artifact intact at the
+        final path (save_model goes through the atomic writer)."""
+        import repro.ml.persistence as persistence
+
+        X, y = _data(11)
+        path = tmp_path / "m.json"
+        save_model(LinearRegression().fit(X, y), path)
+        original = path.read_text()
+
+        real_writer = persistence.atomic_write_text
+
+        def dying_writer(target, text, **kwargs):
+            def fault(stage):
+                raise OSError("disk died")
+            return real_writer(target, text, _fault=fault, **kwargs)
+
+        monkeypatch.setattr(persistence, "atomic_write_text", dying_writer)
+        with pytest.raises(OSError):
+            save_model(LinearRegression().fit(*_data(12)), path)
+        assert path.read_text() == original
+        assert list(tmp_path.iterdir()) == [path]

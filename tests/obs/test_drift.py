@@ -129,3 +129,63 @@ class TestObservabilityBundle:
     def test_create_without_tracing(self):
         obs = Observability.create(trace=False)
         assert not obs.tracer.enabled
+
+
+class TestDumpAndRestore:
+    """dump_state/load_snapshot: the durability layer's lossless window
+    transfer, including gauge re-export on restore."""
+
+    def _populated(self, registry=None):
+        mon = DriftMonitor(window=16, registry=registry)
+        rng = np.random.default_rng(4)
+        edges = [("A", "B"), ("B", "C"), ("A", "C")]
+        tiers = [ModelTier.EDGE, ModelTier.GLOBAL, "median"]
+        for i in range(40):
+            src, dst = edges[i % 3]
+            realized = float(rng.uniform(50, 200))
+            mon.record(src, dst, tiers[i % 3],
+                       realized * float(rng.uniform(0.6, 1.4)), realized)
+        return mon
+
+    def test_roundtrip_is_lossless(self):
+        source = self._populated()
+        restored = DriftMonitor(window=16)
+        restored.load_snapshot(source.dump_state())
+        assert restored.dump_state() == source.dump_state()
+        assert restored.snapshot() == source.snapshot()
+        assert restored.observations == source.observations
+
+    def test_restore_reexports_gauges(self):
+        source_registry = MetricsRegistry()
+        source = self._populated(registry=source_registry)
+        target_registry = MetricsRegistry()
+        restored = DriftMonitor(window=16, registry=target_registry)
+        restored.load_snapshot(source.dump_state())
+        drift_of = lambda reg: {
+            k: v for k, v in reg.flat().items() if k.startswith("drift_")
+        }
+        assert drift_of(target_registry) == drift_of(source_registry)
+
+    def test_restore_into_smaller_window_keeps_newest(self):
+        source = self._populated()
+        restored = DriftMonitor(window=4)
+        restored.load_snapshot(source.dump_state())
+        dumped = source.dump_state()
+        assert restored.dump_state()["overall"] == dumped["overall"][-4:]
+        # Aggregates reflect the truncated window, not the full history.
+        assert restored.overall().n == 4
+
+    def test_restore_continues_recording(self):
+        source = self._populated()
+        restored = DriftMonitor(window=16)
+        restored.load_snapshot(source.dump_state())
+        before = restored.observations
+        restored.record("A", "B", ModelTier.EDGE, 110.0, 100.0)
+        assert restored.observations == before + 1
+
+    def test_empty_monitor_roundtrip(self):
+        source = DriftMonitor(window=8)
+        restored = DriftMonitor(window=8)
+        restored.load_snapshot(source.dump_state())
+        assert restored.observations == 0
+        assert restored.dump_state() == source.dump_state()

@@ -1,0 +1,341 @@
+"""Tests for the durability layer: journal framing, snapshot store, recovery.
+
+The crash-equivalence acceptance property itself (kill anywhere, tear the
+journal at any byte offset, recover, prove bit-identical state) lives in
+``test_crash_replay.py``; this file covers the building blocks and the
+recovery edge cases directly.
+"""
+
+import json
+
+import pytest
+
+from repro.core.online import ActiveTransferView
+from repro.obs import Observability
+from repro.serve.durability import (
+    DurabilityConfig,
+    Journal,
+    SnapshotStore,
+    recover_serving_state,
+)
+from repro.serve.durability.journal import _HEADER
+
+
+def _view(src="A", dst="B", rate=1e8, started_at=0.0):
+    return ActiveTransferView(src=src, dst=dst, rate=rate, started_at=started_at)
+
+
+def _feed(state, n=12):
+    """A small deterministic mutation mix touching every journal op."""
+    endpoints = ("JLAB", "NERSC", "ORNL")
+    for i in range(n):
+        src = endpoints[i % 3]
+        dst = endpoints[(i + 1) % 3]
+        state.add(100 + i, _view(src, dst, rate=1e8 + i * 1e6, started_at=float(i)))
+        if i % 3 == 0:
+            state.progress(100 + i, rate=2e8 + i)
+        if i % 4 == 0 and i:
+            state.complete(100 + i - 1)
+            state.record_drift(src, dst, "edge", 1.1e8, 1e8)
+
+
+# -- journal ------------------------------------------------------------------
+
+
+class TestJournalFraming:
+    def _write(self, path, n=5):
+        with Journal(path) as journal:
+            for seq in range(1, n + 1):
+                journal.append({"seq": seq, "op": "noop", "i": seq * 11})
+        return path.read_bytes()
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self._write(path)
+        records = list(Journal(path).replay())
+        assert [r["seq"] for r in records] == [1, 2, 3, 4, 5]
+
+    def test_missing_file_scans_empty(self, tmp_path):
+        scan = Journal.scan_file(tmp_path / "nope.log")
+        assert scan.records == [] and scan.torn is None
+        assert scan.truncated_bytes == 0
+
+    def test_torn_tail_at_every_byte_offset(self, tmp_path):
+        """Killing the writer at ANY byte offset must yield a clean record
+        prefix plus a reported tear — never a parse error, never a
+        corrupted record sneaking through."""
+        path = tmp_path / "wal.log"
+        data = self._write(path, n=4)
+        # Frame boundaries: offsets where a cut is NOT a tear.
+        boundaries = set()
+        offset = 0
+        while offset < len(data):
+            boundaries.add(offset)
+            length, _ = _HEADER.unpack_from(data, offset)
+            offset += _HEADER.size + length
+        boundaries.add(len(data))
+
+        for cut in range(len(data) + 1):
+            torn_path = tmp_path / "torn.log"
+            torn_path.write_bytes(data[:cut])
+            scan = Journal.scan_file(torn_path)
+            n_complete = sum(1 for b in sorted(boundaries) if b <= cut) - 1
+            assert len(scan.records) == n_complete, f"cut at {cut}"
+            assert [r["seq"] for r in scan.records] == list(
+                range(1, n_complete + 1))
+            if cut in boundaries:
+                assert scan.torn is None
+            else:
+                assert scan.torn is not None
+                assert scan.truncated_bytes == cut - scan.valid_bytes > 0
+
+    def test_crc_mismatch_detected(self, tmp_path):
+        path = tmp_path / "wal.log"
+        data = bytearray(self._write(path, n=3))
+        data[-2] ^= 0xFF  # flip a payload byte in the last record
+        path.write_bytes(bytes(data))
+        scan = Journal.scan_file(path)
+        assert len(scan.records) == 2
+        assert scan.torn is not None and scan.torn.reason == "crc_mismatch"
+
+    def test_open_for_append_truncates_tear(self, tmp_path):
+        path = tmp_path / "wal.log"
+        data = self._write(path, n=3)
+        path.write_bytes(data[:-4])  # tear the last record
+        with Journal(path) as journal:
+            journal.append({"seq": 3, "op": "noop"})  # seq 3 reusable: its
+            # predecessor was torn away, so the last intact record is seq 2
+        records = list(Journal(path).replay())
+        assert [r["seq"] for r in records] == [1, 2, 3]
+
+    def test_seq_must_increase(self, tmp_path):
+        with Journal(tmp_path / "wal.log") as journal:
+            journal.append({"seq": 5, "op": "noop"})
+            with pytest.raises(ValueError):
+                journal.append({"seq": 5, "op": "noop"})
+            with pytest.raises(ValueError):
+                journal.append({"seq": 4, "op": "noop"})
+            journal.append({"seq": 6, "op": "noop"})
+
+    def test_nan_payload_rejected(self, tmp_path):
+        with Journal(tmp_path / "wal.log") as journal:
+            with pytest.raises(ValueError):
+                journal.append({"seq": 1, "op": "noop", "x": float("nan")})
+
+
+# -- snapshot store -----------------------------------------------------------
+
+
+class TestSnapshotStore:
+    def test_write_load_roundtrip(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write(1, {"active": {"views": []}}, last_seq=7)
+        payload = store.load(1)
+        assert payload["last_seq"] == 7
+        assert payload["active"] == {"views": []}
+
+    def test_reserved_keys_rejected(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.write(1, {"last_seq": 3}, last_seq=3)
+
+    def test_existing_generation_refused(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write(1, {}, last_seq=1)
+        with pytest.raises(ValueError):
+            store.write(1, {}, last_seq=2)
+
+    def test_missing_generation(self, tmp_path):
+        with pytest.raises(ValueError):
+            SnapshotStore(tmp_path).load(3)
+
+    def test_checksum_verified(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        path = store.write(1, {"x": 1}, last_seq=1)
+        doc = json.loads(path.read_text())
+        doc["x"] = 2  # tamper without updating the checksum
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="checksum"):
+            store.load(1)
+
+    def test_load_latest_falls_back_past_corruption(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write(1, {"x": 1}, last_seq=1)
+        store.write(2, {"x": 2}, last_seq=2)
+        store.write(3, {"x": 3}, last_seq=3)
+        # Corrupt the two newest generations two different ways.
+        store.path_for(3).write_text("not json at all")
+        blob = bytearray(store.path_for(2).read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        store.path_for(2).write_bytes(bytes(blob))
+        loaded = store.load_latest()
+        assert loaded.generation == 1
+        assert loaded.rejected == (3, 2)
+        assert loaded.payload["x"] == 1
+
+    def test_load_latest_empty_dir(self, tmp_path):
+        assert SnapshotStore(tmp_path / "missing").load_latest() is None
+
+    def test_prune_keeps_predecessors(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        for generation in range(1, 6):
+            store.write(generation, {}, last_seq=generation)
+        assert store.prune(keep=2) == [1, 2, 3]
+        assert store.generations() == [4, 5]
+        with pytest.raises(ValueError):
+            store.prune(keep=1)
+
+
+# -- recovery -----------------------------------------------------------------
+
+
+class TestRecovery:
+    def test_empty_directory_is_cold_start(self, tmp_path):
+        state, report = recover_serving_state(tmp_path / "fresh")
+        assert report.snapshot_generation == 0
+        assert report.replayed_records == 0
+        assert report.last_seq == 0
+        assert len(state.active) == 0
+        state.close()
+
+    def test_journal_only_cold_start(self, tmp_path):
+        """Crash before the first snapshot: recovery must rebuild the
+        whole state from the gen-0 journal segment alone."""
+        state, _ = recover_serving_state(tmp_path)
+        _feed(state)
+        fingerprint = state.state_fingerprint()
+        last_seq = state.last_seq
+        state.close()
+
+        recovered, report = recover_serving_state(tmp_path)
+        assert report.snapshot_generation == 0
+        assert report.replayed_records == last_seq
+        assert report.last_seq == last_seq
+        assert recovered.state_fingerprint() == fingerprint
+        recovered.close()
+
+    def test_snapshot_plus_suffix(self, tmp_path):
+        state, _ = recover_serving_state(tmp_path)
+        _feed(state, n=8)
+        state.snapshot()
+        _feed_more = [(300, _view("X", "Y"))]
+        for tid, view in _feed_more:
+            state.add(tid, view)
+        fingerprint = state.state_fingerprint()
+        state.close()
+
+        recovered, report = recover_serving_state(tmp_path)
+        assert report.snapshot_generation == 1
+        assert report.replayed_records == 1  # only the post-snapshot add
+        assert recovered.state_fingerprint() == fingerprint
+        recovered.close()
+
+    def test_torn_tail_truncated(self, tmp_path):
+        state, _ = recover_serving_state(tmp_path)
+        _feed(state)
+        before_cut = state.last_seq
+        wal = state._wal_path(state.generation)
+        state.close()
+        size = wal.stat().st_size
+        with wal.open("r+b") as fh:
+            fh.truncate(size - 5)
+
+        recovered, report = recover_serving_state(tmp_path)
+        assert report.truncated_bytes > 0
+        assert len(report.torn) == 1
+        assert report.last_seq == before_cut - 1  # exactly one record lost
+        recovered.close()
+
+    def test_corrupt_snapshot_falls_back_a_generation(self, tmp_path):
+        config = DurabilityConfig(keep_snapshots=3)
+        state, _ = recover_serving_state(tmp_path, config=config)
+        _feed(state, n=6)
+        state.snapshot()
+        _feed(state, n=4)
+        state.snapshot()
+        fingerprint = state.state_fingerprint()
+        path = state.snapshots.path_for(2)
+        state.close()
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+
+        recovered, report = recover_serving_state(tmp_path, config=config)
+        assert report.snapshot_generation == 1
+        assert report.snapshot_fallbacks == 1
+        # Replay of the gen-1..2 journal suffix recovers everything the
+        # corrupted snapshot held.
+        assert recovered.state_fingerprint() == fingerprint
+        # New snapshots continue past the corrupt generation, not into it.
+        assert recovered.snapshot() == 3
+        recovered.close()
+
+    def test_journaling_consumes_no_state(self, tmp_path):
+        """The same mutation sequence with and without durability must
+        leave bit-identical working state (journaling is a pure tap)."""
+        durable, _ = recover_serving_state(tmp_path)
+        _feed(durable, n=10)
+
+        plain_obs = Observability.create(trace=False)
+        from repro.serve.active_set import ActiveSet
+
+        active = ActiveSet(lenient=True, obs=plain_obs)
+
+        class Plain:
+            def add(self, tid, view):
+                active.add(tid, view)
+
+            def progress(self, tid, rate=None, expected_end=None):
+                active.progress(tid, rate=rate, expected_end=expected_end)
+
+            def complete(self, tid):
+                active.complete(tid)
+
+            def record_drift(self, src, dst, tier, p, r):
+                plain_obs.drift.record(src, dst, tier, p, r)
+
+        plain = Plain()
+        _feed(plain, n=10)
+        assert durable.active.snapshot_state() == active.snapshot_state()
+        assert durable.drift.dump_state() == plain_obs.drift.dump_state()
+        durable.close()
+
+    def test_auto_snapshot_cadence_and_wal_pruning(self, tmp_path):
+        config = DurabilityConfig(snapshot_every=5, keep_snapshots=2)
+        state, _ = recover_serving_state(tmp_path, config=config)
+        _feed(state, n=20)
+        assert state.generation >= 3
+        generations = state.snapshots.generations()
+        assert len(generations) <= 2
+        # Journal segments older than the oldest kept snapshot are gone
+        # (including the gen-0 cold-start segment).
+        segments = state._wal_generations()
+        assert min(segments) >= min(generations)
+        state.close()
+
+    def test_durability_metrics_exported(self, tmp_path):
+        obs = Observability.create(trace=False)
+        state, _ = recover_serving_state(tmp_path, obs=obs)
+        _feed(state, n=6)
+        state.snapshot()
+        state.close()
+        flat = obs.registry.flat()
+        assert flat["durability_journal_records_total"] > 0
+        assert flat["durability_journal_bytes_total"] > 0
+        assert flat["durability_snapshots_total"] == 1
+        assert flat["durability_recoveries_total"] == 1
+        assert flat["durability_snapshot_generation"] == 1
+
+    def test_restored_counters_continue_not_double_count(self, tmp_path):
+        """Registry totals restored from a snapshot plus journal-suffix
+        replay must equal an uninterrupted run's totals."""
+        state, _ = recover_serving_state(tmp_path)
+        _feed(state, n=9)
+        state.snapshot()
+        _feed(state, n=3)
+        expected = state.registry.flat()["active_set_adds_total"]
+        state.close()
+
+        recovered, _ = recover_serving_state(tmp_path)
+        assert recovered.registry.flat()["active_set_adds_total"] == expected
+        recovered.close()

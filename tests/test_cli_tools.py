@@ -165,3 +165,55 @@ class TestServeBench:
         )
         assert rc == 0
         assert "requests" in capsys.readouterr().out
+
+
+class TestState:
+    def test_verify_quick_passes(self, capsys, tmp_path):
+        metrics_json = tmp_path / "m.json"
+        metrics_prom = tmp_path / "m.prom"
+        rc = main([
+            "state", "verify", "--quick", "--seed", "2",
+            "--metrics-out", str(metrics_json),
+            "--metrics-prom", str(metrics_prom),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out and "OK" in out
+        data = json.loads(metrics_json.read_text())
+        names = {c["name"] for c in data["counters"]}
+        assert "durability_journal_records_total" in names
+        assert "durability_recoveries_total" in names
+        assert "durability_journal_records_total" in metrics_prom.read_text()
+
+    def test_verify_with_corrupt_snapshot(self, capsys):
+        rc = main([
+            "state", "verify", "--quick", "--seed", "3", "--corrupt-snapshot",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "newest snapshot corrupted" in out
+
+    def test_recover_cold_start_and_snapshot_cycle(self, capsys, tmp_path):
+        state_dir = tmp_path / "state"
+        rc = main(["state", "recover", "--dir", str(state_dir),
+                   "--json", str(tmp_path / "report.json")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cold start" in out
+        report = json.loads((tmp_path / "report.json").read_text())
+        assert report["snapshot_generation"] == 0
+
+        rc = main(["state", "snapshot", "--dir", str(state_dir)])
+        assert rc == 0
+        assert "wrote snapshot generation 1" in capsys.readouterr().out
+
+        rc = main(["state", "recover", "--dir", str(state_dir)])
+        assert rc == 0
+        assert "snapshot generation 1" in capsys.readouterr().out
+
+    def test_verify_populates_state_dir(self, tmp_path):
+        state_dir = tmp_path / "crash-state"
+        rc = main(["state", "verify", "--quick", "--dir", str(state_dir)])
+        assert rc == 0
+        assert any(p.name.startswith("snapshot-")
+                   for p in state_dir.iterdir())
