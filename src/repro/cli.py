@@ -185,6 +185,7 @@ def _cmd_advise(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.exec.engine import resolve_workers
     from repro.obs import Observability
     from repro.serve.bench import run_serve_bench
 
@@ -198,6 +199,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         result=result,
         repeats=args.repeats,
         obs=obs,
+        workers=resolve_workers(args.workers),
     )
     print(bench.render())
     if args.metrics_out:
@@ -206,6 +208,57 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if bench.max_abs_diff > 1e-6:
         print("error: batch and scalar paths disagree", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.exec.bench import run_bench, write_report
+
+    report = run_bench(
+        quick=args.quick, workers=args.workers, rounds=args.rounds,
+        seed=args.seed,
+    )
+    print(report.render())
+    if args.out:
+        write_report(report, args.out)
+        print(f"\nwrote {args.out}")
+    if not report.parity_ok:
+        print(
+            "error: workers=1 and workers=N runs disagree "
+            "(see fit_all_edge_models / feature_cache in the report)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _open_cache(args: argparse.Namespace):
+    from repro.exec.cache import ArtifactCache, default_cache_root
+
+    return ArtifactCache(args.dir if args.dir else default_cache_root())
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    cache = _open_cache(args)
+    stats = cache.stats()
+    print(f"cache root: {stats['root']}")
+    if not stats["kinds"]:
+        print("(empty)")
+        return 0
+    print(f"{'kind':<20}{'entries':>10}{'bytes':>14}{'corrupt':>10}")
+    for kind in sorted(stats["kinds"]):
+        s = stats["kinds"][kind]
+        print(f"{kind:<20}{s['files']:>10}{s['bytes']:>14,}{s['corrupt']:>10}")
+    print(f"{'total':<20}{stats['total_files']:>10}"
+          f"{stats['total_bytes']:>14,}")
+    return 0
+
+
+def _cmd_cache_clear(args: argparse.Namespace) -> int:
+    cache = _open_cache(args)
+    removed = cache.clear()
+    print(f"cache root: {cache.root}")
+    print(f"removed {removed} files")
     return 0
 
 
@@ -399,7 +452,45 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--metrics-out", default=None,
                    help="write the instrumented run's metrics registry "
                         "as JSON here")
+    p.add_argument("--workers", type=int, default=None,
+                   help="fan --repeats cells out over this many worker "
+                        "processes (default: REPRO_WORKERS, else 1; needs "
+                        "--repeats > 1 and no --model bundle)")
     p.set_defaults(func=_cmd_serve_bench)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the performance suite (hot paths, parallel fit parity, "
+             "artifact cache, serve-bench) and write BENCH_perf.json",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="smaller inputs for CI smoke runs")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker count for the parallel sections (default: "
+                        "REPRO_WORKERS, else 4)")
+    p.add_argument("--rounds", type=int, default=None,
+                   help="timing rounds per hot path (default: 3 quick / "
+                        "5 full)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="BENCH_perf.json",
+                   help="report path (default: BENCH_perf.json)")
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect or clear the content-addressed artifact cache",
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    for name, fn, help_text in [
+        ("stats", _cmd_cache_stats,
+         "per-kind entry counts, sizes, and quarantined files"),
+        ("clear", _cmd_cache_clear, "delete every cache entry"),
+    ]:
+        c = cache_sub.add_parser(name, help=help_text)
+        c.add_argument("--dir", default=None,
+                       help="cache root (default: REPRO_CACHE_DIR, else "
+                            ".cache/artifacts next to the repository)")
+        c.set_defaults(func=fn)
 
     p = sub.add_parser("logs", help="log ingestion utilities")
     logs_sub = p.add_subparsers(dest="logs_command", required=True)

@@ -23,6 +23,11 @@ prepare / train / evaluate stages emit nested spans
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
+import math
+import tempfile
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -42,6 +47,7 @@ from repro.logs.store import LogStore
 from repro.ml.gbt import GradientBoostingRegressor
 from repro.ml.linear import LinearRegression
 from repro.ml.metrics import absolute_percentage_errors, mdape
+from repro.ml.persistence import model_from_dict, model_to_dict
 from repro.ml.scaler import StandardScaler
 from repro.ml.selection import low_variance_features, train_test_split
 from repro.obs.tracing import NULL_SPAN, Tracer
@@ -55,7 +61,13 @@ __all__ = [
     "fit_edge_model",
     "fit_all_edge_models",
     "fit_global_model",
+    "edge_result_to_payload",
+    "edge_result_from_payload",
+    "edge_results_fingerprint",
 ]
+
+# Bump to invalidate cached per-edge model bundles after pipeline changes.
+EDGE_MODEL_VERSION = 1
 
 
 def _span(tracer: Tracer | None, name: str, **attrs):
@@ -383,6 +395,163 @@ def fit_edge_model(
     )
 
 
+def edge_result_to_payload(result: EdgeModelResult) -> dict:
+    """A strict-JSON document for one fitted edge (no NaN tokens: the
+    NaN holes in ``significance`` map to null).  The round-trip through
+    :func:`edge_result_from_payload` is exact — ``repr``-based JSON float
+    encoding preserves every float64 bit — which is what lets cached and
+    freshly fitted results be byte-identical."""
+    return {
+        "src": result.src,
+        "dst": result.dst,
+        "model_kind": result.model_kind,
+        "feature_names": list(result.feature_names),
+        "kept": [bool(k) for k in result.kept],
+        "significance": [
+            None if math.isnan(v) else float(v) for v in result.significance
+        ],
+        "n_train": result.n_train,
+        "n_test": result.n_test,
+        "test_errors": [float(e) for e in result.test_errors],
+        "mdape": result.mdape,
+        "model": model_to_dict(result.model),
+        "scaler": model_to_dict(result.scaler),
+    }
+
+
+def edge_result_from_payload(payload: dict) -> EdgeModelResult:
+    """Inverse of :func:`edge_result_to_payload`."""
+    return EdgeModelResult(
+        src=payload["src"],
+        dst=payload["dst"],
+        model_kind=payload["model_kind"],
+        feature_names=tuple(payload["feature_names"]),
+        kept=np.array(payload["kept"], dtype=bool),
+        significance=np.array(
+            [math.nan if v is None else v for v in payload["significance"]],
+            dtype=np.float64,
+        ),
+        n_train=int(payload["n_train"]),
+        n_test=int(payload["n_test"]),
+        test_errors=np.array(payload["test_errors"], dtype=np.float64),
+        mdape=float(payload["mdape"]),
+        model=model_from_dict(payload["model"]),
+        scaler=model_from_dict(payload["scaler"]),
+    )
+
+
+def edge_results_fingerprint(results: list[EdgeModelResult]) -> str:
+    """Hex SHA-256 over the canonical payloads of ``results`` — the
+    parity probe used by the determinism tests and ``repro-tools bench``
+    (workers=1 vs N, cache hit vs cold build)."""
+    docs = [edge_result_to_payload(r) for r in results]
+    encoded = json.dumps(docs, sort_keys=True, allow_nan=False)
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def _edge_models_config(
+    model: str,
+    threshold: float,
+    train_fraction: float,
+    seed: int,
+    explanation: bool,
+    gbt: GBTSettings | None,
+) -> dict:
+    """Everything besides the store that shapes a per-edge fit — the
+    config half of the cache fingerprint."""
+    config = {
+        "version": EDGE_MODEL_VERSION,
+        "model": model,
+        "threshold": threshold,
+        "train_fraction": train_fraction,
+        "seed": seed,
+        "explanation": explanation,
+    }
+    if model == "gbt":
+        config["gbt"] = dataclasses.asdict(gbt or GBTSettings())
+    return config
+
+
+# Threshold masks recomputed per (manifest, threshold) once per worker
+# process, not once per task.
+_TASK_MASKS: dict[tuple[str, float], np.ndarray] = {}
+
+
+def _fit_edge_task(task: dict) -> dict:
+    """Top-level worker task: fit one edge against the shared mmap scratch
+    matrix and return the result as its exact-round-trip payload."""
+    from repro.exec.scratch import load_feature_matrix
+
+    features = load_feature_matrix(task["manifest"])
+    threshold = float(task["config"]["threshold"])
+    mask_key = (task["manifest"], threshold)
+    mask = _TASK_MASKS.get(mask_key)
+    if mask is None:
+        mask = threshold_mask(features.store, threshold)
+        _TASK_MASKS[mask_key] = mask
+    gbt_params = task["config"].get("gbt")
+    result = fit_edge_model(
+        features,
+        task["src"],
+        task["dst"],
+        model=task["config"]["model"],
+        threshold=task["config"]["threshold"],
+        train_fraction=task["config"]["train_fraction"],
+        seed=task["config"]["seed"],
+        explanation=task["config"]["explanation"],
+        gbt=GBTSettings(**gbt_params) if gbt_params else None,
+        _threshold_mask=mask,
+    )
+    return edge_result_to_payload(result)
+
+
+def _fit_missing_edges(
+    features: FeatureMatrix,
+    edges: list[tuple[str, str]],
+    config: dict,
+    gbt: GBTSettings | None,
+    tracer: Tracer | None,
+    workers: int,
+    registry=None,
+) -> list[EdgeModelResult]:
+    if workers <= 1 or len(edges) <= 1:
+        mask = threshold_mask(features.store, config["threshold"])
+        return [
+            fit_edge_model(
+                features,
+                s,
+                d,
+                model=config["model"],
+                threshold=config["threshold"],
+                train_fraction=config["train_fraction"],
+                seed=config["seed"],
+                explanation=config["explanation"],
+                gbt=gbt,
+                tracer=tracer,
+                _threshold_mask=mask,
+            )
+            for s, d in edges
+        ]
+    from repro.exec.engine import parallel_map
+    from repro.exec.scratch import write_feature_matrix
+
+    with tempfile.TemporaryDirectory(prefix="repro-exec-") as tmp:
+        manifest = str(write_feature_matrix(features, tmp))
+        tasks = [
+            {"manifest": manifest, "src": s, "dst": d, "config": config}
+            for s, d in edges
+        ]
+        payloads = parallel_map(
+            _fit_edge_task,
+            tasks,
+            workers=workers,
+            label="fit_edge",
+            registry=registry,
+            tracer=tracer,
+        )
+    return [edge_result_from_payload(p) for p in payloads]
+
+
 def fit_all_edge_models(
     features: FeatureMatrix,
     edges: list[tuple[str, str]],
@@ -393,26 +562,66 @@ def fit_all_edge_models(
     explanation: bool = False,
     gbt: GBTSettings | None = None,
     tracer: Tracer | None = None,
+    workers: int | None = None,
+    cache=None,
+    registry=None,
 ) -> list[EdgeModelResult]:
-    """Per-edge models over a list of edges (shared threshold mask)."""
-    with _span(tracer, "pipeline.fit_all_edges", edges=len(edges)):
-        mask = threshold_mask(features.store, threshold)
-        return [
-            fit_edge_model(
-                features,
-                s,
-                d,
-                model=model,
-                threshold=threshold,
-                train_fraction=train_fraction,
-                seed=seed,
-                explanation=explanation,
-                gbt=gbt,
-                tracer=tracer,
-                _threshold_mask=mask,
+    """Per-edge models over a list of edges (shared threshold mask).
+
+    ``workers`` (default: the ``REPRO_WORKERS`` environment variable,
+    else 1) fans the per-edge fits out over worker processes via
+    :func:`repro.exec.parallel_map`; the feature matrix is shared through
+    memory-mapped scratch files, and results are bit-identical to the
+    serial path for any worker count.  ``cache`` (an
+    :class:`repro.exec.ArtifactCache`) memoizes each edge's fitted bundle
+    keyed by the store fingerprint + fit configuration, so repeated
+    experiments over the same log skip the fit entirely.
+    """
+    from repro.exec.engine import resolve_workers
+
+    workers = resolve_workers(workers)
+    config = _edge_models_config(
+        model, threshold, train_fraction, seed, explanation, gbt
+    )
+    with _span(tracer, "pipeline.fit_all_edges", edges=len(edges),
+               workers=workers):
+        results: dict[int, EdgeModelResult] = {}
+        missing = list(range(len(edges)))
+        keys: dict[int, str] = {}
+        if cache is not None:
+            from repro.exec.cache import (
+                combine_fingerprints,
+                fingerprint_config,
+                fingerprint_store,
             )
-            for s, d in edges
-        ]
+
+            store_fp = fingerprint_store(features.store)
+            config_fp = fingerprint_config(config)
+            missing = []
+            for i, (s, d) in enumerate(edges):
+                keys[i] = combine_fingerprints(store_fp, config_fp, f"{s}->{d}")
+                payload = cache.get_json("edge_model", keys[i])
+                if payload is not None:
+                    results[i] = edge_result_from_payload(payload)
+                else:
+                    missing.append(i)
+        if missing:
+            fitted = _fit_missing_edges(
+                features,
+                [edges[i] for i in missing],
+                config,
+                gbt,
+                tracer,
+                workers,
+                registry=registry,
+            )
+            for i, result in zip(missing, fitted):
+                results[i] = result
+                if cache is not None:
+                    cache.put_json(
+                        "edge_model", keys[i], edge_result_to_payload(result)
+                    )
+        return [results[i] for i in range(len(edges))]
 
 
 def fit_global_model(

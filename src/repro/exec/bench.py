@@ -1,0 +1,381 @@
+"""The ``repro-tools bench`` suite: hot-path timings + the parity gate.
+
+Runs the same hot paths as ``benchmarks/test_bench_perf.py`` (feature
+engineering, overlap index, GBT train/predict, linear regression, max-min
+allocation, the fluid simulator) plus bulk log ingestion and serve-bench,
+then the two checks that gate CI:
+
+- ``fit_all_edge_models`` at workers=1 vs workers=N must produce
+  *bit-identical* model artifacts (compared via
+  :func:`~repro.core.pipeline.edge_results_fingerprint`);
+- a warm feature-matrix cache must return the cold build's exact arrays.
+
+Timings are reported (median/p95/best per path, serial-vs-parallel
+wall-clock for the fit) but never gated — wall-clock depends on the host
+core count; correctness does not.  The report lands in
+``BENCH_perf.json`` via :mod:`repro.atomicio`.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.atomicio import atomic_write_json
+from repro.core.features import build_feature_matrix
+from repro.core.pipeline import (
+    edge_results_fingerprint,
+    fit_all_edge_models,
+    select_heavy_edges,
+)
+from repro.exec.cache import ArtifactCache, cached_build_feature_matrix
+from repro.exec.engine import resolve_workers
+from repro.logs.io import read_csv, read_jsonl, write_csv, write_jsonl
+from repro.logs.schema import TransferLogRecord
+from repro.logs.store import LogStore
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["BenchReport", "run_bench", "write_report"]
+
+
+def _make_store(
+    n: int, n_endpoints: int = 8, seed: int = 0, horizon: float = 50_000.0
+) -> LogStore:
+    """The standard synthetic log (same recipe as the test fixtures)."""
+    rng = np.random.default_rng(seed)
+    eps = [f"EP{i}" for i in range(n_endpoints)]
+    recs = []
+    for i in range(n):
+        src, dst = rng.choice(eps, size=2, replace=False)
+        ts = float(rng.uniform(0, horizon))
+        dur = float(rng.uniform(5, 500))
+        nf = int(rng.integers(1, 200))
+        recs.append(
+            TransferLogRecord(
+                transfer_id=i,
+                src=str(src),
+                dst=str(dst),
+                src_site=str(src),
+                dst_site=str(dst),
+                src_type="GCS",
+                dst_type="GCS",
+                ts=ts,
+                te=ts + dur,
+                nb=float(rng.uniform(1e6, 1e12)),
+                nf=nf,
+                nd=max(1, nf // 40),
+                c=int(rng.choice([2, 4])),
+                p=int(rng.choice([4, 8])),
+                nflt=int(rng.integers(0, 3)),
+                distance_km=float(rng.uniform(10, 9000)),
+            )
+        )
+    return LogStore.from_records(recs)
+
+
+def _timed(fn, rounds: int) -> dict:
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return {
+        "median_s": float(np.median(times)),
+        "p95_s": float(np.percentile(times, 95)),
+        "best_s": float(min(times)),
+        "rounds": rounds,
+    }
+
+
+@dataclass
+class BenchReport:
+    """Everything ``repro-tools bench`` measured and checked."""
+
+    quick: bool
+    workers: int
+    hot_paths: dict = field(default_factory=dict)
+    fit_all: dict = field(default_factory=dict)
+    feature_cache: dict = field(default_factory=dict)
+    serve_bench: dict = field(default_factory=dict)
+
+    @property
+    def parity_ok(self) -> bool:
+        return bool(
+            self.fit_all.get("parity_ok") and self.feature_cache.get("parity_ok")
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "benchmark": "repro-tools bench",
+            "quick": self.quick,
+            "workers": self.workers,
+            "parity_ok": self.parity_ok,
+            "hot_paths": self.hot_paths,
+            "fit_all_edge_models": self.fit_all,
+            "feature_cache": self.feature_cache,
+            "serve_bench": self.serve_bench,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"bench ({'quick' if self.quick else 'full'}, "
+            f"workers={self.workers})",
+            "",
+            f"{'hot path':<28}{'median':>12}{'p95':>12}{'best':>12}",
+        ]
+        for name, t in self.hot_paths.items():
+            lines.append(
+                f"{name:<28}{t['median_s'] * 1e3:>10.2f}ms"
+                f"{t['p95_s'] * 1e3:>10.2f}ms{t['best_s'] * 1e3:>10.2f}ms"
+            )
+        fit = self.fit_all
+        if fit:
+            lines += [
+                "",
+                f"fit_all_edge_models ({fit['n_edges']} edges, "
+                f"{fit['model']}):",
+                f"  serial (workers=1)      {fit['serial_s'] * 1e3:9.2f} ms",
+                f"  parallel (workers={fit['workers']})   "
+                f"{fit['parallel_s'] * 1e3:9.2f} ms",
+                f"  speedup                 {fit['speedup']:9.2f}x",
+                f"  artifacts bit-identical {fit['parity_ok']}",
+            ]
+        cache = self.feature_cache
+        if cache:
+            lines += [
+                "",
+                "feature-matrix cache:",
+                f"  cold build              {cache['cold_s'] * 1e3:9.2f} ms",
+                f"  warm load               {cache['warm_s'] * 1e3:9.2f} ms",
+                f"  speedup                 {cache['speedup']:9.2f}x",
+                f"  hits / misses           {cache['hits']} / {cache['misses']}",
+                f"  arrays bit-identical    {cache['parity_ok']}",
+            ]
+        sb = self.serve_bench
+        if sb:
+            lines += [
+                "",
+                "serve-bench:",
+                f"  batch predict           {sb['batch_time_s'] * 1e3:9.2f} ms "
+                f"({sb['batch_throughput_rps']:,.0f} req/s)",
+                f"  batch-vs-loop speedup   {sb['speedup']:9.1f}x",
+                f"  max |batch - loop|      {sb['max_abs_diff']:9.3g} B/s",
+            ]
+        lines += ["", f"parity_ok: {self.parity_ok}"]
+        return "\n".join(lines)
+
+
+def _run_hot_paths(report: BenchReport, rounds: int, quick: bool,
+                   seed: int) -> None:
+    from repro.core.contention import IntervalOverlapIndex
+    from repro.ml.gbt import GradientBoostingRegressor
+    from repro.ml.linear import LinearRegression
+    from repro.sim import TransferRequest, TransferService, build_esnet_testbed
+    from repro.sim.allocation import FlowSpec, Resource, allocate_maxmin
+    from repro.sim.units import GB
+
+    n_store = 1200 if quick else 5000
+    store = _make_store(n_store, n_endpoints=12, seed=seed, horizon=500_000.0)
+    report.hot_paths["feature_matrix_build"] = _timed(
+        lambda: build_feature_matrix(store), rounds
+    )
+
+    rng = np.random.default_rng(seed)
+    n_idx = 5_000 if quick else 20_000
+    ts = rng.uniform(0, 1e6, n_idx)
+    te = ts + rng.uniform(1, 1000, n_idx)
+    w = rng.uniform(0, 1e9, n_idx)
+    idx = IntervalOverlapIndex(ts, te, w)
+    a = rng.uniform(0, 1e6, n_idx // 4)
+    b = a + rng.uniform(1, 1000, n_idx // 4)
+    report.hot_paths["overlap_index_queries"] = _timed(
+        lambda: idx.overlap_sum(a, b), rounds
+    )
+
+    n_gbt = 800 if quick else 3000
+    trees = 20 if quick else 100
+    X = rng.uniform(size=(n_gbt, 15))
+    y = np.sin(4 * X[:, 0]) + X[:, 1] * X[:, 2] + rng.normal(0, 0.05, n_gbt)
+    report.hot_paths["gbt_training"] = _timed(
+        lambda: GradientBoostingRegressor(
+            n_estimators=trees, max_depth=4, random_state=0
+        ).fit(X, y),
+        rounds,
+    )
+    gbt_model = GradientBoostingRegressor(
+        n_estimators=trees, max_depth=4, random_state=0
+    ).fit(X, y)
+    X_test = rng.uniform(size=(2_000 if quick else 10_000, 15))
+    report.hot_paths["gbt_prediction"] = _timed(
+        lambda: gbt_model.predict(X_test), rounds
+    )
+
+    n_lin = 3_000 if quick else 10_000
+    X_lin = rng.normal(size=(n_lin, 15))
+    y_lin = X_lin @ rng.uniform(size=15) + rng.normal(size=n_lin)
+    report.hot_paths["linear_regression"] = _timed(
+        lambda: LinearRegression().fit(X_lin, y_lin), rounds
+    )
+
+    resources = [
+        Resource(f"r{i}", float(rng.uniform(1e8, 1e10))) for i in range(60)
+    ]
+    flows = []
+    for j in range(40):
+        picks = rng.choice(60, size=5, replace=False)
+        flows.append(
+            FlowSpec(
+                f"f{j}",
+                tuple(f"r{i}" for i in picks),
+                weight=float(rng.uniform(1, 32)),
+                rate_cap=float(rng.uniform(1e7, 1e9)),
+            )
+        )
+    report.hot_paths["maxmin_allocation"] = _timed(
+        lambda: allocate_maxmin(resources, flows), rounds
+    )
+
+    def run_sim():
+        svc = TransferService(build_esnet_testbed(), seed=0)
+        for i in range(20 if quick else 100):
+            svc.submit(
+                TransferRequest(
+                    src="ANL-DTN", dst="BNL-DTN", total_bytes=20 * GB,
+                    n_files=10, submit_time=i * 20.0,
+                )
+            )
+        return svc.run()
+
+    report.hot_paths["simulation_throughput"] = _timed(run_sim, rounds)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        csv_path = Path(tmp) / "bench.log.csv"
+        jsonl_path = Path(tmp) / "bench.log.jsonl"
+        write_csv(store, csv_path)
+        write_jsonl(store, jsonl_path)
+        report.hot_paths["csv_ingest"] = _timed(
+            lambda: read_csv(csv_path), rounds
+        )
+        report.hot_paths["jsonl_ingest"] = _timed(
+            lambda: read_jsonl(jsonl_path), rounds
+        )
+
+
+def _run_fit_parity(report: BenchReport, workers: int, quick: bool,
+                    seed: int) -> None:
+    n = 2500 if quick else 6000
+    store = _make_store(n, n_endpoints=5, seed=seed)
+    features = build_feature_matrix(store)
+    edges = select_heavy_edges(store, min_samples=60, threshold=0.0)
+    model = "gbt"
+
+    start = time.perf_counter()
+    serial = fit_all_edge_models(
+        features, edges, model=model, threshold=0.0, seed=seed, workers=1
+    )
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = fit_all_edge_models(
+        features, edges, model=model, threshold=0.0, seed=seed, workers=workers
+    )
+    parallel_s = time.perf_counter() - start
+
+    serial_fp = edge_results_fingerprint(serial)
+    parallel_fp = edge_results_fingerprint(parallel)
+    report.fit_all = {
+        "n_edges": len(edges),
+        "model": model,
+        "workers": workers,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s else 0.0,
+        "fingerprint": serial_fp,
+        "parity_ok": serial_fp == parallel_fp,
+    }
+
+
+def _run_cache_bench(report: BenchReport, quick: bool, seed: int) -> None:
+    n = 2500 if quick else 6000
+    store = _make_store(n, n_endpoints=5, seed=seed + 1)
+    registry = MetricsRegistry()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cache = ArtifactCache(tmp, registry=registry)
+        start = time.perf_counter()
+        cold = cached_build_feature_matrix(store, cache=cache)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = cached_build_feature_matrix(store, cache=cache)
+        warm_s = time.perf_counter() - start
+    parity = (
+        np.array_equal(cold.y, warm.y)
+        and sorted(cold.columns) == sorted(warm.columns)
+        and all(
+            np.array_equal(cold.columns[k], warm.columns[k])
+            for k in cold.columns
+        )
+    )
+    flat = registry.flat()
+    report.feature_cache = {
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s if warm_s else 0.0,
+        "hits": flat.get('cache_hits_total{kind="feature_matrix"}', 0.0),
+        "misses": flat.get('cache_misses_total{kind="feature_matrix"}', 0.0),
+        "parity_ok": bool(parity),
+    }
+
+
+def _run_serve_bench(report: BenchReport, workers: int, quick: bool,
+                     seed: int) -> None:
+    from repro.serve.bench import run_serve_bench
+
+    result = run_serve_bench(
+        n_active=2_000 if quick else 10_000,
+        n_requests=200 if quick else 1_000,
+        n_endpoints=20,
+        seed=seed,
+        repeats=2,
+        workers=workers,
+    )
+    report.serve_bench = {
+        "n_active": result.n_active,
+        "n_requests": result.n_requests,
+        "repeats": result.repeats,
+        "workers": workers,
+        "batch_time_s": result.batch_time_s,
+        "loop_time_s": result.loop_time_s,
+        "speedup": result.speedup,
+        "batch_throughput_rps": result.batch_throughput_rps,
+        "max_abs_diff": result.max_abs_diff,
+    }
+
+
+def run_bench(
+    quick: bool = False,
+    workers: int | None = None,
+    rounds: int | None = None,
+    seed: int = 0,
+) -> BenchReport:
+    """Run the full bench suite; the returned report's :attr:`parity_ok`
+    is the CI gate (timings are informational)."""
+    worker_count = resolve_workers(workers)
+    if worker_count == 1:
+        # The parity check is the point of the suite: compare against a
+        # real multi-worker run even when the caller didn't ask for one.
+        worker_count = 4
+    rounds = rounds if rounds is not None else (3 if quick else 5)
+    report = BenchReport(quick=quick, workers=worker_count)
+    _run_hot_paths(report, rounds, quick, seed)
+    _run_fit_parity(report, worker_count, quick, seed)
+    _run_cache_bench(report, quick, seed)
+    _run_serve_bench(report, worker_count, quick, seed)
+    return report
+
+
+def write_report(report: BenchReport, path: str | Path) -> None:
+    """Write the report as ``BENCH_perf.json`` (atomic, strict JSON)."""
+    atomic_write_json(path, report.as_dict(), indent=2)

@@ -1,0 +1,299 @@
+"""Content-addressed artifact cache for feature matrices and model bundles.
+
+Cache keys are *content fingerprints*, never timestamps or mtimes: the
+SHA-256 of the log store's raw bytes (:func:`fingerprint_store`) combined
+with the canonical JSON of whatever configuration shaped the artifact
+(:func:`fingerprint_config`).  Mutate one row, one filter threshold, or
+the feature config and the key changes — stale reuse is structurally
+impossible, no invalidation protocol needed.
+
+Entries are written through :mod:`repro.atomicio` (complete-or-absent)
+and carry their own checksum; a corrupt entry is *quarantined* (renamed
+``*.corrupt``) and treated as a miss, never loaded.  Hits, misses, stores
+and quarantines are counted per artifact kind into ``cache_*`` metrics.
+
+:func:`cached_build_feature_matrix` is the highest-leverage user: every
+experiment that shares a log store reuses one Table 2 feature build.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.atomicio import atomic_write_bytes, atomic_write_json, checksum_payload
+from repro.core.features import (
+    EXPLANATION_FEATURE_NAMES,
+    FeatureMatrix,
+    build_feature_matrix,
+)
+from repro.logs.store import LogStore
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "ArtifactCache",
+    "cached_build_feature_matrix",
+    "fingerprint_store",
+    "fingerprint_config",
+    "combine_fingerprints",
+    "default_cache_root",
+    "FEATURE_MATRIX_VERSION",
+]
+
+# Bump when build_feature_matrix's semantics change: old cached matrices
+# must stop matching.
+FEATURE_MATRIX_VERSION = 1
+
+
+def fingerprint_store(store: LogStore) -> str:
+    """Hex SHA-256 over the store's dtype descriptor and raw bytes — any
+    single-row (even single-byte) mutation changes it."""
+    arr = np.ascontiguousarray(store.raw())
+    h = hashlib.sha256()
+    h.update(json.dumps(arr.dtype.descr).encode("utf-8"))
+    h.update(str(arr.shape[0]).encode("utf-8"))
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def fingerprint_config(mapping: dict) -> str:
+    """Hex SHA-256 of the canonical (sorted-keys) JSON of ``mapping``."""
+    encoded = json.dumps(mapping, sort_keys=True, allow_nan=False)
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def combine_fingerprints(*parts: str) -> str:
+    """Fold several fingerprints into one key."""
+    return hashlib.sha256(":".join(parts).encode("utf-8")).hexdigest()
+
+
+def default_cache_root() -> Path:
+    """The artifact-cache directory: ``REPRO_CACHE_DIR`` if set, else
+    ``.cache/artifacts`` next to the repository root (the same ``.cache``
+    the study cache uses)."""
+    env = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / ".cache" / "artifacts"
+
+
+class ArtifactCache:
+    """Content-addressed, checksum-verified, atomic on-disk cache.
+
+    Layout: ``<root>/<kind>/<key>.json`` for JSON documents and
+    ``<root>/<kind>/<key>.npz`` (+ ``.meta.json`` digest sidecar) for
+    array bundles.  ``kind`` is a short artifact family name
+    (``feature_matrix``, ``edge_model``) used as the metric label.
+    """
+
+    def __init__(
+        self, root: str | Path, registry: MetricsRegistry | None = None
+    ) -> None:
+        self.root = Path(root)
+        self.registry = registry
+
+    # -- metrics -----------------------------------------------------------
+
+    def _count(self, name: str, kind: str, help_text: str) -> None:
+        if self.registry is not None:
+            self.registry.counter(
+                name, help_text, labels={"kind": kind}
+            ).inc()
+
+    def _hit(self, kind: str) -> None:
+        self._count("cache_hits_total", kind, "Artifact-cache hits.")
+
+    def _miss(self, kind: str) -> None:
+        self._count("cache_misses_total", kind, "Artifact-cache misses.")
+
+    def _stored(self, kind: str) -> None:
+        self._count("cache_stores_total", kind, "Artifacts written.")
+
+    def _corrupt(self, kind: str) -> None:
+        self._count(
+            "cache_corrupt_total", kind,
+            "Corrupt artifacts quarantined instead of loaded.",
+        )
+
+    # -- paths -------------------------------------------------------------
+
+    def _path(self, kind: str, key: str, suffix: str) -> Path:
+        if not key or any(c in key for c in "/\\"):
+            raise ValueError(f"bad cache key {key!r}")
+        return self.root / kind / f"{key}{suffix}"
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a bad entry aside (never delete evidence, never re-read)."""
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            pass
+
+    # -- JSON documents ----------------------------------------------------
+
+    def put_json(self, kind: str, key: str, payload) -> None:
+        """Store a JSON-compatible payload under ``(kind, key)``."""
+        doc = {"kind": kind, "key": key, "payload": payload}
+        doc["checksum"] = checksum_payload(doc)
+        path = self._path(kind, key, ".json")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(path, doc)
+        self._stored(kind)
+
+    def get_json(self, kind: str, key: str):
+        """The payload stored under ``(kind, key)``, or None on a miss.
+        A corrupt or tampered entry is quarantined and reported as a miss.
+        """
+        path = self._path(kind, key, ".json")
+        if not path.exists():
+            self._miss(kind)
+            return None
+        try:
+            doc = json.loads(path.read_text())
+            if (
+                doc.get("kind") != kind
+                or doc.get("key") != key
+                or doc.get("checksum") != checksum_payload(doc)
+            ):
+                raise ValueError("checksum or identity mismatch")
+            payload = doc["payload"]
+        except (ValueError, KeyError, OSError):
+            self._corrupt(kind)
+            self._quarantine(path)
+            self._miss(kind)
+            return None
+        self._hit(kind)
+        return payload
+
+    # -- array bundles -----------------------------------------------------
+
+    def put_arrays(self, kind: str, key: str, arrays: dict[str, np.ndarray]) -> None:
+        """Store a named-array bundle under ``(kind, key)`` (uncompressed
+        NPZ + a digest sidecar for integrity)."""
+        buf = io.BytesIO()
+        np.savez(buf, **{n: np.ascontiguousarray(a) for n, a in arrays.items()})
+        data = buf.getvalue()
+        path = self._path(kind, key, ".npz")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_bytes(path, data)
+        atomic_write_json(
+            self._path(kind, key, ".meta.json"),
+            {
+                "kind": kind,
+                "key": key,
+                "sha256": hashlib.sha256(data).hexdigest(),
+                "names": sorted(arrays),
+            },
+        )
+        self._stored(kind)
+
+    def get_arrays(self, kind: str, key: str) -> dict[str, np.ndarray] | None:
+        """The array bundle under ``(kind, key)``, or None.  The NPZ bytes
+        must match the sidecar digest; anything off is quarantined."""
+        path = self._path(kind, key, ".npz")
+        meta_path = self._path(kind, key, ".meta.json")
+        if not path.exists() or not meta_path.exists():
+            self._miss(kind)
+            return None
+        try:
+            meta = json.loads(meta_path.read_text())
+            data = path.read_bytes()
+            if (
+                meta.get("kind") != kind
+                or meta.get("key") != key
+                or meta.get("sha256") != hashlib.sha256(data).hexdigest()
+            ):
+                raise ValueError("digest or identity mismatch")
+            with np.load(io.BytesIO(data), allow_pickle=False) as npz:
+                out = {name: npz[name] for name in npz.files}
+            if sorted(out) != meta.get("names"):
+                raise ValueError("array names mismatch")
+        except (ValueError, KeyError, OSError, EOFError):
+            self._corrupt(kind)
+            self._quarantine(path)
+            self._quarantine(meta_path)
+            self._miss(kind)
+            return None
+        self._hit(kind)
+        return out
+
+    # -- maintenance -------------------------------------------------------
+
+    def _entries(self):
+        if not self.root.exists():
+            return
+        for kind_dir in sorted(p for p in self.root.iterdir() if p.is_dir()):
+            for path in sorted(kind_dir.iterdir()):
+                if path.is_file():
+                    yield kind_dir.name, path
+
+    def stats(self) -> dict:
+        """Per-kind entry/byte totals plus quarantined-file counts."""
+        kinds: dict[str, dict[str, int]] = {}
+        for kind, path in self._entries():
+            entry = kinds.setdefault(
+                kind, {"files": 0, "bytes": 0, "corrupt": 0}
+            )
+            entry["files"] += 1
+            entry["bytes"] += path.stat().st_size
+            if path.name.endswith(".corrupt"):
+                entry["corrupt"] += 1
+        return {
+            "root": str(self.root),
+            "kinds": kinds,
+            "total_files": sum(k["files"] for k in kinds.values()),
+            "total_bytes": sum(k["bytes"] for k in kinds.values()),
+        }
+
+    def clear(self) -> int:
+        """Delete every cache entry (quarantined files included); returns
+        the number of files removed."""
+        removed = 0
+        for _, path in list(self._entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+def feature_config_fingerprint() -> str:
+    """Fingerprint of everything (besides the store) that shapes the
+    feature matrix: the feature set and the builder version."""
+    return fingerprint_config(
+        {
+            "version": FEATURE_MATRIX_VERSION,
+            "features": list(EXPLANATION_FEATURE_NAMES),
+        }
+    )
+
+
+def cached_build_feature_matrix(
+    store: LogStore, cache: ArtifactCache | None = None
+) -> FeatureMatrix:
+    """:func:`~repro.core.features.build_feature_matrix`, memoized through
+    ``cache`` (pass None to bypass caching entirely).
+
+    The key is the store fingerprint combined with the feature-config
+    fingerprint, so two experiments sharing a log store share one build,
+    and any store or feature-set change forces a rebuild.
+    """
+    if cache is None:
+        return build_feature_matrix(store)
+    key = combine_fingerprints(fingerprint_store(store), feature_config_fingerprint())
+    got = cache.get_arrays("feature_matrix", key)
+    if got is not None:
+        y = got.pop("__y__")
+        return FeatureMatrix(store=store, columns=got, y=y)
+    features = build_feature_matrix(store)
+    arrays = dict(features.columns)
+    arrays["__y__"] = features.y
+    cache.put_arrays("feature_matrix", key, arrays)
+    return features

@@ -1,0 +1,218 @@
+"""Deterministic process-pool fan-out: :func:`parallel_map`.
+
+Design constraints, in order:
+
+- **determinism**: results come back in submission order regardless of
+  completion order, and ``workers=1`` is a plain in-order loop — no pool,
+  no pickling — so a serial run is bit-identical to code that never heard
+  of this module.  Anything a task needs beyond its item (seeds included)
+  must be derived deterministically; :func:`derive_seed` folds a base
+  seed and arbitrary task labels through SHA-256 for that.
+- **crash containment**: a worker that dies (OOM kill, segfault,
+  ``os._exit``) poisons its ``ProcessPoolExecutor``.  Tasks whose results
+  were lost are retried serially in the parent, counted in
+  ``exec_worker_crashes_total`` / ``exec_serial_retries_total`` — a fleet
+  of fits should degrade to slow, not to dead.
+- **error fidelity**: an exception *raised by the task function* is not a
+  crash.  It is captured in the worker with its traceback text and
+  re-raised in the parent with its original type (lowest task index
+  first, matching what a serial loop would have raised).  Exceptions that
+  do not survive pickling are wrapped in :class:`TaskError`.
+
+Worker count resolution (:func:`resolve_workers`): explicit argument,
+else the ``REPRO_WORKERS`` environment variable, else 1.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import time
+import traceback
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Callable, Iterable
+
+from repro.obs.metrics import MetricsRegistry, exponential_buckets
+from repro.obs.tracing import NULL_SPAN, Tracer
+
+__all__ = ["resolve_workers", "derive_seed", "parallel_map", "TaskError"]
+
+# 1 ms .. ~17 min: spans one edge fit through a full-study experiment.
+_TASK_BUCKETS = exponential_buckets(1e-3, 2.0, 20)
+
+
+class TaskError(RuntimeError):
+    """A task raised an exception that could not be pickled back to the
+    parent; the message carries the original type and traceback text."""
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """The effective worker count: explicit ``workers`` if given, else the
+    ``REPRO_WORKERS`` environment variable, else 1 (pure serial)."""
+    if workers is not None:
+        count = int(workers)
+    else:
+        env = os.environ.get("REPRO_WORKERS", "").strip()
+        count = int(env) if env else 1
+    if count < 1:
+        raise ValueError(f"workers must be >= 1, got {count}")
+    return count
+
+
+def derive_seed(base_seed: int, *parts) -> int:
+    """A per-task seed derived from ``base_seed`` and any number of task
+    labels — stable across processes and platforms (SHA-256, not
+    ``hash()``), distinct for distinct label tuples, always in
+    ``[0, 2**63)`` so it fits every RNG constructor."""
+    payload = json.dumps(
+        [int(base_seed), *[str(p) for p in parts]], separators=(",", ":")
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def _span(tracer: Tracer | None, name: str, **attrs):
+    if tracer is None or not tracer.enabled:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def _count_tasks(registry: MetricsRegistry | None, label: str, mode: str,
+                 n: int = 1) -> None:
+    if registry is not None and n:
+        registry.counter(
+            "exec_tasks_total", "Tasks completed by the fan-out engine.",
+            labels={"label": label, "mode": mode},
+        ).inc(n)
+
+
+def _observe_duration(registry: MetricsRegistry | None, label: str,
+                      seconds: float) -> None:
+    if registry is not None:
+        registry.histogram(
+            "exec_task_seconds", "Per-task wall-clock duration.",
+            labels={"label": label}, bounds=_TASK_BUCKETS,
+        ).observe(seconds)
+
+
+def _run_task(payload: tuple) -> tuple:
+    """Top-level worker wrapper (must be importable for pickling).
+
+    Returns ``(status, index, value, traceback_text, duration_s)`` where
+    status is ``"ok"`` or ``"error"`` — task exceptions are *data*, not
+    crashes, so one bad edge cannot poison the pool.
+    """
+    fn, item, index = payload
+    start = time.perf_counter()
+    try:
+        value = fn(item)
+        return ("ok", index, value, "", time.perf_counter() - start)
+    except Exception as exc:
+        tb = traceback.format_exc()
+        try:
+            pickle.loads(pickle.dumps(exc))
+        except Exception:
+            exc = TaskError(f"{type(exc).__name__}: {exc}\n{tb}")
+        return ("error", index, exc, tb, time.perf_counter() - start)
+
+
+def _serial_map(
+    fn: Callable,
+    items: list,
+    label: str,
+    registry: MetricsRegistry | None,
+    tracer: Tracer | None,
+    mode: str = "serial",
+) -> list:
+    """The workers=1 path: a plain loop, exceptions propagate at the first
+    failing item exactly as unengined code would."""
+    out = []
+    for i, item in enumerate(items):
+        with _span(tracer, "exec.task", label=label, index=i):
+            start = time.perf_counter()
+            out.append(fn(item))
+            _observe_duration(registry, label, time.perf_counter() - start)
+        _count_tasks(registry, label, mode)
+    return out
+
+
+def parallel_map(
+    fn: Callable,
+    items: Iterable,
+    workers: int | None = None,
+    label: str = "task",
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> list:
+    """``[fn(item) for item in items]``, fanned out over worker processes.
+
+    Results are returned in input order.  With ``workers=1`` (or a single
+    item) this is a plain serial loop.  With ``workers>1``, ``fn`` and
+    every item must be picklable; tasks whose worker crashed are retried
+    serially in the parent, and if any task raised, the exception of the
+    lowest-index failing task is re-raised with its original type.
+    """
+    items = list(items)
+    count = resolve_workers(workers)
+    if count <= 1 or len(items) <= 1:
+        return _serial_map(fn, items, label, registry, tracer)
+
+    outcomes: dict[int, tuple] = {}
+    crashes = 0
+    with _span(tracer, "exec.parallel_map", label=label, tasks=len(items),
+               workers=count) as span:
+        try:
+            with ProcessPoolExecutor(max_workers=min(count, len(items))) as pool:
+                futures = [
+                    pool.submit(_run_task, (fn, item, i))
+                    for i, item in enumerate(items)
+                ]
+                for future in futures:
+                    try:
+                        status, index, value, tb, duration = future.result()
+                    except BrokenExecutor:
+                        crashes += 1
+                        continue
+                    except Exception:
+                        # Result lost in transit (e.g. an unpicklable
+                        # return value): recompute it in the parent.
+                        crashes += 1
+                        continue
+                    outcomes[index] = (status, value, tb)
+                    _observe_duration(registry, label, duration)
+        except BrokenExecutor:
+            crashes += 1
+
+        completed = len(outcomes)
+        _count_tasks(registry, label, "parallel", completed)
+        retry = [i for i in range(len(items)) if i not in outcomes]
+        if crashes and registry is not None:
+            registry.counter(
+                "exec_worker_crashes_total",
+                "Worker deaths / lost results observed by parallel_map.",
+                labels={"label": label},
+            ).inc(crashes)
+        if retry:
+            if registry is not None:
+                registry.counter(
+                    "exec_serial_retries_total",
+                    "Tasks recomputed serially after a worker crash.",
+                    labels={"label": label},
+                ).inc(len(retry))
+            # Run the survivors in index order in the parent; a task
+            # exception here propagates directly, like the serial path.
+            recovered = _serial_map(
+                fn, [items[i] for i in retry], label, registry, tracer,
+                mode="serial-retry",
+            )
+            for i, value in zip(retry, recovered):
+                outcomes[i] = ("ok", value, "")
+        span.attrs["crashes"] = crashes
+
+    for i in range(len(items)):
+        status, value, tb = outcomes[i]
+        if status == "error":
+            raise value
+    return [outcomes[i][1] for i in range(len(items))]

@@ -14,7 +14,8 @@ import argparse
 import sys
 import time
 
-from repro.harness.registry import EXPERIMENTS, run_experiment
+from repro.exec.engine import resolve_workers
+from repro.harness.registry import EXPERIMENTS, run_experiment, run_experiments
 from repro.harness.runners import StudyConfig, load_production_study
 
 __all__ = ["main"]
@@ -42,6 +43,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-cache", action="store_true", help="ignore the on-disk study cache"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan independent experiments out over this many worker "
+        "processes (default: REPRO_WORKERS, else 1; needs the study cache)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -57,8 +65,9 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     config = StudyConfig.quick() if args.quick else StudyConfig()
+    workers = resolve_workers(args.workers)
     study = None
-    if any(EXPERIMENTS[i].needs_study for i in ids):
+    if workers == 1 and any(EXPERIMENTS[i].needs_study for i in ids):
         t0 = time.time()
         print(f"# loading production study ({config.cache_key}) ...")
         study = load_production_study(config, use_cache=not args.no_cache)
@@ -83,6 +92,22 @@ def main(argv: list[str] | None = None) -> int:
         }
 
     failures = 0
+    if workers > 1:
+        if args.no_cache:
+            print("warning: --workers needs the study cache; ignoring "
+                  "--no-cache", file=sys.stderr)
+        runs = run_experiments(
+            ids, config=config, workers=workers, overrides=overrides
+        )
+        for run in runs:
+            if not run.ok:
+                failures += 1
+                print(f"== {run.experiment_id}: FAILED: {run.error}\n")
+                continue
+            print(run.result.render())
+            print(f"(elapsed {run.elapsed_s:.1f}s)\n")
+        return 1 if failures else 0
+
     for eid in ids:
         t0 = time.time()
         try:

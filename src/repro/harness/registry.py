@@ -7,6 +7,8 @@ the rest are self-contained.
 
 from __future__ import annotations
 
+import dataclasses
+import time
 from dataclasses import dataclass
 from typing import Callable
 
@@ -30,7 +32,13 @@ from repro.harness import (
 from repro.harness.result import ExperimentResult
 from repro.harness.runners import ProductionStudy, StudyConfig, load_production_study
 
-__all__ = ["EXPERIMENTS", "ExperimentSpec", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "ExperimentRun",
+    "run_experiment",
+    "run_experiments",
+]
 
 
 @dataclass(frozen=True)
@@ -139,3 +147,112 @@ def run_experiment(
         study = study or load_production_study(config)
         return spec.runner(study, **kwargs)
     return spec.runner(**kwargs)
+
+
+@dataclass
+class ExperimentRun:
+    """Outcome of one experiment in a batch: the result, or the failure."""
+
+    experiment_id: str
+    result: ExperimentResult | None
+    error: str | None
+    elapsed_s: float
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _experiment_task(task: dict) -> ExperimentRun:
+    """Top-level worker task: run one experiment end to end.
+
+    Each worker loads the study from the on-disk caches (pre-warmed by
+    the parent) — cheap thanks to the CSV study cache plus the content-
+    addressed feature-matrix cache.  Failures come back as data so one
+    broken experiment cannot sink the batch.
+    """
+    config = StudyConfig(**task["config"]) if task["config"] else None
+    start = time.perf_counter()
+    try:
+        result = run_experiment(
+            task["experiment_id"], config=config, **task["kwargs"]
+        )
+        return ExperimentRun(
+            task["experiment_id"], result, None, time.perf_counter() - start
+        )
+    except Exception as exc:
+        return ExperimentRun(
+            task["experiment_id"],
+            None,
+            f"{type(exc).__name__}: {exc}",
+            time.perf_counter() - start,
+        )
+
+
+def run_experiments(
+    ids: list[str],
+    config: StudyConfig | None = None,
+    workers: int | None = None,
+    overrides: dict[str, dict] | None = None,
+    use_cache: bool = True,
+    study: ProductionStudy | None = None,
+) -> list[ExperimentRun]:
+    """Run a batch of experiments, optionally fanned out over workers.
+
+    With ``workers > 1`` (and ``use_cache=True``) the parent warms the
+    study and feature-matrix caches once, then independent experiments
+    run in parallel worker processes, each reloading the shared study
+    from disk.  Results come back in ``ids`` order; per-experiment
+    failures are captured in the returned :class:`ExperimentRun`, not
+    raised.  ``workers=1`` runs the same batch serially on one shared
+    in-memory study — bit-identical results either way, since every
+    experiment is a pure function of (study, overrides).
+    """
+    from repro.exec.engine import parallel_map, resolve_workers
+
+    overrides = overrides or {}
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments {unknown}; known: {sorted(EXPERIMENTS)}")
+    workers = resolve_workers(workers)
+    needs_study = [i for i in ids if EXPERIMENTS[i].needs_study]
+
+    if workers > 1 and len(ids) > 1 and use_cache and study is None:
+        if needs_study:
+            # One simulation + one feature build, cached to disk, shared
+            # by every worker.
+            load_production_study(config)
+        tasks = [
+            {
+                "experiment_id": eid,
+                "config": dataclasses.asdict(config) if config else None,
+                "kwargs": overrides.get(eid, {}),
+            }
+            for eid in ids
+        ]
+        return parallel_map(
+            _experiment_task, tasks, workers=workers, label="experiment"
+        )
+
+    if study is None and needs_study:
+        study = load_production_study(config, use_cache=use_cache)
+    runs = []
+    for eid in ids:
+        start = time.perf_counter()
+        try:
+            result = run_experiment(
+                eid, study=study, config=config, **overrides.get(eid, {})
+            )
+            runs.append(
+                ExperimentRun(eid, result, None, time.perf_counter() - start)
+            )
+        except Exception as exc:
+            runs.append(
+                ExperimentRun(
+                    eid,
+                    None,
+                    f"{type(exc).__name__}: {exc}",
+                    time.perf_counter() - start,
+                )
+            )
+    return runs

@@ -15,7 +15,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.features import FeatureMatrix, build_feature_matrix
+from repro.core.features import FeatureMatrix
+from repro.exec.cache import ArtifactCache, cached_build_feature_matrix, default_cache_root
 from repro.logs.io import read_csv, write_csv
 from repro.logs.store import LogStore
 from repro.sim.fleet import (
@@ -122,8 +123,17 @@ def _simulate(config: StudyConfig) -> tuple[LogStore, dict[str, dict[str, np.nda
 def load_production_study(
     config: StudyConfig | None = None,
     use_cache: bool = True,
+    artifact_cache: ArtifactCache | None = None,
 ) -> ProductionStudy:
-    """Load (or simulate and cache) the production study."""
+    """Load (or simulate and cache) the production study.
+
+    The Table 2 feature matrix is memoized through the content-addressed
+    artifact cache (:mod:`repro.exec.cache`), keyed by the log's actual
+    bytes — with a warm cache a second experiment on the same store skips
+    ``build_feature_matrix`` entirely.  Pass ``artifact_cache`` to use a
+    custom cache; ``use_cache=False`` disables both the study cache and
+    the feature-matrix memoization.
+    """
     config = config or StudyConfig()
     fabric = build_production_fleet()
     log_path = CACHE_DIR / f"{config.cache_key}.log.csv"
@@ -151,7 +161,9 @@ def load_production_study(
                     flat[f"{ep}:{k}"] = v
             np.savez_compressed(npz_path, **flat)
 
-    features = build_feature_matrix(log)
+    if artifact_cache is None and use_cache:
+        artifact_cache = ArtifactCache(default_cache_root())
+    features = cached_build_feature_matrix(log, cache=artifact_cache)
     return ProductionStudy(
         config=config,
         fabric=fabric,

@@ -36,7 +36,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.logs.schema import LOG_DTYPE, record_violations
+from repro.logs.schema import LOG_DTYPE, batch_has_violations, record_violations
 from repro.logs.store import LogStore
 from repro.obs import MetricsRegistry, Tracer
 from repro.obs.tracing import NULL_SPAN
@@ -54,6 +54,12 @@ _FLOAT_FIELDS = {"ts", "te", "nb", "distance_km"}
 _INT_FIELDS = {"transfer_id", "nf", "nd", "c", "p", "nflt"}
 
 _RAW_TRUNCATE = 160
+
+# Rows per bulk-ingestion batch.  Each batch is first parsed column-wise
+# (numpy converts whole string columns at once); only a batch that fails
+# the vectorized parse or trips an invariant falls back to the row loop,
+# which re-derives the exact per-row quarantine verdicts.
+_BULK_BATCH = 2048
 
 
 @dataclass(frozen=True)
@@ -220,7 +226,7 @@ def read_csv(
     """
     path = Path(path)
     report = QuarantineReport(source=str(path))
-    rows: list[tuple] = []
+    chunks: list[np.ndarray] = []
     with _ingest_span(tracer, "ingest.read_csv") as span:
         with path.open(newline="") as fh:
             reader = csv.reader(fh)
@@ -239,21 +245,83 @@ def read_csv(
                            category="bad_header")
                 header = None
             if header is not None:
+                batch: list[tuple[int, list[str]]] = []
                 for line_no, raw in enumerate(reader, 2):
                     if not raw:
                         continue
                     report.total_rows += 1
-                    row = _ingest_csv_row(path, line_no, raw, strict, report)
-                    if row is not None:
-                        rows.append(row)
-        report.kept_rows = len(rows)
+                    batch.append((line_no, raw))
+                    if len(batch) >= _BULK_BATCH:
+                        _flush_csv_batch(path, batch, strict, report, chunks)
+                        batch = []
+                _flush_csv_batch(path, batch, strict, report, chunks)
+        arr = (
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=LOG_DTYPE)
+        )
+        report.kept_rows = int(len(arr))
         span.attrs["rows"] = report.total_rows
         span.attrs["kept"] = report.kept_rows
     if registry is not None:
         report.count_into(registry, "csv")
-    arr = np.array(rows, dtype=LOG_DTYPE) if rows else np.empty(0, dtype=LOG_DTYPE)
     store = LogStore(arr)
     return store if strict else (store, report)
+
+
+def _flush_csv_batch(
+    path: Path,
+    batch: list[tuple[int, list[str]]],
+    strict: bool,
+    report: QuarantineReport,
+    chunks: list[np.ndarray],
+) -> None:
+    """Append one batch's clean rows to ``chunks`` (bulk first, row loop
+    on any anomaly), preserving input order."""
+    if not batch:
+        return
+    arr = _bulk_csv_rows(batch)
+    if arr is None:
+        rows = []
+        for line_no, raw in batch:
+            row = _ingest_csv_row(path, line_no, raw, strict, report)
+            if row is not None:
+                rows.append(row)
+        arr = (
+            np.array(rows, dtype=LOG_DTYPE)
+            if rows else np.empty(0, dtype=LOG_DTYPE)
+        )
+    if len(arr):
+        chunks.append(arr)
+
+
+def _bulk_csv_rows(batch: list[tuple[int, list[str]]]) -> np.ndarray | None:
+    """Vectorized parse of a CSV batch into LOG_DTYPE, or None if any row
+    needs the (quarantining, strict-raising) row loop.
+
+    numpy's string-to-number conversions reject the same literals Python's
+    ``float``/``int`` reject, so a batch that parses cleanly here parses
+    identically row by row; :func:`batch_has_violations` then clears the
+    invariants in one pass.  Any anomaly — wrong column count, parse
+    failure, possible violation — rejects the whole batch rather than
+    guessing which row caused it.
+    """
+    n_cols = len(LOG_DTYPE.names)
+    if any(len(raw) != n_cols for _, raw in batch):
+        return None
+    arr = np.empty(len(batch), dtype=LOG_DTYPE)
+    try:
+        for i, name in enumerate(LOG_DTYPE.names):
+            col = [raw[i] for _, raw in batch]
+            if name in _FLOAT_FIELDS:
+                arr[name] = np.array(col, dtype=np.float64)
+            elif name in _INT_FIELDS:
+                arr[name] = np.array(col, dtype=np.int64)
+            else:
+                arr[name] = col
+    except (ValueError, OverflowError):
+        return None
+    if batch_has_violations(arr):
+        return None
+    return arr
 
 
 def _ingest_csv_row(
@@ -314,53 +382,133 @@ def read_jsonl(
     """
     path = Path(path)
     report = QuarantineReport(source=str(path))
-    rows: list[tuple] = []
+    chunks: list[np.ndarray] = []
     with _ingest_span(tracer, "ingest.read_jsonl") as span:
         with path.open() as fh:
+            batch: list[tuple[int, str]] = []
             for line_no, line in enumerate(fh, 1):
                 line = line.strip()
                 if not line:
                     continue
                 report.total_rows += 1
-                try:
-                    obj = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    if strict:
-                        raise ValueError(
-                            f"{path}:{line_no}: invalid JSON: {exc}"
-                        ) from exc
-                    report.add(line_no, "<row>", f"invalid JSON: {exc}", line,
-                               category="invalid_json")
-                    continue
-                if not isinstance(obj, dict):
-                    if strict:
-                        raise ValueError(
-                            f"{path}:{line_no}: expected a JSON object"
-                        )
-                    report.add(line_no, "<row>", "expected a JSON object", line,
-                               category="not_object")
-                    continue
-                missing = set(LOG_DTYPE.names) - set(obj)
-                if missing:
-                    if strict:
-                        raise ValueError(
-                            f"{path}:{line_no}: missing fields {sorted(missing)}"
-                        )
-                    for name in sorted(missing):
-                        report.add(line_no, name, "missing field", line,
-                                   category="missing_field")
-                    continue
-                row = _validated(path, line_no, obj, line, strict, report)
-                if row is not None:
-                    rows.append(row)
-        report.kept_rows = len(rows)
+                batch.append((line_no, line))
+                if len(batch) >= _BULK_BATCH:
+                    _flush_jsonl_batch(path, batch, strict, report, chunks)
+                    batch = []
+            _flush_jsonl_batch(path, batch, strict, report, chunks)
+        arr = (
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=LOG_DTYPE)
+        )
+        report.kept_rows = int(len(arr))
         span.attrs["rows"] = report.total_rows
         span.attrs["kept"] = report.kept_rows
     if registry is not None:
         report.count_into(registry, "jsonl")
-    arr = np.array(rows, dtype=LOG_DTYPE) if rows else np.empty(0, dtype=LOG_DTYPE)
     store = LogStore(arr)
     return store if strict else (store, report)
+
+
+def _ingest_jsonl_row(
+    path: Path,
+    line_no: int,
+    line: str,
+    strict: bool,
+    report: QuarantineReport,
+) -> tuple | None:
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        if strict:
+            raise ValueError(f"{path}:{line_no}: invalid JSON: {exc}") from exc
+        report.add(line_no, "<row>", f"invalid JSON: {exc}", line,
+                   category="invalid_json")
+        return None
+    if not isinstance(obj, dict):
+        if strict:
+            raise ValueError(f"{path}:{line_no}: expected a JSON object")
+        report.add(line_no, "<row>", "expected a JSON object", line,
+                   category="not_object")
+        return None
+    missing = set(LOG_DTYPE.names) - set(obj)
+    if missing:
+        if strict:
+            raise ValueError(
+                f"{path}:{line_no}: missing fields {sorted(missing)}"
+            )
+        for name in sorted(missing):
+            report.add(line_no, name, "missing field", line,
+                       category="missing_field")
+        return None
+    return _validated(path, line_no, obj, line, strict, report)
+
+
+def _flush_jsonl_batch(
+    path: Path,
+    batch: list[tuple[int, str]],
+    strict: bool,
+    report: QuarantineReport,
+    chunks: list[np.ndarray],
+) -> None:
+    """Append one batch's clean rows to ``chunks`` (bulk first, row loop
+    on any anomaly), preserving input order."""
+    if not batch:
+        return
+    arr = _bulk_jsonl_rows(batch)
+    if arr is None:
+        rows = []
+        for line_no, line in batch:
+            row = _ingest_jsonl_row(path, line_no, line, strict, report)
+            if row is not None:
+                rows.append(row)
+        arr = (
+            np.array(rows, dtype=LOG_DTYPE)
+            if rows else np.empty(0, dtype=LOG_DTYPE)
+        )
+    if len(arr):
+        chunks.append(arr)
+
+
+def _bulk_jsonl_rows(batch: list[tuple[int, str]]) -> np.ndarray | None:
+    """Vectorized conversion of a JSONL batch into LOG_DTYPE, or None if
+    any line needs the row loop.
+
+    The JSON itself is still parsed line by line (there is no columnar
+    JSON parse), but the field-type checks, numeric conversion, and
+    invariant validation run column-wise.  Guards are conservative: a
+    bool where a number belongs, a non-number in a numeric field, or a
+    non-string in a string field all reject the whole batch, so the row
+    loop — not this fast path — decides what gets quarantined.
+    """
+    objs = []
+    for _, line in batch:
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(obj, dict) or set(LOG_DTYPE.names) - set(obj):
+            return None
+        objs.append(obj)
+    arr = np.empty(len(objs), dtype=LOG_DTYPE)
+    try:
+        for name in LOG_DTYPE.names:
+            col = [o[name] for o in objs]
+            if name in _FLOAT_FIELDS or name in _INT_FIELDS:
+                if any(
+                    isinstance(v, bool) or not isinstance(v, (int, float))
+                    for v in col
+                ):
+                    return None
+                dtype = np.float64 if name in _FLOAT_FIELDS else np.int64
+                arr[name] = np.array(col, dtype=dtype)
+            else:
+                if any(not isinstance(v, str) for v in col):
+                    return None
+                arr[name] = col
+    except (ValueError, OverflowError):
+        return None
+    if batch_has_violations(arr):
+        return None
+    return arr
 
 
 def _validated(

@@ -241,6 +241,79 @@ class ServeBenchResult:
         return "\n".join(lines)
 
 
+def _serve_bench_task(task: dict) -> tuple[ServeBenchResult, dict]:
+    """Top-level worker task: one single-repeat bench cell with its own
+    Observability bundle; returns the result plus a registry snapshot so
+    the parent can merge the cells deterministically."""
+    obs = Observability.create()
+    result = run_serve_bench(
+        n_active=task["n_active"],
+        n_requests=task["n_requests"],
+        n_endpoints=task["n_endpoints"],
+        seed=task["seed"],
+        now=task["now"],
+        repeats=1,
+        obs=obs,
+        workers=1,
+    )
+    return result, obs.registry.snapshot()
+
+
+def _parallel_serve_bench(
+    n_active: int,
+    n_requests: int,
+    n_endpoints: int,
+    seed: int,
+    now: float,
+    repeats: int,
+    obs: Observability | None,
+    workers: int,
+) -> ServeBenchResult:
+    """``repeats`` independent single-repeat cells fanned out over worker
+    processes.  Every cell uses the same seed — mirroring how serial
+    repeats re-time identical data — so all non-time outputs (engine
+    stats, max |batch - loop| diff) are deterministic: counters sum to
+    exactly what a serial ``repeats=N`` run accumulates."""
+    from repro.exec.engine import parallel_map
+
+    task = {
+        "n_active": n_active,
+        "n_requests": n_requests,
+        "n_endpoints": n_endpoints,
+        "seed": seed,
+        "now": now,
+    }
+    pairs = parallel_map(
+        _serve_bench_task, [task] * repeats, workers=workers,
+        label="serve_bench",
+        registry=obs.registry if obs is not None else None,
+    )
+    results = [p[0] for p in pairs]
+    obs = obs if obs is not None else Observability.create()
+    for _, snapshot in pairs:
+        obs.registry.load_snapshot(snapshot)
+    latency = obs.registry.histogram("serve_predict_batch_latency_seconds")
+    stats: dict[str, float] = {}
+    for r in results:
+        for k, v in r.stats.items():
+            stats[k] = stats.get(k, 0.0) + v
+    return ServeBenchResult(
+        n_active=n_active,
+        n_requests=n_requests,
+        batch_time_s=float(np.mean([r.batch_time_s for r in results])),
+        loop_time_s=float(np.mean([r.loop_time_s for r in results])),
+        max_abs_diff=max(r.max_abs_diff for r in results),
+        stats=stats,
+        repeats=repeats,
+        instrumented_time_s=float(
+            np.mean([r.instrumented_time_s for r in results])
+        ),
+        latency_p50_s=latency.quantile(0.5),
+        latency_p95_s=latency.quantile(0.95),
+        latency_p99_s=latency.quantile(0.99),
+    )
+
+
 def run_serve_bench(
     n_active: int = 10_000,
     n_requests: int = 1_000,
@@ -250,6 +323,7 @@ def run_serve_bench(
     now: float = 0.0,
     repeats: int = 1,
     obs: Observability | None = None,
+    workers: int | None = None,
 ) -> ServeBenchResult:
     """Time ``BatchOnlinePredictor.predict_batch`` against looping
     ``OnlinePredictor.predict`` over the same requests and verify the two
@@ -262,9 +336,23 @@ def run_serve_bench(
     histogram.  Pass ``obs`` to reuse a caller-owned bundle (e.g. so the
     CLI can export its registry afterwards); pass ``repeats > 1`` to
     average timings and populate the latency percentiles meaningfully.
+
+    ``workers > 1`` (default: ``REPRO_WORKERS``) fans the repeats out
+    over worker processes via :func:`repro.exec.parallel_map` — same
+    seed, same data per cell, metric registries merged back into ``obs``
+    — supported for the synthetic default model only (a custom ``result``
+    keeps the serial path).
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    from repro.exec.engine import resolve_workers
+
+    worker_count = resolve_workers(workers)
+    if worker_count > 1 and repeats > 1 and result is None:
+        return _parallel_serve_bench(
+            n_active, n_requests, n_endpoints, seed, now, repeats, obs,
+            worker_count,
+        )
     views = make_synthetic_views(n_active, n_endpoints=n_endpoints, seed=seed, now=now)
     requests = make_synthetic_requests(n_requests, n_endpoints=n_endpoints, seed=seed + 1)
     result = result or make_synthetic_model(seed)

@@ -1,0 +1,195 @@
+"""The content-addressed artifact cache: round-trips, corruption
+quarantine, and fingerprint invalidation semantics."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import _edge_models_config
+from repro.exec.cache import (
+    ArtifactCache,
+    cached_build_feature_matrix,
+    combine_fingerprints,
+    fingerprint_config,
+    fingerprint_store,
+)
+from repro.logs.store import LogStore
+from repro.obs.metrics import MetricsRegistry
+from tests.core.conftest import make_random_store
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(tmp_path / "artifacts", registry=MetricsRegistry())
+
+
+def _flat(cache):
+    return cache.registry.flat()
+
+
+class TestJsonEntries:
+    def test_round_trip_and_counters(self, cache):
+        payload = {"a": [1, 2.5, None], "b": "text"}
+        assert cache.get_json("edge_model", "k1") is None
+        cache.put_json("edge_model", "k1", payload)
+        assert cache.get_json("edge_model", "k1") == payload
+        flat = _flat(cache)
+        assert flat['cache_misses_total{kind="edge_model"}'] == 1.0
+        assert flat['cache_stores_total{kind="edge_model"}'] == 1.0
+        assert flat['cache_hits_total{kind="edge_model"}'] == 1.0
+
+    def test_corrupt_entry_quarantined_not_loaded(self, cache, tmp_path):
+        cache.put_json("edge_model", "k1", {"v": 1})
+        path = cache.root / "edge_model" / "k1.json"
+        path.write_text("{ not json")
+        assert cache.get_json("edge_model", "k1") is None
+        assert not path.exists()
+        assert path.with_name("k1.json.corrupt").exists()
+        flat = _flat(cache)
+        assert flat['cache_corrupt_total{kind="edge_model"}'] == 1.0
+
+    def test_tampered_payload_rejected(self, cache):
+        cache.put_json("edge_model", "k1", {"v": 1})
+        path = cache.root / "edge_model" / "k1.json"
+        doc = json.loads(path.read_text())
+        doc["payload"]["v"] = 2  # checksum now stale
+        path.write_text(json.dumps(doc))
+        assert cache.get_json("edge_model", "k1") is None
+        assert path.with_name("k1.json.corrupt").exists()
+
+    def test_wrong_identity_rejected(self, cache):
+        cache.put_json("edge_model", "k1", {"v": 1})
+        src = cache.root / "edge_model" / "k1.json"
+        dst = cache.root / "edge_model" / "k2.json"
+        dst.write_text(src.read_text())
+        assert cache.get_json("edge_model", "k2") is None
+
+    def test_bad_keys_rejected(self, cache):
+        for bad in ("", "a/b", "a\\b"):
+            with pytest.raises(ValueError, match="bad cache key"):
+                cache.put_json("k", bad, {})
+
+
+class TestArrayEntries:
+    def test_round_trip_preserves_dtype_and_values(self, cache):
+        arrays = {
+            "f": np.linspace(0, 1, 7),
+            "i": np.arange(5, dtype=np.int64),
+            "b": np.array([True, False]),
+        }
+        cache.put_arrays("feature_matrix", "k", arrays)
+        got = cache.get_arrays("feature_matrix", "k")
+        assert sorted(got) == sorted(arrays)
+        for name in arrays:
+            assert got[name].dtype == arrays[name].dtype
+            assert np.array_equal(got[name], arrays[name])
+
+    def test_corrupt_npz_quarantined(self, cache):
+        cache.put_arrays("feature_matrix", "k", {"x": np.arange(4)})
+        npz = cache.root / "feature_matrix" / "k.npz"
+        npz.write_bytes(b"garbage" + npz.read_bytes()[7:])
+        assert cache.get_arrays("feature_matrix", "k") is None
+        assert npz.with_name("k.npz.corrupt").exists()
+        flat = _flat(cache)
+        assert flat['cache_corrupt_total{kind="feature_matrix"}'] == 1.0
+
+    def test_missing_sidecar_is_a_miss(self, cache):
+        cache.put_arrays("feature_matrix", "k", {"x": np.arange(4)})
+        (cache.root / "feature_matrix" / "k.meta.json").unlink()
+        assert cache.get_arrays("feature_matrix", "k") is None
+
+
+class TestMaintenance:
+    def test_stats_and_clear(self, cache):
+        cache.put_json("edge_model", "a", {"v": 1})
+        cache.put_arrays("feature_matrix", "b", {"x": np.arange(3)})
+        stats = cache.stats()
+        assert stats["kinds"]["edge_model"]["files"] == 1
+        assert stats["kinds"]["feature_matrix"]["files"] == 2  # npz + meta
+        assert stats["total_bytes"] > 0
+        removed = cache.clear()
+        assert removed == 3
+        assert cache.stats()["kinds"] == {}
+
+
+class TestFingerprints:
+    def test_row_mutation_changes_store_fingerprint(self):
+        a = make_random_store(n=50, seed=1)
+        b = make_random_store(n=50, seed=1)
+        assert fingerprint_store(a) == fingerprint_store(b)
+        arr = b.raw()
+        arr["nb"][17] += 1.0
+        assert fingerprint_store(a) != fingerprint_store(LogStore(arr))
+
+    def test_threshold_changes_edge_model_config_fingerprint(self):
+        base = dict(model="linear", threshold=0.5, train_fraction=0.7,
+                    seed=0, explanation=False, gbt=None)
+        fp = fingerprint_config(_edge_models_config(**base))
+        changed = fingerprint_config(
+            _edge_models_config(**{**base, "threshold": 0.3})
+        )
+        assert fp != changed
+
+    def test_every_config_knob_changes_the_fingerprint(self):
+        base = dict(model="linear", threshold=0.5, train_fraction=0.7,
+                    seed=0, explanation=False, gbt=None)
+        fps = {fingerprint_config(_edge_models_config(**base))}
+        for knob, value in [
+            ("model", "gbt"), ("train_fraction", 0.8), ("seed", 1),
+            ("explanation", True),
+        ]:
+            fps.add(
+                fingerprint_config(_edge_models_config(**{**base, knob: value}))
+            )
+        assert len(fps) == 5
+
+    def test_combine_is_order_sensitive(self):
+        assert combine_fingerprints("a", "b") != combine_fingerprints("b", "a")
+
+
+class TestCachedFeatureMatrix:
+    def test_cold_then_warm_is_bit_identical(self, cache):
+        store = make_random_store(n=120, seed=2)
+        cold = cached_build_feature_matrix(store, cache=cache)
+        warm = cached_build_feature_matrix(store, cache=cache)
+        assert np.array_equal(cold.y, warm.y)
+        assert sorted(cold.columns) == sorted(warm.columns)
+        for name in cold.columns:
+            assert np.array_equal(cold.columns[name], warm.columns[name])
+        flat = _flat(cache)
+        assert flat['cache_hits_total{kind="feature_matrix"}'] == 1.0
+        assert flat['cache_misses_total{kind="feature_matrix"}'] == 1.0
+
+    def test_warm_hit_skips_the_builder(self, cache, monkeypatch):
+        store = make_random_store(n=120, seed=2)
+        cached_build_feature_matrix(store, cache=cache)
+
+        def _fail(_store):
+            raise AssertionError("build_feature_matrix called on a warm hit")
+
+        monkeypatch.setattr(
+            "repro.exec.cache.build_feature_matrix", _fail
+        )
+        warm = cached_build_feature_matrix(store, cache=cache)
+        assert len(warm.y) == 120
+
+    def test_store_mutation_forces_rebuild(self, cache):
+        store = make_random_store(n=120, seed=2)
+        cached_build_feature_matrix(store, cache=cache)
+        arr = store.raw()
+        arr["nb"][3] *= 2.0
+        cached_build_feature_matrix(LogStore(arr), cache=cache)
+        flat = _flat(cache)
+        assert flat['cache_misses_total{kind="feature_matrix"}'] == 2.0
+
+    def test_corrupt_cache_entry_falls_back_to_rebuild(self, cache):
+        store = make_random_store(n=120, seed=2)
+        cold = cached_build_feature_matrix(store, cache=cache)
+        for npz in (cache.root / "feature_matrix").glob("*.npz"):
+            npz.write_bytes(b"\x00" * 32)
+        again = cached_build_feature_matrix(store, cache=cache)
+        assert np.array_equal(cold.y, again.y)
+        flat = _flat(cache)
+        assert flat['cache_corrupt_total{kind="feature_matrix"}'] == 1.0
+        assert flat.get('cache_hits_total{kind="feature_matrix"}', 0.0) == 0.0

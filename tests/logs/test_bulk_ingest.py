@@ -1,0 +1,244 @@
+"""Bulk column-batch ingestion must be indistinguishable from the row loop.
+
+Every test compares the default readers (bulk fast path enabled) against
+a forced row-loop run — stores byte-identical, quarantine reports equal,
+strict-mode errors equal — on clean logs, corrupt logs, and logs whose
+corruption lands on batch boundaries.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.logs.io as io
+from repro.logs.io import read_csv, read_jsonl, write_csv, write_jsonl
+from repro.logs.schema import LOG_DTYPE, batch_has_violations
+from repro.logs.store import LogStore
+from repro.obs.metrics import MetricsRegistry
+from tests.core.conftest import make_random_store
+
+
+def _force_row_loop(monkeypatch):
+    """Disable both bulk parsers so the readers take the row loop."""
+    monkeypatch.setattr(io, "_bulk_csv_rows", lambda batch: None)
+    monkeypatch.setattr(io, "_bulk_jsonl_rows", lambda batch: None)
+
+
+def _read_both(reader, path, monkeypatch, **kwargs):
+    bulk = reader(path, **kwargs)
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setattr(io, "_bulk_csv_rows", lambda batch: None)
+        mp.setattr(io, "_bulk_jsonl_rows", lambda batch: None)
+        row = reader(path, **kwargs)
+    return bulk, row
+
+
+def _assert_parity(bulk, row):
+    store_b, report_b = bulk
+    store_r, report_r = row
+    assert np.array_equal(store_b.raw(), store_r.raw())
+    assert report_b.as_dict() == report_r.as_dict()
+
+
+@pytest.fixture
+def clean_paths(tmp_path):
+    store = make_random_store(n=500, n_endpoints=5, seed=9)
+    csv_p = tmp_path / "log.csv"
+    jsonl_p = tmp_path / "log.jsonl"
+    write_csv(store, csv_p)
+    write_jsonl(store, jsonl_p)
+    return store, csv_p, jsonl_p
+
+
+def _corrupt_csv(path):
+    lines = path.read_text().splitlines()
+    lines[5] = lines[5].rsplit(",", 1)[0]  # wrong column count
+    parts = lines[40].split(",")
+    parts[7] = "notanumber"  # unparseable ts
+    lines[40] = ",".join(parts)
+    parts = lines[200].split(",")
+    parts[9] = "-4.0"  # nb <= 0
+    lines[200] = ",".join(parts)
+    parts = lines[201].split(",")
+    parts[5] = "FTP"  # bad endpoint type
+    lines[201] = ",".join(parts)
+    path.write_text("\n".join(lines) + "\n")
+
+
+def _corrupt_jsonl(path):
+    lines = path.read_text().splitlines()
+    lines[3] = lines[3][:-8]  # truncated JSON
+    obj = json.loads(lines[60])
+    del obj["src"], obj["nf"]
+    lines[60] = json.dumps(obj)  # missing fields
+    obj = json.loads(lines[250])
+    obj["te"] = obj["ts"] - 10.0  # te <= ts
+    lines[250] = json.dumps(obj)
+    obj = json.loads(lines[251])
+    obj["nf"] = True  # bool in a numeric field
+    lines[251] = json.dumps(obj)
+    obj = json.loads(lines[252])
+    obj["nb"] = "1e9"  # string in a numeric field
+    lines[252] = json.dumps(obj)
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestCleanParity:
+    def test_csv(self, clean_paths, monkeypatch):
+        store, csv_p, _ = clean_paths
+        bulk, row = _read_both(read_csv, csv_p, monkeypatch, strict=False)
+        _assert_parity(bulk, row)
+        assert np.array_equal(bulk[0].raw(), store.raw())
+        assert bulk[1].ok
+
+    def test_jsonl(self, clean_paths, monkeypatch):
+        store, _, jsonl_p = clean_paths
+        bulk, row = _read_both(read_jsonl, jsonl_p, monkeypatch, strict=False)
+        _assert_parity(bulk, row)
+        assert np.array_equal(bulk[0].raw(), store.raw())
+
+    def test_strict_csv_round_trip(self, clean_paths):
+        store, csv_p, _ = clean_paths
+        assert np.array_equal(read_csv(csv_p).raw(), store.raw())
+
+
+class TestCorruptParity:
+    def test_csv_quarantine_identical(self, clean_paths, monkeypatch):
+        _, csv_p, _ = clean_paths
+        _corrupt_csv(csv_p)
+        bulk, row = _read_both(read_csv, csv_p, monkeypatch, strict=False)
+        _assert_parity(bulk, row)
+        report = bulk[1]
+        assert report.quarantined_rows == 4
+        assert set(report.reason_counts()) == {
+            "column_shape", "unparseable_value", "invariant_nb",
+            "invariant_src_type",
+        }
+
+    def test_jsonl_quarantine_identical(self, clean_paths, monkeypatch):
+        _, _, jsonl_p = clean_paths
+        _corrupt_jsonl(jsonl_p)
+        bulk, row = _read_both(read_jsonl, jsonl_p, monkeypatch, strict=False)
+        _assert_parity(bulk, row)
+        report = bulk[1]
+        assert report.quarantined_rows == 5
+        counts = report.reason_counts()
+        assert counts["invalid_json"] == 1
+        assert counts["missing_field"] == 2
+        assert counts["invariant_te"] == 1
+        assert counts["invariant_nf"] == 1
+        assert counts["invariant_nb"] == 1
+
+    def test_strict_errors_identical(self, clean_paths, monkeypatch):
+        _, csv_p, jsonl_p = clean_paths
+        _corrupt_csv(csv_p)
+        _corrupt_jsonl(jsonl_p)
+        for reader, path in ((read_csv, csv_p), (read_jsonl, jsonl_p)):
+            with pytest.raises(ValueError) as bulk_exc:
+                reader(path, strict=True)
+            with pytest.MonkeyPatch.context() as mp:
+                mp.setattr(io, "_bulk_csv_rows", lambda batch: None)
+                mp.setattr(io, "_bulk_jsonl_rows", lambda batch: None)
+                with pytest.raises(ValueError) as row_exc:
+                    reader(path, strict=True)
+            assert str(bulk_exc.value) == str(row_exc.value)
+
+    def test_metrics_identical(self, clean_paths, monkeypatch):
+        _, csv_p, _ = clean_paths
+        _corrupt_csv(csv_p)
+        bulk_reg, row_reg = MetricsRegistry(), MetricsRegistry()
+        read_csv(csv_p, strict=False, registry=bulk_reg)
+        _force_row_loop(monkeypatch)
+        read_csv(csv_p, strict=False, registry=row_reg)
+        assert bulk_reg.flat() == row_reg.flat()
+
+
+class TestBatchBoundaries:
+    def test_small_batches_preserve_order_and_reports(
+        self, clean_paths, monkeypatch
+    ):
+        # With 7-row batches a 500-row file spans ~72 batches; the
+        # corruption lands in a few of them, so clean-bulk and dirty-
+        # fallback chunks interleave and must concatenate in order.
+        _, csv_p, jsonl_p = clean_paths
+        _corrupt_csv(csv_p)
+        _corrupt_jsonl(jsonl_p)
+        monkeypatch.setattr(io, "_BULK_BATCH", 7)
+        for reader, path in ((read_csv, csv_p), (read_jsonl, jsonl_p)):
+            bulk, row = _read_both(reader, path, monkeypatch, strict=False)
+            _assert_parity(bulk, row)
+            ids = bulk[0].raw()["transfer_id"]
+            assert np.array_equal(ids, np.sort(ids))
+
+    def test_batch_exactly_at_file_length(self, clean_paths, monkeypatch):
+        _, csv_p, _ = clean_paths
+        monkeypatch.setattr(io, "_BULK_BATCH", 500)
+        store, report = read_csv(csv_p, strict=False)
+        assert len(store) == 500
+        assert report.ok
+
+
+class TestEdgeCases:
+    def test_empty_and_header_only_csv(self, tmp_path):
+        p = tmp_path / "empty.csv"
+        p.write_text("")
+        store, report = read_csv(p, strict=False)
+        assert len(store) == 0 and not report.ok
+        p.write_text(",".join(LOG_DTYPE.names) + "\n")
+        store, report = read_csv(p, strict=False)
+        assert len(store) == 0 and report.ok
+
+    def test_all_rows_quarantined(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text("not json at all\n{\n[1,2]\n")
+        store, report = read_jsonl(p, strict=False)
+        assert len(store) == 0
+        assert report.total_rows == 3
+        assert report.kept_rows == 0
+
+
+class TestBatchHasViolations:
+    """No false negatives: every invariant the row path checks must trip
+    the vectorized batch check too."""
+
+    @pytest.fixture
+    def clean_arr(self):
+        return make_random_store(n=20, seed=4).raw()
+
+    def test_clean_batch_passes(self, clean_arr):
+        assert not batch_has_violations(clean_arr)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda a: a.__setitem__("ts", np.where(
+                np.arange(len(a)) == 3, np.nan, a["ts"])),
+            lambda a: a["te"].__setitem__(5, a["ts"][5] - 1.0),
+            lambda a: a["nb"].__setitem__(0, 0.0),
+            lambda a: a["nb"].__setitem__(0, np.inf),
+            lambda a: a["nf"].__setitem__(2, 0),
+            lambda a: a["c"].__setitem__(2, 0),
+            lambda a: a["p"].__setitem__(2, -1),
+            lambda a: a["nd"].__setitem__(7, -1),
+            lambda a: a["nflt"].__setitem__(7, -2),
+            lambda a: a["src_type"].__setitem__(1, "FTP"),
+            lambda a: a["dst_type"].__setitem__(1, ""),
+            lambda a: a["src"].__setitem__(9, ""),
+            lambda a: a["dst"].__setitem__(9, ""),
+            lambda a: a["distance_km"].__setitem__(4, np.nan),
+        ],
+    )
+    def test_each_violation_detected(self, clean_arr, mutate):
+        mutate(clean_arr)
+        assert batch_has_violations(clean_arr)
+        # and the row loop agrees the batch is not clean
+        from repro.logs.schema import record_violations
+
+        dirty = any(
+            record_violations(
+                {n: clean_arr[n][i].item() for n in LOG_DTYPE.names}
+            )
+            for i in range(len(clean_arr))
+        )
+        assert dirty
