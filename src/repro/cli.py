@@ -10,6 +10,8 @@ would be operated against real logs::
                         --bytes 50e9 --files 100 --at 86400
     repro-tools advise --model model.json --log log.csv \\
                        --bytes 50e9 --files 100 --at 86400
+    repro-tools advise plan --log log.csv --model model.json \\
+                            --count 12 --at 86400 --json plan.json
     repro-tools serve-bench --actives 10000 --requests 1000
     repro-tools logs validate --log log.csv --report quarantine.json
     repro-tools chaos --quick --metrics-out metrics.json
@@ -20,7 +22,11 @@ would be operated against real logs::
 
 ``train`` writes a bundle (model + scaler + feature bookkeeping) as JSON;
 ``predict`` replays the log to reconstruct the active-transfer view at the
-requested instant and runs the online predictor; ``advise`` sweeps tunables;
+requested instant and runs the online predictor; ``advise`` sweeps tunables
+in one vectorized batch call through the fallback chain (unmodeled edges
+degrade to coarser tiers instead of failing; predictions are capped at the
+Eq. 1 analytical bound) and ``advise plan`` schedules a backlog against the
+live active set, benchmarking the fleet planner against FIFO and greedy;
 ``serve-bench`` measures batch-serving throughput (vectorized
 :class:`repro.serve.BatchOnlinePredictor` vs the looped scalar predictor)
 on a synthetic active population, optionally with a trained model bundle;
@@ -50,7 +56,6 @@ from pathlib import Path
 import numpy as np
 
 from repro.atomicio import atomic_write_text
-from repro.core.advisor import TunableAdvisor
 from repro.core.features import build_feature_matrix
 from repro.core.online import OnlineFeatureEstimator, OnlinePredictor
 from repro.core.pipeline import EdgeModelResult, GBTSettings, fit_edge_model
@@ -169,19 +174,143 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 
 def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.obs import Observability
+    from repro.serve import ActiveSet, FallbackChain, SweepAdvisor
+
+    if not (args.model and args.log and args.bytes is not None):
+        raise ValueError(
+            "advise requires --model, --log and --bytes "
+            "(or use 'advise plan' to schedule a backlog)"
+        )
     result = _load_bundle(args.model)
     log = read_csv(args.log)
-    estimator = OnlineFeatureEstimator.from_log_window(log, now=args.at)
-    advisor = TunableAdvisor(result, estimator)
-    req = _request_from_args(result, args)
+    src = args.src or result.src
+    dst = args.dst or result.dst
+    obs = Observability.create()
+    # Route through the fallback chain: an edge without a fitted model
+    # degrades to the global/analytical/median tiers instead of raising.
+    chain = FallbackChain.from_log(
+        log, edge_models={(result.src, result.dst): result}
+    )
+    active = ActiveSet.from_log_window(log, now=args.at)
+    advisor = SweepAdvisor(chain, active, clip=not args.no_clip, obs=obs)
+    req = TransferRequest(
+        src=src,
+        dst=dst,
+        total_bytes=float(args.bytes),
+        n_files=args.files,
+        n_dirs=args.dirs,
+        concurrency=args.concurrency,
+        parallelism=args.parallelism,
+    )
     rec = advisor.recommend(req, now=args.at)
-    print(f"recommended tunables for {result.src} -> {result.dst}: "
+    print(f"recommended tunables for {src} -> {dst}: "
           f"C={rec.concurrency} P={rec.parallelism} "
           f"(predicted {to_mbyte_per_s(rec.predicted_rate):.1f} MB/s)")
-    print(f"{'C':>4} {'P':>4} {'predicted MB/s':>15}")
-    for c, p, rate in rec.alternatives:
-        print(f"{c:>4} {p:>4} {to_mbyte_per_s(rate):>15.1f}")
+    print(f"model provenance: {chain.describe(src, dst)}")
+    if rec.degenerate:
+        print("warning: degenerate sweep (a candidate predicted a "
+              "non-positive rate); recommendation carries no preference")
+    elif not rec.confident:
+        print(f"note: low confidence — best/worst gain only "
+              f"{rec.gain_over_worst:.2f}x")
+    print(f"{'C':>4} {'P':>4} {'predicted MB/s':>15} {'tier':>11} {'':<7}")
+    for alt in rec.alternatives:
+        mark = "clipped" if alt.clipped else ""
+        print(f"{alt.concurrency:>4} {alt.parallelism:>4} "
+              f"{to_mbyte_per_s(alt.predicted_rate):>15.1f} "
+              f"{alt.tier.value:>11} {mark:<7}")
+    if args.json:
+        atomic_write_text(args.json, json.dumps(rec.as_dict(), indent=2))
+        print(f"wrote recommendation JSON to {args.json}")
+    if args.metrics_out:
+        atomic_write_text(args.metrics_out, obs.registry.to_json(indent=2))
+        print(f"wrote metrics JSON to {args.metrics_out}")
     return 0
+
+
+def _backlog_from_args(args: argparse.Namespace, log) -> list[TransferRequest]:
+    """The backlog ``advise plan`` schedules: an explicit JSON file, or a
+    synthetic one round-robined over the log's busiest edges."""
+    if args.backlog:
+        rows = json.loads(Path(args.backlog).read_text())
+        if not isinstance(rows, list) or not rows:
+            raise ValueError(f"{args.backlog}: expected a non-empty JSON list")
+        return [
+            TransferRequest(
+                src=str(row["src"]),
+                dst=str(row["dst"]),
+                total_bytes=float(row["bytes"]),
+                n_files=int(row.get("files", 1)),
+                n_dirs=int(row.get("dirs", 1)),
+                concurrency=int(row.get("concurrency", args.concurrency)),
+                parallelism=int(row.get("parallelism", args.parallelism)),
+            )
+            for row in rows
+        ]
+    edges = log.heavy_edges(min_transfers=1)
+    if not edges:
+        raise ValueError("empty log: cannot synthesise a backlog "
+                         "(pass --backlog)")
+    edges = edges[:max(1, args.edges)]
+    per_transfer = float(args.bytes) if args.bytes is not None else 10e9
+    return [
+        TransferRequest(
+            src=edges[i % len(edges)][0],
+            dst=edges[i % len(edges)][1],
+            total_bytes=per_transfer,
+            n_files=args.files,
+            n_dirs=args.dirs,
+            concurrency=args.concurrency,
+            parallelism=args.parallelism,
+        )
+        for i in range(args.count)
+    ]
+
+
+def _cmd_advise_plan(args: argparse.Namespace) -> int:
+    from repro.obs import Observability
+    from repro.serve import ActiveSet, FallbackChain, FleetScheduler
+
+    log = read_csv(args.log)
+    edge_models = {}
+    for path in args.models or []:
+        bundle = _load_bundle(path)
+        edge_models[(bundle.src, bundle.dst)] = bundle
+    chain = FallbackChain.from_log(log, edge_models=edge_models)
+    active = ActiveSet.from_log_window(log, now=args.at)
+    backlog = _backlog_from_args(args, log)
+    obs = Observability.create()
+    scheduler = FleetScheduler(
+        chain,
+        max_active_per_endpoint=args.max_active,
+        clip=not args.no_clip,
+        obs=obs,
+    )
+    print(f"planning {len(backlog)} transfers over {len(active)} active, "
+          f"{len(edge_models)} fitted edge model(s), t={args.at:g}")
+    if args.policy == "benchmark":
+        bench = scheduler.benchmark(backlog, active=active, now=args.at)
+        print(bench.render())
+        payload = bench.as_dict()
+        ok = bench.planner_no_worse_than_fifo
+    else:
+        plan = scheduler.plan(
+            backlog, active=active, now=args.at, policy=args.policy
+        )
+        print(f"{args.policy}: makespan {plan.makespan:.1f}s, aggregate "
+              f"{to_mbyte_per_s(plan.aggregate_throughput):.1f} MB/s")
+        tiers = sorted({e.tier.value for e in plan.entries})
+        print(f"provenance tiers used: {', '.join(tiers) or 'none'}")
+        payload = plan.as_dict()
+        ok = True
+    if args.json:
+        atomic_write_text(args.json, json.dumps(payload, indent=2))
+        print(f"wrote plan JSON to {args.json}")
+    if args.metrics_out:
+        atomic_write_text(args.metrics_out, obs.registry.to_json(indent=2))
+        print(f"wrote metrics JSON to {args.metrics_out}")
+    return 0 if ok else 1
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
@@ -421,20 +550,86 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--out", required=True)
     p.set_defaults(func=_cmd_train)
 
-    for name, fn, help_text in [
-        ("predict", _cmd_predict, "predict a transfer's rate at a time point"),
-        ("advise", _cmd_advise, "recommend tunables for a transfer"),
-    ]:
-        p = sub.add_parser(name, help=help_text)
-        p.add_argument("--model", required=True)
-        p.add_argument("--log", required=True)
-        p.add_argument("--bytes", type=float, required=True)
-        p.add_argument("--files", type=int, default=1)
-        p.add_argument("--dirs", type=int, default=1)
-        p.add_argument("--concurrency", type=int, default=2)
-        p.add_argument("--parallelism", type=int, default=4)
-        p.add_argument("--at", type=float, default=0.0)
-        p.set_defaults(func=fn)
+    p = sub.add_parser(
+        "predict", help="predict a transfer's rate at a time point"
+    )
+    p.add_argument("--model", required=True)
+    p.add_argument("--log", required=True)
+    p.add_argument("--bytes", type=float, required=True)
+    p.add_argument("--files", type=int, default=1)
+    p.add_argument("--dirs", type=int, default=1)
+    p.add_argument("--concurrency", type=int, default=2)
+    p.add_argument("--parallelism", type=int, default=4)
+    p.add_argument("--at", type=float, default=0.0)
+    p.set_defaults(func=_cmd_predict)
+
+    p = sub.add_parser(
+        "advise",
+        help="recommend tunables for a transfer (vectorized sweep through "
+             "the fallback chain), or schedule a backlog with 'advise plan'",
+    )
+    p.add_argument("--model", default=None, help="trained bundle JSON")
+    p.add_argument("--log", default=None)
+    p.add_argument("--bytes", type=float, default=None)
+    p.add_argument("--files", type=int, default=1)
+    p.add_argument("--dirs", type=int, default=1)
+    p.add_argument("--concurrency", type=int, default=2)
+    p.add_argument("--parallelism", type=int, default=4)
+    p.add_argument("--at", type=float, default=0.0)
+    p.add_argument("--src", default=None,
+                   help="override the bundle's source endpoint (edges "
+                        "without a fitted model degrade through the "
+                        "fallback chain)")
+    p.add_argument("--dst", default=None,
+                   help="override the bundle's destination endpoint")
+    p.add_argument("--no-clip", action="store_true",
+                   help="do not cap predictions at the Eq. 1 analytical "
+                        "bound")
+    p.add_argument("--json", default=None,
+                   help="write the recommendation (with provenance tiers) "
+                        "as JSON here")
+    p.add_argument("--metrics-out", default=None,
+                   help="write the advise_* metrics registry as JSON here")
+    p.set_defaults(func=_cmd_advise)
+    advise_sub = p.add_subparsers(dest="advise_command", required=False)
+    a = advise_sub.add_parser(
+        "plan",
+        help="schedule a backlog of transfers against the live active set; "
+             "benchmarks the planner against FIFO and naive-greedy",
+    )
+    a.add_argument("--log", required=True)
+    a.add_argument("--model", action="append", dest="models", default=None,
+                   help="trained bundle JSON (repeatable; unmodeled edges "
+                        "fall through the chain)")
+    a.add_argument("--backlog", default=None,
+                   help="JSON list of {src, dst, bytes, ...} transfer "
+                        "requests (default: synthesise from the log's "
+                        "busiest edges)")
+    a.add_argument("--count", type=int, default=12,
+                   help="synthetic backlog size (ignored with --backlog)")
+    a.add_argument("--edges", type=int, default=4,
+                   help="busiest edges to round-robin the synthetic "
+                        "backlog over")
+    a.add_argument("--bytes", type=float, default=None,
+                   help="bytes per synthetic transfer (default 10e9)")
+    a.add_argument("--files", type=int, default=1)
+    a.add_argument("--dirs", type=int, default=1)
+    a.add_argument("--concurrency", type=int, default=2)
+    a.add_argument("--parallelism", type=int, default=4)
+    a.add_argument("--at", type=float, default=0.0)
+    a.add_argument("--max-active", type=int, default=4,
+                   help="admission cap per endpoint")
+    a.add_argument("--policy", choices=("benchmark", "planner", "greedy",
+                                        "fifo"),
+                   default="benchmark",
+                   help="'benchmark' compares all policies and fails if "
+                        "the planner predicts worse than FIFO")
+    a.add_argument("--no-clip", action="store_true")
+    a.add_argument("--json", default=None,
+                   help="write the plan/benchmark as JSON here")
+    a.add_argument("--metrics-out", default=None,
+                   help="write the advise_* metrics registry as JSON here")
+    a.set_defaults(func=_cmd_advise_plan)
 
     p = sub.add_parser(
         "serve-bench",

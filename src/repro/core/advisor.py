@@ -14,6 +14,16 @@ parallelism."  This module turns a fitted model into that advice:
 
 All advice is *model-driven*: nothing here talks to the simulator, so the
 same code would run against models trained on real logs.
+
+These are the scalar reference implementations: one candidate, one
+prediction.  The production path is :mod:`repro.serve.advise`, which runs
+the same sweep as a single :class:`~repro.serve.BatchOnlinePredictor`
+call (all candidates in one feature matrix), clips by the Eq. 1 bound,
+tags every answer with its :class:`~repro.serve.ModelTier`, and upgrades
+the planner into a fleet scheduler over a live
+:class:`~repro.serve.ActiveSet`.  The scalar paths below stay because the
+batch ones are verified bit-identical against them (the ``repro-tools
+bench`` advise parity gate).
 """
 
 from __future__ import annotations
@@ -61,10 +71,27 @@ class TunableRecommendation:
     alternatives: tuple[tuple[int, int, float], ...]
 
     @property
+    def degenerate(self) -> bool:
+        """True when any candidate predicted a non-positive or non-finite
+        rate — the sweep carries no usable preference signal."""
+        return any(
+            not np.isfinite(alt[2]) or alt[2] <= 0.0
+            for alt in self.alternatives
+        )
+
+    @property
     def gain_over_worst(self) -> float:
-        """Predicted speedup of best over worst candidate."""
+        """Predicted speedup of best over worst candidate.
+
+        A degenerate sweep (some candidate at rate <= 0, e.g. a model
+        predicting zero everywhere) reports 1.0 — "no gain" — rather than
+        the ``inf`` a naive best/worst ratio would produce; an all-zero
+        sweep must read as "nothing to act on", not "infinitely better".
+        """
+        if self.degenerate:
+            return 1.0
         worst = self.alternatives[-1][2]
-        return self.predicted_rate / worst if worst > 0 else float("inf")
+        return self.predicted_rate / worst
 
     @property
     def confident(self) -> bool:
@@ -73,8 +100,9 @@ class TunableRecommendation:
         Models trained on logs where C and P never varied (the paper's
         low-variance elimination) predict near-identical rates across the
         grid; acting on such a "recommendation" would be noise-chasing.
+        Degenerate sweeps are never confident.
         """
-        return self.gain_over_worst > 1.1
+        return not self.degenerate and self.gain_over_worst > 1.1
 
 
 class TunableAdvisor:
@@ -160,6 +188,13 @@ class SourceSelector:
         """(source, predicted rate) pairs, best first."""
         if not sources:
             raise ValueError("no candidate sources")
+        from repro.serve.active_set import ActiveSet
+        from repro.serve.batch import BatchOnlinePredictor
+
+        # One shared population for the whole ranking: previously a fresh
+        # OnlinePredictor — and with it a fresh copy of the active set and
+        # its endpoint indexes — was built per candidate source.
+        active = ActiveSet.from_views(self.estimator.active)
         out = []
         for src in sources:
             if src == dst:
@@ -172,10 +207,10 @@ class SourceSelector:
                 "distance_km" in self.result.feature_names
             ):
                 extra["distance_km"] = self.include_rtt_distance(src, dst)
-            predictor = OnlinePredictor(
-                self.result, self.estimator, extra_columns=extra
+            engine = BatchOnlinePredictor(
+                self.result, active, extra_columns=extra
             )
-            out.append((src, predictor.predict(req, now)))
+            out.append((src, engine.predict(req, now)))
         if not out:
             raise ValueError("every candidate source equals the destination")
         out.sort(key=lambda t: -t[1])
@@ -216,22 +251,43 @@ class AdmissionPlanner:
     def plan(
         self, backlog: list[TransferRequest], now: float = 0.0
     ) -> list[PlannedTransfer]:
-        """Produce an admission order; requests on unmodeled edges raise."""
+        """Produce an admission order; requests on unmodeled edges raise.
+
+        (:class:`repro.serve.advise.FleetScheduler` is the production
+        version: it degrades through a fallback chain instead of raising
+        and scores all eligible candidates in one batch call.)
+        """
         for req in backlog:
             if (req.src, req.dst) not in self.models:
                 raise KeyError(f"no model for edge {(req.src, req.dst)}")
+        from repro.serve.active_set import ActiveSet
+        from repro.serve.batch import BatchOnlinePredictor
+
         pending = list(backlog)
-        active: list[ActiveTransferView] = []
+        # One engine per distinct edge, all sharing one incrementally
+        # maintained population.  Previously a fresh OnlinePredictor — and
+        # a fresh copy of the whole active view — was constructed per
+        # candidate per admission round, quadratic in the backlog; now
+        # allocations are O(backlog) per plan() call.
+        active = ActiveSet()
+        engines = {
+            edge: BatchOnlinePredictor(self.models[edge], active)
+            for edge in {(r.src, r.dst) for r in pending}
+        }
+        in_flight: dict[int, ActiveTransferView] = {}
         planned: list[PlannedTransfer] = []
         clock = now
 
         def endpoint_load(ep: str) -> int:
-            return sum(1 for a in active if ep in (a.src, a.dst))
+            return sum(1 for a in in_flight.values() if ep in (a.src, a.dst))
 
         while pending:
             # Drop finished planned transfers from the active view.
-            active = [a for a in active if a.expected_end > clock]
-            estimator = OnlineFeatureEstimator(active)
+            for tid in [
+                t for t, a in in_flight.items() if a.expected_end <= clock
+            ]:
+                active.complete(tid)
+                del in_flight[tid]
 
             candidates = []
             for i, req in enumerate(pending):
@@ -240,13 +296,11 @@ class AdmissionPlanner:
                     or endpoint_load(req.dst) >= self.max_active
                 ):
                     continue
-                predictor = OnlinePredictor(
-                    self.models[(req.src, req.dst)], estimator
-                )
-                candidates.append((predictor.predict(req, clock), i))
+                engine = engines[(req.src, req.dst)]
+                candidates.append((engine.predict(req, clock), i))
             if not candidates:
                 # Everything is blocked: advance to the next completion.
-                next_end = min(a.expected_end for a in active)
+                next_end = min(a.expected_end for a in in_flight.values())
                 clock = max(next_end, clock + 1e-6)
                 continue
 
@@ -262,16 +316,17 @@ class AdmissionPlanner:
                     predicted_end=clock + duration,
                 )
             )
-            active.append(
-                ActiveTransferView(
-                    src=req.src,
-                    dst=req.dst,
-                    rate=rate,
-                    started_at=clock,
-                    expected_end=clock + duration,
-                    concurrency=req.concurrency,
-                    parallelism=req.parallelism,
-                    n_files=req.n_files,
-                )
+            view = ActiveTransferView(
+                src=req.src,
+                dst=req.dst,
+                rate=rate,
+                started_at=clock,
+                expected_end=clock + duration,
+                concurrency=req.concurrency,
+                parallelism=req.parallelism,
+                n_files=req.n_files,
             )
+            tid = len(planned) - 1
+            active.add(tid, view)
+            in_flight[tid] = view
         return planned

@@ -25,6 +25,7 @@ __all__ = [
     "relative_external_load",
     "estimate_endpoint_maxima",
     "threshold_mask",
+    "clip_rates_to_bound",
     "EndpointMaxima",
 ]
 
@@ -106,6 +107,27 @@ def estimate_endpoint_maxima(store: LogStore) -> dict[str, EndpointMaxima]:
             dw_max=float(as_dst.max()) if as_dst.size else 0.0,
         )
     return out
+
+
+def clip_rates_to_bound(
+    rates: np.ndarray, bound: float | None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply the Eq. 1 cap to model predictions.
+
+    A learned model extrapolating outside its training regime can predict
+    rates no physical subsystem could sustain; Eq. 1 says the end-to-end
+    rate cannot beat ``min(DRmax, MMmax, DWmax)``.  Returns
+    ``(clipped, mask)`` where ``mask`` marks the entries that exceeded the
+    bound.  ``bound=None`` (endpoint capabilities unknown) leaves the
+    rates untouched with an all-False mask.
+    """
+    rates = np.asarray(rates, dtype=np.float64)
+    if bound is None:
+        return rates.copy(), np.zeros(rates.shape, dtype=bool)
+    if bound <= 0 or not np.isfinite(bound):
+        raise ValueError(f"bound must be finite and > 0, got {bound}")
+    mask = rates > bound
+    return np.where(mask, bound, rates), mask
 
 
 def threshold_mask(store: LogStore, threshold: float = 0.5) -> np.ndarray:

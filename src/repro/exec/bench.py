@@ -8,7 +8,11 @@ then the two checks that gate CI:
 - ``fit_all_edge_models`` at workers=1 vs workers=N must produce
   *bit-identical* model artifacts (compared via
   :func:`~repro.core.pipeline.edge_results_fingerprint`);
-- a warm feature-matrix cache must return the cold build's exact arrays.
+- a warm feature-matrix cache must return the cold build's exact arrays;
+- the vectorized (C, P) sweep (:class:`~repro.serve.SweepAdvisor`) must
+  rank bit-identically to the scalar
+  :class:`~repro.core.advisor.TunableAdvisor` on a fitted model, and the
+  fleet scheduler's predicted makespan must not exceed FIFO's.
 
 Timings are reported (median/p95/best per path, serial-vs-parallel
 wall-clock for the fit) but never gated — wall-clock depends on the host
@@ -101,11 +105,15 @@ class BenchReport:
     fit_all: dict = field(default_factory=dict)
     feature_cache: dict = field(default_factory=dict)
     serve_bench: dict = field(default_factory=dict)
+    advise: dict = field(default_factory=dict)
 
     @property
     def parity_ok(self) -> bool:
         return bool(
-            self.fit_all.get("parity_ok") and self.feature_cache.get("parity_ok")
+            self.fit_all.get("parity_ok")
+            and self.feature_cache.get("parity_ok")
+            and self.advise.get("parity_ok")
+            and self.advise.get("planner_ok")
         )
 
     def as_dict(self) -> dict:
@@ -118,6 +126,7 @@ class BenchReport:
             "fit_all_edge_models": self.fit_all,
             "feature_cache": self.feature_cache,
             "serve_bench": self.serve_bench,
+            "advise": self.advise,
         }
 
     def render(self) -> str:
@@ -164,6 +173,21 @@ class BenchReport:
                 f"({sb['batch_throughput_rps']:,.0f} req/s)",
                 f"  batch-vs-loop speedup   {sb['speedup']:9.1f}x",
                 f"  max |batch - loop|      {sb['max_abs_diff']:9.3g} B/s",
+            ]
+        adv = self.advise
+        if adv:
+            lines += [
+                "",
+                f"advise ({adv['candidates']} candidates, "
+                f"{adv['n_active']} active):",
+                f"  scalar sweep            {adv['scalar_s'] * 1e3:9.2f} ms",
+                f"  vectorized sweep        {adv['vector_s'] * 1e3:9.2f} ms",
+                f"  speedup                 {adv['speedup']:9.2f}x",
+                f"  ranking bit-identical   {adv['parity_ok']}",
+                f"  planner makespan        {adv['planner_makespan_s']:9.1f} s",
+                f"  fifo makespan           {adv['fifo_makespan_s']:9.1f} s",
+                f"  greedy makespan         {adv['greedy_makespan_s']:9.1f} s",
+                f"  planner <= fifo         {adv['planner_ok']}",
             ]
         lines += ["", f"parity_ok: {self.parity_ok}"]
         return "\n".join(lines)
@@ -354,6 +378,97 @@ def _run_serve_bench(report: BenchReport, workers: int, quick: bool,
     }
 
 
+def _sweep_fingerprint(ranked: list[tuple[int, int, float]]) -> str:
+    """SHA-256 over the ranked (C, P, rate) triples, rate as exact hex —
+    any reordering or least-significant-bit rate change alters it."""
+    import hashlib
+
+    h = hashlib.sha256()
+    for c, p, rate in ranked:
+        h.update(f"{c},{p},{float(rate).hex()};".encode())
+    return h.hexdigest()
+
+
+def _run_advise_bench(report: BenchReport, rounds: int, quick: bool,
+                      seed: int) -> None:
+    from repro.core.advisor import TunableAdvisor
+    from repro.core.online import OnlineFeatureEstimator
+    from repro.core.pipeline import fit_edge_model
+    from repro.serve import ActiveSet, FallbackChain, FleetScheduler, SweepAdvisor
+    from repro.sim.gridftp import TransferRequest
+
+    n = 1500 if quick else 4000
+    store = _make_store(n, n_endpoints=5, seed=seed + 2)
+    features = build_feature_matrix(store)
+    edges = select_heavy_edges(store, min_samples=60, threshold=0.0)
+    src, dst = edges[0]
+    result = fit_edge_model(
+        features, src, dst, model="gbt", threshold=0.0, seed=seed
+    )
+    now = 25_000.0
+    request = TransferRequest(
+        src=src, dst=dst, total_bytes=50e9, n_files=120, n_dirs=4,
+        concurrency=2, parallelism=4,
+    )
+
+    # Parity: the scalar reference sweep vs the single-batch vectorized
+    # sweep (unclipped, same model, same active window) must produce the
+    # same ranked (C, P, rate) list bit for bit.
+    estimator = OnlineFeatureEstimator.from_log_window(store, now=now)
+    scalar_advisor = TunableAdvisor(result, estimator)
+    active = ActiveSet.from_log_window(store, now=now)
+    vector_advisor = SweepAdvisor(result, active, clip=False)
+
+    scalar_rec = scalar_advisor.recommend(request, now=now)
+    vector_rec = vector_advisor.recommend(request, now=now)
+    scalar_fp = _sweep_fingerprint(list(scalar_rec.alternatives))
+    vector_fp = _sweep_fingerprint([
+        (a.concurrency, a.parallelism, a.predicted_rate)
+        for a in vector_rec.alternatives
+    ])
+
+    scalar_t = _timed(lambda: scalar_advisor.recommend(request, now=now),
+                      rounds)
+    vector_t = _timed(lambda: vector_advisor.recommend(request, now=now),
+                      rounds)
+
+    # Scheduler benchmark: planner vs naive-greedy vs FIFO on a synthetic
+    # backlog over the log's busiest edges, on top of the live window.
+    chain = FallbackChain.from_log(store, edge_models={(src, dst): result})
+    scheduler = FleetScheduler(chain, max_active_per_endpoint=4)
+    backlog_edges = edges[:4] if len(edges) >= 4 else edges
+    backlog = [
+        TransferRequest(
+            src=backlog_edges[i % len(backlog_edges)][0],
+            dst=backlog_edges[i % len(backlog_edges)][1],
+            total_bytes=20e9, n_files=50, n_dirs=2,
+            concurrency=2, parallelism=4,
+        )
+        for i in range(8 if quick else 24)
+    ]
+    bench = scheduler.benchmark(backlog, active=active, now=now)
+
+    report.advise = {
+        "candidates": len(scalar_advisor.grid),
+        "n_active": len(active),
+        "edge": f"{src}->{dst}",
+        "scalar_s": scalar_t["median_s"],
+        "vector_s": vector_t["median_s"],
+        "speedup": (
+            scalar_t["median_s"] / vector_t["median_s"]
+            if vector_t["median_s"] else 0.0
+        ),
+        "scalar_fingerprint": scalar_fp,
+        "vector_fingerprint": vector_fp,
+        "parity_ok": scalar_fp == vector_fp,
+        "backlog": len(backlog),
+        "planner_makespan_s": bench.plans["planner"].makespan,
+        "greedy_makespan_s": bench.plans["greedy"].makespan,
+        "fifo_makespan_s": bench.plans["fifo"].makespan,
+        "planner_ok": bench.planner_no_worse_than_fifo,
+    }
+
+
 def run_bench(
     quick: bool = False,
     workers: int | None = None,
@@ -373,6 +488,7 @@ def run_bench(
     _run_fit_parity(report, worker_count, quick, seed)
     _run_cache_bench(report, quick, seed)
     _run_serve_bench(report, worker_count, quick, seed)
+    _run_advise_bench(report, rounds, quick, seed)
     return report
 
 

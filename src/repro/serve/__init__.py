@@ -22,6 +22,10 @@ transfers.  This package is that serving layer:
   thin views over a :class:`~repro.obs.MetricsRegistry`; pass an
   :class:`~repro.obs.Observability` bundle (``obs=``) to share one
   registry/tracer/drift-monitor across the whole stack;
+- :class:`SweepAdvisor` / :class:`FleetScheduler` — the advisory layer on
+  the batch stack (:mod:`repro.serve.advise`): a whole (C, P) sweep in one
+  batch call, Eq. 1-clipped and tier-tagged, plus a backlog scheduler that
+  replans against the live population and never predicts worse than FIFO;
 - :mod:`repro.serve.bench` — synthetic workloads and the
   ``repro-tools serve-bench`` harness (latency percentiles and the
   instrumentation-overhead delta included);
@@ -36,6 +40,15 @@ transfers.  This package is that serving layer:
   ``repro-tools state snapshot|recover|verify``.
 """
 
+from repro.serve.advise import (
+    FleetPlan,
+    FleetScheduler,
+    ScheduledTransfer,
+    SchedulerBenchmark,
+    SweepAdvisor,
+    SweepCandidate,
+    SweepRecommendation,
+)
 from repro.serve.active_set import (
     ActiveSet,
     ActiveSetStats,
@@ -77,6 +90,13 @@ __all__ = [
     "PredictorStats",
     "FallbackChain",
     "ModelTier",
+    "SweepAdvisor",
+    "SweepCandidate",
+    "SweepRecommendation",
+    "FleetScheduler",
+    "FleetPlan",
+    "ScheduledTransfer",
+    "SchedulerBenchmark",
     "ChaosConfig",
     "ChaosReport",
     "CrashReport",

@@ -443,6 +443,14 @@ class BatchOnlinePredictor:
             )
         return names
 
+    @property
+    def chain(self) -> FallbackChain | None:
+        """The :class:`~repro.serve.fallback.FallbackChain` routing this
+        predictor's requests, or ``None`` in single-model mode.  The
+        advisory layer uses this to look up the Eq. 1 analytical bound
+        that caps sweep predictions."""
+        return self._chain
+
     def _span(self, name: str, **attrs):
         """A tracer span, or the shared no-op when tracing is off."""
         if self.tracer is None:

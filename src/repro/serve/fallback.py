@@ -166,6 +166,17 @@ class FallbackChain:
         bound = min(s.dr_max, d.dw_max)
         return bound if np.isfinite(bound) else None
 
+    def describe(self, src: str, dst: str) -> str:
+        """One-line provenance summary for an edge (CLI/diagnostic
+        output): the tier :meth:`resolve` would pick plus the Eq. 1
+        bound, when one is known."""
+        tier = self.resolve(src, dst)
+        parts = [f"tier={tier.value}"]
+        bound = self.analytical_bound(src, dst)
+        if bound is not None:
+            parts.append(f"Eq. 1 bound {bound:.4g} B/s")
+        return ", ".join(parts)
+
     def constant_rate(self, src: str, dst: str) -> tuple[ModelTier, float]:
         """The model-free answer for an edge: the analytical bound, a
         median, or the default constant — with its provenance tier."""

@@ -97,6 +97,53 @@ class TestTunableAdvisor:
         assert r1 == pytest.approx(r2, rel=0.35)
 
 
+class TestTunableRecommendationDegenerate:
+    def _rec(self, rates):
+        from repro.core.advisor import TunableRecommendation
+
+        alts = tuple(
+            (c, p, r) for (c, p), r in zip(DEFAULT_TUNABLE_GRID, rates)
+        )
+        best = alts[0]
+        return TunableRecommendation(
+            concurrency=best[0], parallelism=best[1],
+            predicted_rate=best[2], alternatives=alts,
+        )
+
+    def test_zero_worst_rate_is_not_infinite_gain(self):
+        """A worst candidate at rate 0 used to make gain_over_worst inf;
+        the sweep must instead read as degenerate with gain 1.0."""
+        rates = [2e8] * (len(DEFAULT_TUNABLE_GRID) - 1) + [0.0]
+        rec = self._rec(rates)
+        assert rec.degenerate
+        assert rec.gain_over_worst == 1.0
+        assert np.isfinite(rec.gain_over_worst)
+        assert not rec.confident
+
+    def test_all_zero_sweep_not_confident(self):
+        rec = self._rec([0.0] * len(DEFAULT_TUNABLE_GRID))
+        assert rec.degenerate
+        assert rec.gain_over_worst == 1.0
+        assert not rec.confident
+
+    def test_negative_rate_is_degenerate(self):
+        rates = [2e8] * (len(DEFAULT_TUNABLE_GRID) - 1) + [-1.0]
+        rec = self._rec(rates)
+        assert rec.degenerate and rec.gain_over_worst == 1.0
+
+    def test_nonfinite_rate_is_degenerate(self):
+        rates = [2e8] * (len(DEFAULT_TUNABLE_GRID) - 1) + [np.nan]
+        rec = self._rec(rates)
+        assert rec.degenerate and not rec.confident
+
+    def test_healthy_sweep_unchanged(self):
+        rates = list(np.linspace(4e8, 1e8, len(DEFAULT_TUNABLE_GRID)))
+        rec = self._rec(rates)
+        assert not rec.degenerate
+        assert rec.gain_over_worst == pytest.approx(4.0)
+        assert rec.confident
+
+
 class TestSourceSelector:
     def _global_model(self):
         rng = np.random.default_rng(1)
@@ -137,6 +184,20 @@ class TestSourceSelector:
         assert [s for s, _ in ranked] == ["a"]
         with pytest.raises(ValueError):
             selector.rank(["dst"], "dst", _request(src="a", dst="dst"))
+
+    def test_every_source_equal_to_destination_rejected(self):
+        """A replica list that only contains the destination itself must
+        raise cleanly, not return an empty ranking."""
+        caps = {"dst": (1e9, 1e9)}
+        selector = SourceSelector(
+            self._global_model(), OnlineFeatureEstimator([]),
+            capability_lookup=lambda ep: caps[ep],
+        )
+        with pytest.raises(ValueError, match="destination"):
+            selector.rank(["dst", "dst", "dst"], "dst",
+                          _request(src="dst", dst="dst"))
+        with pytest.raises(ValueError, match="no candidate sources"):
+            selector.rank([], "dst", _request(src="a", dst="dst"))
 
     def test_rtt_model_requires_distance_fn(self):
         res = self._global_model()

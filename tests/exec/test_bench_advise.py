@@ -1,0 +1,41 @@
+"""Tests for the bench suite's advise parity section."""
+
+from repro.exec.bench import BenchReport, _run_advise_bench, _sweep_fingerprint
+
+
+class TestSweepFingerprint:
+    def test_deterministic(self):
+        ranked = [(2, 4, 1.5e8), (1, 1, 9.9e7)]
+        assert _sweep_fingerprint(ranked) == _sweep_fingerprint(list(ranked))
+
+    def test_order_sensitive(self):
+        a = [(2, 4, 1.5e8), (1, 1, 9.9e7)]
+        b = [(1, 1, 9.9e7), (2, 4, 1.5e8)]
+        assert _sweep_fingerprint(a) != _sweep_fingerprint(b)
+
+    def test_lsb_rate_change_sensitive(self):
+        import numpy as np
+
+        rate = 1.5e8
+        bumped = float(np.nextafter(rate, np.inf))
+        assert _sweep_fingerprint([(2, 4, rate)]) != _sweep_fingerprint(
+            [(2, 4, bumped)]
+        )
+
+
+class TestAdviseBenchSection:
+    def test_quick_section_gates_parity_and_planner(self):
+        report = BenchReport(quick=True, workers=1)
+        _run_advise_bench(report, rounds=1, quick=True, seed=0)
+        adv = report.advise
+        assert adv["parity_ok"] is True
+        assert adv["scalar_fingerprint"] == adv["vector_fingerprint"]
+        assert adv["planner_ok"] is True
+        assert adv["planner_makespan_s"] <= adv["fifo_makespan_s"] * (1 + 1e-9)
+        assert adv["candidates"] > 0 and adv["backlog"] > 0
+        assert "advise" in report.render()
+        # The overall gate now requires the advise section too.
+        assert not report.parity_ok  # fit/cache sections missing
+        report.fit_all = {"parity_ok": True}
+        report.feature_cache = {"parity_ok": True}
+        assert report.parity_ok

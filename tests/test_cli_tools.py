@@ -83,6 +83,65 @@ class TestPredictAndAdvise:
         assert "recommended tunables" in out
         assert "C=" in out
 
+    def test_advise_prints_provenance_tier(self, workflow, capsys):
+        log_path, model_path, *_ = workflow
+        rc = main(
+            [
+                "advise", "--model", str(model_path), "--log", str(log_path),
+                "--bytes", "5e10", "--at", "20000",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tier=edge" in out
+
+    def test_advise_unmodeled_edge_falls_back(self, workflow, capsys):
+        """An edge with no fitted model must degrade through the fallback
+        chain and print its provenance tier, not crash with KeyError."""
+        log_path, model_path, src, dst = workflow
+        log = read_csv(log_path)
+        other = next(e for e in log.heavy_edges(1) if e != (src, dst))
+        rc = main(
+            [
+                "advise", "--model", str(model_path), "--log", str(log_path),
+                "--bytes", "5e10", "--at", "20000",
+                "--src", other[0], "--dst", other[1],
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recommended tunables" in out
+        assert f"{other[0]} -> {other[1]}" in out
+        assert "tier=edge" not in out  # some coarser tier served it
+        assert "tier=" in out
+
+    def test_advise_json_and_metrics_outputs(self, workflow, tmp_path):
+        log_path, model_path, *_ = workflow
+        rec_path = tmp_path / "rec.json"
+        metrics_path = tmp_path / "metrics.json"
+        rc = main(
+            [
+                "advise", "--model", str(model_path), "--log", str(log_path),
+                "--bytes", "5e10", "--at", "20000",
+                "--json", str(rec_path), "--metrics-out", str(metrics_path),
+            ]
+        )
+        assert rc == 0
+        rec = json.loads(rec_path.read_text())
+        assert rec["tier"] == "edge"
+        assert rec["gain_over_worst"] >= 1.0
+        assert all("tier" in alt for alt in rec["alternatives"])
+        metrics = json.loads(metrics_path.read_text())
+        names = {c["name"] for c in metrics["counters"]}
+        assert "advise_sweeps_total" in names
+        assert "advise_candidates_total" in names
+
+    def test_advise_without_required_args_errors(self, workflow, capsys):
+        _, model_path, *_ = workflow
+        rc = main(["advise", "--model", str(model_path)])
+        assert rc == 2
+        assert "advise requires" in capsys.readouterr().err
+
     def test_missing_model_file(self, workflow, capsys):
         log_path, *_ = workflow
         rc = main(
@@ -92,6 +151,75 @@ class TestPredictAndAdvise:
             ]
         )
         assert rc == 2
+
+
+class TestAdvisePlan:
+    def test_benchmark_table_and_json(self, workflow, tmp_path, capsys):
+        log_path, model_path, *_ = workflow
+        plan_path = tmp_path / "plan.json"
+        metrics_path = tmp_path / "metrics.json"
+        rc = main(
+            [
+                "advise", "plan", "--log", str(log_path),
+                "--model", str(model_path), "--count", "6", "--at", "20000",
+                "--json", str(plan_path), "--metrics-out", str(metrics_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "planner" in out and "fifo" in out and "greedy" in out
+        plan = json.loads(plan_path.read_text())
+        assert plan["planner_no_worse_than_fifo"] is True
+        assert plan["policies"]["planner"]["makespan_s"] <= (
+            plan["policies"]["fifo"]["makespan_s"] * (1 + 1e-9)
+        )
+        metrics = json.loads(metrics_path.read_text())
+        names = {c["name"] for c in metrics["counters"]}
+        assert "advise_plans_total" in names
+
+    def test_single_policy_plan(self, workflow, capsys):
+        log_path, model_path, *_ = workflow
+        rc = main(
+            [
+                "advise", "plan", "--log", str(log_path),
+                "--model", str(model_path), "--count", "4",
+                "--at", "20000", "--policy", "planner",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "provenance tiers used" in out
+
+    def test_explicit_backlog_file(self, workflow, tmp_path, capsys):
+        log_path, model_path, src, dst = workflow
+        backlog_path = tmp_path / "backlog.json"
+        backlog_path.write_text(json.dumps([
+            {"src": src, "dst": dst, "bytes": 10e9},
+            {"src": src, "dst": dst, "bytes": 5e9, "concurrency": 4},
+        ]))
+        rc = main(
+            [
+                "advise", "plan", "--log", str(log_path),
+                "--model", str(model_path),
+                "--backlog", str(backlog_path), "--at", "20000",
+            ]
+        )
+        assert rc == 0
+        assert "planning 2 transfers" in capsys.readouterr().out
+
+    def test_bad_backlog_rejected(self, workflow, tmp_path, capsys):
+        log_path, *_ = workflow
+        backlog_path = tmp_path / "empty.json"
+        backlog_path.write_text("[]")
+        rc = main(
+            [
+                "advise", "plan", "--log", str(log_path),
+                "--backlog", str(backlog_path),
+            ]
+        )
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestLogsValidate:
