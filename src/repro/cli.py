@@ -405,6 +405,14 @@ def _cmd_logs_validate(args: argparse.Namespace) -> int:
     if args.report:
         atomic_write_text(args.report, json.dumps(report.as_dict(), indent=2))
         print(f"wrote quarantine report to {args.report}")
+    if args.max_quarantine_rate is not None:
+        rate = (report.quarantined_rows / report.total_rows
+                if report.total_rows else 0.0)
+        budget = args.max_quarantine_rate
+        verdict = "within" if rate <= budget else "EXCEEDS"
+        print(f"quarantine rate {rate:.4f} {verdict} budget {budget:.4f} "
+              f"({report.quarantined_rows}/{report.total_rows} rows)")
+        return 0 if rate <= budget else 1
     return 0 if report.ok else 1
 
 
@@ -480,6 +488,71 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     print(f"registry: {len(obs.registry)} series")
     _write_metric_exports(obs.registry, args.json, args.prom)
     return 0 if observed.report.ok else 1
+
+
+def _cmd_stream_run(args: argparse.Namespace) -> int:
+    from repro.logs.io import read_csv as _read_csv, read_jsonl as _read_jsonl
+    from repro.obs import Observability
+    from repro.serve.fallback import FallbackChain
+    from repro.serve.stream import (
+        RetrainController,
+        RetrainPolicy,
+        StreamConfig,
+        StreamSupervisor,
+        TailIngester,
+    )
+
+    path = Path(args.log)
+    fmt = "jsonl" if path.suffix in (".jsonl", ".ndjson") else "csv"
+    reader = _read_jsonl if fmt == "jsonl" else _read_csv
+    store, _ = reader(path, strict=False)
+    if not len(store):
+        raise ValueError(
+            f"{path}: no parseable rows yet — the stream bootstraps its "
+            f"fallback chain from the log's current contents")
+
+    obs = Observability.create()
+    tail = TailIngester(path, fmt=fmt, registry=obs.registry, seed=args.seed)
+    policy = RetrainPolicy(workers=args.workers,
+                           fit_timeout_s=args.fit_timeout)
+    controller = RetrainController(
+        FallbackChain.from_log(store),
+        obs.drift,
+        args.artifacts or Path(args.state_dir) / "artifacts",
+        policy=policy,
+        registry=obs.registry,
+        tracer=obs.tracer,
+        seed=args.seed,
+    )
+    supervisor = StreamSupervisor(
+        tail, controller, args.state_dir, obs=obs,
+        config=StreamConfig(poll_interval_s=args.poll_interval),
+    )
+    supervisor.run(max_cycles=args.cycles, max_seconds=args.max_seconds)
+    print(json.dumps(supervisor.status(), indent=2, default=str))
+    _write_metric_exports(obs.registry, args.metrics_out, args.metrics_prom)
+    return 0
+
+
+def _cmd_stream_status(args: argparse.Namespace) -> int:
+    from repro.serve.stream import read_stream_status
+
+    print(json.dumps(read_stream_status(args.state_dir), indent=2,
+                     default=str))
+    return 0
+
+
+def _cmd_stream_chaos(args: argparse.Namespace) -> int:
+    from repro.obs import Observability
+    from repro.serve.stream import StreamChaosConfig, run_stream_chaos
+
+    config = (StreamChaosConfig.quick(seed=args.seed) if args.quick
+              else StreamChaosConfig(seed=args.seed))
+    obs = Observability.create(trace=False)
+    report = run_stream_chaos(config, obs=obs)
+    print(report.render())
+    _write_metric_exports(obs.registry, args.metrics_out, args.metrics_prom)
+    return 0 if report.ok else 1
 
 
 def _cmd_state_snapshot(args: argparse.Namespace) -> int:
@@ -695,6 +768,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     v.add_argument("--log", required=True)
     v.add_argument("--format", choices=("auto", "csv", "jsonl"), default="auto")
+    v.add_argument("--max-quarantine-rate", type=float, default=None,
+                   help="fail (exit 1) when the quarantined fraction of "
+                        "rows exceeds this, even in lenient mode")
     v.add_argument("--report", default=None,
                    help="also write the quarantine report as JSON here")
     v.set_defaults(func=_cmd_logs_validate)
@@ -737,6 +813,62 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--watch-every", type=int, default=50,
                    help="events between --watch summaries")
     p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "stream",
+        help="self-healing streaming loop: tail a growing log, retrain on "
+             "drift behind circuit breakers, checkpoint crash-safely",
+    )
+    stream_sub = p.add_subparsers(dest="stream_command", required=True)
+
+    s = stream_sub.add_parser(
+        "run",
+        help="supervise one log file: tail, predict, score drift, retrain",
+    )
+    s.add_argument("--log", required=True,
+                   help="growing CSV/JSONL transfer log to follow")
+    s.add_argument("--state-dir", required=True,
+                   help="checkpoint directory (resumed if it exists)")
+    s.add_argument("--artifacts", default=None,
+                   help="model artifact root (default: STATE_DIR/artifacts)")
+    s.add_argument("--cycles", type=int, default=None,
+                   help="stop after this many supervision cycles")
+    s.add_argument("--max-seconds", type=float, default=None,
+                   help="stop after this much wall-clock time")
+    s.add_argument("--poll-interval", type=float, default=1.0,
+                   help="seconds between polls when the file is idle")
+    s.add_argument("--fit-timeout", type=float, default=30.0,
+                   help="per-edge refit deadline in seconds")
+    s.add_argument("--workers", type=int, default=1,
+                   help="parallel refit workers")
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--metrics-out", default=None,
+                   help="write the metrics registry as JSON here")
+    s.add_argument("--metrics-prom", default=None,
+                   help="write Prometheus exposition text here")
+    s.set_defaults(func=_cmd_stream_run)
+
+    s = stream_sub.add_parser(
+        "status",
+        help="summarize the newest valid checkpoint without running",
+    )
+    s.add_argument("--state-dir", required=True)
+    s.set_defaults(func=_cmd_stream_status)
+
+    s = stream_sub.add_parser(
+        "chaos",
+        help="fault-injection proof: crashes, poisoned refits, corrupt "
+             "artifacts, truncation/rotation — exits non-zero on any "
+             "violated guarantee",
+    )
+    s.add_argument("--quick", action="store_true",
+                   help="seconds-scale configuration for CI smoke runs")
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--metrics-out", default=None,
+                   help="write the metrics registry as JSON here")
+    s.add_argument("--metrics-prom", default=None,
+                   help="write Prometheus exposition text here")
+    s.set_defaults(func=_cmd_stream_chaos)
 
     p = sub.add_parser(
         "state",

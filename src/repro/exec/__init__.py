@@ -36,7 +36,13 @@ from repro.exec.cache import (
     fingerprint_config,
     fingerprint_store,
 )
-from repro.exec.engine import TaskError, derive_seed, parallel_map, resolve_workers
+from repro.exec.engine import (
+    TaskError,
+    TaskTimeout,
+    derive_seed,
+    parallel_map,
+    resolve_workers,
+)
 from repro.exec.scratch import (
     clear_process_cache,
     load_feature_matrix,
@@ -48,6 +54,7 @@ __all__ = [
     "resolve_workers",
     "derive_seed",
     "TaskError",
+    "TaskTimeout",
     "ArtifactCache",
     "cached_build_feature_matrix",
     "fingerprint_store",

@@ -18,6 +18,16 @@ Design constraints, in order:
   re-raised in the parent with its original type (lowest task index
   first, matching what a serial loop would have raised).  Exceptions that
   do not survive pickling are wrapped in :class:`TaskError`.
+- **deadline containment**: an optional per-task ``timeout`` cancels a
+  task that exceeds its wall-clock budget *inside the worker* (SIGALRM,
+  where the platform has it), so one hung fit cannot stall a whole
+  retrain fan-out.  The cancelled task surfaces as :class:`TaskTimeout`
+  and is counted in ``exec_timeout_total``; it is *not* retried serially
+  (a hung task would hang the parent too).  With
+  ``return_exceptions=True`` failed tasks — timeouts included — come
+  back as exception objects in their slot instead of aborting the whole
+  map, which is what a supervisor scheduling independent per-edge refits
+  wants.
 
 Worker count resolution (:func:`resolve_workers`): explicit argument,
 else the ``REPRO_WORKERS`` environment variable, else 1.
@@ -29,15 +39,24 @@ import hashlib
 import json
 import os
 import pickle
+import signal
+import threading
 import time
 import traceback
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from contextlib import contextmanager
 from typing import Callable, Iterable
 
 from repro.obs.metrics import MetricsRegistry, exponential_buckets
 from repro.obs.tracing import NULL_SPAN, Tracer
 
-__all__ = ["resolve_workers", "derive_seed", "parallel_map", "TaskError"]
+__all__ = [
+    "resolve_workers",
+    "derive_seed",
+    "parallel_map",
+    "TaskError",
+    "TaskTimeout",
+]
 
 # 1 ms .. ~17 min: spans one edge fit through a full-study experiment.
 _TASK_BUCKETS = exponential_buckets(1e-3, 2.0, 20)
@@ -46,6 +65,42 @@ _TASK_BUCKETS = exponential_buckets(1e-3, 2.0, 20)
 class TaskError(RuntimeError):
     """A task raised an exception that could not be pickled back to the
     parent; the message carries the original type and traceback text."""
+
+
+class TaskTimeout(TaskError):
+    """A task exceeded its per-task ``timeout`` and was cancelled at the
+    deadline (inside the worker on platforms with SIGALRM)."""
+
+
+@contextmanager
+def _deadline(timeout: float | None):
+    """Raise :class:`TaskTimeout` from the enclosed block after
+    ``timeout`` seconds.
+
+    Enforcement uses ``SIGALRM``/``setitimer``, which only works in a
+    process's main thread and only on platforms that have it; anywhere
+    else the deadline is best-effort-unenforced (the task simply runs to
+    completion).  The timer is always cleared on exit so no alarm can
+    leak into unrelated code.
+    """
+    if (
+        not timeout
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TaskTimeout(f"task exceeded its {timeout:g}s deadline")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(timeout))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -101,14 +156,18 @@ def _run_task(payload: tuple) -> tuple:
     """Top-level worker wrapper (must be importable for pickling).
 
     Returns ``(status, index, value, traceback_text, duration_s)`` where
-    status is ``"ok"`` or ``"error"`` — task exceptions are *data*, not
-    crashes, so one bad edge cannot poison the pool.
+    status is ``"ok"``, ``"error"``, or ``"timeout"`` — task exceptions
+    are *data*, not crashes, so one bad edge cannot poison the pool, and
+    a task that blows its deadline is cancelled right here in the worker.
     """
-    fn, item, index = payload
+    fn, item, index, timeout = payload
     start = time.perf_counter()
     try:
-        value = fn(item)
+        with _deadline(timeout):
+            value = fn(item)
         return ("ok", index, value, "", time.perf_counter() - start)
+    except TaskTimeout as exc:
+        return ("timeout", index, exc, "", time.perf_counter() - start)
     except Exception as exc:
         tb = traceback.format_exc()
         try:
@@ -118,6 +177,15 @@ def _run_task(payload: tuple) -> tuple:
         return ("error", index, exc, tb, time.perf_counter() - start)
 
 
+def _count_timeout(registry: MetricsRegistry | None, label: str) -> None:
+    if registry is not None:
+        registry.counter(
+            "exec_timeout_total",
+            "Tasks cancelled at their per-task deadline.",
+            labels={"label": label},
+        ).inc()
+
+
 def _serial_map(
     fn: Callable,
     items: list,
@@ -125,14 +193,28 @@ def _serial_map(
     registry: MetricsRegistry | None,
     tracer: Tracer | None,
     mode: str = "serial",
+    timeout: float | None = None,
+    return_exceptions: bool = False,
 ) -> list:
     """The workers=1 path: a plain loop, exceptions propagate at the first
-    failing item exactly as unengined code would."""
+    failing item exactly as unengined code would (unless
+    ``return_exceptions`` captures them into their result slot)."""
     out = []
     for i, item in enumerate(items):
         with _span(tracer, "exec.task", label=label, index=i):
             start = time.perf_counter()
-            out.append(fn(item))
+            try:
+                with _deadline(timeout):
+                    out.append(fn(item))
+            except TaskTimeout as exc:
+                _count_timeout(registry, label)
+                if not return_exceptions:
+                    raise
+                out.append(exc)
+            except Exception as exc:
+                if not return_exceptions:
+                    raise
+                out.append(exc)
             _observe_duration(registry, label, time.perf_counter() - start)
         _count_tasks(registry, label, mode)
     return out
@@ -145,6 +227,8 @@ def parallel_map(
     label: str = "task",
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
+    timeout: float | None = None,
+    return_exceptions: bool = False,
 ) -> list:
     """``[fn(item) for item in items]``, fanned out over worker processes.
 
@@ -153,11 +237,20 @@ def parallel_map(
     every item must be picklable; tasks whose worker crashed are retried
     serially in the parent, and if any task raised, the exception of the
     lowest-index failing task is re-raised with its original type.
+
+    ``timeout`` gives every task a wall-clock deadline, enforced inside
+    the worker (see :func:`_deadline`); a task past its deadline fails
+    with :class:`TaskTimeout` and is never retried serially.  With
+    ``return_exceptions=True`` failing tasks (timeouts included) come
+    back as exception objects in their result slot instead of raising,
+    so independent tasks cannot abort each other.
     """
     items = list(items)
     count = resolve_workers(workers)
     if count <= 1 or len(items) <= 1:
-        return _serial_map(fn, items, label, registry, tracer)
+        return _serial_map(fn, items, label, registry, tracer,
+                           timeout=timeout,
+                           return_exceptions=return_exceptions)
 
     outcomes: dict[int, tuple] = {}
     crashes = 0
@@ -166,7 +259,7 @@ def parallel_map(
         try:
             with ProcessPoolExecutor(max_workers=min(count, len(items))) as pool:
                 futures = [
-                    pool.submit(_run_task, (fn, item, i))
+                    pool.submit(_run_task, (fn, item, i, timeout))
                     for i, item in enumerate(items)
                 ]
                 for future in futures:
@@ -181,6 +274,8 @@ def parallel_map(
                         crashes += 1
                         continue
                     outcomes[index] = (status, value, tb)
+                    if status == "timeout":
+                        _count_timeout(registry, label)
                     _observe_duration(registry, label, duration)
         except BrokenExecutor:
             crashes += 1
@@ -205,14 +300,17 @@ def parallel_map(
             # exception here propagates directly, like the serial path.
             recovered = _serial_map(
                 fn, [items[i] for i in retry], label, registry, tracer,
-                mode="serial-retry",
+                mode="serial-retry", timeout=timeout,
+                return_exceptions=return_exceptions,
             )
             for i, value in zip(retry, recovered):
-                outcomes[i] = ("ok", value, "")
+                status = "error" if isinstance(value, Exception) else "ok"
+                outcomes[i] = (status, value, "")
         span.attrs["crashes"] = crashes
 
-    for i in range(len(items)):
-        status, value, tb = outcomes[i]
-        if status == "error":
-            raise value
+    if not return_exceptions:
+        for i in range(len(items)):
+            status, value, tb = outcomes[i]
+            if status in ("error", "timeout"):
+                raise value
     return [outcomes[i][1] for i in range(len(items))]

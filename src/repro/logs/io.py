@@ -46,6 +46,7 @@ __all__ = [
     "read_csv",
     "write_jsonl",
     "read_jsonl",
+    "parse_log_lines",
     "QuarantinedRow",
     "QuarantineReport",
 ]
@@ -508,6 +509,50 @@ def _bulk_jsonl_rows(batch: list[tuple[int, str]]) -> np.ndarray | None:
         return None
     if batch_has_violations(arr):
         return None
+    return arr
+
+
+def parse_log_lines(
+    lines: list[tuple[int, str]],
+    fmt: str,
+    report: QuarantineReport,
+) -> np.ndarray:
+    """Lenient incremental parse of already-split log lines.
+
+    The batch readers above own whole files; a tail ingester owns a file
+    *suffix* and hands decoded lines here as ``(line_no, text)`` pairs.
+    Parsing, quarantining, and the bulk-first fast path are identical to
+    ``read_csv(strict=False)`` / ``read_jsonl(strict=False)``, and counts
+    accumulate into ``report`` across calls, so one report can describe a
+    whole tail session.  CSV lines must be data rows — the caller owns
+    consuming and validating the header.  Returns the kept rows as a
+    ``LOG_DTYPE`` array in input order.
+    """
+    if fmt not in ("csv", "jsonl"):
+        raise ValueError(f"unknown log format: {fmt!r}")
+    path = Path(report.source or "<stream>")
+    chunks: list[np.ndarray] = []
+    csv_batch: list[tuple[int, list[str]]] = []
+    jsonl_batch: list[tuple[int, str]] = []
+    for line_no, text in lines:
+        text = text.strip()
+        if not text:
+            continue
+        report.total_rows += 1
+        if fmt == "csv":
+            csv_batch.append((line_no, next(csv.reader([text]))))
+            if len(csv_batch) >= _BULK_BATCH:
+                _flush_csv_batch(path, csv_batch, False, report, chunks)
+                csv_batch = []
+        else:
+            jsonl_batch.append((line_no, text))
+            if len(jsonl_batch) >= _BULK_BATCH:
+                _flush_jsonl_batch(path, jsonl_batch, False, report, chunks)
+                jsonl_batch = []
+    _flush_csv_batch(path, csv_batch, False, report, chunks)
+    _flush_jsonl_batch(path, jsonl_batch, False, report, chunks)
+    arr = np.concatenate(chunks) if chunks else np.empty(0, dtype=LOG_DTYPE)
+    report.kept_rows += int(len(arr))
     return arr
 
 

@@ -37,7 +37,15 @@ transfers.  This package is that serving layer:
 - :mod:`repro.serve.durability` — the write-ahead journal, checksummed
   generation-numbered snapshots, :func:`recover_serving_state`, and the
   probe-gated hot-reload model artifact store, behind
-  ``repro-tools state snapshot|recover|verify``.
+  ``repro-tools state snapshot|recover|verify``;
+- :mod:`repro.serve.stream` — the self-healing streaming loop
+  (``repro-tools stream run|status|chaos``): :class:`TailIngester`
+  follows a growing log with byte-accurate crash-safe resume,
+  :class:`RetrainController` turns drift breaches into circuit-broken,
+  probe-gated per-edge refits, :class:`StreamSupervisor` joins them
+  under one atomic checkpoint, and :func:`run_stream_chaos` proves the
+  exactly-once / breaker / never-unseat guarantees under injected
+  faults (see ``docs/streaming.md``).
 """
 
 from repro.serve.advise import (
@@ -78,6 +86,19 @@ from repro.serve.durability import (
     recover_serving_state,
 )
 from repro.serve.fallback import FallbackChain, ModelTier
+from repro.serve.stream import (
+    BreakerState,
+    CircuitBreaker,
+    RetrainController,
+    RetrainPolicy,
+    StreamChaosConfig,
+    StreamChaosReport,
+    StreamConfig,
+    StreamSupervisor,
+    TailIngester,
+    read_stream_status,
+    run_stream_chaos,
+)
 
 __all__ = [
     "ActiveSet",
@@ -114,4 +135,15 @@ __all__ = [
     "recover_serving_state",
     "ModelArtifactStore",
     "ModelReloader",
+    "BreakerState",
+    "CircuitBreaker",
+    "RetrainController",
+    "RetrainPolicy",
+    "StreamChaosConfig",
+    "StreamChaosReport",
+    "StreamConfig",
+    "StreamSupervisor",
+    "TailIngester",
+    "read_stream_status",
+    "run_stream_chaos",
 ]

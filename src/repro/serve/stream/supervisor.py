@@ -1,0 +1,397 @@
+"""The supervised streaming loop: :class:`StreamSupervisor`.
+
+One cycle of the loop is::
+
+    poll tail -> extend backlog (shed oldest past the cap)
+              -> apply up to max_apply_per_cycle records
+                   (score against the live predictor, feed drift,
+                    fold the applied digest, fill retrain buffers)
+              -> refit whatever drift says is due (breaker-gated)
+              -> heartbeat gauges
+              -> atomic checkpoint
+
+**Exactly-once by construction.**  The checkpoint is *one* atomic,
+checksummed document (a :class:`~repro.serve.durability.SnapshotStore`
+generation) holding the tail's byte offset, the retrain controller's
+state, the drift windows, the unapplied backlog, and the running
+applied-records digest.  Apply-side effects are purely in-memory until
+the checkpoint lands, so a crash anywhere rolls the *pair* (position,
+consumption) back to the same consistent point: on restart the tail
+re-reads exactly the bytes whose effects were lost, and a record's
+effects are committed exactly once.  (Retrain publishes artifacts to
+disk outside this transaction — deliberately: a re-published model is
+idempotent-by-generation-gate, see
+:meth:`~repro.serve.stream.retrain.RetrainController.load_state`.)
+
+**Never block serving.**  The backlog is bounded: past
+``max_backlog_records`` the *oldest* unapplied rows are shed and counted
+(``stream_shed_records_total``) — the loop degrades to sampled history,
+never to an unbounded queue or a stalled predictor.
+
+**Liveness.**  Every cycle stamps heartbeat gauges
+(``stream_last_cycle_unix`` / ``stream_backlog_records``); ``status()``
+reports the heartbeat age so an external supervisor can detect a wedged
+loop.  ``request_stop(drain=True)`` finishes the backlog and writes a
+final checkpoint before returning (graceful drain); ``drain=False``
+checkpoints and stops immediately.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.logs.schema import LOG_DTYPE
+from repro.obs import Observability
+from repro.serve.active_set import ActiveSet
+from repro.serve.batch import BatchOnlinePredictor
+from repro.serve.durability.snapshot import SnapshotStore
+from repro.serve.stream.retrain import RetrainController
+from repro.serve.stream.tail import TailIngester
+from repro.sim.gridftp import TransferRequest
+
+__all__ = [
+    "StreamConfig",
+    "StreamSupervisor",
+    "SimulatedCrash",
+    "fold_digest",
+    "read_stream_status",
+]
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by a crash hook to kill the loop at a chosen stage (test /
+    chaos instrumentation; production code never raises it)."""
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    poll_interval_s: float = 1.0
+    max_backlog_records: int = 4096
+    max_apply_per_cycle: int = 1024
+    checkpoint_every: int = 1       # cycles between checkpoints
+    keep_checkpoints: int = 3
+    heartbeat_stale_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_backlog_records < 1 or self.max_apply_per_cycle < 1:
+            raise ValueError("backlog and apply caps must be >= 1")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+
+
+def fold_digest(digest: str, arr: np.ndarray) -> str:
+    """Fold applied records into a running SHA-256 chain.
+
+    Deterministic function of the record *contents in application
+    order* — independent of predictions, wall clocks, or restart count —
+    which is exactly what makes it usable as the chaos proof that no
+    record was applied zero or two times across crashes.
+    """
+    h = digest
+    for i in range(len(arr)):
+        row = arr[i]
+        payload = json.dumps(
+            [row[name].item() for name in LOG_DTYPE.names],
+            separators=(",", ":"),
+        )
+        h = hashlib.sha256((h + payload).encode("utf-8")).hexdigest()
+    return h
+
+
+class StreamSupervisor:
+    """Owns one tail + one retrain controller + one serving predictor."""
+
+    _CHECKPOINT_SECTIONS = ("tail", "retrain", "drift", "stream")
+
+    def __init__(
+        self,
+        tail: TailIngester,
+        controller: RetrainController,
+        state_dir: str | Path,
+        obs: Observability | None = None,
+        config: StreamConfig | None = None,
+        active: ActiveSet | None = None,
+        clock=time.time,
+        sleep=time.sleep,
+        crash_hook=None,
+    ) -> None:
+        self.tail = tail
+        self.controller = controller
+        self.config = config or StreamConfig()
+        self.obs = obs if obs is not None else Observability.create(trace=False)
+        if self.obs.drift is None:
+            raise ValueError("supervisor needs an Observability bundle "
+                             "with a drift monitor")
+        self.drift = self.obs.drift
+        self.state_dir = Path(state_dir)
+        self.checkpoints = SnapshotStore(self.state_dir / "checkpoints")
+        self.active = active if active is not None \
+            else ActiveSet(lenient=True, obs=self.obs)
+        self.predictor = BatchOnlinePredictor(
+            controller.chain, self.active, obs=self.obs)
+        self._clock = clock
+        self._sleep = sleep
+        # crash_hook(stage) may raise SimulatedCrash; stages are
+        # "polled" / "applied" / "retrained" / "checkpointed".
+        self._crash_hook = crash_hook
+
+        self._backlog: list[tuple] = []
+        self.applied_records = 0
+        self.applied_digest = ""
+        self.shed_records = 0
+        self.cycles = 0
+        self.data_now = 0.0          # newest applied completion time
+        self._generation = 0
+        self._last_beat = float(clock())
+        self._stop = False
+        self._drain = True
+        self._recover()
+
+    # -- recovery -----------------------------------------------------------
+
+    def _recover(self) -> None:
+        loaded = self.checkpoints.load_latest()
+        # Next write must clear even invalid newer generations on disk —
+        # SnapshotStore.write refuses to overwrite an existing file.
+        generations = self.checkpoints.generations()
+        self._generation = generations[-1] if generations else 0
+        if loaded is None:
+            return
+        payload = loaded.payload
+        self.tail.load_state(payload.get("tail", {}))
+        self.controller.load_state(payload.get("retrain", {}))
+        self.drift.load_snapshot(payload.get("drift", {}))
+        stream = payload.get("stream", {})
+        self._backlog = [tuple(row) for row in stream.get("backlog", ())]
+        self.applied_records = int(stream.get("applied_records", 0))
+        self.applied_digest = str(stream.get("applied_digest", ""))
+        self.shed_records = int(stream.get("shed_records", 0))
+        self.cycles = int(stream.get("cycles", 0))
+        self.data_now = float(stream.get("data_now", 0.0))
+        registry = self.obs.registry
+        registry.counter(
+            "stream_recoveries_total",
+            "Supervisor starts that resumed from a checkpoint.",
+        ).inc()
+        if loaded.rejected:
+            registry.counter(
+                "stream_checkpoint_fallbacks_total",
+                "Corrupt newer checkpoint generations skipped at recovery.",
+            ).inc(len(loaded.rejected))
+
+    # -- checkpointing ------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Atomically persist (tail position, consumer state) as one
+        generation; prune old generations.  Returns the generation."""
+        self._generation += 1
+        sections = {
+            "tail": self.tail.state_dict(),
+            "retrain": self.controller.state_dict(),
+            "drift": self.drift.dump_state(),
+            "stream": {
+                "backlog": [list(row) for row in self._backlog],
+                "applied_records": int(self.applied_records),
+                "applied_digest": self.applied_digest,
+                "shed_records": int(self.shed_records),
+                "cycles": int(self.cycles),
+                "data_now": float(self.data_now),
+            },
+        }
+        self.checkpoints.write(self._generation, sections,
+                               last_seq=self.applied_records)
+        self.checkpoints.prune(keep=max(2, self.config.keep_checkpoints))
+        registry = self.obs.registry
+        registry.counter(
+            "stream_checkpoints_total", "Checkpoints written.").inc()
+        registry.gauge(
+            "stream_checkpoint_generation",
+            "Newest checkpoint generation.").set(float(self._generation))
+        return self._generation
+
+    # -- the loop -----------------------------------------------------------
+
+    def _crash(self, stage: str) -> None:
+        if self._crash_hook is not None:
+            self._crash_hook(stage)
+
+    def cycle(self, poll: bool = True) -> bool:
+        """One loop iteration; returns whether any progress was made."""
+        self.cycles += 1
+        batch = self.tail.poll() if poll else None
+        self._crash("polled")
+        ingested = 0
+        if batch is not None and len(batch.records):
+            ingested = len(batch.records)
+            for i in range(ingested):
+                self._backlog.append(tuple(
+                    batch.records[i][name].item() for name in LOG_DTYPE.names))
+            overflow = len(self._backlog) - self.config.max_backlog_records
+            if overflow > 0:
+                # Shed the *oldest* unapplied rows: bounded memory beats
+                # complete history, and newest data drives drift best.
+                del self._backlog[:overflow]
+                self.shed_records += overflow
+                self.obs.registry.counter(
+                    "stream_shed_records_total",
+                    "Backlog rows dropped (oldest-first) at the cap.",
+                ).inc(overflow)
+        applied = self._apply()
+        self._crash("applied")
+        if self.controller is not None:
+            self.controller.refit_due(self.data_now)
+        self._crash("retrained")
+        self._heartbeat()
+        if self.cycles % self.config.checkpoint_every == 0:
+            self.checkpoint()
+        self._crash("checkpointed")
+        return ingested > 0 or applied > 0
+
+    def _apply(self) -> int:
+        """Apply up to ``max_apply_per_cycle`` backlog rows: score them
+        against the live predictor, feed drift + retrain buffers, fold
+        the applied digest.  In-memory only — durable at checkpoint."""
+        if not self._backlog:
+            return 0
+        take = min(len(self._backlog), self.config.max_apply_per_cycle)
+        rows = self._backlog[:take]
+        arr = np.array(rows, dtype=LOG_DTYPE)
+        self.data_now = max(self.data_now, float(arr["te"].max()))
+
+        requests = [
+            TransferRequest(
+                src=str(arr["src"][i]),
+                dst=str(arr["dst"][i]),
+                total_bytes=float(arr["nb"][i]),
+                n_files=int(arr["nf"][i]),
+                n_dirs=int(arr["nd"][i]),
+                concurrency=int(arr["c"][i]),
+                parallelism=int(arr["p"][i]),
+            )
+            for i in range(take)
+        ]
+        prediction = self.predictor.predict_batch_detailed(
+            requests, self.data_now)
+        for i in range(take):
+            elapsed = float(arr["te"][i]) - float(arr["ts"][i])
+            nb = float(arr["nb"][i])
+            rate = float(prediction.rates[i])
+            if elapsed <= 0 or nb <= 0 or not np.isfinite(rate) or rate < 0:
+                continue
+            self.drift.record(
+                str(arr["src"][i]), str(arr["dst"][i]),
+                prediction.tiers[i], rate, nb / elapsed)
+        self.controller.observe(arr)
+        self.applied_digest = fold_digest(self.applied_digest, arr)
+        self.applied_records += take
+        del self._backlog[:take]
+        self.obs.registry.counter(
+            "stream_applied_records_total",
+            "Backlog rows applied to the serving state.",
+        ).inc(take)
+        return take
+
+    def _heartbeat(self) -> None:
+        self._last_beat = float(self._clock())
+        registry = self.obs.registry
+        registry.gauge(
+            "stream_last_cycle_unix",
+            "Wall-clock time of the last completed cycle.",
+        ).set(self._last_beat)
+        registry.gauge(
+            "stream_backlog_records", "Unapplied backlog rows.",
+        ).set(float(len(self._backlog)))
+        registry.counter(
+            "stream_cycles_total", "Supervisor cycles completed.").inc()
+
+    def run(
+        self,
+        max_cycles: int | None = None,
+        max_seconds: float | None = None,
+    ) -> int:
+        """Drive the loop until stopped or bounded out; returns cycles
+        run.  Always leaves a final checkpoint behind (graceful stop)."""
+        started = float(self._clock())
+        ran = 0
+        while True:
+            if self._stop and (not self._drain or not self._backlog):
+                break
+            if max_cycles is not None and ran >= max_cycles:
+                break
+            if max_seconds is not None \
+                    and float(self._clock()) - started >= max_seconds:
+                break
+            progressed = self.cycle(poll=not self._stop)
+            ran += 1
+            if not progressed and not self._stop:
+                self._sleep(
+                    self.tail.next_delay(self.config.poll_interval_s))
+        # Graceful exits leave a parting checkpoint; an exception (a
+        # SimulatedCrash, a TailError) propagates without one — the next
+        # incarnation recovers from the last durable generation, which is
+        # the whole point.
+        self.checkpoint()
+        return ran
+
+    def request_stop(self, drain: bool = True) -> None:
+        self._stop = True
+        self._drain = bool(drain)
+
+    # -- introspection ------------------------------------------------------
+
+    def status(self) -> dict:
+        age = float(self._clock()) - self._last_beat
+        return {
+            "cycles": self.cycles,
+            "applied_records": self.applied_records,
+            "applied_digest": self.applied_digest,
+            "backlog_records": len(self._backlog),
+            "shed_records": self.shed_records,
+            "tail_offset": self.tail.offset,
+            "tail_resets": self.tail.resets,
+            "quarantined_rows": self.tail.report.quarantined_rows,
+            "checkpoint_generation": self._generation,
+            "data_now": self.data_now,
+            "heartbeat_age_s": age,
+            "heartbeat_stale": age > self.config.heartbeat_stale_s,
+            "breakers": {
+                f"{s}->{d}": breaker.state_dict()
+                for (s, d), breaker in sorted(
+                    self.controller._breakers.items())
+            },
+        }
+
+
+def read_stream_status(state_dir: str | Path) -> dict:
+    """Offline ``stream status``: summarize the newest valid checkpoint
+    in ``state_dir`` without constructing a supervisor."""
+    loaded = SnapshotStore(Path(state_dir) / "checkpoints").load_latest()
+    if loaded is None:
+        return {"checkpoint_generation": 0, "recovered": False}
+    payload = loaded.payload
+    stream = payload.get("stream", {})
+    tail = payload.get("tail", {})
+    return {
+        "recovered": True,
+        "checkpoint_generation": loaded.generation,
+        "rejected_generations": list(loaded.rejected),
+        "applied_records": int(stream.get("applied_records", 0)),
+        "applied_digest": str(stream.get("applied_digest", "")),
+        "backlog_records": len(stream.get("backlog", ())),
+        "shed_records": int(stream.get("shed_records", 0)),
+        "cycles": int(stream.get("cycles", 0)),
+        "data_now": float(stream.get("data_now", 0.0)),
+        "tail_offset": int(tail.get("offset", 0)),
+        "tail_rows_kept": int(tail.get("kept_rows", 0)),
+        "tail_rows_total": int(tail.get("total_rows", 0)),
+        "breakers": {
+            f"{s}->{d}": payload_
+            for s, d, payload_ in payload.get("retrain", {}).get("breakers", ())
+        },
+    }

@@ -1,0 +1,316 @@
+"""Crash-safe tailing of a growing transfer log: :class:`TailIngester`.
+
+A live serving process does not get the luxury of a finished log file —
+telemetry arrives by append, the file occasionally gets truncated or
+rotated out from under the reader, the last line is frequently
+half-written, and reads can fail transiently (NFS, log shippers holding
+locks).  The ingester owns exactly that mess:
+
+- **byte-accurate resume**: the read position is tracked as a byte
+  offset over *complete* lines only; a partial trailing line (no final
+  newline yet) is left in the file untouched and re-read once its
+  newline lands.  :meth:`state_dict` / :meth:`load_state` round-trip the
+  position, so a checkpointed offset restarts exactly where the previous
+  incarnation stopped — no record skipped, none re-read.
+- **truncation / rotation detection**: a file that shrank below the
+  offset was truncated; a file whose first bytes no longer hash to the
+  remembered prefix signature was rotated (same-or-larger size, new
+  content).  Both reset the tail to offset 0 and count
+  ``stream_tail_resets_total{reason=...}`` — re-ingesting a replaced
+  file is correct, silently reading garbage from the middle of it is
+  not.
+- **lenient parsing**: lines are handed to
+  :func:`repro.logs.io.parse_log_lines`, so corrupt batches quarantine
+  per line (counted into the shared registry) instead of stalling the
+  tail.  CSV headers are consumed and validated at offset 0 only.
+- **retry with backoff + jitter**: transient ``OSError`` reads are
+  retried; :meth:`next_delay` grows exponentially with *consecutive*
+  failures (deterministically jittered so a fleet of tails cannot
+  thundering-herd a recovering filesystem), and a run of
+  ``max_consecutive_errors`` failures raises :class:`TailError` for the
+  supervisor to surface.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.logs.io import QuarantineReport, parse_log_lines
+from repro.logs.schema import LOG_DTYPE
+from repro.obs import MetricsRegistry
+
+__all__ = ["TailIngester", "TailBatch", "TailError"]
+
+# Bytes of file head hashed into the rotation signature.
+_SIGNATURE_BYTES = 4096
+
+
+class TailError(RuntimeError):
+    """The tail failed ``max_consecutive_errors`` reads in a row."""
+
+
+@dataclass(frozen=True)
+class TailBatch:
+    """One poll's worth of newly completed lines.
+
+    ``records`` holds the kept rows (``LOG_DTYPE``); the offsets bound
+    the consumed byte range, so ``end_offset`` is the exact resume point
+    a checkpoint must persist.
+    """
+
+    records: np.ndarray
+    start_offset: int
+    end_offset: int
+    first_line_no: int
+    last_line_no: int
+    quarantined: int
+
+
+class TailIngester:
+    """Follow one growing CSV/JSONL log file with durable position."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        fmt: str | None = None,
+        registry: MetricsRegistry | None = None,
+        max_consecutive_errors: int = 8,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 5.0,
+        jitter: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        self.path = Path(path)
+        if fmt is None:
+            fmt = "jsonl" if self.path.suffix in (".jsonl", ".ndjson") else "csv"
+        if fmt not in ("csv", "jsonl"):
+            raise ValueError(f"unknown log format: {fmt!r}")
+        if max_consecutive_errors < 1:
+            raise ValueError("max_consecutive_errors must be >= 1")
+        self.fmt = fmt
+        self.registry = registry
+        self.max_consecutive_errors = int(max_consecutive_errors)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self.jitter = float(jitter)
+        self._rng = random.Random(seed)
+        self.report = QuarantineReport(source=str(self.path))
+
+        self.offset = 0          # byte offset of the first unconsumed byte
+        self.line_no = 0         # complete lines consumed so far
+        self.signature = ""      # sha256 of the file's first signature_len bytes
+        self.signature_len = 0
+        self.header_consumed = False  # CSV only
+        self.consecutive_errors = 0
+        self.resets = 0
+
+    # -- durable position ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-ready resume state (persisted inside the supervisor's
+        checkpoint, never written here — the checkpoint must be atomic
+        with the consumer state or resume stops being exactly-once)."""
+        return {
+            "path": str(self.path),
+            "fmt": self.fmt,
+            "offset": int(self.offset),
+            "line_no": int(self.line_no),
+            "signature": self.signature,
+            "signature_len": int(self.signature_len),
+            "header_consumed": bool(self.header_consumed),
+            "total_rows": int(self.report.total_rows),
+            "kept_rows": int(self.report.kept_rows),
+        }
+
+    def load_state(self, state: dict) -> None:
+        if state.get("fmt", self.fmt) != self.fmt:
+            raise ValueError(
+                f"checkpointed format {state.get('fmt')!r} does not match "
+                f"this tail's {self.fmt!r}"
+            )
+        self.offset = int(state.get("offset", 0))
+        self.line_no = int(state.get("line_no", 0))
+        self.signature = str(state.get("signature", ""))
+        self.signature_len = int(state.get("signature_len", 0))
+        self.header_consumed = bool(state.get("header_consumed", False))
+        self.report.total_rows = int(state.get("total_rows", 0))
+        self.report.kept_rows = int(state.get("kept_rows", 0))
+        self.consecutive_errors = 0
+
+    # -- polling ------------------------------------------------------------
+
+    def poll(self) -> TailBatch | None:
+        """Consume every complete line appended since the last poll.
+
+        Returns ``None`` when there is nothing new (or only a partial
+        trailing line).  Transient read errors also return ``None`` —
+        until ``max_consecutive_errors`` of them in a row, which raises
+        :class:`TailError`.
+        """
+        try:
+            size = self.path.stat().st_size
+            with self.path.open("rb") as fh:
+                self._detect_replacement(fh, size)
+                if size <= self.offset:
+                    self._mark_ok(lag=0)
+                    return None
+                fh.seek(self.offset)
+                blob = fh.read(size - self.offset)
+        except OSError as exc:
+            self._mark_error(exc)
+            return None
+        self._mark_ok(lag=len(blob))
+
+        # Only consume through the last newline: a half-written trailing
+        # line stays in the file for the next poll.
+        cut = blob.rfind(b"\n")
+        if cut < 0:
+            return None
+        blob = blob[: cut + 1]
+        start_offset = self.offset
+        end_offset = self.offset + len(blob)
+
+        delta = QuarantineReport(source=str(self.path))
+        lines: list[tuple[int, str]] = []
+        line_no = self.line_no
+        first_line_no = line_no + 1
+        for raw in blob.split(b"\n")[:-1]:
+            line_no += 1
+            try:
+                text = raw.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                delta.total_rows += 1
+                delta.add(line_no, "<row>", f"undecodable bytes: {exc}",
+                          category="encoding")
+                continue
+            lines.append((line_no, text))
+        lines = self._consume_header(lines, delta)
+        records = parse_log_lines(lines, self.fmt, delta)
+
+        # Commit the position only after the whole batch parsed.
+        self.offset = end_offset
+        self.line_no = line_no
+        self._update_signature()
+        self._merge(delta)
+        if self.registry is not None:
+            delta.count_into(self.registry, self.fmt)
+            self.registry.gauge(
+                "stream_tail_offset_bytes",
+                "Committed tail read offset.",
+                labels={"path": self.path.name},
+            ).set(float(self.offset))
+        return TailBatch(
+            records=records,
+            start_offset=start_offset,
+            end_offset=end_offset,
+            first_line_no=first_line_no,
+            last_line_no=line_no,
+            quarantined=delta.quarantined_rows,
+        )
+
+    def next_delay(self, idle_s: float) -> float:
+        """How long the caller should sleep before the next poll:
+        ``idle_s`` when healthy, exponential backoff (with deterministic
+        jitter) while reads are failing."""
+        if self.consecutive_errors == 0:
+            return float(idle_s)
+        backoff = min(
+            self.backoff_base_s * (2.0 ** (self.consecutive_errors - 1)),
+            self.backoff_max_s,
+        )
+        return max(float(idle_s),
+                   backoff * (1.0 + self.jitter * self._rng.random()))
+
+    # -- internals ----------------------------------------------------------
+
+    def _detect_replacement(self, fh, size: int) -> None:
+        if size < self.offset:
+            self._reset("truncated")
+            return
+        if self.offset > 0 and self.signature:
+            fh.seek(0)
+            head = fh.read(self.signature_len)
+            if (
+                len(head) < self.signature_len
+                or hashlib.sha256(head).hexdigest() != self.signature
+            ):
+                self._reset("rotated")
+
+    def _reset(self, reason: str) -> None:
+        self.offset = 0
+        self.line_no = 0
+        self.signature = ""
+        self.signature_len = 0
+        self.header_consumed = False
+        self.resets += 1
+        if self.registry is not None:
+            self.registry.counter(
+                "stream_tail_resets_total",
+                "Tail position resets (file truncated or rotated).",
+                labels={"reason": reason},
+            ).inc()
+
+    def _update_signature(self) -> None:
+        want = min(self.offset, _SIGNATURE_BYTES)
+        try:
+            with self.path.open("rb") as fh:
+                head = fh.read(want)
+        except OSError:
+            return  # keep the previous signature; next poll retries
+        self.signature = hashlib.sha256(head).hexdigest()
+        self.signature_len = len(head)
+
+    def _consume_header(
+        self, lines: list[tuple[int, str]], delta: QuarantineReport
+    ) -> list[tuple[int, str]]:
+        """CSV only: the first non-empty line ever consumed is the header.
+        A wrong header is quarantined (``bad_header``) but the tail keeps
+        going — subsequent rows stand or fall on their own."""
+        if self.fmt != "csv" or self.header_consumed:
+            return lines
+        for i, (line_no, text) in enumerate(lines):
+            if not text.strip():
+                continue
+            self.header_consumed = True
+            import csv as _csv
+
+            header = next(_csv.reader([text]))
+            if tuple(header) != LOG_DTYPE.names:
+                delta.add(line_no, "<header>",
+                          f"unexpected CSV header: {header}",
+                          text, category="bad_header")
+            return lines[i + 1:]
+        return []
+
+    def _merge(self, delta: QuarantineReport) -> None:
+        self.report.total_rows += delta.total_rows
+        self.report.kept_rows += delta.kept_rows
+        self.report.rows.extend(delta.rows)
+
+    def _mark_ok(self, lag: int) -> None:
+        self.consecutive_errors = 0
+        if self.registry is not None:
+            self.registry.gauge(
+                "stream_tail_lag_bytes",
+                "Unconsumed bytes behind the file end at the last poll.",
+                labels={"path": self.path.name},
+            ).set(float(lag))
+
+    def _mark_error(self, exc: OSError) -> None:
+        self.consecutive_errors += 1
+        if self.registry is not None:
+            self.registry.counter(
+                "stream_read_errors_total",
+                "Transient tail read failures.",
+                labels={"path": self.path.name},
+            ).inc()
+        if self.consecutive_errors >= self.max_consecutive_errors:
+            raise TailError(
+                f"{self.path}: {self.consecutive_errors} consecutive read "
+                f"failures (last: {exc!r})"
+            ) from exc

@@ -1,10 +1,17 @@
 """The fan-out engine: ordering, determinism, crash and error handling."""
 
 import os
+import time
 
 import pytest
 
-from repro.exec.engine import TaskError, derive_seed, parallel_map, resolve_workers
+from repro.exec.engine import (
+    TaskError,
+    TaskTimeout,
+    derive_seed,
+    parallel_map,
+    resolve_workers,
+)
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -138,3 +145,40 @@ class TestParallelMap:
             "exec_task_seconds", labels={"label": "m"}
         )
         assert hist.count == 8
+
+
+def _sleep_on_two(x):
+    if x == 2:
+        time.sleep(5.0)
+    return x * 10
+
+
+class TestTimeouts:
+    def test_serial_timeout_raises(self):
+        with pytest.raises(TaskTimeout, match="deadline"):
+            parallel_map(_sleep_on_two, [1, 2, 3], workers=1, timeout=0.2)
+
+    def test_parallel_timeout_raises(self):
+        with pytest.raises(TaskTimeout, match="deadline"):
+            parallel_map(_sleep_on_two, [1, 2, 3], workers=2, timeout=0.2)
+
+    def test_return_exceptions_keeps_good_slots(self):
+        registry = MetricsRegistry()
+        out = parallel_map(
+            _sleep_on_two, [1, 2, 3], workers=2, timeout=0.2,
+            label="t", registry=registry, return_exceptions=True,
+        )
+        assert out[0] == 10 and out[2] == 30
+        assert isinstance(out[1], TaskTimeout)
+        assert registry.flat()['exec_timeout_total{label="t"}'] == 1.0
+
+    def test_return_exceptions_wraps_errors_without_timeout(self):
+        out = parallel_map(
+            _fail_on_even, list(range(4)), workers=2, return_exceptions=True
+        )
+        assert out[1] == 1 and out[3] == 3
+        assert isinstance(out[0], ValueError)
+        assert isinstance(out[2], ValueError)
+
+    def test_no_timeout_is_the_default(self):
+        assert parallel_map(_square, [1, 2], workers=1) == [1, 4]

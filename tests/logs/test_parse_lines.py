@@ -1,0 +1,81 @@
+"""parse_log_lines: the incremental entry point must agree with the
+batch readers row for row."""
+
+import numpy as np
+import pytest
+
+from repro.logs.io import (
+    QuarantineReport,
+    parse_log_lines,
+    read_jsonl,
+    write_csv,
+    write_jsonl,
+)
+from tests.core.conftest import make_random_store
+
+
+@pytest.fixture
+def store():
+    return make_random_store(n=120, n_endpoints=5, seed=21)
+
+
+def _numbered(text, start=1):
+    lines = text.splitlines()
+    return list(enumerate(lines, start=start))
+
+
+class TestParity:
+    def test_jsonl_matches_batch_reader(self, tmp_path, store):
+        path = tmp_path / "log.jsonl"
+        write_jsonl(store, path)
+        batch_store, batch_report = read_jsonl(path, strict=False)
+
+        report = QuarantineReport(source=str(path))
+        arr = parse_log_lines(_numbered(path.read_text()), "jsonl", report)
+        assert np.array_equal(arr, batch_store.raw())
+        assert report.total_rows == batch_report.total_rows
+        assert report.kept_rows == batch_report.kept_rows
+
+    def test_csv_rows_match_store(self, tmp_path, store):
+        path = tmp_path / "log.csv"
+        write_csv(store, path)
+        lines = _numbered(path.read_text())[1:]  # caller strips the header
+        report = QuarantineReport(source=str(path))
+        arr = parse_log_lines(lines, "csv", report)
+        assert np.array_equal(
+            np.sort(arr, order="transfer_id"),
+            np.sort(store.raw(), order="transfer_id"))
+
+
+class TestIncremental:
+    def test_totals_accumulate_across_calls(self, tmp_path, store):
+        path = tmp_path / "log.jsonl"
+        write_jsonl(store, path)
+        lines = _numbered(path.read_text())
+        report = QuarantineReport(source=str(path))
+        first = parse_log_lines(lines[:50], "jsonl", report)
+        second = parse_log_lines(lines[50:], "jsonl", report)
+        assert len(first) + len(second) == 120
+        assert report.total_rows == 120
+        assert report.kept_rows == 120
+
+    def test_blank_lines_skipped(self):
+        report = QuarantineReport(source="<stream>")
+        arr = parse_log_lines([(1, ""), (2, "   ")], "jsonl", report)
+        assert len(arr) == 0
+        assert report.total_rows == 0
+
+
+class TestQuarantine:
+    def test_bad_lines_counted_not_raised(self):
+        report = QuarantineReport(source="<stream>")
+        arr = parse_log_lines(
+            [(1, "{broken"), (2, "[1,2,3]")], "jsonl", report)
+        assert len(arr) == 0
+        assert report.total_rows == 2
+        assert report.kept_rows == 0
+        assert report.quarantined_rows == 2
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            parse_log_lines([], "parquet", QuarantineReport(source="x"))

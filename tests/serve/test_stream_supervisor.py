@@ -1,0 +1,145 @@
+"""StreamSupervisor: apply/checkpoint/recover semantics and liveness."""
+
+import dataclasses
+
+import pytest
+
+from repro.logs.io import read_jsonl, write_jsonl
+from repro.obs import Observability
+from repro.serve.bench import make_synthetic_model
+from repro.serve.fallback import FallbackChain
+from repro.serve.stream import (
+    RetrainController,
+    RetrainPolicy,
+    SimulatedCrash,
+    StreamConfig,
+    StreamSupervisor,
+    TailIngester,
+    fold_digest,
+    read_stream_status,
+)
+from tests.core.conftest import make_random_store
+
+
+def _fake_fit(task):
+    src, dst, _arr = task
+    return dataclasses.replace(make_synthetic_model(0), src=src, dst=dst)
+
+
+def _build(tmp_path, live, obs=None, crash_hook=None, **config_overrides):
+    obs = obs or Observability.create(trace=False)
+    store, _ = read_jsonl(live, strict=False)
+    config = dict(poll_interval_s=0.0, max_apply_per_cycle=16,
+                  checkpoint_every=1)
+    config.update(config_overrides)
+    controller = RetrainController(
+        FallbackChain.from_log(store), obs.drift, tmp_path / "artifacts",
+        policy=RetrainPolicy(min_samples=4, min_fit_rows=4, buffer_rows=64,
+                             cooldown_s=1e9),
+        fit_fn=_fake_fit, registry=obs.registry)
+    return StreamSupervisor(
+        TailIngester(live, registry=obs.registry),
+        controller, tmp_path / "state", obs=obs,
+        config=StreamConfig(**config),
+        sleep=lambda _s: None, crash_hook=crash_hook)
+
+
+@pytest.fixture
+def live(tmp_path):
+    store = make_random_store(n=50, n_endpoints=4, seed=11)
+    path = tmp_path / "live.jsonl"
+    write_jsonl(store, path)
+    return path
+
+
+def test_applies_every_record_once_with_digest(tmp_path, live):
+    supervisor = _build(tmp_path, live)
+    supervisor.run(max_cycles=10)
+    kept, _ = read_jsonl(live, strict=False)
+    assert supervisor.applied_records == len(kept) == 50
+    assert supervisor.applied_digest == fold_digest("", kept.raw())
+    assert supervisor.cycles >= 4               # bounded apply per cycle
+    flat = supervisor.obs.registry.flat()
+    assert flat["stream_applied_records_total"] == 50.0
+    assert flat["drift_observations_total"] > 0
+
+
+def test_restart_resumes_from_checkpoint(tmp_path, live):
+    first = _build(tmp_path, live)
+    first.run(max_cycles=2)                     # partial: 32 of 50 applied
+    assert 0 < first.applied_records < 50
+
+    second = _build(tmp_path, live)
+    assert second.applied_records == first.applied_records
+    second.run(max_cycles=10)
+    kept, _ = read_jsonl(live, strict=False)
+    assert second.applied_records == 50
+    assert second.applied_digest == fold_digest("", kept.raw())
+    assert second.obs.registry.flat()["stream_recoveries_total"] == 1.0
+
+
+def test_crash_before_checkpoint_loses_nothing(tmp_path, live):
+    calls = {"n": 0}
+
+    def crash_after_second_apply(stage):
+        if stage == "applied":
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise SimulatedCrash("post-apply, pre-checkpoint")
+
+    victim = _build(tmp_path, live, crash_hook=crash_after_second_apply)
+    with pytest.raises(SimulatedCrash):
+        victim.run(max_cycles=10)
+    # The crashed cycle applied records in memory but never checkpointed.
+    survivor = _build(tmp_path, live)
+    assert survivor.applied_records < victim.applied_records
+    survivor.run(max_cycles=10)
+    kept, _ = read_jsonl(live, strict=False)
+    assert survivor.applied_records == 50
+    assert survivor.applied_digest == fold_digest("", kept.raw())
+
+
+def test_backlog_sheds_oldest_at_the_cap(tmp_path, live):
+    supervisor = _build(tmp_path, live, max_backlog_records=8,
+                        max_apply_per_cycle=4)
+    supervisor.cycle()
+    assert supervisor.shed_records > 0
+    flat = supervisor.obs.registry.flat()
+    assert flat["stream_shed_records_total"] == supervisor.shed_records
+    supervisor.run(max_cycles=20)
+    # Shed rows are gone for good; applied + shed covers the file.
+    assert supervisor.applied_records + supervisor.shed_records == 50
+
+
+def test_drain_stop_finishes_backlog(tmp_path, live):
+    supervisor = _build(tmp_path, live, max_apply_per_cycle=8)
+    supervisor.cycle()                          # backlog filled
+    supervisor.request_stop(drain=True)
+    supervisor.run()
+    assert supervisor.applied_records == 50
+    supervisor.request_stop(drain=False)
+    assert supervisor.run() == 0                # immediate
+
+
+def test_status_and_offline_reader_agree(tmp_path, live):
+    supervisor = _build(tmp_path, live)
+    supervisor.run(max_cycles=10)
+    status = supervisor.status()
+    assert status["heartbeat_stale"] is False
+    offline = read_stream_status(tmp_path / "state")
+    assert offline["recovered"] is True
+    assert offline["applied_records"] == status["applied_records"] == 50
+    assert offline["applied_digest"] == status["applied_digest"]
+    assert offline["tail_offset"] == status["tail_offset"]
+
+
+def test_offline_reader_on_empty_dir(tmp_path):
+    assert read_stream_status(tmp_path / "nope") == {
+        "checkpoint_generation": 0, "recovered": False}
+
+
+def test_requires_drift_monitor(tmp_path, live):
+    full = Observability.create(trace=False)
+    obs = dataclasses.replace(full, drift=None)
+    with pytest.raises(ValueError, match="drift"):
+        _build(tmp_path, live, obs=obs)

@@ -261,6 +261,43 @@ class TestLogsValidate:
         rc = main(["logs", "validate", "--log", str(jsonl_path)])
         assert rc == 0
 
+    @pytest.fixture
+    def slightly_corrupt(self, workflow, tmp_path):
+        log_path, *_ = workflow
+        lines = log_path.read_text().splitlines()
+        lines[3] = "garbage,row"
+        bad_path = tmp_path / "bad.csv"
+        bad_path.write_text("\n".join(lines) + "\n")
+        return bad_path, 1 / (len(lines) - 1)    # quarantined fraction
+
+    def test_quarantine_rate_within_budget_passes(
+        self, slightly_corrupt, capsys
+    ):
+        bad_path, rate = slightly_corrupt
+        rc = main([
+            "logs", "validate", "--log", str(bad_path),
+            "--max-quarantine-rate", str(rate * 2),
+        ])
+        assert rc == 0                           # corrupt, but within budget
+        assert "within budget" in capsys.readouterr().out
+
+    def test_quarantine_rate_over_budget_fails(
+        self, slightly_corrupt, capsys
+    ):
+        bad_path, rate = slightly_corrupt
+        rc = main([
+            "logs", "validate", "--log", str(bad_path),
+            "--max-quarantine-rate", str(rate / 2),
+        ])
+        assert rc == 1
+        assert "EXCEEDS budget" in capsys.readouterr().out
+
+    def test_zero_budget_on_clean_log_passes(self, workflow, capsys):
+        log_path, *_ = workflow
+        rc = main(["logs", "validate", "--log", str(log_path),
+                   "--max-quarantine-rate", "0.0"])
+        assert rc == 0
+
 
 class TestChaos:
     def test_quick_run_is_clean(self, capsys):
@@ -345,3 +382,57 @@ class TestState:
         assert rc == 0
         assert any(p.name.startswith("snapshot-")
                    for p in state_dir.iterdir())
+
+
+class TestStream:
+    @pytest.fixture
+    def live_jsonl(self, tmp_path):
+        from repro.logs.io import write_jsonl
+        from tests.core.conftest import make_random_store
+
+        path = tmp_path / "live.jsonl"
+        write_jsonl(make_random_store(n=40, n_endpoints=4, seed=9), path)
+        return path
+
+    def test_run_then_status(self, live_jsonl, tmp_path, capsys):
+        state_dir = tmp_path / "state"
+        rc = main([
+            "stream", "run", "--log", str(live_jsonl),
+            "--state-dir", str(state_dir),
+            "--cycles", "6", "--poll-interval", "0",
+            "--metrics-out", str(tmp_path / "metrics.json"),
+        ])
+        assert rc == 0
+        status = json.loads(
+            capsys.readouterr().out.split("wrote metrics JSON")[0])
+        assert status["applied_records"] == 40
+        assert (tmp_path / "metrics.json").exists()
+
+        rc = main(["stream", "status", "--state-dir", str(state_dir)])
+        assert rc == 0
+        offline = json.loads(capsys.readouterr().out)
+        assert offline["recovered"] is True
+        assert offline["applied_records"] == 40
+        assert offline["applied_digest"] == status["applied_digest"]
+
+    def test_status_without_state(self, tmp_path, capsys):
+        rc = main(["stream", "status", "--state-dir", str(tmp_path / "no")])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["recovered"] is False
+
+    def test_run_refuses_empty_log(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        rc = main(["stream", "run", "--log", str(empty),
+                   "--state-dir", str(tmp_path / "state"), "--cycles", "1"])
+        assert rc == 2
+        assert "no parseable rows" in capsys.readouterr().err
+
+    def test_chaos_quick_is_clean(self, tmp_path, capsys):
+        rc = main(["stream", "chaos", "--quick",
+                   "--metrics-out", str(tmp_path / "chaos-metrics.json")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verdict                   OK" in out
+        assert "exactly-once ingestion    OK" in out
+        assert (tmp_path / "chaos-metrics.json").exists()
