@@ -19,6 +19,10 @@ would be operated against real logs::
     repro-tools state verify --quick --corrupt-snapshot
     repro-tools state recover --dir state/ --json recovery.json
     repro-tools state snapshot --dir state/
+    repro-tools top --metrics metrics.json --events events.jsonl --once
+    repro-tools events tail --file events.jsonl -n 20
+    repro-tools events query --file events.jsonl --category slo --json
+    repro-tools slo check --metrics metrics.json --p99-target 0.25
 
 ``train`` writes a bundle (model + scaler + feature bookkeeping) as JSON;
 ``predict`` replays the log to reconstruct the active-transfer view at the
@@ -43,6 +47,14 @@ in-flight replay summaries; ``state`` operates the durability layer —
 the journal tail, recover, prove equivalence to an uninterrupted run),
 ``recover`` loads a state directory and prints the recovery report, and
 ``snapshot`` forces a fresh snapshot generation and rotates the journal.
+
+The diagnosis layer rides on the same files: ``top`` renders a live (or
+``--once``) ASCII dashboard over any subset of a metrics JSON export, a
+structured event-log JSONL sink, and a stream state directory; ``events
+tail``/``events query`` filter the event sink; ``slo check`` gates on
+service-level objectives — instantaneous registry evaluation with
+``--metrics`` (the CI gate), or the checkpointed burn-rate alert state
+with ``--state-dir`` — exiting non-zero on any breach or firing alert.
 """
 
 from __future__ import annotations
@@ -319,7 +331,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.serve.bench import run_serve_bench
 
     result = _load_bundle(args.model) if args.model else None
-    obs = Observability.create()
+    obs = Observability.create(
+        events_path=args.events_out,
+        flight_latency_s=args.flight_threshold,
+    )
     bench = run_serve_bench(
         n_active=args.actives,
         n_requests=args.requests,
@@ -331,6 +346,14 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         workers=resolve_workers(args.workers),
     )
     print(bench.render())
+    if obs.flight is not None and len(obs.flight):
+        print(f"flight recorder captured {len(obs.flight)} exemplar(s) "
+              f"(threshold {args.flight_threshold:g}s)")
+        for brief in obs.flight.recent_briefs(3):
+            print(f"  {brief['reason']:<8}{brief['latency_s'] * 1e3:>9.2f}ms"
+                  f"  hot={brief['hottest_span'] or 'n/a'}")
+    if args.events_out:
+        print(f"wrote event log to {args.events_out}")
     if args.metrics_out:
         atomic_write_text(args.metrics_out, obs.registry.to_json(indent=2))
         print(f"wrote metrics JSON to {args.metrics_out}")
@@ -455,16 +478,32 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.obs import Observability
     from repro.serve.chaos import run_observed_replay
 
+    if args.watch and args.watch_every <= 0:
+        raise ValueError(
+            f"--watch-every must be a positive event count, "
+            f"got {args.watch_every}"
+        )
     config = _chaos_config(args)
     obs = Observability.create()
+
+    # Each --watch line reports the delta since the previous line (the
+    # interval's own activity), alongside the running totals — a stalled
+    # replay shows +0s instead of a quietly frozen cumulative count.
+    prev = {"events": 0, "predictions": 0, "scored": 0}
 
     def watch(report) -> None:
         drift = obs.drift.overall()
         mdape = f"{drift.mdape:.1f}%" if drift.n else "n/a"
+        d_events = report.events - prev["events"]
+        d_predictions = report.predictions - prev["predictions"]
+        d_scored = drift.n - prev["scored"]
+        prev.update(events=report.events, predictions=report.predictions,
+                    scored=drift.n)
         print(
-            f"[{report.events:>5} events] active={report.final_active:<4} "
-            f"predictions={report.predictions:<5} drift MdAPE={mdape} "
-            f"({drift.n} scored)"
+            f"[{report.events:>5} events +{d_events:<4}] "
+            f"active={report.final_active:<4} "
+            f"predictions={report.predictions:<5} (+{d_predictions}) "
+            f"drift MdAPE={mdape} ({drift.n} scored, +{d_scored})"
         )
 
     observed = run_observed_replay(
@@ -485,6 +524,18 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             f"{latency.quantile(0.99) * 1e3:.2f} ms "
             f"over {latency.count} batches"
         )
+    if obs.tracer is not None:
+        spans = obs.tracer.summary()
+        if spans:
+            hottest = sorted(
+                spans.items(), key=lambda kv: -kv[1]["total_s"])[:8]
+            print(f"{'span':<34}{'count':>7}{'p50 ms':>9}"
+                  f"{'p95 ms':>9}{'max ms':>9}")
+            for name, s in hottest:
+                print(f"{name:<34}{s['count']:>7.0f}"
+                      f"{s['p50_s'] * 1e3:>9.3f}"
+                      f"{s['p95_s'] * 1e3:>9.3f}"
+                      f"{s['max_s'] * 1e3:>9.3f}")
     print(f"registry: {len(obs.registry)} series")
     _write_metric_exports(obs.registry, args.json, args.prom)
     return 0 if observed.report.ok else 1
@@ -492,7 +543,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 def _cmd_stream_run(args: argparse.Namespace) -> int:
     from repro.logs.io import read_csv as _read_csv, read_jsonl as _read_jsonl
-    from repro.obs import Observability
+    from repro.obs import Observability, stream_slos
     from repro.serve.fallback import FallbackChain
     from repro.serve.stream import (
         RetrainController,
@@ -511,7 +562,12 @@ def _cmd_stream_run(args: argparse.Namespace) -> int:
             f"{path}: no parseable rows yet — the stream bootstraps its "
             f"fallback chain from the log's current contents")
 
-    obs = Observability.create()
+    state_dir = Path(args.state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    obs = Observability.create(
+        events_path=state_dir / "events.jsonl",
+        slos=stream_slos(),
+    )
     tail = TailIngester(path, fmt=fmt, registry=obs.registry, seed=args.seed)
     policy = RetrainPolicy(workers=args.workers,
                            fit_timeout_s=args.fit_timeout)
@@ -553,6 +609,163 @@ def _cmd_stream_chaos(args: argparse.Namespace) -> int:
     print(report.render())
     _write_metric_exports(obs.registry, args.metrics_out, args.metrics_prom)
     return 0 if report.ok else 1
+
+
+def _load_registry_json(path: str):
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.load_snapshot(json.loads(Path(path).read_text()))
+    return registry
+
+
+def _stream_status_for_top(state_dir: str) -> tuple[dict, dict]:
+    """(stream section, slo section) for :func:`health_snapshot`, read
+    from the newest stream checkpoint."""
+    from repro.serve.stream import read_stream_status
+
+    status = read_stream_status(state_dir)
+    breakers = {
+        edge: (payload.get("state", str(payload))
+               if isinstance(payload, dict) else str(payload))
+        for edge, payload in (status.get("breakers") or {}).items()
+    }
+    stream = {
+        "applied_records": status.get("applied_records", 0),
+        "generation": status.get("checkpoint_generation", 0),
+        "backlog": status.get("backlog_records", 0),
+        "recoveries": len(status.get("rejected_generations") or ()),
+        "breakers": breakers,
+    }
+    return stream, dict(status.get("slo") or {})
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.obs.events import _json_safe, read_events
+    from repro.obs.health import health_snapshot, render_top
+
+    if args.interval <= 0:
+        raise ValueError(
+            f"--interval must be a positive number of seconds, "
+            f"got {args.interval:g}"
+        )
+    if not (args.metrics or args.events or args.state_dir):
+        raise ValueError(
+            "top needs at least one source: --metrics METRICS.json, "
+            "--events EVENTS.jsonl, and/or --state-dir STATE_DIR"
+        )
+
+    def gather() -> dict:
+        registry = _load_registry_json(args.metrics) if args.metrics else None
+        events = list(read_events(args.events)) if args.events else None
+        stream_status = slo_status = None
+        if args.state_dir:
+            stream_status, slo_status = _stream_status_for_top(args.state_dir)
+        return health_snapshot(
+            registry=registry,
+            events=events,
+            slo_status=slo_status,
+            stream_status=stream_status,
+        )
+
+    history: list[float] = []
+    prev_requests: float | None = None
+    iterations = 1 if args.once else args.iterations
+    rendered = 0
+    while True:
+        snap = gather()
+        total = float(snap.get("requests_total", 0.0))
+        if prev_requests is not None:
+            history.append(max(total - prev_requests, 0.0))
+        prev_requests = total
+        if args.json:
+            print(json.dumps(_json_safe(snap), indent=2, sort_keys=True))
+        else:
+            print(render_top(
+                snap, history=history if len(history) >= 2 else None))
+        rendered += 1
+        if iterations is not None and rendered >= iterations:
+            return 0
+        _time.sleep(args.interval)
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    from repro.obs.events import read_events
+
+    events = list(read_events(
+        args.file,
+        category=args.category,
+        severity=args.severity,
+        name=args.name,
+        since_seq=args.since_seq,
+        limit=getattr(args, "limit", None),
+    ))
+    if args.events_command == "tail":
+        events = events[-args.lines:]
+    for event in events:
+        print(json.dumps(event.as_dict(), sort_keys=True) if args.json
+              else event.render())
+    if args.events_command == "query" and not args.json:
+        print(f"{len(events)} event(s) matched", file=sys.stderr)
+    return 0
+
+
+def _cmd_slo_check(args: argparse.Namespace) -> int:
+    import math
+
+    from repro.obs import default_slos
+    from repro.obs.slo import evaluate_registry
+
+    if bool(args.metrics) == bool(args.state_dir):
+        raise ValueError(
+            "slo check needs exactly one of --metrics (instantaneous "
+            "registry evaluation) or --state-dir (checkpointed burn-rate "
+            "alert state)"
+        )
+
+    if args.metrics:
+        registry = _load_registry_json(args.metrics)
+        results = evaluate_registry(registry, default_slos(
+            p99_latency_s=args.p99_target,
+            tier0_ratio=args.tier0_target,
+            mdape_ceiling=args.mdape_target,
+            quarantine_rate=args.quarantine_target,
+        ))
+        breached = [r for r in results if not r["ok"]]
+        for r in results:
+            value = ("n/a" if not math.isfinite(r["value"])
+                     else f"{r['value']:.6g}")
+            op = "<=" if r["mode"] == "max" else ">="
+            mark = "ok" if r["ok"] else "BREACH"
+            print(f"{r['slo']:<24}{value:>12} {op} {r['target']:<12g}{mark}")
+        if args.json:
+            payload = [
+                {**r, "value": None if not math.isfinite(r["value"])
+                 else r["value"]}
+                for r in results
+            ]
+            atomic_write_text(args.json, json.dumps(payload, indent=2))
+            print(f"wrote SLO results to {args.json}")
+        if breached:
+            print(f"error: {len(breached)} SLO(s) breached: "
+                  + ", ".join(r["slo"] for r in breached), file=sys.stderr)
+            return 1
+        return 0
+
+    _, slo = _stream_status_for_top(args.state_dir)
+    firing = list(slo.get("firing") or ())
+    print(f"checkpoint alert_seq {slo.get('alert_seq', 0)}; "
+          f"firing: {', '.join(firing) or 'none'}")
+    for entry in slo.get("alert_log") or ():
+        print(f"  #{entry.get('alert_seq')} {entry.get('slo')} -> "
+              f"{entry.get('state')} at t={entry.get('t')}")
+    if firing:
+        print(f"error: {len(firing)} alert(s) firing in the newest "
+              f"checkpoint", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_state_snapshot(args: argparse.Namespace) -> int:
@@ -724,6 +937,12 @@ def main(argv: list[str] | None = None) -> int:
                    help="fan --repeats cells out over this many worker "
                         "processes (default: REPRO_WORKERS, else 1; needs "
                         "--repeats > 1 and no --model bundle)")
+    p.add_argument("--events-out", default=None,
+                   help="write the structured event log (JSONL) here")
+    p.add_argument("--flight-threshold", type=float, default=None,
+                   help="arm the flight recorder: capture an exemplar "
+                        "(request, tiers, per-span timings) for every "
+                        "batch slower than this many seconds")
     p.set_defaults(func=_cmd_serve_bench)
 
     p = sub.add_parser(
@@ -923,6 +1142,90 @@ def main(argv: list[str] | None = None) -> int:
     s.add_argument("--metrics-prom", default=None,
                    help="write Prometheus exposition text here")
     s.set_defaults(func=_cmd_state_verify)
+
+    p = sub.add_parser(
+        "top",
+        help="ASCII ops dashboard over the obs stack: latency, tier mix, "
+             "drift, SLO burn, flight exemplars, recent events",
+    )
+    p.add_argument("--metrics", default=None,
+                   help="metrics registry JSON (any --metrics-out / "
+                        "metrics --json export)")
+    p.add_argument("--events", default=None,
+                   help="structured event log JSONL sink")
+    p.add_argument("--state-dir", default=None,
+                   help="stream supervisor state directory (checkpointed "
+                        "stream + SLO alert state)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between refreshes (must be > 0)")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="stop after this many refreshes (default: forever)")
+    p.add_argument("--once", action="store_true",
+                   help="render a single frame and exit")
+    p.add_argument("--json", action="store_true",
+                   help="emit the health snapshot as strict JSON instead "
+                        "of the dashboard")
+    p.set_defaults(func=_cmd_top)
+
+    p = sub.add_parser(
+        "events",
+        help="inspect a structured event log (JSONL sink)",
+    )
+    events_sub = p.add_subparsers(dest="events_command", required=True)
+    for name, help_text in [
+        ("tail", "print the last N matching events"),
+        ("query", "print every matching event"),
+    ]:
+        e = events_sub.add_parser(name, help=help_text)
+        e.add_argument("--file", required=True,
+                       help="event log JSONL path")
+        e.add_argument("--category", default=None,
+                       help="filter: event category (serve, stream, slo, "
+                            "ingest, exec, durability, flight, ...)")
+        e.add_argument("--severity", default=None,
+                       choices=("info", "warning", "error", "critical"))
+        e.add_argument("--name", default=None,
+                       help="filter: event name within its category")
+        e.add_argument("--since-seq", type=int, default=0,
+                       help="only events with seq strictly greater")
+        e.add_argument("--json", action="store_true",
+                       help="one JSON object per line instead of rendered "
+                            "text")
+        if name == "tail":
+            e.add_argument("-n", "--lines", type=int, default=10)
+        else:
+            e.add_argument("--limit", type=int, default=None,
+                           help="stop after this many matches")
+        e.set_defaults(func=_cmd_events)
+
+    p = sub.add_parser(
+        "slo",
+        help="service-level objectives: instantaneous gate and "
+             "checkpointed burn-rate alerts",
+    )
+    slo_sub = p.add_subparsers(dest="slo_command", required=True)
+    c = slo_sub.add_parser(
+        "check",
+        help="evaluate SLOs and exit non-zero on any breach / firing "
+             "alert (the CI gate)",
+    )
+    c.add_argument("--metrics", default=None,
+                   help="metrics registry JSON to evaluate the default "
+                        "serving SLOs against")
+    c.add_argument("--state-dir", default=None,
+                   help="stream state directory: check the checkpointed "
+                        "burn-rate alert state instead")
+    c.add_argument("--p99-target", type=float, default=0.25,
+                   help="predict_p99_latency budget in seconds")
+    c.add_argument("--tier0-target", type=float, default=0.5,
+                   help="minimum edge-tier serve ratio")
+    c.add_argument("--mdape-target", type=float, default=60.0,
+                   help="worst per-tier MdAPE ceiling (%%)")
+    c.add_argument("--quarantine-target", type=float, default=0.10,
+                   help="maximum quarantined row fraction")
+    c.add_argument("--json", default=None,
+                   help="write the evaluation results as JSON here")
+    c.set_defaults(func=_cmd_slo_check)
 
     args = parser.parse_args(argv)
     try:

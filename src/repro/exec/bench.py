@@ -22,6 +22,7 @@ core count; correctness does not.  The report lands in
 
 from __future__ import annotations
 
+import math
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -365,6 +366,7 @@ def _run_serve_bench(report: BenchReport, workers: int, quick: bool,
         repeats=2,
         workers=workers,
     )
+    overhead = result.overhead_pct
     report.serve_bench = {
         "n_active": result.n_active,
         "n_requests": result.n_requests,
@@ -375,6 +377,13 @@ def _run_serve_bench(report: BenchReport, workers: int, quick: bool,
         "speedup": result.speedup,
         "batch_throughput_rps": result.batch_throughput_rps,
         "max_abs_diff": result.max_abs_diff,
+        "latency_p99_s": result.latency_p99_s,
+        "instrumented_time_s": result.instrumented_time_s,
+        # The obs stack (tracer + registry + events + flight checks) must
+        # stay under 5% of p99 serve time; NaN (no instrumented timing)
+        # counts as ok because there is nothing to compare.
+        "obs_overhead_pct": overhead,
+        "obs_overhead_ok": bool(not math.isfinite(overhead) or overhead < 5.0),
     }
 
 

@@ -47,6 +47,7 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from contextlib import contextmanager
 from typing import Callable, Iterable
 
+from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry, exponential_buckets
 from repro.obs.tracing import NULL_SPAN, Tracer
 
@@ -177,13 +178,16 @@ def _run_task(payload: tuple) -> tuple:
         return ("error", index, exc, tb, time.perf_counter() - start)
 
 
-def _count_timeout(registry: MetricsRegistry | None, label: str) -> None:
+def _count_timeout(registry: MetricsRegistry | None, label: str,
+                   events: EventLog | None = None) -> None:
     if registry is not None:
         registry.counter(
             "exec_timeout_total",
             "Tasks cancelled at their per-task deadline.",
             labels={"label": label},
         ).inc()
+    if events is not None:
+        events.emit("exec", "task_timeout", severity="warning", label=label)
 
 
 def _serial_map(
@@ -195,6 +199,7 @@ def _serial_map(
     mode: str = "serial",
     timeout: float | None = None,
     return_exceptions: bool = False,
+    events: EventLog | None = None,
 ) -> list:
     """The workers=1 path: a plain loop, exceptions propagate at the first
     failing item exactly as unengined code would (unless
@@ -207,7 +212,7 @@ def _serial_map(
                 with _deadline(timeout):
                     out.append(fn(item))
             except TaskTimeout as exc:
-                _count_timeout(registry, label)
+                _count_timeout(registry, label, events)
                 if not return_exceptions:
                     raise
                 out.append(exc)
@@ -229,6 +234,7 @@ def parallel_map(
     tracer: Tracer | None = None,
     timeout: float | None = None,
     return_exceptions: bool = False,
+    events: EventLog | None = None,
 ) -> list:
     """``[fn(item) for item in items]``, fanned out over worker processes.
 
@@ -250,7 +256,8 @@ def parallel_map(
     if count <= 1 or len(items) <= 1:
         return _serial_map(fn, items, label, registry, tracer,
                            timeout=timeout,
-                           return_exceptions=return_exceptions)
+                           return_exceptions=return_exceptions,
+                           events=events)
 
     outcomes: dict[int, tuple] = {}
     crashes = 0
@@ -275,7 +282,7 @@ def parallel_map(
                         continue
                     outcomes[index] = (status, value, tb)
                     if status == "timeout":
-                        _count_timeout(registry, label)
+                        _count_timeout(registry, label, events)
                     _observe_duration(registry, label, duration)
         except BrokenExecutor:
             crashes += 1
@@ -283,12 +290,16 @@ def parallel_map(
         completed = len(outcomes)
         _count_tasks(registry, label, "parallel", completed)
         retry = [i for i in range(len(items)) if i not in outcomes]
-        if crashes and registry is not None:
-            registry.counter(
-                "exec_worker_crashes_total",
-                "Worker deaths / lost results observed by parallel_map.",
-                labels={"label": label},
-            ).inc(crashes)
+        if crashes:
+            if registry is not None:
+                registry.counter(
+                    "exec_worker_crashes_total",
+                    "Worker deaths / lost results observed by parallel_map.",
+                    labels={"label": label},
+                ).inc(crashes)
+            if events is not None:
+                events.emit("exec", "worker_crash", severity="error",
+                            label=label, crashes=crashes)
         if retry:
             if registry is not None:
                 registry.counter(
@@ -296,12 +307,15 @@ def parallel_map(
                     "Tasks recomputed serially after a worker crash.",
                     labels={"label": label},
                 ).inc(len(retry))
+            if events is not None:
+                events.emit("exec", "serial_retry", severity="warning",
+                            label=label, tasks=len(retry))
             # Run the survivors in index order in the parent; a task
             # exception here propagates directly, like the serial path.
             recovered = _serial_map(
                 fn, [items[i] for i in retry], label, registry, tracer,
                 mode="serial-retry", timeout=timeout,
-                return_exceptions=return_exceptions,
+                return_exceptions=return_exceptions, events=events,
             )
             for i, value in zip(retry, recovered):
                 status = "error" if isinstance(value, Exception) else "ok"

@@ -174,6 +174,24 @@ class QuarantineReport:
             lines.append(f"  line {r.line_no}: [{r.field}] {r.reason}")
         return "\n".join(lines)
 
+    def to_event(self) -> dict:
+        """Attrs payload for one structured ``ingest`` event — the bridge
+        into :class:`repro.obs.events.EventLog` (which deliberately does
+        not import this module).  Carries the aggregate shape only, never
+        per-line rows, so burst aggregation stays one event per window::
+
+            events.emit("ingest", "quarantine", **report.to_event())
+        """
+        total = self.total_rows
+        return {
+            "source": self.source,
+            "total_rows": total,
+            "kept_rows": self.kept_rows,
+            "quarantined_rows": self.quarantined_rows,
+            "rate": self.quarantined_rows / total if total else 0.0,
+            "reasons": self.reason_counts(),
+        }
+
     def count_into(self, registry: MetricsRegistry, fmt: str) -> None:
         """Mirror this report into ingestion counters on ``registry``."""
         labels = {"format": fmt}

@@ -1,0 +1,397 @@
+"""Structured event log: the "what happened" layer of the obs stack.
+
+Metrics say *how much*, traces say *how long*; events say *what
+happened and why* — a tier fallback, a circuit breaker opening, a
+retrain publish, a quarantine burst, a recovery.  Every event is one
+JSON object with a versioned schema:
+
+- ``seq``: monotonically increasing per :class:`EventLog` instance —
+  the exactly-once anchor.  The stream supervisor checkpoints the seq
+  counter and, on recovery, rolls it back and truncates the sink past
+  it, so a crash-resumed run re-emits the rolled-back window with the
+  *same* sequence numbers instead of duplicating or losing events.
+- ``ts`` / ``mono``: wall-clock and monotonic timestamps (injectable
+  clocks keep chaos replays deterministic).
+- ``category`` / ``name`` / ``severity`` / ``attrs``: what happened,
+  how bad, and the structured payload.
+
+Storage is a bounded in-memory ring (for ``repro-tools top`` and alert
+attachment) plus an optional append-only JSONL sink.  Appends are
+plain ``open("a")`` writes — one line per event, flushed on close —
+while the seq-rollback truncation rewrites the file atomically via
+:mod:`repro.atomicio`, so a torn tail can never corrupt earlier lines.
+
+:class:`QuarantineBurstDetector` turns per-poll quarantine deltas into
+at most one aggregated ``quarantine_burst`` event per row window —
+burst visibility without per-line noise.  It deliberately takes plain
+counts (not a ``QuarantineReport``) so :mod:`repro.obs` never imports
+:mod:`repro.logs`; the report side carries the bridge
+(:meth:`repro.logs.io.QuarantineReport.to_event`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator, Mapping
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "SEVERITIES",
+    "Event",
+    "EventLog",
+    "QuarantineBurstDetector",
+    "read_events",
+]
+
+EVENT_SCHEMA_VERSION = 1
+
+#: Valid severities, mildest first.
+SEVERITIES = ("info", "warning", "error", "critical")
+
+
+def _json_safe(value):
+    """Coerce one attr value into strict-JSON territory (no NaN/Inf
+    tokens, no exotic types): containers recurse, non-finite floats and
+    unknown objects ride as strings."""
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else repr(value)
+    if isinstance(value, Mapping):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        seq = sorted(value, key=repr) if isinstance(value, (set, frozenset)) else value
+        return [_json_safe(v) for v in seq]
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured event (schema v1)."""
+
+    seq: int
+    ts: float                # wall clock (time.time semantics)
+    mono: float              # monotonic clock (perf_counter semantics)
+    category: str
+    name: str
+    severity: str = "info"
+    attrs: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "v": EVENT_SCHEMA_VERSION,
+            "seq": self.seq,
+            "ts": self.ts,
+            "mono": self.mono,
+            "category": self.category,
+            "name": self.name,
+            "severity": self.severity,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Event":
+        return cls(
+            seq=int(data["seq"]),
+            ts=float(data["ts"]),
+            mono=float(data.get("mono", 0.0)),
+            category=str(data["category"]),
+            name=str(data["name"]),
+            severity=str(data.get("severity", "info")),
+            attrs=dict(data.get("attrs", {})),
+        )
+
+    def render(self) -> str:
+        """One human line, e.g. for ``repro-tools events tail``."""
+        attrs = " ".join(
+            f"{k}={json.dumps(v, separators=(',', ':'), sort_keys=True)}"
+            for k, v in sorted(self.attrs.items())
+        )
+        return (
+            f"#{self.seq:<6} t={self.ts:<12.3f} {self.severity:<8} "
+            f"{self.category}/{self.name}" + (f"  {attrs}" if attrs else "")
+        )
+
+
+class EventLog:
+    """Bounded ring of :class:`Event` plus an optional JSONL sink.
+
+    Parameters
+    ----------
+    path:
+        Optional sink file; each :meth:`emit` appends one compact JSON
+        line.  ``None`` keeps events in memory only.
+    registry:
+        Optional metrics registry; emits count into
+        ``events_total{category,severity}``.
+    max_events:
+        Ring size — the oldest events fall off first.
+    clock / mono:
+        Injectable time sources, so chaos replays can pin event
+        timestamps to data time and stay byte-deterministic.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        registry: MetricsRegistry | None = None,
+        max_events: int = 2048,
+        clock: Callable[[], float] = time.time,
+        mono: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.path = Path(path) if path is not None else None
+        self.registry = registry
+        self.clock = clock
+        self.mono = mono
+        self._ring: deque[Event] = deque(maxlen=max_events)
+        self._seq = 0
+
+    @property
+    def seq(self) -> int:
+        """The sequence number of the most recently emitted event."""
+        return self._seq
+
+    def emit(
+        self,
+        category: str,
+        name: str,
+        severity: str = "info",
+        **attrs,
+    ) -> Event:
+        """Record one event: next seq, both clocks, sanitized attrs."""
+        if severity not in SEVERITIES:
+            raise ValueError(
+                f"severity {severity!r} not in {SEVERITIES}"
+            )
+        self._seq += 1
+        event = Event(
+            seq=self._seq,
+            ts=float(self.clock()),
+            mono=float(self.mono()),
+            category=str(category),
+            name=str(name),
+            severity=severity,
+            attrs={str(k): _json_safe(v) for k, v in attrs.items()},
+        )
+        self._ring.append(event)
+        if self.path is not None:
+            line = json.dumps(
+                event.as_dict(), separators=(",", ":"), sort_keys=True,
+                allow_nan=False,
+            )
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+        if self.registry is not None:
+            self.registry.counter(
+                "events_total", "Structured events emitted.",
+                labels={"category": event.category,
+                        "severity": event.severity},
+            ).inc()
+        return event
+
+    # -- inspection --------------------------------------------------------
+
+    def events(
+        self,
+        category: str | None = None,
+        severity: str | None = None,
+        name: str | None = None,
+        limit: int | None = None,
+    ) -> list[Event]:
+        """Buffered events, oldest first, optionally filtered; ``limit``
+        keeps the *newest* N matches."""
+        out = [
+            e for e in self._ring
+            if (category is None or e.category == category)
+            and (severity is None or e.severity == severity)
+            and (name is None or e.name == name)
+        ]
+        if limit is not None and limit >= 0:
+            out = out[-limit:]
+        return out
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # -- checkpoint plumbing -----------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The exactly-once anchor: just the seq counter.  Event
+        *content* is replayed deterministically by the supervisor, so
+        only the counter needs to travel in the checkpoint."""
+        return {"seq": self._seq}
+
+    def load_state(self, state: Mapping) -> None:
+        """Roll the seq counter back to a checkpointed value and discard
+        everything emitted after it — ring entries and sink lines with a
+        higher seq.  The sink rewrite is atomic, so a crash mid-truncate
+        leaves the previous (superset) file, which the next recovery
+        truncates again."""
+        seq = int(state.get("seq", 0))
+        if seq < 0:
+            raise ValueError(f"event seq must be >= 0, got {seq}")
+        self._seq = seq
+        while self._ring and self._ring[-1].seq > seq:
+            self._ring.pop()
+        if self.path is not None and self.path.exists():
+            kept_lines = []
+            dropped = 0
+            for event in read_events(self.path):
+                if event.seq <= seq:
+                    kept_lines.append(json.dumps(
+                        event.as_dict(), separators=(",", ":"),
+                        sort_keys=True, allow_nan=False))
+                else:
+                    dropped += 1
+            if dropped:
+                from repro.atomicio import atomic_write_text
+
+                payload = "".join(line + "\n" for line in kept_lines)
+                atomic_write_text(self.path, payload)
+
+
+def read_events(
+    path: str | Path,
+    category: str | None = None,
+    severity: str | None = None,
+    name: str | None = None,
+    since_seq: int = 0,
+    limit: int | None = None,
+) -> Iterator[Event]:
+    """Stream events back out of a JSONL sink, oldest first.
+
+    Torn or corrupt lines (a crash mid-append) are skipped, not fatal —
+    the sink is a diagnosis artifact, and a partial tail must never
+    make the diagnosis tools crash too.  ``limit`` caps the number of
+    *yielded* events.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    yielded = 0
+    with path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+                event = Event.from_dict(data)
+            except (ValueError, KeyError, TypeError):
+                continue
+            if event.seq <= since_seq:
+                continue
+            if category is not None and event.category != category:
+                continue
+            if severity is not None and event.severity != severity:
+                continue
+            if name is not None and event.name != name:
+                continue
+            yield event
+            yielded += 1
+            if limit is not None and yielded >= limit:
+                return
+
+
+class QuarantineBurstDetector:
+    """Aggregate quarantine activity into at most one event per window.
+
+    Rows stream in via :meth:`observe` (per-poll delta counts); every
+    time the accumulated row count reaches ``window_rows`` the window
+    closes, and *iff* its quarantine rate exceeded ``max_rate`` exactly
+    one ``ingest/quarantine_burst`` event is emitted carrying the
+    aggregated counts and reason histogram.  A delta larger than the
+    remaining window simply lands in the current window (windows may
+    overshoot ``window_rows``, they never split a delta).
+
+    The accumulator state is checkpointable (:meth:`state_dict` /
+    :meth:`load_state`), so a crash-resumed stream closes its windows at
+    the same row boundaries as an uninterrupted one.
+    """
+
+    def __init__(
+        self,
+        events: EventLog,
+        window_rows: int = 256,
+        max_rate: float = 0.05,
+        source: str = "",
+    ) -> None:
+        if window_rows < 1:
+            raise ValueError("window_rows must be >= 1")
+        if not 0.0 <= max_rate < 1.0:
+            raise ValueError("max_rate must be in [0, 1)")
+        self.events = events
+        self.window_rows = int(window_rows)
+        self.max_rate = float(max_rate)
+        self.source = source
+        self._rows = 0
+        self._quarantined = 0
+        self._reasons: dict[str, int] = {}
+        self._windows_closed = 0
+
+    def observe(
+        self,
+        total_rows: int,
+        quarantined_rows: int,
+        reasons: Mapping[str, int] | None = None,
+        now: float | None = None,
+    ) -> Event | None:
+        """Fold one delta in; returns the burst event if this delta
+        closed a breaching window, else ``None``."""
+        if total_rows < 0 or quarantined_rows < 0:
+            raise ValueError("row counts must be >= 0")
+        self._rows += int(total_rows)
+        self._quarantined += int(quarantined_rows)
+        for reason, count in (reasons or {}).items():
+            self._reasons[reason] = self._reasons.get(reason, 0) + int(count)
+        if self._rows < self.window_rows:
+            return None
+        rows, quarantined = self._rows, self._quarantined
+        reasons_out = dict(sorted(self._reasons.items()))
+        self._rows = 0
+        self._quarantined = 0
+        self._reasons = {}
+        self._windows_closed += 1
+        rate = quarantined / rows
+        if rate <= self.max_rate:
+            return None
+        attrs = {
+            "source": self.source,
+            "window": self._windows_closed,
+            "window_rows": rows,
+            "quarantined_rows": quarantined,
+            "rate": rate,
+            "max_rate": self.max_rate,
+            "reasons": reasons_out,
+        }
+        if now is not None:
+            attrs["data_now"] = float(now)
+        return self.events.emit(
+            "ingest", "quarantine_burst", severity="warning", **attrs
+        )
+
+    def state_dict(self) -> dict:
+        return {
+            "rows": self._rows,
+            "quarantined": self._quarantined,
+            "reasons": dict(sorted(self._reasons.items())),
+            "windows_closed": self._windows_closed,
+        }
+
+    def load_state(self, state: Mapping) -> None:
+        self._rows = int(state.get("rows", 0))
+        self._quarantined = int(state.get("quarantined", 0))
+        self._reasons = {
+            str(k): int(v) for k, v in state.get("reasons", {}).items()
+        }
+        self._windows_closed = int(state.get("windows_closed", 0))

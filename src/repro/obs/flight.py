@@ -1,0 +1,217 @@
+"""Slow-request flight recorder: full exemplars for the anomalous tail.
+
+Recording every request would double the cost of the hot path; the
+flight recorder instead captures a *complete* diagnostic exemplar only
+when a batch breaches a latency or tier threshold — the adaptive-
+sampling idea of capturing detail where the anomaly is.  An exemplar
+carries what a histogram cannot: the input that was slow, the size of
+the active set it was priced against, the fallback tiers that actually
+served it, and a per-span **self-time** breakdown computed from the
+Tracer's buffered spans (time in each span minus time in its children),
+so "predict was slow" decomposes into "the fix-point loop was slow".
+
+Tiers are plain strings here (``"edge"`` .. ``"default"``) — the obs
+package sits below :mod:`repro.serve` and must not import it; callers
+pass ``tier.value`` or any string.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import SpanRecord
+
+__all__ = ["TIER_ORDER", "FlightExemplar", "FlightRecorder", "span_self_times"]
+
+#: Fallback-chain rungs, best first — mirrors ``repro.serve.fallback``
+#: without importing it.
+TIER_ORDER = ("edge", "global", "analytical", "median", "default")
+
+
+def span_self_times(spans: Iterable[SpanRecord]) -> dict[str, dict[str, float]]:
+    """Per-span-name totals and self-time over a set of finished spans.
+
+    ``self_s`` is the span's total minus the total of spans that list it
+    as their parent — attribution by name, which matches how the Tracer
+    links parents.  Negative residue from overlapping same-name spans is
+    clamped to zero.
+    """
+    totals: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    child_time: dict[str, float] = {}
+    for rec in spans:
+        totals[rec.name] = totals.get(rec.name, 0.0) + rec.duration_s
+        counts[rec.name] = counts.get(rec.name, 0) + 1
+        if rec.parent is not None:
+            child_time[rec.parent] = (
+                child_time.get(rec.parent, 0.0) + rec.duration_s
+            )
+    return {
+        name: {
+            "count": float(counts[name]),
+            "total_s": total,
+            "self_s": max(total - child_time.get(name, 0.0), 0.0),
+        }
+        for name, total in sorted(totals.items())
+    }
+
+
+@dataclass(frozen=True)
+class FlightExemplar:
+    """One captured slow/degraded batch, ready for JSON."""
+
+    reason: str              # "latency" or "tier"
+    latency_s: float
+    n_requests: int
+    active_size: int
+    tiers: dict[str, int]    # tier name -> requests served at it
+    worst_tier: str
+    request: dict            # summary of the first offending request
+    spans: dict[str, dict[str, float]]  # name -> {count, total_s, self_s}
+    attrs: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "reason": self.reason,
+            "latency_s": self.latency_s,
+            "n_requests": self.n_requests,
+            "active_size": self.active_size,
+            "tiers": self.tiers,
+            "worst_tier": self.worst_tier,
+            "request": self.request,
+            "spans": self.spans,
+            "attrs": self.attrs,
+        }
+
+    def brief(self) -> dict:
+        """Compact form for attaching to alert events."""
+        hottest = max(
+            self.spans.items(), key=lambda kv: kv[1]["self_s"], default=None
+        )
+        return {
+            "reason": self.reason,
+            "latency_s": self.latency_s,
+            "worst_tier": self.worst_tier,
+            "hottest_span": hottest[0] if hottest else "",
+            "hottest_self_s": hottest[1]["self_s"] if hottest else 0.0,
+        }
+
+
+class FlightRecorder:
+    """Sampling ring of :class:`FlightExemplar`.
+
+    Parameters
+    ----------
+    latency_threshold_s:
+        Capture any batch whose wall latency meets or exceeds this.
+        ``0.0`` captures everything (useful for tests and smoke runs).
+    tier_threshold:
+        Capture any batch where some request was served at this rung or
+        worse (``"analytical"`` catches analytical/median/default);
+        ``None`` disables tier-triggered capture.
+    max_exemplars:
+        Ring size; the oldest exemplars fall off first.
+    """
+
+    def __init__(
+        self,
+        latency_threshold_s: float = 0.25,
+        tier_threshold: str | None = None,
+        max_exemplars: int = 64,
+        registry: MetricsRegistry | None = None,
+        events: EventLog | None = None,
+    ) -> None:
+        if latency_threshold_s < 0:
+            raise ValueError("latency_threshold_s must be >= 0")
+        if tier_threshold is not None and tier_threshold not in TIER_ORDER:
+            raise ValueError(
+                f"tier_threshold {tier_threshold!r} not in {TIER_ORDER}"
+            )
+        if max_exemplars < 1:
+            raise ValueError("max_exemplars must be >= 1")
+        self.latency_threshold_s = float(latency_threshold_s)
+        self.tier_threshold = tier_threshold
+        self.registry = registry
+        self.events = events
+        self._ring: deque[FlightExemplar] = deque(maxlen=max_exemplars)
+
+    # -- capture decision --------------------------------------------------
+
+    def breach_reason(
+        self, latency_s: float, tiers: Iterable[str]
+    ) -> str | None:
+        """Why this batch should be captured, or ``None``."""
+        if latency_s >= self.latency_threshold_s:
+            return "latency"
+        if self.tier_threshold is not None:
+            floor = TIER_ORDER.index(self.tier_threshold)
+            for tier in tiers:
+                if tier in TIER_ORDER and TIER_ORDER.index(tier) >= floor:
+                    return "tier"
+        return None
+
+    def record(
+        self,
+        latency_s: float,
+        tiers: Iterable[str],
+        request: Mapping | None = None,
+        active_size: int = 0,
+        spans: Iterable[SpanRecord] = (),
+        **attrs,
+    ) -> FlightExemplar | None:
+        """Capture the batch if it breaches a threshold; returns the
+        exemplar (also emitted as a ``flight/exemplar`` event) or None."""
+        tiers = [str(t) for t in tiers]
+        reason = self.breach_reason(latency_s, tiers)
+        if reason is None:
+            return None
+        tier_counts: dict[str, int] = {}
+        for tier in tiers:
+            tier_counts[tier] = tier_counts.get(tier, 0) + 1
+        worst = max(
+            (t for t in tier_counts if t in TIER_ORDER),
+            key=TIER_ORDER.index, default=tiers[0] if tiers else "",
+        )
+        exemplar = FlightExemplar(
+            reason=reason,
+            latency_s=float(latency_s),
+            n_requests=len(tiers),
+            active_size=int(active_size),
+            tiers=dict(sorted(tier_counts.items())),
+            worst_tier=worst,
+            request=dict(request or {}),
+            spans=span_self_times(spans),
+            attrs=dict(attrs),
+        )
+        self._ring.append(exemplar)
+        if self.registry is not None:
+            self.registry.counter(
+                "flight_exemplars_total",
+                "Slow/degraded batches captured by the flight recorder.",
+                labels={"reason": reason},
+            ).inc()
+        if self.events is not None:
+            self.events.emit(
+                "flight", "exemplar", severity="warning",
+                **exemplar.brief(),
+            )
+        return exemplar
+
+    # -- inspection --------------------------------------------------------
+
+    def exemplars(self, limit: int | None = None) -> list[FlightExemplar]:
+        """Captured exemplars, oldest first; ``limit`` keeps the newest N."""
+        out = list(self._ring)
+        if limit is not None and limit >= 0:
+            out = out[-limit:]
+        return out
+
+    def recent_briefs(self, n: int = 3) -> list[dict]:
+        return [e.brief() for e in self.exemplars(limit=n)]
+
+    def __len__(self) -> int:
+        return len(self._ring)

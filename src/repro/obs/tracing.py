@@ -37,6 +37,17 @@ __all__ = ["Span", "SpanRecord", "Tracer", "NULL_SPAN"]
 _SPAN_BUCKETS = exponential_buckets(1e-5, 2.0, 20)
 
 
+def _quantile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolation quantile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
 @dataclass(frozen=True)
 class SpanRecord:
     """One finished span: what ran, for how long, under whom."""
@@ -164,18 +175,26 @@ class Tracer:
 
     def summary(self) -> dict[str, dict[str, float]]:
         """Per-name aggregates over the buffered spans:
-        ``{name: {count, total_s, mean_s, max_s}}``, sorted by name."""
-        agg: dict[str, dict[str, float]] = {}
+        ``{name: {count, total_s, mean_s, p50_s, p95_s, max_s}}``, sorted
+        by name.  The percentiles are exact over the buffered window
+        (nearest-rank with linear interpolation), so span latency tails
+        are visible without the flight recorder."""
+        durations: dict[str, list[float]] = {}
         for rec in self._finished:
-            entry = agg.setdefault(
-                rec.name, {"count": 0, "total_s": 0.0, "mean_s": 0.0, "max_s": 0.0}
-            )
-            entry["count"] += 1
-            entry["total_s"] += rec.duration_s
-            entry["max_s"] = max(entry["max_s"], rec.duration_s)
-        for entry in agg.values():
-            entry["mean_s"] = entry["total_s"] / entry["count"]
-        return dict(sorted(agg.items()))
+            durations.setdefault(rec.name, []).append(rec.duration_s)
+        agg: dict[str, dict[str, float]] = {}
+        for name, durs in sorted(durations.items()):
+            durs.sort()
+            total = sum(durs)
+            agg[name] = {
+                "count": len(durs),
+                "total_s": total,
+                "mean_s": total / len(durs),
+                "p50_s": _quantile(durs, 0.5),
+                "p95_s": _quantile(durs, 0.95),
+                "max_s": durs[-1],
+            }
+        return agg
 
     def reset(self) -> None:
         self._finished.clear()

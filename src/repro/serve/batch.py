@@ -508,6 +508,35 @@ class BatchOnlinePredictor:
         elapsed = time.perf_counter() - t0
         self.stats.total_time_s += elapsed
         self.stats.latency.observe(elapsed)
+        flight = self.obs.flight if self.obs is not None else None
+        if flight is not None:
+            tier_names = [t.value for t in tiers]
+            if flight.breach_reason(elapsed, tier_names) is not None:
+                # Spans opened by this call all start at or after t0 on
+                # the same perf_counter clock, so the tracer's buffer can
+                # be sliced by start time — no bookkeeping on the hot
+                # path when nothing breaches.
+                spans = [
+                    rec for rec in (
+                        self.tracer.spans() if self.tracer is not None
+                        and self.tracer.enabled else ()
+                    )
+                    if rec.start_s >= t0
+                ]
+                first = requests[0]
+                flight.record(
+                    elapsed, tier_names,
+                    request={
+                        "src": first.src, "dst": first.dst,
+                        "total_bytes": float(first.total_bytes),
+                        "n_files": int(first.n_files),
+                        "concurrency": int(first.concurrency),
+                        "parallelism": int(first.parallelism),
+                    },
+                    active_size=len(self.active),
+                    spans=spans,
+                    n_nonconverged=n_bad,
+                )
         return BatchPrediction(rates, tiers, nonconv)
 
     def _predict_chain(

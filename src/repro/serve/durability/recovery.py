@@ -442,6 +442,14 @@ def recover_serving_state(
         report.last_seq = state.last_seq
         report.active_transfers = len(state.active)
         report.drift_observations = state.drift.observations
+        if state.obs.events is not None:
+            degraded = bool(report.snapshot_fallbacks or report.torn
+                            or report.replay_rejected)
+            state.obs.events.emit(
+                "durability", "recovered",
+                severity="warning" if degraded else "info",
+                **report.as_dict(),
+            )
         return state, report
     finally:
         if span_cm is not None:

@@ -23,7 +23,15 @@ edge).  The final incarnation drains everything, and the report asserts:
   fallback tier (provenance preserved);
 - *never unseated*: the corrupt edge's live chain entry is the exact
   object it started with, while ``durability_rollback_total`` counts
-  the refused artifacts.
+  the refused artifacts;
+- *alert determinism (exactly-once alerting)*: a second, uninterrupted
+  supervisor follows the same phased appends in its own directories; the
+  crash-resumed run's SLO alert ledger (alert seq, objective, state,
+  data time) must equal the reference run's exactly, the checkpointed
+  SLI sample windows must match, every event seq in the crash run's
+  JSONL sink must be unique (recovery truncated re-emitted tails), and
+  the sink's ``slo/alert`` events must mirror the engine ledger one for
+  one — alerts are neither lost nor duplicated by crashes.
 
 **B — truncation / rotation (reset-exact re-ingestion).**  A fresh
 state directory; the file is truncated-and-rewritten, then rotated
@@ -50,6 +58,8 @@ import numpy as np
 from repro.logs.io import read_jsonl
 from repro.logs.store import LogStore
 from repro.obs import Observability
+from repro.obs.events import EventLog, read_events
+from repro.obs.slo import SLO, SLOEngine
 from repro.serve.bench import make_synthetic_model
 from repro.serve.chaos import ChaosConfig, make_chaos_log, write_corrupt_jsonl
 from repro.serve.fallback import FallbackChain, ModelTier
@@ -119,6 +129,14 @@ class StreamChaosReport:
     rollbacks: int = 0
     corrupt_artifacts_published: int = 0
     live_model_preserved: bool = False
+    # A: alert determinism (crash-resumed vs uninterrupted reference)
+    alert_transitions: int = 0
+    reference_alert_transitions: int = 0
+    alerts_fired: int = 0
+    alerts_match: bool = False
+    slo_samples_match: bool = False
+    event_seqs_unique: bool = False
+    alert_events_durable: bool = False
     # B: truncation / rotation
     truncation_resets: int = 0
     rotation_resets: int = 0
@@ -159,9 +177,22 @@ class StreamChaosReport:
                 and self.reset_digest_equal)
 
     @property
+    def alerts_deterministic(self) -> bool:
+        """Crash-resumed and uninterrupted runs fire the identical alert
+        ledger (same count, same seqs, same data times), with at least
+        one real alert exercised, unique event seqs in the sink, and the
+        sink's alert events exactly mirroring the engine ledger."""
+        return (self.alerts_match
+                and self.alerts_fired >= 1
+                and self.slo_samples_match
+                and self.event_seqs_unique
+                and self.alert_events_durable)
+
+    @property
     def ok(self) -> bool:
         return (self.exactly_once and self.breaker_opened
                 and self.fallback_served and self.never_unseated
+                and self.alerts_deterministic
                 and self.resets_exact and not self.errors)
 
     def render(self) -> str:
@@ -188,6 +219,13 @@ class StreamChaosReport:
             f"{'OK' if self.never_unseated else 'FAILED'} "
             f"({self.corrupt_edge}: {self.rollbacks} rollbacks over "
             f"{self.corrupt_artifacts_published} corrupted artifacts)",
+            f"alert determinism         "
+            f"{'OK' if self.alerts_deterministic else 'FAILED'} "
+            f"({self.alert_transitions} transitions vs reference "
+            f"{self.reference_alert_transitions}, {self.alerts_fired} fired; "
+            f"samples {'match' if self.slo_samples_match else 'MISMATCH'}, "
+            f"seqs {'unique' if self.event_seqs_unique else 'DUPLICATED'}, "
+            f"sink {'durable' if self.alert_events_durable else 'DIVERGED'})",
             f"truncation/rotation       "
             f"{'OK' if self.resets_exact else 'FAILED'} "
             f"({self.truncation_resets} truncations, "
@@ -241,6 +279,26 @@ def _corrupt_file(path: Path) -> None:
     if blob:
         blob[len(blob) // 2] ^= 0xFF
         path.write_bytes(bytes(blob))
+
+
+def _chaos_slos() -> list:
+    """The two SLOs whose SLIs are pure functions of checkpointed state
+    (tail quarantine totals; data-time checkpoint staleness), so the
+    crash-resumed ledger can be compared bit-for-bit against the
+    uninterrupted reference.  Windows are effectively unbounded and
+    ``min_samples=2`` because the chaos log's data-time span is
+    arbitrary; the quarantine target sits far below the injected ~1/9
+    corruption rate (must fire), the staleness target far above anything
+    reachable (must stay quiet)."""
+    shared = dict(fast_window_s=1e12, slow_window_s=1e13, min_samples=2)
+    return [
+        SLO("stream_quarantine_rate",
+            "Cumulative quarantine rate of the tailed log.",
+            target=0.02, mode="max", **shared),
+        SLO("stream_checkpoint_staleness",
+            "Data time elapsed since the last checkpoint (seconds).",
+            target=1e15, mode="max", severity="critical", **shared),
+    ]
 
 
 def run_stream_chaos(
@@ -308,6 +366,21 @@ def _scenario_crashes(cfg: StreamChaosConfig, root: Path,
         make_synthetic_model(cfg.seed),
         src=corrupt_edge[0], dst=corrupt_edge[1])
 
+    # The crash run's diagnosis layer: a durable JSONL sink (its seqs are
+    # checkpointed, so recovery must truncate and re-emit) plus the
+    # alert-deterministic SLO engine.
+    events_path = root / "events.jsonl"
+    obs.events = EventLog(path=events_path, registry=obs.registry)
+    obs.slo = SLOEngine(_chaos_slos(), registry=obs.registry,
+                        events=obs.events)
+
+    stream_config = StreamConfig(
+        poll_interval_s=0.0,
+        max_backlog_records=4 * cfg.max_apply_per_cycle,
+        max_apply_per_cycle=cfg.max_apply_per_cycle,
+        checkpoint_every=1,
+    )
+
     def build(crash_hook=None):
         chain = FallbackChain.from_log(
             kept, edge_models={corrupt_edge: base_model})
@@ -322,15 +395,48 @@ def _scenario_crashes(cfg: StreamChaosConfig, root: Path,
         )
         return StreamSupervisor(
             tail, controller, state_dir, obs=obs,
-            config=StreamConfig(
-                poll_interval_s=0.0,
-                max_backlog_records=4 * cfg.max_apply_per_cycle,
-                max_apply_per_cycle=cfg.max_apply_per_cycle,
-                checkpoint_every=1,
-            ),
+            config=stream_config,
             sleep=lambda _s: None,
             crash_hook=crash_hook,
         )
+
+    # The uninterrupted reference: one persistent supervisor in its own
+    # directories following the exact same phased appends, never crashed,
+    # never rebuilt.  Its alert ledger is what the crash-resumed run must
+    # reproduce bit for bit.
+    ref_root = root / "ref"
+    ref_root.mkdir(parents=True, exist_ok=True)
+    ref_live = ref_root / "transfers.jsonl"
+    ref_obs = Observability.create(trace=False)
+    ref_obs.events = EventLog(path=ref_root / "events.jsonl",
+                              registry=ref_obs.registry)
+    ref_obs.slo = SLOEngine(_chaos_slos(), registry=ref_obs.registry,
+                            events=ref_obs.events)
+
+    def ref_publish_hook(edge, generation, path):
+        # Same artifact corruption, but not counted into the report.
+        if tuple(edge) == corrupt_edge:
+            _corrupt_file(path)
+
+    ref = StreamSupervisor(
+        TailIngester(ref_live, fmt="jsonl", registry=ref_obs.registry,
+                     seed=cfg.seed),
+        RetrainController(
+            FallbackChain.from_log(
+                kept,
+                edge_models={corrupt_edge: dataclasses.replace(
+                    make_synthetic_model(cfg.seed),
+                    src=corrupt_edge[0], dst=corrupt_edge[1])}),
+            ref_obs.drift, ref_root / "artifacts", policy=_policy(),
+            fit_fn=partial(_chaos_fit, poisoned=(poisoned_edge,),
+                           seed=cfg.seed),
+            registry=ref_obs.registry, seed=cfg.seed,
+            publish_hook=ref_publish_hook,
+        ),
+        ref_root / "state", obs=ref_obs,
+        config=stream_config,
+        sleep=lambda _s: None,
+    )
 
     def crash_hook_for(stage: str):
         def hook(s):
@@ -339,6 +445,7 @@ def _scenario_crashes(cfg: StreamChaosConfig, root: Path,
         return hook
 
     live.write_text("")
+    ref_live.write_text("")
     phase_chunks = np.array_split(np.arange(len(all_lines)), cfg.phases)
     carry = ""
     for phase, chunk in enumerate(phase_chunks):
@@ -350,6 +457,8 @@ def _scenario_crashes(cfg: StreamChaosConfig, root: Path,
             cut = max(1, len(all_lines[chunk[-1]]) // 2)
             carry, text = text[-cut:], text[:-cut]
         with live.open("a") as fh:
+            fh.write(text)
+        with ref_live.open("a") as fh:
             fh.write(text)
 
         if phase < cfg.phases - 1:
@@ -366,6 +475,7 @@ def _scenario_crashes(cfg: StreamChaosConfig, root: Path,
         report.incarnations += 1
         survivor.run(max_cycles=cfg.cycles_per_incarnation)
         final = survivor
+        ref.run(max_cycles=cfg.cycles_per_incarnation)
 
     report.applied_records = final.applied_records
     report.applied_digest = final.applied_digest
@@ -408,6 +518,48 @@ def _scenario_crashes(cfg: StreamChaosConfig, root: Path,
     if breaker.state is not BreakerState.OPEN and report.breaker_opens == 0:
         report.errors.append(
             f"poisoned breaker never opened (state {breaker.state.name})")
+
+    # Alert determinism: the crash-resumed engine ledger vs the
+    # uninterrupted reference's, exactly.  Global event seqs differ (the
+    # crash run interleaves durability/stream_recovered events), which is
+    # precisely why the engine keeps its own checkpointed alert_seq.
+    def ledger(engine):
+        return [
+            (e["alert_seq"], e["slo"], e["state"], e["t"])
+            for e in engine.alert_log
+        ]
+
+    crash_ledger = ledger(final.slo)
+    ref_ledger = ledger(ref.slo)
+    report.alert_transitions = len(crash_ledger)
+    report.reference_alert_transitions = len(ref_ledger)
+    report.alerts_fired = sum(
+        1 for e in final.slo.alert_log if e["state"] == "firing")
+    report.alerts_match = crash_ledger == ref_ledger
+    report.slo_samples_match = (
+        final.slo.state_dict()["samples"] == ref.slo.state_dict()["samples"])
+    if not report.alerts_match:
+        report.errors.append(
+            f"alert ledgers diverged: crash {crash_ledger} "
+            f"vs reference {ref_ledger}")
+
+    # The sink half of the proof: seqs strictly increasing (recovery
+    # truncated every superseded tail) and the slo/alert events mirroring
+    # the engine ledger one for one.
+    sink = list(read_events(events_path))
+    seqs = [e.seq for e in sink]
+    report.event_seqs_unique = bool(seqs) and all(
+        b > a for a, b in zip(seqs, seqs[1:]))
+    sink_alerts = [
+        (e.attrs.get("alert_seq"), e.attrs.get("slo"),
+         e.attrs.get("state"), e.attrs.get("t"))
+        for e in sink if e.category == "slo" and e.name == "alert"
+    ]
+    report.alert_events_durable = sink_alerts == crash_ledger
+    if not report.alert_events_durable:
+        report.errors.append(
+            f"sink alert events diverged from the engine ledger: "
+            f"{sink_alerts} vs {crash_ledger}")
 
 
 # -- scenario B: truncation and rotation --------------------------------------

@@ -51,6 +51,7 @@ from repro.logs.schema import LOG_DTYPE
 from repro.logs.store import LogStore
 from repro.ml.persistence import model_from_dict, model_to_dict
 from repro.obs import MetricsRegistry, Tracer
+from repro.obs.events import EventLog
 from repro.obs.tracing import NULL_SPAN
 from repro.serve.durability import ModelArtifactStore, ModelReloader
 from repro.serve.fallback import FallbackChain
@@ -264,6 +265,7 @@ class RetrainController:
         tracer: Tracer | None = None,
         seed: int = 0,
         publish_hook=None,
+        events: EventLog | None = None,
     ) -> None:
         self.chain = chain
         self.drift = drift
@@ -273,6 +275,7 @@ class RetrainController:
             fit_edge_from_rows, min_samples=self.policy.min_fit_rows)
         self.registry = registry
         self.tracer = tracer
+        self.events = events
         self.seed = int(seed)
         # Test/chaos hook: called as publish_hook(edge, generation, path)
         # after publish but before reload — where artifact corruption
@@ -435,6 +438,7 @@ class RetrainController:
                     tracer=self.tracer,
                     timeout=policy.fit_timeout_s,
                     return_exceptions=True,
+                    events=self.events,
                 )
                 for (edge, _), result in zip(tasks, results):
                     if isinstance(result, TaskTimeout):
@@ -442,28 +446,58 @@ class RetrainController:
                         self._fail(edge, now, "timeout")
                     elif isinstance(result, Exception) or result is None:
                         outcomes[edge] = "failed"
-                        self._fail(edge, now, "failed")
+                        self._fail(edge, now, "failed",
+                                   reason=f"{type(result).__name__}: {result}")
                     else:
                         ok, reason = self._publish(edge, result)
                         if ok:
                             outcomes[edge] = "ok"
-                            self.breaker(edge).record_success(now)
+                            breaker = self.breaker(edge)
+                            was = breaker.state
+                            breaker.record_success(now)
                             self._count("ok")
+                            if self.events is not None:
+                                self.events.emit(
+                                    "stream", "retrain_published",
+                                    edge=f"{edge[0]}->{edge[1]}",
+                                    generation=self._published.get(edge),
+                                    at=float(now),
+                                )
+                                if was is not BreakerState.CLOSED:
+                                    self.events.emit(
+                                        "stream", "breaker_close",
+                                        edge=f"{edge[0]}->{edge[1]}",
+                                        at=float(now),
+                                    )
                         else:
                             outcomes[edge] = "failed"
-                            self._fail(edge, now, "failed")
+                            self._fail(edge, now, "failed", reason=reason)
             for edge in edges:
                 self._export_breaker(edge)
         return outcomes
 
-    def _fail(self, edge: Edge, now: float, status: str) -> None:
+    def _fail(self, edge: Edge, now: float, status: str,
+              reason: str = "") -> None:
         breaker = self.breaker(edge)
         before = breaker.state
         breaker.record_failure(now)
         self._count(status)
-        if (self.registry is not None
-                and breaker.state is BreakerState.OPEN
-                and before is not BreakerState.OPEN):
+        opened = (breaker.state is BreakerState.OPEN
+                  and before is not BreakerState.OPEN)
+        if self.events is not None:
+            self.events.emit(
+                "stream", "refit_failed", severity="warning",
+                edge=f"{edge[0]}->{edge[1]}", status=status,
+                reason=reason, failures=breaker.failures, at=float(now),
+            )
+            if opened:
+                self.events.emit(
+                    "stream", "breaker_open", severity="error",
+                    edge=f"{edge[0]}->{edge[1]}",
+                    failures=breaker.failures,
+                    cooldown_s=breaker.cooldown_s, at=float(now),
+                )
+        if self.registry is not None and opened:
             self.registry.counter(
                 "stream_breaker_opens_total",
                 "Circuit-breaker open transitions.",
@@ -565,5 +599,12 @@ class RetrainController:
                     bundle, reloader.model)
                 self._published[edge] = int(generation)
                 self._bundles[edge] = bundle
+            elif self.events is not None:
+                self.events.emit(
+                    "stream", "retrain_rollback", severity="warning",
+                    edge=f"{edge[0]}->{edge[1]}",
+                    generation=int(generation),
+                    status=outcome.status, reason=outcome.reason,
+                )
         for edge in self._breakers:
             self._export_breaker(edge)

@@ -107,7 +107,7 @@ def fold_digest(digest: str, arr: np.ndarray) -> str:
 class StreamSupervisor:
     """Owns one tail + one retrain controller + one serving predictor."""
 
-    _CHECKPOINT_SECTIONS = ("tail", "retrain", "drift", "stream")
+    _CHECKPOINT_SECTIONS = ("tail", "retrain", "drift", "stream", "obs")
 
     def __init__(
         self,
@@ -129,6 +129,19 @@ class StreamSupervisor:
             raise ValueError("supervisor needs an Observability bundle "
                              "with a drift monitor")
         self.drift = self.obs.drift
+        self.events = self.obs.events
+        self.slo = self.obs.slo
+        # Components constructed without an event log inherit the
+        # bundle's, so one sink carries the whole loop's events.
+        if self.events is not None:
+            if getattr(controller, "events", None) is None:
+                controller.events = self.events
+            if getattr(tail, "events", None) is None:
+                from repro.obs.events import QuarantineBurstDetector
+
+                tail.events = self.events
+                tail.burst = QuarantineBurstDetector(
+                    self.events, source=tail.path.name)
         self.state_dir = Path(state_dir)
         self.checkpoints = SnapshotStore(self.state_dir / "checkpoints")
         self.active = active if active is not None \
@@ -147,6 +160,7 @@ class StreamSupervisor:
         self.shed_records = 0
         self.cycles = 0
         self.data_now = 0.0          # newest applied completion time
+        self._ckpt_data_now = 0.0    # data_now at the last durable checkpoint
         self._generation = 0
         self._last_beat = float(clock())
         self._stop = False
@@ -162,8 +176,27 @@ class StreamSupervisor:
         generations = self.checkpoints.generations()
         self._generation = generations[-1] if generations else 0
         if loaded is None:
+            # A cold start is still a recovery point: nothing a previous
+            # incarnation emitted before its first checkpoint was ever
+            # durable, so the event seq and SLO state roll back to zero
+            # (truncating the sink) exactly like a checkpointed resume —
+            # otherwise a crash before the first checkpoint would leave
+            # duplicated events and SLI samples behind.
+            if self.events is not None:
+                self.events.load_state({})
+            if self.slo is not None:
+                self.slo.load_state({})
             return
         payload = loaded.payload
+        # Roll the event seq back *first*: everything emitted past the
+        # checkpoint (sink lines included) is discarded, so the events
+        # the resumed loop re-emits land on the same sequence numbers —
+        # exactly-once for the event stream too.
+        obs_state = payload.get("obs", {})
+        if self.events is not None:
+            self.events.load_state(obs_state.get("events", {}))
+        if self.slo is not None:
+            self.slo.load_state(obs_state.get("slo", {}))
         self.tail.load_state(payload.get("tail", {}))
         self.controller.load_state(payload.get("retrain", {}))
         self.drift.load_snapshot(payload.get("drift", {}))
@@ -174,6 +207,8 @@ class StreamSupervisor:
         self.shed_records = int(stream.get("shed_records", 0))
         self.cycles = int(stream.get("cycles", 0))
         self.data_now = float(stream.get("data_now", 0.0))
+        self._ckpt_data_now = float(
+            stream.get("ckpt_data_now", self.data_now))
         registry = self.obs.registry
         registry.counter(
             "stream_recoveries_total",
@@ -184,6 +219,15 @@ class StreamSupervisor:
                 "stream_checkpoint_fallbacks_total",
                 "Corrupt newer checkpoint generations skipped at recovery.",
             ).inc(len(loaded.rejected))
+        if self.events is not None:
+            self.events.emit(
+                "durability", "stream_recovered",
+                severity="warning" if loaded.rejected else "info",
+                generation=loaded.generation,
+                rejected_generations=len(loaded.rejected),
+                applied_records=self.applied_records,
+                data_now=self.data_now,
+            )
 
     # -- checkpointing ------------------------------------------------------
 
@@ -191,6 +235,11 @@ class StreamSupervisor:
         """Atomically persist (tail position, consumer state) as one
         generation; prune old generations.  Returns the generation."""
         self._generation += 1
+        obs_state = {}
+        if self.events is not None:
+            obs_state["events"] = self.events.state_dict()
+        if self.slo is not None:
+            obs_state["slo"] = self.slo.state_dict()
         sections = {
             "tail": self.tail.state_dict(),
             "retrain": self.controller.state_dict(),
@@ -202,10 +251,13 @@ class StreamSupervisor:
                 "shed_records": int(self.shed_records),
                 "cycles": int(self.cycles),
                 "data_now": float(self.data_now),
+                "ckpt_data_now": float(self.data_now),
             },
+            "obs": obs_state,
         }
         self.checkpoints.write(self._generation, sections,
                                last_seq=self.applied_records)
+        self._ckpt_data_now = float(self.data_now)
         self.checkpoints.prune(keep=max(2, self.config.keep_checkpoints))
         registry = self.obs.registry
         registry.counter(
@@ -295,7 +347,45 @@ class StreamSupervisor:
             "stream_applied_records_total",
             "Backlog rows applied to the serving state.",
         ).inc(take)
+
+        tier_counts: dict[str, int] = {}
+        for tier in prediction.tiers:
+            name = getattr(tier, "value", str(tier))
+            tier_counts[name] = tier_counts.get(name, 0) + 1
+        low_tiers = {
+            name: n for name, n in tier_counts.items()
+            if name not in ("edge", "global")
+        }
+        if low_tiers and self.events is not None:
+            self.events.emit(
+                "serve", "tier_fallback", severity="warning",
+                records=take, tiers=dict(sorted(low_tiers.items())),
+                data_now=self.data_now,
+            )
+        self._feed_slos(tier_counts, take)
         return take
+
+    def _feed_slos(self, tier_counts: dict[str, int], take: int) -> None:
+        """One SLI sample per objective at the batch's data time, then a
+        burn-rate evaluation.  Everything recorded here is a function of
+        checkpointed state only, so a crash-resumed loop re-derives the
+        identical sample series — the alert-determinism contract."""
+        if self.slo is None:
+            return
+        now = self.data_now
+        report = self.tail.report
+        if report.total_rows:
+            self.slo.record(
+                "stream_quarantine_rate",
+                1.0 - report.kept_rows / report.total_rows, now)
+        self.slo.record(
+            "stream_checkpoint_staleness", now - self._ckpt_data_now, now)
+        self.slo.record(
+            "stream_tier0_ratio", tier_counts.get("edge", 0) / take, now)
+        overall = self.drift.overall()
+        if overall.n:
+            self.slo.record("stream_mdape", overall.mdape, now)
+        self.slo.evaluate(now)
 
     def _heartbeat(self) -> None:
         self._last_beat = float(self._clock())
@@ -365,6 +455,8 @@ class StreamSupervisor:
                 for (s, d), breaker in sorted(
                     self.controller._breakers.items())
             },
+            "event_seq": self.events.seq if self.events is not None else 0,
+            "slo": self.slo.status() if self.slo is not None else {},
         }
 
 
@@ -393,5 +485,19 @@ def read_stream_status(state_dir: str | Path) -> dict:
         "breakers": {
             f"{s}->{d}": payload_
             for s, d, payload_ in payload.get("retrain", {}).get("breakers", ())
+        },
+        "event_seq": int(
+            payload.get("obs", {}).get("events", {}).get("seq", 0)),
+        "slo": {
+            "firing": [
+                name for name, on in sorted(
+                    payload.get("obs", {}).get("slo", {})
+                    .get("firing", {}).items())
+                if on
+            ],
+            "alert_seq": int(
+                payload.get("obs", {}).get("slo", {}).get("alert_seq", 0)),
+            "alert_log": list(
+                payload.get("obs", {}).get("slo", {}).get("alert_log", ())),
         },
     }

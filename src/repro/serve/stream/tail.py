@@ -43,6 +43,7 @@ import numpy as np
 from repro.logs.io import QuarantineReport, parse_log_lines
 from repro.logs.schema import LOG_DTYPE
 from repro.obs import MetricsRegistry
+from repro.obs.events import EventLog, QuarantineBurstDetector
 
 __all__ = ["TailIngester", "TailBatch", "TailError"]
 
@@ -84,6 +85,9 @@ class TailIngester:
         backoff_max_s: float = 5.0,
         jitter: float = 0.25,
         seed: int = 0,
+        events: EventLog | None = None,
+        burst_window_rows: int = 256,
+        burst_max_rate: float = 0.05,
     ) -> None:
         self.path = Path(path)
         if fmt is None:
@@ -100,6 +104,15 @@ class TailIngester:
         self.jitter = float(jitter)
         self._rng = random.Random(seed)
         self.report = QuarantineReport(source=str(self.path))
+        self.events = events
+        self.burst: QuarantineBurstDetector | None = None
+        if events is not None:
+            self.burst = QuarantineBurstDetector(
+                events,
+                window_rows=burst_window_rows,
+                max_rate=burst_max_rate,
+                source=self.path.name,
+            )
 
         self.offset = 0          # byte offset of the first unconsumed byte
         self.line_no = 0         # complete lines consumed so far
@@ -125,6 +138,8 @@ class TailIngester:
             "header_consumed": bool(self.header_consumed),
             "total_rows": int(self.report.total_rows),
             "kept_rows": int(self.report.kept_rows),
+            **({"burst": self.burst.state_dict()}
+               if self.burst is not None else {}),
         }
 
     def load_state(self, state: dict) -> None:
@@ -140,6 +155,8 @@ class TailIngester:
         self.header_consumed = bool(state.get("header_consumed", False))
         self.report.total_rows = int(state.get("total_rows", 0))
         self.report.kept_rows = int(state.get("kept_rows", 0))
+        if self.burst is not None:
+            self.burst.load_state(state.get("burst", {}))
         self.consecutive_errors = 0
 
     # -- polling ------------------------------------------------------------
@@ -197,6 +214,11 @@ class TailIngester:
         self.line_no = line_no
         self._update_signature()
         self._merge(delta)
+        if self.burst is not None:
+            self.burst.observe(
+                delta.total_rows, delta.quarantined_rows,
+                delta.reason_counts(),
+            )
         if self.registry is not None:
             delta.count_into(self.registry, self.fmt)
             self.registry.gauge(
@@ -248,6 +270,11 @@ class TailIngester:
         self.signature_len = 0
         self.header_consumed = False
         self.resets += 1
+        if self.events is not None:
+            self.events.emit(
+                "ingest", "tail_reset", severity="warning",
+                path=self.path.name, reason=reason,
+            )
         if self.registry is not None:
             self.registry.counter(
                 "stream_tail_resets_total",

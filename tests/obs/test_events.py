@@ -1,0 +1,241 @@
+"""Structured event log: schema, ring, sink, seq rollback, bursts."""
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    Event,
+    EventLog,
+    QuarantineBurstDetector,
+    read_events,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def fixed_log(path=None, **kwargs):
+    """An EventLog on injected clocks so tests are time-independent."""
+    t = {"wall": 1000.0, "mono": 10.0}
+
+    def wall():
+        t["wall"] += 1.0
+        return t["wall"]
+
+    def mono():
+        t["mono"] += 0.5
+        return t["mono"]
+
+    return EventLog(path=path, clock=wall, mono=mono, **kwargs)
+
+
+class TestEventSchema:
+    def test_round_trip(self):
+        log = fixed_log()
+        event = log.emit("serve", "tier_fallback", severity="warning",
+                         tier="global", records=3)
+        data = event.as_dict()
+        assert data["v"] == EVENT_SCHEMA_VERSION
+        back = Event.from_dict(data)
+        assert back == event
+
+    def test_seq_is_monotonic_from_one(self):
+        log = fixed_log()
+        seqs = [log.emit("c", "n").seq for _ in range(5)]
+        assert seqs == [1, 2, 3, 4, 5]
+        assert log.seq == 5
+
+    def test_bad_severity_raises(self):
+        with pytest.raises(ValueError, match="severity"):
+            fixed_log().emit("c", "n", severity="fatal")
+
+    def test_attrs_are_json_safe(self):
+        log = fixed_log()
+        event = log.emit("c", "n", nan=float("nan"), inf=float("inf"),
+                         nested={"k": (1, 2)}, obj=object())
+        text = json.dumps(event.as_dict(), allow_nan=False)
+        data = json.loads(text)["attrs"]
+        assert data["nan"] == "nan"
+        assert data["nested"] == {"k": [1, 2]}
+        assert isinstance(data["obj"], str)
+
+    def test_render_is_one_line(self):
+        event = fixed_log().emit("slo", "alert", severity="critical", x=1)
+        text = event.render()
+        assert "\n" not in text
+        assert "slo/alert" in text and "critical" in text and "x=1" in text
+
+
+class TestRingAndSink:
+    def test_ring_is_bounded_oldest_first_out(self):
+        log = fixed_log(max_events=3)
+        for i in range(5):
+            log.emit("c", f"e{i}")
+        assert [e.name for e in log.events()] == ["e2", "e3", "e4"]
+        assert len(log) == 3
+        assert log.seq == 5  # the counter never rolls with the ring
+
+    def test_events_filters_and_limit(self):
+        log = fixed_log()
+        log.emit("a", "x")
+        log.emit("b", "y", severity="warning")
+        log.emit("a", "y")
+        assert [e.name for e in log.events(category="a")] == ["x", "y"]
+        assert [e.category for e in log.events(severity="warning")] == ["b"]
+        assert [e.name for e in log.events(limit=1)] == ["y"]
+
+    def test_sink_appends_and_reads_back(self, tmp_path):
+        sink = tmp_path / "events.jsonl"
+        log = fixed_log(path=sink)
+        log.emit("c", "first")
+        log.emit("c", "second", severity="error")
+        back = list(read_events(sink))
+        assert [e.name for e in back] == ["first", "second"]
+        assert back[1].severity == "error"
+
+    def test_read_events_skips_torn_lines(self, tmp_path):
+        sink = tmp_path / "events.jsonl"
+        log = fixed_log(path=sink)
+        log.emit("c", "good")
+        log.emit("c", "also-good")
+        # Tear the last line mid-append, the way a crash would.
+        torn = sink.read_text()[:-20]
+        sink.write_text(torn)
+        names = [e.name for e in read_events(sink)]
+        assert names == ["good"]
+
+    def test_read_events_filters(self, tmp_path):
+        sink = tmp_path / "events.jsonl"
+        log = fixed_log(path=sink)
+        log.emit("a", "x")
+        log.emit("b", "x", severity="warning")
+        log.emit("a", "y")
+        assert [e.seq for e in read_events(sink, category="a")] == [1, 3]
+        assert [e.seq for e in read_events(sink, since_seq=2)] == [3]
+        assert [e.seq for e in read_events(sink, limit=2)] == [1, 2]
+        assert list(read_events(tmp_path / "missing.jsonl")) == []
+
+    def test_registry_counts_by_category_and_severity(self):
+        reg = MetricsRegistry()
+        log = fixed_log(registry=reg)
+        log.emit("serve", "a")
+        log.emit("serve", "b", severity="warning")
+        flat = reg.flat()
+        assert flat['events_total{category="serve",severity="info"}'] == 1
+        assert flat['events_total{category="serve",severity="warning"}'] == 1
+
+
+class TestCheckpointPlumbing:
+    def test_state_dict_is_just_the_seq(self):
+        log = fixed_log()
+        log.emit("c", "n")
+        assert log.state_dict() == {"seq": 1}
+
+    def test_load_state_rolls_ring_and_sink_back(self, tmp_path):
+        sink = tmp_path / "events.jsonl"
+        log = fixed_log(path=sink)
+        for i in range(4):
+            log.emit("c", f"e{i}")
+        log.load_state({"seq": 2})
+        assert log.seq == 2
+        assert [e.name for e in log.events()] == ["e0", "e1"]
+        assert [e.seq for e in read_events(sink)] == [1, 2]
+        # Re-emission after rollback reuses the rolled-back seqs: the
+        # sink stays strictly monotonic with no duplicates.
+        log.emit("c", "replay")
+        seqs = [e.seq for e in read_events(sink)]
+        assert seqs == [1, 2, 3]
+
+    def test_cold_start_reset_truncates_everything(self, tmp_path):
+        sink = tmp_path / "events.jsonl"
+        log = fixed_log(path=sink)
+        log.emit("c", "pre-checkpoint")
+        log.load_state({})  # no checkpoint existed: nothing was durable
+        assert log.seq == 0
+        assert len(log) == 0
+        assert list(read_events(sink)) == []
+
+    def test_negative_seq_rejected(self):
+        with pytest.raises(ValueError, match="seq"):
+            fixed_log().load_state({"seq": -1})
+
+
+class TestQuarantineBurstDetector:
+    def test_one_event_per_breaching_window(self):
+        log = fixed_log()
+        det = QuarantineBurstDetector(log, window_rows=10, max_rate=0.2)
+        assert det.observe(5, 0) is None          # window open
+        event = det.observe(5, 4, reasons={"invalid_json": 4})
+        assert event is not None
+        assert event.name == "quarantine_burst"
+        assert event.attrs["window_rows"] == 10
+        assert event.attrs["quarantined_rows"] == 4
+        assert event.attrs["reasons"] == {"invalid_json": 4}
+        assert event.attrs["rate"] == pytest.approx(0.4)
+
+    def test_quiet_window_emits_nothing(self):
+        log = fixed_log()
+        det = QuarantineBurstDetector(log, window_rows=10, max_rate=0.2)
+        assert det.observe(10, 1) is None
+        assert len(log) == 0
+
+    def test_window_boundary_delta_never_splits(self):
+        # Satellite 3's pinned semantics: a delta larger than the space
+        # left in the window lands whole (the window overshoots), and the
+        # *next* delta starts a fresh window from zero.
+        log = fixed_log()
+        det = QuarantineBurstDetector(log, window_rows=10, max_rate=0.2)
+        assert det.observe(8, 0) is None
+        event = det.observe(7, 7)     # closes at 15 rows, not 10 + carry
+        assert event is not None
+        assert event.attrs["window_rows"] == 15
+        assert event.attrs["rate"] == pytest.approx(7 / 15)
+        assert det.state_dict()["rows"] == 0
+        # The breach concentrated right after the boundary is NOT diluted
+        # by the previous window's clean rows.
+        event2 = det.observe(10, 3)
+        assert event2 is not None
+        assert event2.attrs["rate"] == pytest.approx(0.3)
+        assert event2.attrs["window"] == 2
+
+    def test_state_round_trip_closes_same_boundaries(self):
+        log_a = fixed_log()
+        det_a = QuarantineBurstDetector(log_a, window_rows=10, max_rate=0.1)
+        det_a.observe(6, 2, reasons={"x": 2})
+        state = det_a.state_dict()
+
+        log_b = fixed_log()
+        det_b = QuarantineBurstDetector(log_b, window_rows=10, max_rate=0.1)
+        det_b.load_state(state)
+        event = det_b.observe(4, 2, reasons={"x": 2})
+        assert event is not None
+        assert event.attrs["quarantined_rows"] == 4
+        assert event.attrs["reasons"] == {"x": 4}
+
+    def test_validation(self):
+        log = fixed_log()
+        with pytest.raises(ValueError):
+            QuarantineBurstDetector(log, window_rows=0)
+        with pytest.raises(ValueError):
+            QuarantineBurstDetector(log, max_rate=1.0)
+        det = QuarantineBurstDetector(log)
+        with pytest.raises(ValueError):
+            det.observe(-1, 0)
+
+
+class TestQuarantineReportBridge:
+    def test_to_event_payload_feeds_emit(self):
+        from repro.logs.io import QuarantineReport
+
+        report = QuarantineReport(source="x.jsonl")
+        report.total_rows = 20
+        report.kept_rows = 17
+        for i in range(3):
+            report.add(i + 1, "invalid_json", "line")
+        payload = report.to_event()
+        assert payload["rate"] == pytest.approx(3 / 20)
+        assert payload["reasons"] == {"invalid_json": 3}
+        log = fixed_log()
+        event = log.emit("ingest", "quarantine", **payload)
+        assert event.attrs["total_rows"] == 20
+        assert event.attrs["source"] == "x.jsonl"

@@ -1,0 +1,238 @@
+"""SLO engine: burn windows, alert transitions, checkpoint round-trip,
+and the registry-sourced instantaneous gate."""
+
+import math
+
+import pytest
+
+from repro.obs.events import EventLog
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    SLO,
+    SLOEngine,
+    default_slos,
+    evaluate_registry,
+    read_source,
+    stream_slos,
+)
+
+
+def one_slo(**overrides):
+    base = dict(
+        name="err_rate", target=0.1, mode="max",
+        fast_window_s=10.0, slow_window_s=100.0,
+        fast_burn=0.5, slow_burn=0.1, min_samples=3,
+    )
+    base.update(overrides)
+    return SLO(base.pop("name"), "", **base)
+
+
+class TestSLODeclaration:
+    def test_breached_directions(self):
+        assert one_slo().breached(0.2)
+        assert not one_slo().breached(0.1)
+        low = one_slo(mode="min", target=0.5)
+        assert low.breached(0.4)
+        assert not low.breached(0.5)
+
+    def test_non_finite_never_breaches(self):
+        assert not one_slo().breached(math.nan)
+        assert not one_slo().breached(math.inf)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            one_slo(mode="between")
+        with pytest.raises(ValueError, match="windows"):
+            one_slo(fast_window_s=100.0, slow_window_s=10.0)
+        with pytest.raises(ValueError, match="burn"):
+            one_slo(fast_burn=0.0)
+        with pytest.raises(ValueError, match="min_samples"):
+            one_slo(min_samples=0)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOEngine([one_slo(), one_slo()])
+
+
+class TestBurnRateAlerting:
+    def test_fires_only_when_both_windows_burn(self):
+        engine = SLOEngine([one_slo()])
+        # Three old breaches: slow window burns, fast window is clean.
+        for t in (1.0, 2.0, 3.0):
+            engine.record("err_rate", 0.5, t)
+        for t in (50.0, 51.0, 52.0):
+            engine.record("err_rate", 0.0, t)
+        assert engine.evaluate(55.0) == []
+        # Fresh breaches push the fast window to 3/6 >= 0.5 too.
+        for t in (56.0, 57.0, 57.5):
+            engine.record("err_rate", 0.9, t)
+        transitions = engine.evaluate(58.0)
+        assert [t["state"] for t in transitions] == ["firing"]
+        assert engine.firing() == ["err_rate"]
+
+    def test_min_samples_gate(self):
+        engine = SLOEngine([one_slo(min_samples=5)])
+        for t in (1.0, 2.0, 3.0):
+            engine.record("err_rate", 0.9, t)
+        assert engine.evaluate(4.0) == []
+
+    def test_resolves_only_when_both_windows_clear(self):
+        engine = SLOEngine([one_slo()])
+        for t in (1.0, 2.0, 3.0):
+            engine.record("err_rate", 0.9, t)
+        assert [t["state"] for t in engine.evaluate(4.0)] == ["firing"]
+        # Clean samples dilute the fast window; the slow window still
+        # burns above 0.1, so the alert holds.
+        for t in (5.0, 6.0, 7.0, 8.0):
+            engine.record("err_rate", 0.0, t)
+        assert engine.evaluate(9.0) == []
+        assert engine.firing() == ["err_rate"]
+        # Once the breaches age past the slow window, it resolves.
+        transitions = engine.evaluate(104.0)
+        assert [t["state"] for t in transitions] == ["resolved"]
+        assert engine.firing() == []
+
+    def test_alert_seq_and_ledger(self):
+        engine = SLOEngine([one_slo()])
+        for t in (1.0, 2.0, 3.0):
+            engine.record("err_rate", 0.9, t)
+        engine.evaluate(4.0)
+        engine.evaluate(104.0)
+        ledger = engine.alert_log
+        assert [e["alert_seq"] for e in ledger] == [1, 2]
+        assert [e["state"] for e in ledger] == ["firing", "resolved"]
+        assert engine.status()["alerts"] == 1
+
+    def test_unknown_and_non_finite_samples_dropped(self):
+        engine = SLOEngine([one_slo()])
+        engine.record("no_such_sli", 1.0, 1.0)
+        engine.record("err_rate", math.nan, 1.0)
+        assert engine.status()["samples"]["err_rate"] == 0
+
+    def test_window_eviction(self):
+        engine = SLOEngine([one_slo()])
+        engine.record("err_rate", 0.9, 1.0)
+        engine.record("err_rate", 0.9, 200.0)  # evicts the t=1 sample
+        assert engine.status()["samples"]["err_rate"] == 1
+
+
+class TestSideChannels:
+    def test_metrics_gauges_and_alert_counter(self):
+        reg = MetricsRegistry()
+        engine = SLOEngine([one_slo()], registry=reg)
+        for t in (1.0, 2.0, 3.0):
+            engine.record("err_rate", 0.9, t)
+        engine.evaluate(4.0)
+        flat = reg.flat()
+        assert flat['slo_sli{slo="err_rate"}'] == pytest.approx(0.9)
+        assert flat['slo_burn_rate{slo="err_rate",window="fast"}'] == 1.0
+        assert flat['slo_firing{slo="err_rate"}'] == 1.0
+        assert flat['slo_alerts_total{slo="err_rate"}'] == 1
+
+    def test_alert_events_carry_exemplars_on_firing(self):
+        events = EventLog(clock=lambda: 0.0, mono=lambda: 0.0)
+        flight = FlightRecorder(latency_threshold_s=0.0, events=None)
+        flight.record(0.5, ["edge"])
+        engine = SLOEngine([one_slo()], events=events, flight=flight)
+        for t in (1.0, 2.0, 3.0):
+            engine.record("err_rate", 0.9, t)
+        engine.evaluate(4.0)
+        (event,) = events.events(category="slo")
+        assert event.name == "alert"
+        assert event.attrs["state"] == "firing"
+        assert event.attrs["alert_seq"] == 1
+        assert event.attrs["exemplars"][0]["latency_s"] == pytest.approx(0.5)
+        # The resolve event is informational and carries no exemplars.
+        engine.evaluate(104.0)
+        resolved = events.events(category="slo")[-1]
+        assert resolved.severity == "info"
+        assert "exemplars" not in resolved.attrs
+
+
+class TestCheckpointRoundTrip:
+    def test_state_survives_and_resumes_identically(self):
+        a = SLOEngine([one_slo()])
+        for t in (1.0, 2.0, 3.0):
+            a.record("err_rate", 0.9, t)
+        a.evaluate(4.0)
+        state = a.state_dict()
+
+        b = SLOEngine([one_slo()])
+        b.load_state(state)
+        assert b.firing() == ["err_rate"]
+        assert b.alert_log == a.alert_log
+        assert b.state_dict() == a.state_dict()
+        # Both engines evolve identically from the restore point.
+        assert [t["state"] for t in b.evaluate(104.0)] == ["resolved"]
+        assert [t["state"] for t in a.evaluate(104.0)] == ["resolved"]
+        assert b.state_dict() == a.state_dict()
+
+    def test_load_empty_state_resets(self):
+        engine = SLOEngine([one_slo()])
+        for t in (1.0, 2.0, 3.0):
+            engine.record("err_rate", 0.9, t)
+        engine.evaluate(4.0)
+        engine.load_state({})
+        assert engine.firing() == []
+        assert engine.alert_log == []
+        assert engine.status()["samples"]["err_rate"] == 0
+
+
+class TestRegistryGate:
+    def _registry(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("serve_predict_batch_latency_seconds",
+                          bounds=(0.01, 0.1, 1.0))
+        for _ in range(20):
+            h.observe(0.05)
+        reg.counter("serve_tier_predictions_total",
+                    labels={"tier": "edge"}).inc(9)
+        reg.counter("serve_tier_predictions_total",
+                    labels={"tier": "global"}).inc(1)
+        reg.counter("ingest_rows_total", labels={"format": "jsonl"}).inc(100)
+        reg.counter("ingest_quarantined_total",
+                    labels={"format": "jsonl", "reason": "invalid_json"}).inc(2)
+        reg.gauge("drift_mdape",
+                  labels={"scope": "tier", "key": "edge"}).set(25.0)
+        return reg
+
+    def test_read_source_kinds(self):
+        reg = self._registry()
+        q = read_source(
+            reg, ("histogram_quantile",
+                  "serve_predict_batch_latency_seconds", 0.99))
+        assert 0.01 < q <= 0.1
+        ratio = read_source(
+            reg, ("counter_ratio",
+                  "serve_tier_predictions_total", (("tier", "edge"),),
+                  "serve_tier_predictions_total", ()))
+        assert ratio == pytest.approx(0.9)
+        assert read_source(
+            reg, ("gauge_max", "drift_mdape", (("scope", "tier"),))) == 25.0
+        assert math.isnan(read_source(
+            reg, ("gauge", "no_such_gauge", ())))
+        with pytest.raises(ValueError, match="unknown"):
+            read_source(reg, ("median_of", "x"))
+
+    def test_default_slos_pass_on_healthy_registry(self):
+        results = evaluate_registry(self._registry(), default_slos())
+        assert {r["slo"] for r in results} == {
+            "predict_p99_latency", "tier0_serve_ratio",
+            "mdape_ceiling", "quarantine_rate"}
+        assert all(r["ok"] for r in results)
+
+    def test_breach_detected_and_absence_is_ok(self):
+        results = evaluate_registry(
+            self._registry(), default_slos(p99_latency_s=1e-9))
+        by_name = {r["slo"]: r for r in results}
+        assert by_name["predict_p99_latency"]["ok"] is False
+        # No data at all: every SLI is NaN, nothing breaches.
+        empty = evaluate_registry(MetricsRegistry(), default_slos())
+        assert all(r["ok"] for r in empty)
+        assert all(math.isnan(r["value"]) for r in empty)
+
+    def test_stream_slos_have_no_registry_source(self):
+        # Stream objectives are fed by the supervisor on data time, so
+        # the instantaneous gate must skip them rather than sample them.
+        assert evaluate_registry(MetricsRegistry(), stream_slos()) == []

@@ -82,6 +82,27 @@ class TestTracerBuffer:
             summary["a"]["total_s"] / 3
         )
 
+    def test_summary_percentiles_are_exact_over_the_window(self):
+        tracer = Tracer()
+        # Pin durations directly so the percentile math is assertable.
+        for d in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0):
+            with tracer.span("s"):
+                pass
+            rec = tracer.spans()[-1]
+            object.__setattr__(rec, "duration_s", d)
+        stats = tracer.summary()["s"]
+        assert stats["p50_s"] == pytest.approx(5.5)
+        assert stats["p95_s"] == pytest.approx(9.55)
+        assert stats["max_s"] == pytest.approx(10.0)
+        assert stats["p50_s"] <= stats["p95_s"] <= stats["max_s"]
+
+    def test_summary_single_span_percentiles_degenerate(self):
+        tracer = Tracer()
+        with tracer.span("only"):
+            pass
+        stats = tracer.summary()["only"]
+        assert stats["p50_s"] == stats["p95_s"] == stats["max_s"]
+
     def test_reset_clears(self):
         tracer = Tracer()
         with tracer.span("x"):

@@ -63,6 +63,32 @@ class TestResets:
         assert report.reset_digest_equal
 
 
+class TestAlertDeterminism:
+    """Satellite of the exactly-once guarantee: burn-rate alerts must
+    fire identically on a crash-riddled run and its uninterrupted
+    reference — same transitions, same engine-local sequence numbers."""
+
+    def test_at_least_one_alert_fired(self, report):
+        # A proof over zero alerts proves nothing.
+        assert report.alerts_fired >= 1
+
+    def test_crash_run_matches_reference_ledger(self, report):
+        assert report.alert_transitions == report.reference_alert_transitions
+        assert report.alerts_match
+
+    def test_slo_sample_windows_converge(self, report):
+        assert report.slo_samples_match
+
+    def test_event_sink_has_no_duplicate_or_phantom_seqs(self, report):
+        assert report.event_seqs_unique
+
+    def test_every_alert_transition_is_durable_in_the_sink(self, report):
+        assert report.alert_events_durable
+
+    def test_folded_into_overall_verdict(self, report):
+        assert report.alerts_deterministic
+
+
 class TestVerdict:
     def test_overall_ok_and_renders(self, report):
         assert report.ok

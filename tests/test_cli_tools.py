@@ -436,3 +436,148 @@ class TestStream:
         assert "verdict                   OK" in out
         assert "exactly-once ingestion    OK" in out
         assert (tmp_path / "chaos-metrics.json").exists()
+
+
+class TestDiagnosisCLI:
+    """`top`, `events`, `slo check`, and the metrics-watch validation —
+    the diagnosis layer's operator surface."""
+
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        """One instrumented serve-bench run: metrics + event sink."""
+        root = tmp_path_factory.mktemp("diag")
+        metrics = root / "m.json"
+        events = root / "events.jsonl"
+        rc = main([
+            "serve-bench", "--actives", "200", "--requests", "60",
+            "--endpoints", "8", "--repeats", "2",
+            "--flight-threshold", "0",
+            "--metrics-out", str(metrics), "--events-out", str(events),
+        ])
+        assert rc == 0
+        return metrics, events
+
+    @pytest.fixture(scope="class")
+    def stream_state(self, tmp_path_factory):
+        from repro.logs.io import write_jsonl
+        from tests.core.conftest import make_random_store
+
+        root = tmp_path_factory.mktemp("diag-stream")
+        log = root / "live.jsonl"
+        write_jsonl(make_random_store(n=40, n_endpoints=4, seed=9), log)
+        state_dir = root / "state"
+        rc = main([
+            "stream", "run", "--log", str(log),
+            "--state-dir", str(state_dir),
+            "--cycles", "6", "--poll-interval", "0",
+        ])
+        assert rc == 0
+        return state_dir
+
+    def test_top_once_json_is_strict_and_complete(self, artifacts, capsys):
+        metrics, events = artifacts
+        rc = main(["top", "--once", "--json",
+                   "--metrics", str(metrics), "--events", str(events)])
+        assert rc == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["requests_total"] > 0
+        assert snap["latency"]["count"] > 0
+        assert snap["events"], snap
+        assert snap["events"][-1]["v"] == 1
+
+    def test_top_once_renders_dashboard(self, artifacts, capsys):
+        metrics, events = artifacts
+        rc = main(["top", "--once",
+                   "--metrics", str(metrics), "--events", str(events)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro-tools top" in out
+        assert "tier mix" in out
+        assert "recent events" in out
+
+    def test_top_reads_stream_state(self, stream_state, capsys):
+        rc = main(["top", "--once", "--json",
+                   "--state-dir", str(stream_state)])
+        assert rc == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["stream"]["applied_records"] == 40
+        assert "firing" in snap["slo"]
+
+    def test_top_requires_a_source(self, capsys):
+        rc = main(["top", "--once"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_top_rejects_nonpositive_interval(self, artifacts, capsys):
+        metrics, _ = artifacts
+        rc = main(["top", "--metrics", str(metrics), "--interval", "0"])
+        assert rc == 2
+        assert "--interval" in capsys.readouterr().err
+
+    def test_events_tail_lines_and_json(self, artifacts, capsys):
+        _, events = artifacts
+        rc = main(["events", "tail", "--file", str(events), "-n", "2"])
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert all("flight/exemplar" in line for line in lines)
+
+        rc = main(["events", "tail", "--file", str(events),
+                   "-n", "3", "--json"])
+        assert rc == 0
+        parsed = [json.loads(line)
+                  for line in capsys.readouterr().out.strip().splitlines()]
+        assert all(e["category"] == "flight" for e in parsed)
+
+    def test_events_query_filters(self, artifacts, capsys):
+        _, events = artifacts
+        rc = main(["events", "query", "--file", str(events),
+                   "--category", "flight", "--severity", "warning",
+                   "--json"])
+        assert rc == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out
+        rc = main(["events", "query", "--file", str(events),
+                   "--category", "no-such-category", "--json"])
+        assert rc == 0
+        assert capsys.readouterr().out.strip() == ""
+
+    def test_slo_check_passes_healthy_metrics(self, artifacts, capsys,
+                                              tmp_path):
+        metrics, _ = artifacts
+        out_json = tmp_path / "slo.json"
+        rc = main(["slo", "check", "--metrics", str(metrics),
+                   "--json", str(out_json)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "predict_p99_latency" in out and "BREACH" not in out
+        results = json.loads(out_json.read_text())
+        assert all(r["ok"] for r in results)
+
+    def test_slo_check_gates_impossible_budget(self, artifacts, capsys):
+        metrics, _ = artifacts
+        rc = main(["slo", "check", "--metrics", str(metrics),
+                   "--p99-target", "1e-9"])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "BREACH" in captured.out
+        assert "breached" in captured.err
+
+    def test_slo_check_reads_checkpointed_state(self, stream_state, capsys):
+        rc = main(["slo", "check", "--state-dir", str(stream_state)])
+        assert rc == 0
+        assert "alert" in capsys.readouterr().out
+
+    def test_slo_check_requires_exactly_one_source(self, artifacts, capsys):
+        metrics, _ = artifacts
+        assert main(["slo", "check"]) == 2
+        capsys.readouterr()
+        rc = main(["slo", "check", "--metrics", str(metrics),
+                   "--state-dir", "/nope"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_metrics_watch_rejects_nonpositive_interval(self, capsys):
+        rc = main(["metrics", "--quick", "--watch", "--watch-every", "0"])
+        assert rc == 2
+        assert "--watch-every" in capsys.readouterr().err
