@@ -330,6 +330,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.obs import Observability
     from repro.serve.bench import run_serve_bench
 
+    if args.shards is not None:
+        return _serve_bench_shards(args)
     result = _load_bundle(args.model) if args.model else None
     obs = Observability.create(
         events_path=args.events_out,
@@ -359,6 +361,47 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"wrote metrics JSON to {args.metrics_out}")
     if bench.max_abs_diff > 1e-6:
         print("error: batch and scalar paths disagree", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _serve_bench_shards(args: argparse.Namespace) -> int:
+    """``serve-bench --shards N``: the sharded tier against the
+    single-process reference (bit parity + exact count merge)."""
+    from repro.obs import MetricsRegistry, Observability
+    from repro.serve.shard import run_shard_bench
+
+    if args.shards < 1:
+        raise ValueError("--shards must be >= 1")
+    if args.model:
+        raise ValueError("--shards uses the synthetic chain; drop --model")
+    n_active, n_requests, repeats = args.actives, args.requests, args.repeats
+    if args.quick:
+        n_active = min(n_active, 500)
+        n_requests = min(n_requests, 128)
+        repeats = min(repeats if repeats > 1 else 2, 2)
+    obs = Observability.create(trace=False, events_path=args.events_out)
+    result = run_shard_bench(
+        shards=args.shards,
+        n_active=n_active,
+        n_requests=n_requests,
+        n_endpoints=args.endpoints,
+        seed=args.seed,
+        repeats=repeats,
+        obs=obs,
+    )
+    print(result.render())
+    if args.events_out:
+        print(f"wrote event log to {args.events_out}")
+    if args.metrics_out:
+        merged = MetricsRegistry()
+        if result.merged_snapshot is not None:
+            merged.load_snapshot(result.merged_snapshot)
+        atomic_write_text(args.metrics_out, merged.to_json(indent=2))
+        print(f"wrote merged cluster metrics JSON to {args.metrics_out}")
+    if not result.parity_ok:
+        print("error: sharded and single-process answers disagree "
+              "(or counts failed to merge exactly)", file=sys.stderr)
         return 1
     return 0
 
@@ -471,6 +514,29 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(report.render())
     if obs is not None:
         _write_metric_exports(obs.registry, args.metrics_out, args.metrics_prom)
+    return 0 if report.ok else 1
+
+
+def _cmd_shard_chaos(args: argparse.Namespace) -> int:
+    from repro.obs import Observability
+    from repro.serve.shard import ShardChaosConfig, run_shard_chaos
+
+    if args.quick:
+        config = ShardChaosConfig.quick()
+        if args.seed:
+            config = dataclasses.replace(config, seed=args.seed)
+    else:
+        config = ShardChaosConfig(
+            seed=args.seed, shards=args.shards, rounds=args.rounds)
+    obs = Observability.create(trace=False, events_path=args.events_out)
+    report = run_shard_chaos(config, obs=obs)
+    print(report.render())
+    if args.events_out:
+        print(f"wrote event log to {args.events_out}")
+    _write_metric_exports(obs.registry, args.metrics_out, args.metrics_prom)
+    if args.json:
+        atomic_write_text(args.json, json.dumps(report.as_dict(), indent=2))
+        print(f"wrote chaos report to {args.json}")
     return 0 if report.ok else 1
 
 
@@ -692,7 +758,13 @@ def _cmd_top(args: argparse.Namespace) -> int:
 
 
 def _cmd_events(args: argparse.Namespace) -> int:
+    import time as _time
+
     from repro.obs.events import read_events
+
+    def emit(event) -> None:
+        print(json.dumps(event.as_dict(), sort_keys=True) if args.json
+              else event.render(), flush=True)
 
     events = list(read_events(
         args.file,
@@ -705,10 +777,28 @@ def _cmd_events(args: argparse.Namespace) -> int:
     if args.events_command == "tail":
         events = events[-args.lines:]
     for event in events:
-        print(json.dumps(event.as_dict(), sort_keys=True) if args.json
-              else event.render())
+        emit(event)
     if args.events_command == "query" and not args.json:
         print(f"{len(events)} event(s) matched", file=sys.stderr)
+
+    if args.events_command == "tail" and args.follow:
+        if args.poll_interval <= 0:
+            raise ValueError("--poll-interval must be > 0")
+        last_seq = events[-1].seq if events else args.since_seq
+        deadline = (None if args.max_seconds is None
+                    else _time.monotonic() + args.max_seconds)
+        while deadline is None or _time.monotonic() < deadline:
+            _time.sleep(args.poll_interval)
+            fresh = list(read_events(
+                args.file,
+                category=args.category,
+                severity=args.severity,
+                name=args.name,
+                since_seq=last_seq,
+            ))
+            for event in fresh:
+                emit(event)
+                last_seq = max(last_seq, event.seq)
     return 0
 
 
@@ -943,6 +1033,13 @@ def main(argv: list[str] | None = None) -> int:
                    help="arm the flight recorder: capture an exemplar "
                         "(request, tiers, per-span timings) for every "
                         "batch slower than this many seconds")
+    p.add_argument("--shards", type=int, default=None,
+                   help="benchmark the sharded serving tier with this many "
+                        "worker processes against the single-process "
+                        "reference (bit parity + exact count merge; "
+                        "incompatible with --model/--workers)")
+    p.add_argument("--quick", action="store_true",
+                   help="with --shards: small inputs for CI smoke runs")
     p.set_defaults(func=_cmd_serve_bench)
 
     p = sub.add_parser(
@@ -1012,6 +1109,35 @@ def main(argv: list[str] | None = None) -> int:
                    help="instrument the replay and write Prometheus "
                         "exposition text here")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "shard",
+        help="the fault-tolerant sharded serving tier",
+    )
+    shard_sub = p.add_subparsers(dest="shard_command", required=True)
+    s = shard_sub.add_parser(
+        "chaos",
+        help="SIGKILL/drain/rebalance workers mid-workload and prove "
+             "every request is answered, answers match the single-process "
+             "reference bit-exactly (modulo degraded tags), and restarted "
+             "shards recover bit-identical state",
+    )
+    s.add_argument("--quick", action="store_true",
+                   help="2 shards, 4 rounds, one fault of each kind — the "
+                        "CI smoke configuration")
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--shards", type=int, default=3)
+    s.add_argument("--rounds", type=int, default=6)
+    s.add_argument("--metrics-out", default=None,
+                   help="write the router's shard_* metrics as JSON here")
+    s.add_argument("--metrics-prom", default=None,
+                   help="write the router's metrics as Prometheus text")
+    s.add_argument("--events-out", default=None,
+                   help="write the lifecycle event log (worker_crash, "
+                        "restarted, degraded_answer, rebalance, ...) here")
+    s.add_argument("--json", default=None,
+                   help="write the chaos report (per-check verdicts) here")
+    s.set_defaults(func=_cmd_shard_chaos)
 
     p = sub.add_parser(
         "metrics",
@@ -1192,7 +1318,18 @@ def main(argv: list[str] | None = None) -> int:
                        help="one JSON object per line instead of rendered "
                             "text")
         if name == "tail":
-            e.add_argument("-n", "--lines", type=int, default=10)
+            e.add_argument("-n", "--lines", "--last", dest="lines",
+                           type=int, default=10,
+                           help="print the last N matching events "
+                                "(--last is an alias)")
+            e.add_argument("-f", "--follow", action="store_true",
+                           help="after printing, poll the file and print "
+                                "new matching events as they are appended")
+            e.add_argument("--poll-interval", type=float, default=0.5,
+                           help="seconds between --follow polls")
+            e.add_argument("--max-seconds", type=float, default=None,
+                           help="stop --follow after this many seconds "
+                                "(default: forever)")
         else:
             e.add_argument("--limit", type=int, default=None,
                            help="stop after this many matches")

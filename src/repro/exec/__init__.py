@@ -12,6 +12,10 @@ pieces:
   in-order loop, so serial runs are bit-identical to the pre-engine code;
   ``workers=N`` must produce bit-identical artifacts, which the parity
   tests and ``repro-tools bench`` enforce.
+- :mod:`repro.exec.retry` — :class:`BackoffPolicy` / :func:`retry_call`:
+  the deterministically jittered exponential backoff shared by the
+  streaming tail and the shard router (one formula, one seed discipline,
+  no thundering herds).
 - :mod:`repro.exec.scratch` — memory-mapped scratch files for shipping a
   :class:`~repro.core.features.FeatureMatrix` to worker processes without
   pickling the arrays into every task.
@@ -42,7 +46,9 @@ from repro.exec.engine import (
     derive_seed,
     parallel_map,
     resolve_workers,
+    timeout_enforceable,
 )
+from repro.exec.retry import BackoffPolicy, retry_call
 from repro.exec.scratch import (
     clear_process_cache,
     load_feature_matrix,
@@ -55,6 +61,9 @@ __all__ = [
     "derive_seed",
     "TaskError",
     "TaskTimeout",
+    "timeout_enforceable",
+    "BackoffPolicy",
+    "retry_call",
     "ArtifactCache",
     "cached_build_feature_matrix",
     "fingerprint_store",

@@ -107,14 +107,19 @@ class BenchReport:
     feature_cache: dict = field(default_factory=dict)
     serve_bench: dict = field(default_factory=dict)
     advise: dict = field(default_factory=dict)
+    shards: dict = field(default_factory=dict)
 
     @property
     def parity_ok(self) -> bool:
+        # The shards section gates correctness only (bit parity + exact
+        # count merge); its recorded scaling depends on host cores and is
+        # never gated — same policy as every other timing here.
         return bool(
             self.fit_all.get("parity_ok")
             and self.feature_cache.get("parity_ok")
             and self.advise.get("parity_ok")
             and self.advise.get("planner_ok")
+            and self.shards.get("parity_ok", True)
         )
 
     def as_dict(self) -> dict:
@@ -128,6 +133,7 @@ class BenchReport:
             "feature_cache": self.feature_cache,
             "serve_bench": self.serve_bench,
             "advise": self.advise,
+            "shards": self.shards,
         }
 
     def render(self) -> str:
@@ -174,6 +180,28 @@ class BenchReport:
                 f"({sb['batch_throughput_rps']:,.0f} req/s)",
                 f"  batch-vs-loop speedup   {sb['speedup']:9.1f}x",
                 f"  max |batch - loop|      {sb['max_abs_diff']:9.3g} B/s",
+            ]
+        sh = self.shards
+        if sh:
+            lines += [
+                "",
+                f"sharded serving tier (cores={sh['cores']}):",
+            ]
+            for count, r in sorted(sh.get("results", {}).items(),
+                                   key=lambda kv: int(kv[0])):
+                lines.append(
+                    f"  shards={count:<3} cluster      "
+                    f"{r['cluster_time_s'] * 1e3:9.2f} ms "
+                    f"({r['cluster_throughput_rps']:,.0f} req/s)  "
+                    f"max diff {r['max_abs_diff']:g}  "
+                    f"counts {'exact' if r['counts_ok'] else 'MISMATCH'}"
+                )
+            lines += [
+                f"  scaling {sh['scaling_baseline_shards']}->"
+                f"{sh['scaling_at_shards']} shards "
+                f"{sh['scaling']:9.2f}x (target {sh['scaling_target']:g}x, "
+                f"recorded, not gated)",
+                f"  parity (bit + counts)   {sh['parity_ok']}",
             ]
         adv = self.advise
         if adv:
@@ -478,6 +506,19 @@ def _run_advise_bench(report: BenchReport, rounds: int, quick: bool,
     }
 
 
+def _run_shard_bench(report: BenchReport, quick: bool, seed: int) -> None:
+    from repro.serve.shard import run_shard_scaling
+
+    report.shards = run_shard_scaling(
+        shard_counts=(1, 2) if quick else (1, 4),
+        n_active=500 if quick else 2_000,
+        n_requests=128 if quick else 512,
+        n_endpoints=24,
+        seed=seed,
+        repeats=2 if quick else 3,
+    )
+
+
 def run_bench(
     quick: bool = False,
     workers: int | None = None,
@@ -498,6 +539,7 @@ def run_bench(
     _run_cache_bench(report, quick, seed)
     _run_serve_bench(report, worker_count, quick, seed)
     _run_advise_bench(report, rounds, quick, seed)
+    _run_shard_bench(report, quick, seed)
     return report
 
 

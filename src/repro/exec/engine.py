@@ -55,6 +55,7 @@ __all__ = [
     "resolve_workers",
     "derive_seed",
     "parallel_map",
+    "timeout_enforceable",
     "TaskError",
     "TaskTimeout",
 ]
@@ -71,6 +72,48 @@ class TaskError(RuntimeError):
 class TaskTimeout(TaskError):
     """A task exceeded its per-task ``timeout`` and was cancelled at the
     deadline (inside the worker on platforms with SIGALRM)."""
+
+
+def timeout_enforceable() -> bool:
+    """Whether :func:`_deadline` can actually enforce a timeout *here*:
+    only in a process's main thread, and only on platforms with
+    ``SIGALRM``.  Anywhere else a requested deadline is silently
+    best-effort-unenforced."""
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+# One warning per process: a caller that schedules thousands of tasks
+# from a worker thread should not get thousands of identical events.
+_timeout_unavailable_warned = False
+
+
+def _warn_timeout_unavailable(
+    label: str,
+    registry: MetricsRegistry | None,
+    events: EventLog | None,
+) -> None:
+    global _timeout_unavailable_warned
+    if _timeout_unavailable_warned:
+        return
+    _timeout_unavailable_warned = True
+    if registry is not None:
+        registry.counter(
+            "exec_timeout_unavailable_total",
+            "Task deadlines requested where SIGALRM enforcement is "
+            "impossible (non-main thread or platform without SIGALRM).",
+        ).inc()
+    if events is not None:
+        events.emit(
+            "exec", "timeout_unavailable", severity="warning",
+            label=label,
+            has_sigalrm=hasattr(signal, "SIGALRM"),
+            main_thread=(
+                threading.current_thread() is threading.main_thread()
+            ),
+        )
 
 
 @contextmanager
@@ -204,6 +247,8 @@ def _serial_map(
     """The workers=1 path: a plain loop, exceptions propagate at the first
     failing item exactly as unengined code would (unless
     ``return_exceptions`` captures them into their result slot)."""
+    if timeout and not timeout_enforceable():
+        _warn_timeout_unavailable(label, registry, events)
     out = []
     for i, item in enumerate(items):
         with _span(tracer, "exec.task", label=label, index=i):

@@ -1,0 +1,104 @@
+"""Shared retry/backoff policy for transient-failure loops.
+
+Two consumers with the same needs grew the same code independently: the
+streaming tail (:class:`~repro.serve.stream.TailIngester`) backing off
+between failed reads of a flaky filesystem, and the shard router backing
+off between failed requests to a worker that may be mid-restart.  Both
+want exponential growth with *deterministic* jitter — a fleet of
+processes built from the same seed must neither thundering-herd a
+recovering resource nor diverge between a live run and its replay.
+
+:class:`BackoffPolicy` is exactly the tail's original delay formula,
+extracted::
+
+    backoff = min(base_s * 2**(failures - 1), max_s)
+    delay   = max(floor_s, backoff * (1 + jitter * rng.random()))
+
+with ``rng = random.Random(seed)`` consumed only while failing (zero
+consecutive failures returns ``floor_s`` without touching the RNG), so
+the extraction is bit-identical to the code it replaced.
+
+:func:`retry_call` wraps the policy into the common call-until-it-works
+loop with a max-attempt bound and an on-retry callback for counters and
+events.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["BackoffPolicy", "retry_call"]
+
+
+@dataclass
+class BackoffPolicy:
+    """Deterministically jittered exponential backoff.
+
+    Parameters mirror the tail ingester's knobs: ``base_s`` doubles per
+    consecutive failure up to ``max_s``; ``jitter`` spreads the result
+    over ``[delay, delay * (1 + jitter)]`` using a private
+    ``random.Random(seed)`` stream, so two policies with the same seed
+    produce the same delays in the same order.
+    """
+
+    base_s: float = 0.05
+    max_s: float = 5.0
+    jitter: float = 0.25
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.base_s <= 0:
+            raise ValueError("base_s must be > 0")
+        if self.max_s < self.base_s:
+            raise ValueError("max_s must be >= base_s")
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
+        self._rng = random.Random(self.seed)
+
+    def delay(self, failures: int, floor_s: float = 0.0) -> float:
+        """Sleep before the next attempt after ``failures`` consecutive
+        failures; ``floor_s`` is the healthy-path interval the delay
+        never drops below.  Zero failures is the healthy path: return
+        ``floor_s`` without consuming jitter randomness."""
+        if failures <= 0:
+            return float(floor_s)
+        backoff = min(self.base_s * (2.0 ** (failures - 1)), self.max_s)
+        return max(float(floor_s),
+                   backoff * (1.0 + self.jitter * self._rng.random()))
+
+
+def retry_call(
+    fn: Callable,
+    max_attempts: int = 3,
+    policy: BackoffPolicy | None = None,
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    on_retry: Callable[[int, BaseException, float], None] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+):
+    """Call ``fn()`` until it returns, retrying ``retry_on`` exceptions.
+
+    At most ``max_attempts`` calls are made; the final failure re-raises
+    the original exception.  Before each retry the policy's delay for
+    the current failure run is computed, ``on_retry(attempt, exc,
+    delay)`` is invoked (for counters/events), and ``sleep(delay)``
+    waits it out — inject a no-op ``sleep`` in tests.
+    """
+    if max_attempts < 1:
+        raise ValueError("max_attempts must be >= 1")
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt >= max_attempts:
+                raise
+            delay = policy.delay(attempt) if policy is not None else 0.0
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            if delay > 0:
+                sleep(delay)

@@ -28,8 +28,10 @@ from repro.obs.tracing import SpanRecord
 __all__ = ["TIER_ORDER", "FlightExemplar", "FlightRecorder", "span_self_times"]
 
 #: Fallback-chain rungs, best first — mirrors ``repro.serve.fallback``
-#: without importing it.
-TIER_ORDER = ("edge", "global", "analytical", "median", "default")
+#: without importing it.  ``degraded`` (a shard answered from the
+#: router's fallback because its worker was unreachable) ranks worst.
+TIER_ORDER = ("edge", "global", "analytical", "median", "default",
+              "degraded")
 
 
 def span_self_times(spans: Iterable[SpanRecord]) -> dict[str, dict[str, float]]:

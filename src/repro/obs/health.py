@@ -60,6 +60,7 @@ def health_snapshot(
     events: Iterable[Event] | None = None,
     slo_status: Mapping | None = None,
     stream_status: Mapping | None = None,
+    shard_status: Sequence[Mapping] | None = None,
     flight: FlightRecorder | None = None,
     recent_events: int = 8,
 ) -> dict:
@@ -67,15 +68,22 @@ def health_snapshot(
 
     Any section whose source is absent comes back empty rather than
     raising — ``top`` must render whatever subset of the stack exists.
+    ``shard_status`` takes :meth:`ShardCluster.status` rows (or the same
+    shape reconstructed from a metrics export); per-shard routed/degraded
+    request counts and restarts are filled in from the registry's
+    ``shard_*`` counters when present.
     """
     snap: dict = {
         "latency": {}, "tiers": {}, "ingest": {}, "drift": {},
         "slo": dict(slo_status or {}),
         "stream": dict(stream_status or {}),
+        "shards": [],
         "events": [],
         "flight": {},
         "requests_total": 0.0,
     }
+    if shard_status is not None:
+        snap["shards"] = [dict(row) for row in shard_status]
     if registry is not None:
         latency = _merged_histogram(
             registry, "serve_predict_batch_latency_seconds")
@@ -111,6 +119,28 @@ def health_snapshot(
                     labels.get("window", "")] = float(s.value)
         if burn and "burn" not in snap["slo"]:
             snap["slo"]["burn"] = dict(sorted(burn.items()))
+
+        routed = _counter_by_label(registry, "shard_requests_total", "shard")
+        degraded = _counter_by_label(
+            registry, "shard_degraded_answers_total", "shard")
+        restarts = _counter_by_label(
+            registry, "shard_restarts_total", "shard")
+        up = {
+            s.labels_dict.get("shard", ""): float(s.value)
+            for s in registry.series()
+            if s.name == "shard_up" and s.kind == "gauge"
+        }
+        if routed or up:
+            rows = {row.get("shard"): row for row in snap["shards"]}
+            for shard in sorted(set(routed) | set(up) | set(degraded)):
+                row = rows.get(shard)
+                if row is None:
+                    row = {"shard": shard,
+                           "state": "up" if up.get(shard) else "down"}
+                    snap["shards"].append(row)
+                row.setdefault("requests", routed.get(shard, 0.0))
+                row.setdefault("degraded", degraded.get(shard, 0.0))
+                row.setdefault("restarts", restarts.get(shard, 0.0))
     if events is not None:
         # Accept an EventLog or any iterable of Event.
         pool = events.events() if hasattr(events, "events") else list(events)
@@ -184,6 +214,19 @@ def render_top(
         )
         for edge, state in sorted(breakers.items()):
             lines.append(f"  breaker {edge:<24}{state}")
+
+    shards = snap.get("shards") or []
+    if shards:
+        lines.append("-- shards " + "-" * (width - 10))
+        for row in shards:
+            state = str(row.get("state", "?"))
+            mark = {"up": "+", "down": "!", "draining": "~"}.get(state, "?")
+            lines.append(
+                f"  [{mark}] {str(row.get('shard', '')):<10}{state:<9}"
+                f"req {row.get('requests', 0.0):>9.0f}  "
+                f"degraded {row.get('degraded', 0.0):>6.0f}  "
+                f"restarts {row.get('restarts', 0.0):>3.0f}"
+            )
 
     slo = snap.get("slo") or {}
     burn = slo.get("burn") or {}

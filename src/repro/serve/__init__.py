@@ -38,6 +38,15 @@ transfers.  This package is that serving layer:
   generation-numbered snapshots, :func:`recover_serving_state`, and the
   probe-gated hot-reload model artifact store, behind
   ``repro-tools state snapshot|recover|verify``;
+- :mod:`repro.serve.shard` — the fault-tolerant sharded serving tier
+  (``repro-tools shard chaos``, ``serve-bench --shards N``):
+  :class:`ShardCluster` supervises one durable worker process per
+  consistent-hash slot — mutations broadcast through a replication log,
+  predictions partitioned by edge and reassembled in submission order,
+  crashed or hung workers SIGKILL-respawned and replayed to bit-identical
+  state, unavailable shards answered degraded with explicit
+  :attr:`ModelTier.DEGRADED` provenance, and live rebalance by snapshot
+  handoff (see ``docs/sharding.md``);
 - :mod:`repro.serve.stream` — the self-healing streaming loop
   (``repro-tools stream run|status|chaos``): :class:`TailIngester`
   follows a growing log with byte-accurate crash-safe resume,
@@ -86,6 +95,18 @@ from repro.serve.durability import (
     recover_serving_state,
 )
 from repro.serve.fallback import FallbackChain, ModelTier
+from repro.serve.shard import (
+    ClusterConfig,
+    HashRing,
+    ShardChaosConfig,
+    ShardChaosReport,
+    ShardCluster,
+    ShardState,
+    edge_key,
+    run_shard_bench,
+    run_shard_chaos,
+    run_shard_scaling,
+)
 from repro.serve.stream import (
     BreakerState,
     CircuitBreaker,
@@ -135,6 +156,16 @@ __all__ = [
     "recover_serving_state",
     "ModelArtifactStore",
     "ModelReloader",
+    "ShardCluster",
+    "ClusterConfig",
+    "ShardState",
+    "HashRing",
+    "edge_key",
+    "ShardChaosConfig",
+    "ShardChaosReport",
+    "run_shard_chaos",
+    "run_shard_bench",
+    "run_shard_scaling",
     "BreakerState",
     "CircuitBreaker",
     "RetrainController",

@@ -42,13 +42,22 @@ __all__ = ["ModelTier", "FallbackChain"]
 
 
 class ModelTier(enum.Enum):
-    """Provenance of a prediction: which rung of the chain produced it."""
+    """Provenance of a prediction: which rung of the chain produced it.
+
+    ``DEGRADED`` is not a rung of the chain itself — it marks an answer
+    the shard router produced *for* an unavailable shard (down, draining,
+    or mid-restart) from the chain's model-free tiers.  The rate is a
+    normal :meth:`FallbackChain.constant_rate` answer; the tag is the
+    explicit provenance that a healthier answer existed but its owner
+    was unreachable.
+    """
 
     EDGE = "edge"
     GLOBAL = "global"
     ANALYTICAL = "analytical"
     MEDIAN = "median"
     DEFAULT = "default"
+    DEGRADED = "degraded"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

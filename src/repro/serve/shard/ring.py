@@ -1,0 +1,72 @@
+"""Consistent hashing of edge ids onto shard names.
+
+The router owns one :class:`HashRing` mapping every ``src->dst`` edge to
+the shard that computes its predictions.  SHA-256 with virtual nodes
+gives a placement that is stable across processes and platforms (no
+``hash()`` randomization), spreads edges near-uniformly for any shard
+count, and — the property that matters for rebalance — moves only
+``~1/N`` of the keys when a shard is added or removed instead of
+reshuffling everything.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Sequence
+
+__all__ = ["HashRing", "edge_key"]
+
+
+def edge_key(src: str, dst: str) -> str:
+    """The routing key for one edge (direction matters: A->B and B->A
+    are distinct edges with distinct models)."""
+    return f"{src}->{dst}"
+
+
+def _point(value: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(value.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """An immutable consistent-hash ring over shard names."""
+
+    def __init__(self, shards: Sequence[str], replicas: int = 64) -> None:
+        shards = list(shards)
+        if not shards:
+            raise ValueError("a ring needs at least one shard")
+        if len(set(shards)) != len(shards):
+            raise ValueError(f"duplicate shard names: {shards}")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = int(replicas)
+        self._shards = tuple(shards)
+        points = sorted(
+            (_point(f"{shard}#{i}"), shard)
+            for shard in shards
+            for i in range(self.replicas)
+        )
+        self._keys = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    @property
+    def shards(self) -> tuple[str, ...]:
+        return self._shards
+
+    def lookup(self, key: str) -> str:
+        """The shard owning ``key`` (clockwise successor on the ring)."""
+        idx = bisect.bisect_right(self._keys, _point(key)) % len(self._keys)
+        return self._owners[idx]
+
+    def distribution(self, keys: Iterable[str]) -> dict[str, int]:
+        """How many of ``keys`` each shard owns (diagnostics; every
+        shard appears, including ones that own nothing)."""
+        out = {shard: 0 for shard in self._shards}
+        for key in keys:
+            out[self.lookup(key)] += 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self._shards)

@@ -34,12 +34,12 @@ locks).  The ingester owns exactly that mess:
 from __future__ import annotations
 
 import hashlib
-import random
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from repro.exec.retry import BackoffPolicy
 from repro.logs.io import QuarantineReport, parse_log_lines
 from repro.logs.schema import LOG_DTYPE
 from repro.obs import MetricsRegistry
@@ -102,7 +102,12 @@ class TailIngester:
         self.backoff_base_s = float(backoff_base_s)
         self.backoff_max_s = float(backoff_max_s)
         self.jitter = float(jitter)
-        self._rng = random.Random(seed)
+        self._backoff = BackoffPolicy(
+            base_s=self.backoff_base_s,
+            max_s=self.backoff_max_s,
+            jitter=self.jitter,
+            seed=seed,
+        )
         self.report = QuarantineReport(source=str(self.path))
         self.events = events
         self.burst: QuarantineBurstDetector | None = None
@@ -239,14 +244,7 @@ class TailIngester:
         """How long the caller should sleep before the next poll:
         ``idle_s`` when healthy, exponential backoff (with deterministic
         jitter) while reads are failing."""
-        if self.consecutive_errors == 0:
-            return float(idle_s)
-        backoff = min(
-            self.backoff_base_s * (2.0 ** (self.consecutive_errors - 1)),
-            self.backoff_max_s,
-        )
-        return max(float(idle_s),
-                   backoff * (1.0 + self.jitter * self._rng.random()))
+        return self._backoff.delay(self.consecutive_errors, floor_s=idle_s)
 
     # -- internals ----------------------------------------------------------
 

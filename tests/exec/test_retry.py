@@ -1,0 +1,103 @@
+"""Shared backoff policy + retry loop (`repro.exec.retry`)."""
+
+import random
+
+import pytest
+
+from repro.exec.retry import BackoffPolicy, retry_call
+
+
+class TestBackoffPolicy:
+    def test_delay_matches_documented_formula(self):
+        """Golden check against the docstring formula with the same
+        seeded RNG stream — the extraction must stay bit-identical to
+        the tail ingester code it replaced."""
+        policy = BackoffPolicy(base_s=0.05, max_s=5.0, jitter=0.25, seed=7)
+        rng = random.Random(7)
+        for failures in (1, 2, 3, 6, 20):
+            expected_backoff = min(0.05 * 2.0 ** (failures - 1), 5.0)
+            expected = expected_backoff * (1.0 + 0.25 * rng.random())
+            assert policy.delay(failures) == pytest.approx(expected, abs=0)
+
+    def test_zero_failures_is_healthy_path(self):
+        """No failures -> floor_s, without consuming jitter randomness
+        (so a healthy loop never perturbs the replay stream)."""
+        policy = BackoffPolicy(seed=3)
+        twin = BackoffPolicy(seed=3)
+        for _ in range(5):
+            assert policy.delay(0, floor_s=0.2) == 0.2
+        # The healthy calls above must not have advanced the RNG.
+        assert policy.delay(1) == twin.delay(1)
+
+    def test_floor_caps_from_below(self):
+        policy = BackoffPolicy(base_s=0.01, max_s=0.02, jitter=0.0)
+        assert policy.delay(1, floor_s=1.0) == 1.0
+
+    def test_exponential_growth_saturates_at_max(self):
+        policy = BackoffPolicy(base_s=0.1, max_s=0.4, jitter=0.0)
+        assert [policy.delay(f) for f in (1, 2, 3, 4, 9)] == \
+            pytest.approx([0.1, 0.2, 0.4, 0.4, 0.4])
+
+    def test_same_seed_same_stream(self):
+        a = BackoffPolicy(seed=11)
+        b = BackoffPolicy(seed=11)
+        assert [a.delay(f) for f in (1, 2, 3)] == \
+            [b.delay(f) for f in (1, 2, 3)]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_s=0.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_s=1.0, max_s=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=-0.1)
+
+
+class TestRetryCall:
+    def test_returns_first_success(self):
+        calls = []
+        result = retry_call(lambda: calls.append(1) or "ok")
+        assert result == "ok" and len(calls) == 1
+
+    def test_retries_then_succeeds(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError("transient")
+            return 42
+
+        seen = []
+        result = retry_call(
+            flaky, max_attempts=3,
+            policy=BackoffPolicy(base_s=0.01, jitter=0.0, max_s=0.02),
+            on_retry=lambda a, exc, d: seen.append((a, type(exc), d)),
+            sleep=lambda _: None,
+        )
+        assert result == 42 and len(attempts) == 3
+        assert [(a, t) for a, t, _ in seen] == [(1, OSError), (2, OSError)]
+        assert [d for *_, d in seen] == pytest.approx([0.01, 0.02])
+
+    def test_exhausted_attempts_reraise_original(self):
+        def always_fails():
+            raise ValueError("permanent")
+
+        with pytest.raises(ValueError, match="permanent"):
+            retry_call(always_fails, max_attempts=2, sleep=lambda _: None)
+
+    def test_non_matching_exception_escalates_immediately(self):
+        calls = []
+
+        def fails():
+            calls.append(1)
+            raise KeyError("not transient")
+
+        with pytest.raises(KeyError):
+            retry_call(fails, max_attempts=5, retry_on=(OSError,),
+                       sleep=lambda _: None)
+        assert len(calls) == 1
+
+    def test_rejects_nonpositive_attempts(self):
+        with pytest.raises(ValueError):
+            retry_call(lambda: None, max_attempts=0)

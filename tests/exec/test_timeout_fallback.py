@@ -1,0 +1,110 @@
+"""Deadline fallback where SIGALRM cannot fire (satellite of the shard
+tier PR): a timeout requested from a non-main thread must degrade to
+best-effort-unenforced — the task runs to completion — while warning
+exactly once per process via the ``exec/timeout_unavailable`` event and
+counter."""
+
+import threading
+
+import pytest
+
+import repro.exec.engine as engine
+from repro.exec.engine import parallel_map, timeout_enforceable
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _reset_warned_flag(monkeypatch):
+    """Each test observes the one-per-process warning from a clean slate."""
+    monkeypatch.setattr(engine, "_timeout_unavailable_warned", False)
+
+
+def _map_in_thread(**kwargs):
+    """Run parallel_map on a worker thread; return (results, error)."""
+    box = {}
+
+    def run():
+        try:
+            box["result"] = parallel_map(
+                lambda x: x + 1, [1, 2, 3], workers=1, timeout=5.0, **kwargs
+            )
+        except BaseException as exc:  # pragma: no cover - test diagnostics
+            box["error"] = exc
+
+    t = threading.Thread(target=run)
+    t.start()
+    t.join(timeout=30)
+    assert not t.is_alive()
+    return box.get("result"), box.get("error")
+
+
+class TestTimeoutEnforceable:
+    def test_true_on_main_thread_with_sigalrm(self):
+        # The suite runs on POSIX; on the main thread SIGALRM is usable.
+        assert timeout_enforceable() is True
+
+    def test_false_off_main_thread(self):
+        seen = []
+        t = threading.Thread(target=lambda: seen.append(timeout_enforceable()))
+        t.start()
+        t.join()
+        assert seen == [False]
+
+
+class TestNonMainThreadFallback:
+    def test_task_completes_and_warns_once(self):
+        registry = MetricsRegistry()
+        events = EventLog()
+        result, error = _map_in_thread(registry=registry, events=events)
+        assert error is None
+        assert result == [2, 3, 4]
+
+        warned = [e for e in events.events()
+                  if e.category == "exec" and e.name == "timeout_unavailable"]
+        assert len(warned) == 1
+        assert warned[0].severity == "warning"
+        assert warned[0].attrs["main_thread"] is False
+        assert registry.flat()["exec_timeout_unavailable_total"] == 1
+
+    def test_warning_is_once_per_process(self):
+        registry = MetricsRegistry()
+        events = EventLog()
+        for _ in range(3):
+            result, error = _map_in_thread(registry=registry, events=events)
+            assert error is None and result == [2, 3, 4]
+        warned = [e for e in events.events()
+                  if e.name == "timeout_unavailable"]
+        assert len(warned) == 1
+        assert registry.flat()["exec_timeout_unavailable_total"] == 1
+
+    def test_no_warning_when_no_timeout_requested(self):
+        registry = MetricsRegistry()
+        events = EventLog()
+
+        box = {}
+
+        def run():
+            box["result"] = parallel_map(
+                lambda x: x * 2, [1, 2], workers=1,
+                registry=registry, events=events,
+            )
+
+        t = threading.Thread(target=run)
+        t.start()
+        t.join(timeout=30)
+        assert box["result"] == [2, 4]
+        assert not [e for e in events.events()
+                    if e.name == "timeout_unavailable"]
+        assert "exec_timeout_unavailable_total" not in registry.flat()
+
+    def test_main_thread_with_timeout_does_not_warn(self):
+        registry = MetricsRegistry()
+        events = EventLog()
+        result = parallel_map(
+            lambda x: x, [1, 2], workers=1, timeout=5.0,
+            registry=registry, events=events,
+        )
+        assert result == [1, 2]
+        assert not [e for e in events.events()
+                    if e.name == "timeout_unavailable"]

@@ -1,0 +1,57 @@
+"""The shard rows in `health_snapshot` and the `top` shards panel."""
+
+from repro.obs.health import health_snapshot, render_top
+from repro.obs.metrics import MetricsRegistry
+
+
+def _shard_registry():
+    reg = MetricsRegistry()
+    for shard, n in (("shard-0", 40), ("shard-1", 24)):
+        reg.counter("shard_requests_total", "Routed.",
+                    labels={"shard": shard}).inc(n)
+    reg.counter("shard_degraded_answers_total", "Degraded.",
+                labels={"shard": "shard-1"}).inc(7)
+    reg.counter("shard_restarts_total", "Restarts.",
+                labels={"shard": "shard-1"}).inc(2)
+    reg.gauge("shard_up", "Serving.", labels={"shard": "shard-0"}).set(1)
+    reg.gauge("shard_up", "Serving.", labels={"shard": "shard-1"}).set(0)
+    return reg
+
+
+class TestHealthSnapshotShards:
+    def test_rows_reconstructed_from_registry(self):
+        snap = health_snapshot(registry=_shard_registry())
+        rows = {r["shard"]: r for r in snap["shards"]}
+        assert set(rows) == {"shard-0", "shard-1"}
+        assert rows["shard-0"]["state"] == "up"
+        assert rows["shard-0"]["requests"] == 40
+        assert rows["shard-0"]["degraded"] == 0
+        assert rows["shard-1"]["state"] == "down"
+        assert rows["shard-1"]["degraded"] == 7
+        assert rows["shard-1"]["restarts"] == 2
+
+    def test_explicit_status_rows_win_on_state(self):
+        status = [{"shard": "shard-1", "state": "draining"}]
+        snap = health_snapshot(registry=_shard_registry(),
+                               shard_status=status)
+        rows = {r["shard"]: r for r in snap["shards"]}
+        assert rows["shard-1"]["state"] == "draining"
+        # Counters still filled in from the registry.
+        assert rows["shard-1"]["requests"] == 24
+
+    def test_absent_shards_section_is_empty(self):
+        snap = health_snapshot(registry=MetricsRegistry())
+        assert snap["shards"] == []
+
+
+class TestRenderTopShardsPanel:
+    def test_panel_rendered_with_state_marks(self):
+        out = render_top(health_snapshot(registry=_shard_registry()))
+        assert "-- shards" in out
+        assert "[+] shard-0" in out
+        assert "[!] shard-1" in out
+        assert "degraded" in out and "restarts" in out
+
+    def test_no_panel_without_shards(self):
+        out = render_top(health_snapshot(registry=MetricsRegistry()))
+        assert "-- shards" not in out

@@ -1,0 +1,104 @@
+"""Property test: registry snapshot merging is order-independent.
+
+The shard tier's ``collect_metrics`` folds one registry snapshot per
+worker (plus the router's) through ``load_snapshot`` into a fresh
+registry; shards report in whatever order the supervisor polls them, so
+the merged export must not depend on arrival order or grouping.  This
+exercises the claim directly over randomized fleets of shard-shaped
+snapshots: every shuffled merge order and every associativity regrouping
+must produce byte-identical JSON and Prometheus exports.
+"""
+
+import itertools
+import random
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def _shard_registry(rng: random.Random, shard: str) -> MetricsRegistry:
+    """One worker-shaped registry: labeled counters, gauges, and a
+    latency histogram, with randomized values and randomized overlap in
+    which series exist (not every shard sees every tier)."""
+    reg = MetricsRegistry()
+    reg.counter("serve_requests_total", "Requests served.").inc(
+        rng.randrange(1, 500))
+    for tier in ("edge", "global", "median", "degraded"):
+        if rng.random() < 0.7:
+            reg.counter(
+                "serve_tier_predictions_total",
+                "Predictions served per fallback tier.",
+                labels={"tier": tier},
+            ).inc(rng.randrange(1, 100))
+    reg.counter("shard_requests_total", "Requests routed per shard.",
+                labels={"shard": shard}).inc(rng.randrange(1, 50))
+    reg.gauge("shard_acked_seq", "Last acked mutation seq.",
+              labels={"shard": shard}).set(rng.randrange(0, 10_000))
+    h = reg.histogram(
+        "serve_predict_batch_latency_seconds", "Batch predict latency.",
+        bounds=[0.001, 0.01, 0.1, 1.0])
+    # Dyadic observations (k/1024): their float sums are exact, so the
+    # histogram `sum` field is order-independent too.  (With arbitrary
+    # floats, addition order can shift the last ulp — which is why the
+    # shard tier's count-merge gate compares integer counters only.)
+    for _ in range(rng.randrange(1, 20)):
+        h.observe(rng.randrange(0, 2048) / 1024)
+    return reg
+
+
+def _merge(snapshots) -> MetricsRegistry:
+    merged = MetricsRegistry()
+    for snap in snapshots:
+        merged.load_snapshot(snap)
+    return merged
+
+
+def _exports(reg: MetricsRegistry) -> tuple[str, str]:
+    return reg.to_json(indent=2), reg.to_prometheus()
+
+
+class TestMergeOrderIndependence:
+    def test_shuffled_merge_orders_export_identically(self):
+        """Commutativity over whole fleets: every shuffle of N shard
+        snapshots merges to the same exports."""
+        for trial in range(10):
+            rng = random.Random(100 + trial)
+            n = rng.randrange(2, 7)
+            snaps = [_shard_registry(rng, f"shard-{i}").snapshot()
+                     for i in range(n)]
+            reference = _exports(_merge(snaps))
+            for shuffle in range(5):
+                order = snaps[:]
+                random.Random(1000 * trial + shuffle).shuffle(order)
+                assert _exports(_merge(order)) == reference, \
+                    f"trial {trial} shuffle {shuffle} diverged"
+
+    def test_all_permutations_of_small_fleet(self):
+        """Exhaustive check on a 4-shard fleet — all 24 orders."""
+        rng = random.Random(42)
+        snaps = [_shard_registry(rng, f"shard-{i}").snapshot()
+                 for i in range(4)]
+        reference = _exports(_merge(snaps))
+        for order in itertools.permutations(snaps):
+            assert _exports(_merge(order)) == reference
+
+    def test_associativity_regroupings(self):
+        """(a+b)+c == a+(b+c): merging through intermediate registries'
+        snapshots equals merging flat, however the fleet is partitioned."""
+        rng = random.Random(7)
+        snaps = [_shard_registry(rng, f"shard-{i}").snapshot()
+                 for i in range(6)]
+        reference = _exports(_merge(snaps))
+        for split in range(1, len(snaps)):
+            left = _merge(snaps[:split]).snapshot()
+            right = _merge(snaps[split:]).snapshot()
+            assert _exports(_merge([left, right])) == reference
+            assert _exports(_merge([right, left])) == reference
+
+    def test_merge_into_fresh_registry_reproduces_totals(self):
+        """Loading one export into a fresh registry is lossless — the
+        base case the fleet-fold builds on."""
+        rng = random.Random(3)
+        reg = _shard_registry(rng, "shard-0")
+        snap = reg.snapshot()
+        assert _exports(MetricsRegistry().load_snapshot(snap)) == \
+            _exports(reg)

@@ -581,3 +581,113 @@ class TestDiagnosisCLI:
         rc = main(["metrics", "--quick", "--watch", "--watch-every", "0"])
         assert rc == 2
         assert "--watch-every" in capsys.readouterr().err
+
+
+class TestShardCLI:
+    """`shard chaos`, `serve-bench --shards`, and the events tail
+    follow/last flags — the sharded tier's operator surface."""
+
+    @pytest.fixture(scope="class")
+    def shard_artifacts(self, tmp_path_factory):
+        """One quick shard-chaos run with metrics + events exported."""
+        root = tmp_path_factory.mktemp("shard")
+        metrics = root / "m.json"
+        events = root / "events.jsonl"
+        report = root / "report.json"
+        rc = main([
+            "shard", "chaos", "--quick",
+            "--metrics-out", str(metrics), "--events-out", str(events),
+            "--json", str(report),
+        ])
+        assert rc == 0
+        return metrics, events, report
+
+    def test_chaos_quick_is_clean(self, shard_artifacts, capsys):
+        metrics, events, report = shard_artifacts
+        data = json.loads(report.read_text())
+        assert data["ok"] is True
+        assert data["restarts"] >= 1
+        assert metrics.exists() and events.exists()
+
+    def test_chaos_events_include_lifecycle(self, shard_artifacts):
+        _, events, _ = shard_artifacts
+        names = {json.loads(line)["name"]
+                 for line in events.read_text().splitlines()}
+        assert "worker_crash" in names
+        assert "restarted" in names
+        assert "rebalance" in names
+
+    def test_chaos_metrics_export_has_shard_counters(self, shard_artifacts):
+        metrics, *_ = shard_artifacts
+        names = {c["name"]
+                 for c in json.loads(metrics.read_text())["counters"]}
+        assert "shard_requests_total" in names
+        assert "shard_restarts_total" in names
+
+    def test_serve_bench_shards_parity(self, tmp_path, capsys):
+        metrics = tmp_path / "merged.json"
+        rc = main([
+            "serve-bench", "--shards", "2", "--quick",
+            "--actives", "120", "--requests", "48", "--endpoints", "6",
+            "--metrics-out", str(metrics),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "parity                    OK" in out
+        merged = json.loads(metrics.read_text())
+        assert any(c["name"] == "shard_requests_total"
+                   for c in merged["counters"])
+
+    def test_serve_bench_shards_rejects_model(self, tmp_path, capsys):
+        rc = main(["serve-bench", "--shards", "2",
+                   "--model", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_events_tail_last_alias(self, shard_artifacts, capsys):
+        _, events, _ = shard_artifacts
+        rc = main(["events", "tail", "--file", str(events), "--last", "3"])
+        assert rc == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 3
+
+    def test_events_tail_follow_exits_at_deadline(self, shard_artifacts,
+                                                  capsys):
+        _, events, _ = shard_artifacts
+        rc = main(["events", "tail", "--file", str(events),
+                   "--last", "1", "--follow",
+                   "--poll-interval", "0.05", "--max-seconds", "0.3"])
+        assert rc == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_events_tail_follow_picks_up_new_events(self, tmp_path, capsys):
+        import threading
+        import time
+
+        from repro.obs.events import EventLog
+
+        path = tmp_path / "live.jsonl"
+        log = EventLog(path=path)
+        log.emit("shard", "restarted", shard="shard-0")
+
+        def append_later():
+            time.sleep(0.15)
+            log.emit("shard", "rebalance", shard="shard-1")
+
+        t = threading.Thread(target=append_later)
+        t.start()
+        rc = main(["events", "tail", "--file", str(path),
+                   "--last", "1", "--follow",
+                   "--poll-interval", "0.05", "--max-seconds", "1.0"])
+        t.join()
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "shard/restarted" in out
+        assert "shard/rebalance" in out
+
+    def test_events_tail_follow_rejects_bad_poll(self, tmp_path, capsys):
+        path = tmp_path / "e.jsonl"
+        path.write_text("")
+        rc = main(["events", "tail", "--file", str(path),
+                   "--follow", "--poll-interval", "0"])
+        assert rc == 2
+        assert "--poll-interval" in capsys.readouterr().err
