@@ -78,9 +78,12 @@ class QuantileBinner:
                 f"{len(self.upper_edges_)} fitted features"
             )
         codes = np.empty(X.shape, dtype=np.uint16)
+        # One transpose copy up front: searchsorted on a contiguous column is
+        # several times faster than on a strided view of the row-major input.
+        cols = np.ascontiguousarray(X.T)
         for f, cuts in enumerate(self.upper_edges_):
             # side='left': x <= cuts[b] -> code b; x > last cut clamps.
-            c = np.searchsorted(cuts, X[:, f], side="left")
+            c = np.searchsorted(cuts, cols[f], side="left")
             np.minimum(c, cuts.size - 1, out=c)
             codes[:, f] = c
         return codes

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.binning import QuantileBinner
+from repro.ml.forest import FlattenedForest
 from repro.ml.tree import RegressionTree, TreeGrowthParams
 
 __all__ = ["GradientBoostingRegressor"]
@@ -46,6 +47,10 @@ class GradientBoostingRegressor:
         fails to improve for this many consecutive rounds.
     random_state:
         Seed for row/column subsampling.
+    tree_kernel:
+        Histogram kernel for split finding: ``"fused"`` (single-bincount
+        accumulation + sibling subtraction, the default) or ``"legacy"``
+        (per-feature loop, kept as the bench baseline).
 
     Examples
     --------
@@ -71,6 +76,7 @@ class GradientBoostingRegressor:
         max_bins: int = 256,
         early_stopping_rounds: int | None = None,
         random_state: int | None = None,
+        tree_kernel: str = "fused",
     ) -> None:
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
@@ -80,6 +86,10 @@ class GradientBoostingRegressor:
             raise ValueError("subsample must be in (0, 1]")
         if not 0.0 < colsample_bytree <= 1.0:
             raise ValueError("colsample_bytree must be in (0, 1]")
+        if tree_kernel not in ("fused", "legacy"):
+            raise ValueError(
+                f"tree_kernel must be 'fused' or 'legacy', got {tree_kernel!r}"
+            )
         self.n_estimators = n_estimators
         self.learning_rate = learning_rate
         self.tree_params = TreeGrowthParams(
@@ -93,6 +103,7 @@ class GradientBoostingRegressor:
         self.max_bins = max_bins
         self.early_stopping_rounds = early_stopping_rounds
         self.random_state = random_state
+        self.tree_kernel = tree_kernel
 
         self.trees_: list[RegressionTree] = []
         self.base_score_: float = 0.0
@@ -101,6 +112,7 @@ class GradientBoostingRegressor:
         self.train_scores_: list[float] = []
         self.eval_scores_: list[float] = []
         self.best_iteration_: int | None = None
+        self._forest: FlattenedForest | None = None
 
     # -- fitting ----------------------------------------------------------
 
@@ -137,6 +149,7 @@ class GradientBoostingRegressor:
             val_pred = np.full(y_val.shape[0], self.base_score_)
 
         self.trees_ = []
+        self._forest = None  # flattened snapshot is invalid once refit starts
         self.train_scores_ = []
         self.eval_scores_ = []
         best_val = np.inf
@@ -161,7 +174,7 @@ class GradientBoostingRegressor:
             else:
                 cols = None
 
-            tree = RegressionTree(self.tree_params, self.max_bins)
+            tree = RegressionTree(self.tree_params, self.max_bins, self.tree_kernel)
             if rows is None:
                 tree.fit_binned(codes, grad, hess, n_bins, feature_subset=cols)
             else:
@@ -194,7 +207,15 @@ class GradientBoostingRegressor:
 
     # -- inference --------------------------------------------------------
 
-    def predict(self, X: np.ndarray) -> np.ndarray:
+    def _ensure_forest(self) -> FlattenedForest:
+        """Flattened all-trees kernel, built lazily on first predict."""
+        if self._forest is None:
+            self._forest = FlattenedForest.from_trees(
+                self.trees_, self.learning_rate, self.base_score_, self.max_bins
+            )
+        return self._forest
+
+    def _check_predict_input(self, X: np.ndarray) -> np.ndarray:
         if self.binner_ is None:
             raise RuntimeError("model used before fit()")
         X = np.asarray(X, dtype=np.float64)
@@ -202,6 +223,21 @@ class GradientBoostingRegressor:
             raise ValueError(
                 f"X shape {X.shape} incompatible with {self.n_features_} features"
             )
+        return X
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = self._check_predict_input(X)
+        codes = self.binner_.transform(X)
+        return self._ensure_forest().predict_binned(codes)
+
+    def predict_tree_loop(self, X: np.ndarray) -> np.ndarray:
+        """Reference per-tree prediction loop (the pre-flattening code path).
+
+        Kept as the parity oracle for the forest kernel: ``predict`` must be
+        bit-identical to this, which ``repro-tools bench`` fingerprints and
+        ``tests/ml/test_forest.py`` asserts over randomized models.
+        """
+        X = self._check_predict_input(X)
         codes = self.binner_.transform(X)
         out = np.full(X.shape[0], self.base_score_)
         for tree in self.trees_:
@@ -209,14 +245,19 @@ class GradientBoostingRegressor:
         return out
 
     def staged_predict(self, X: np.ndarray):
-        """Yield predictions after each boosting round (for learning curves)."""
-        if self.binner_ is None:
-            raise RuntimeError("model used before fit()")
-        codes = self.binner_.transform(np.asarray(X, dtype=np.float64))
+        """Yield predictions after each boosting round (for learning curves).
+
+        Each yielded array is an independent snapshot; accumulation happens
+        in place on one buffer instead of reallocating the full vector per
+        round.
+        """
+        X = self._check_predict_input(X)
+        codes = self.binner_.transform(X)
+        vals = self._ensure_forest().leaf_value_matrix(codes)
         out = np.full(codes.shape[0], self.base_score_)
-        for tree in self.trees_:
-            out = out + self.learning_rate * tree.predict_binned(codes)
-            yield out
+        for t in range(vals.shape[0]):
+            out += vals[t]
+            yield out.copy()
 
     # -- explanation ------------------------------------------------------
 

@@ -145,6 +145,16 @@ for _name, (_metric, _help) in _ACTIVE_METRICS.items():
 del _name, _metric, _help
 
 
+# Weight columns of EndpointState.merged, in the order the fix-point
+# consumes them (out-rate, out-streams, in-rate, in-streams, instances).
+_M_OUT_RATE = 0
+_M_OUT_STREAMS = 1
+_M_IN_RATE = 2
+_M_IN_STREAMS = 3
+_M_TOUCH = 4
+_M_COLS = 5
+
+
 @dataclass(frozen=True)
 class EndpointState:
     """Bulk-query indexes over one endpoint's in-flight transfers.
@@ -154,11 +164,19 @@ class EndpointState:
     weight indexes (column 0: rate, for the K features; column 1: stream
     count, for S), so one query answers both; ``touch_instances`` covers
     transfers touching the endpoint on either side (the G features).
+
+    ``merged`` stacks all five weightings over the union of touching
+    transfers (``_M_*`` column order, zero weight where a transfer does
+    not play that role), so the batch fix-point answers one endpoint's
+    whole feature row with a single pair of binary searches — zero
+    weights add exactly ``0.0`` to every prefix sum, so each column is
+    bit-identical to its standalone index.
     """
 
     outgoing: ActiveOverlapIndex
     incoming: ActiveOverlapIndex
     touch_instances: ActiveOverlapIndex
+    merged: ActiveOverlapIndex
 
 
 def _build_state(
@@ -174,13 +192,25 @@ def _build_state(
     # A degenerate self-loop (src == dst == endpoint) appears in both view
     # lists but must count once toward the G (instance) features.
     touching = out_views + [v for v in in_views if v.src != endpoint]
+    te = np.array([v.expected_end for v in touching], dtype=np.float64)
+    instances = np.array([v.instances for v in touching], dtype=np.float64)
+    weights = np.zeros((len(touching), _M_COLS), dtype=np.float64)
+    n_out = len(out_views)
+    for i, v in enumerate(out_views):
+        weights[i, _M_OUT_RATE] = v.rate
+        weights[i, _M_OUT_STREAMS] = v.streams
+        if v.dst == endpoint:  # self-loop: one row plays both roles
+            weights[i, _M_IN_RATE] = v.rate
+            weights[i, _M_IN_STREAMS] = v.streams
+    for i, v in enumerate(touching[n_out:], start=n_out):
+        weights[i, _M_IN_RATE] = v.rate
+        weights[i, _M_IN_STREAMS] = v.streams
+    weights[:, _M_TOUCH] = instances
     return EndpointState(
         outgoing=rate_streams(out_views),
         incoming=rate_streams(in_views),
-        touch_instances=ActiveOverlapIndex(
-            np.array([v.expected_end for v in touching], dtype=np.float64),
-            np.array([v.instances for v in touching], dtype=np.float64),
-        ),
+        touch_instances=ActiveOverlapIndex(te, instances),
+        merged=ActiveOverlapIndex(te, weights),
     )
 
 

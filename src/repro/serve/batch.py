@@ -39,15 +39,24 @@ from __future__ import annotations
 
 import time
 import warnings
+from collections import Counter
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.core.pipeline import EdgeModelResult, GlobalModelResult
+from repro.ml.forest import forest_totals
 from repro.obs import MetricsRegistry, Observability
 from repro.obs.tracing import NULL_SPAN
-from repro.serve.active_set import ActiveSet
+from repro.serve.active_set import (
+    _M_IN_RATE,
+    _M_IN_STREAMS,
+    _M_OUT_RATE,
+    _M_OUT_STREAMS,
+    _M_TOUCH,
+    ActiveSet,
+)
 from repro.serve.fallback import FallbackChain, ModelTier
 from repro.sim.gridftp import TransferRequest
 
@@ -90,6 +99,14 @@ _STAT_METRICS: dict[str, tuple[str, str, type]] = {
     "total_time_s": (
         "serve_predict_seconds_total",
         "End-to-end wall time inside predict_batch.", float),
+    "forest_builds": (
+        "ml_forest_builds_total",
+        "Flattened GBT forest kernel builds observed during predict calls.",
+        int),
+    "forest_predict_time_s": (
+        "ml_forest_predict_seconds_total",
+        "Wall time inside the flattened forest predict kernel during "
+        "predict calls.", float),
 }
 
 _TIER_METRIC = "serve_tier_predictions_total"
@@ -239,9 +256,20 @@ class PredictorStats:
         return out
 
     @property
-    def mean_iterations_per_request(self) -> float:
-        """Average fix-point feature rows per request (convergence speed)."""
+    def mean_feature_rows_per_request(self) -> float:
+        """Average feature rows computed per request — i.e. how many
+        fix-point rounds the typical request stayed un-converged for
+        (convergence speed; 1.0 means everything converged immediately)."""
         return self.feature_rows / self.requests if self.requests else 0.0
+
+    @property
+    def mean_iterations_per_request(self) -> float:
+        """Alias for :attr:`mean_feature_rows_per_request`, kept for
+        backwards compatibility.  The quantity was always feature *rows*
+        per request (the sum of alive-subset sizes over rounds), not the
+        number of global fix-point rounds — the old name under-described
+        it."""
+        return self.mean_feature_rows_per_request
 
 
 def _stat_property(name: str, metric: str, cast: type) -> property:
@@ -300,6 +328,21 @@ class _RequestColumns:
 
 
 def _columns(requests: Sequence[TransferRequest]) -> _RequestColumns:
+    if len(requests) == 1:
+        # Interactive regime: one request per call.  A single name is its
+        # own unique set — skip the two np.unique sorts entirely.
+        r = requests[0]
+        return _RequestColumns(
+            src_endpoints=np.array([r.src]),
+            src_codes=np.zeros(1, dtype=np.intp),
+            dst_endpoints=np.array([r.dst]),
+            dst_codes=np.zeros(1, dtype=np.intp),
+            c=np.array([float(r.concurrency)]),
+            p=np.array([float(r.parallelism)]),
+            nd=np.array([float(r.n_dirs)]),
+            nb=np.array([float(r.total_bytes)]),
+            nf=np.array([float(r.n_files)]),
+        )
     src_eps, src_codes = np.unique([r.src for r in requests], return_inverse=True)
     dst_eps, dst_codes = np.unique([r.dst for r in requests], return_inverse=True)
     return _RequestColumns(
@@ -479,6 +522,7 @@ class BatchOnlinePredictor:
         m = len(requests)
         if m == 0:
             return BatchPrediction(np.zeros(0), (), np.zeros(0, dtype=bool))
+        forest_before = forest_totals()
         with self._span("serve.predict_batch", requests=m):
             if self._chain is None:
                 rates, nonconv = self._fixpoint(self.result, requests, now,
@@ -503,6 +547,17 @@ class BatchOnlinePredictor:
                 RuntimeWarning,
                 stacklevel=3,
             )
+        # Attribute the flattened-forest kernel's module totals moved during
+        # this call (lazy builds + predict kernel time) to this predictor.
+        forest_after = forest_totals()
+        d_builds = forest_after["builds"] - forest_before["builds"]
+        if d_builds:
+            self.stats.forest_builds += d_builds
+        d_predict = (
+            forest_after["predict_seconds"] - forest_before["predict_seconds"]
+        )
+        if d_predict > 0.0:
+            self.stats.forest_predict_time_s += d_predict
         self.stats.predict_calls += 1
         self.stats.requests += m
         elapsed = time.perf_counter() - t0
@@ -597,8 +652,9 @@ class BatchOnlinePredictor:
                 rates[global_idx] = sub_rates
                 nonconv[global_idx] = sub_nonconv
 
-        for tier in ModelTier:
-            self.stats.count_tier(tier, sum(1 for t in tiers if t is tier))
+        # One Counter pass over the batch instead of one O(m) scan per tier.
+        for tier, count in Counter(tiers).items():
+            self.stats.count_tier(tier, count)
         return rates, tuple(tiers), nonconv
 
     def _fixpoint(
@@ -615,25 +671,42 @@ class BatchOnlinePredictor:
         ``(rates, nonconverged-mask)`` and accumulates into ``self.stats``.
         """
         names = self._check_features(result, extra)
+        if isinstance(result, EdgeModelResult):
+            # Select the kept columns by name up front: the feature buffer
+            # is then built already-filtered, instead of built full-width
+            # and sliced (a fresh copy) on every round.
+            names = tuple(np.asarray(names, dtype=object)[result.kept])
         m = len(requests)
         with self._span("serve.columns", requests=m):
             cols = _columns(requests)
+        # The active set is never mutated inside the fix-point, so each
+        # endpoint's prefix-sum state resolves exactly once per call, not
+        # once per group per round.
+        states = (
+            [self.active.endpoint_state(str(e)) for e in cols.src_endpoints],
+            [self.active.endpoint_state(str(e)) for e in cols.dst_endpoints],
+        )
+        # One (m, n_features) buffer serves every round: the alive subset
+        # only shrinks, so round r writes rows [0, alive.size) in place and
+        # nothing reallocates.
+        buf = np.empty((m, len(names)))
         rates = np.full(m, self.initial_rate)
         alive = np.arange(m)
         with self._span("serve.fixpoint", requests=m) as span:
+            span.attrs["serve.features.buffer"] = f"{m}x{len(names)}"
             iterations = 0
             for _ in range(self.max_iterations):
                 sub_rates = rates[alive]
                 durations = np.maximum(1.0, cols.nb[alive] / sub_rates)
 
                 tf = time.perf_counter()
-                feats = self._feature_matrix(names, extra, cols, alive, now,
-                                             durations)
+                feats = self._feature_matrix(
+                    names, extra, cols, alive, now, durations,
+                    states=states, buf=buf[: alive.size],
+                )
                 self.stats.feature_time_s += time.perf_counter() - tf
 
                 tm = time.perf_counter()
-                if isinstance(result, EdgeModelResult):
-                    feats = feats[:, result.kept]
                 new_rates = np.maximum(
                     result.model.predict(result.scaler.transform(feats)),
                     1.0,
@@ -687,31 +760,59 @@ class BatchOnlinePredictor:
         idx: np.ndarray,
         now: float,
         durations: np.ndarray,
+        states: tuple[list, list] | None = None,
     ) -> dict[str, np.ndarray]:
         """The ten contention estimates for the requests at ``idx``,
         grouped per endpoint so each prefix-sum index answers one
-        vectorized query per role."""
+        vectorized query per role.
+
+        ``states`` is the optional pre-resolved ``(src_states,
+        dst_states)`` pair (one :class:`~repro.serve.active_set
+        .EndpointState` per unique endpoint, hoisted once per fix-point by
+        :meth:`_fixpoint`); when None each group resolves lazily.
+        """
         n = idx.size
-        out = {name: np.zeros(n) for name in _CONTENTION_NAMES}
+        # One zeroed backing block; the returned dict holds row views.
+        block = np.zeros((len(_CONTENTION_NAMES), n))
+        out = {name: block[i] for i, name in enumerate(_CONTENTION_NAMES)}
         t_end = now + durations
-        for endpoints, codes, (k_out, s_out, k_in, s_in, g) in (
+        for endpoints, codes, state_list, (k_out, s_out, k_in, s_in, g) in (
             (cols.src_endpoints, cols.src_codes[idx],
+             None if states is None else states[0],
              ("K_sout", "S_sout", "K_sin", "S_sin", "G_src")),
             (cols.dst_endpoints, cols.dst_codes[idx],
+             None if states is None else states[1],
              ("K_dout", "S_dout", "K_din", "S_din", "G_dst")),
         ):
-            for u in np.unique(codes):
-                pos = np.nonzero(codes == u)[0]
-                state = self.active.endpoint_state(str(endpoints[u]))
+            # Code-sorted slicing: one stable argsort yields every endpoint
+            # group as a contiguous slice (ascending positions, exactly the
+            # order np.nonzero(codes == u) produced), replacing one O(n)
+            # mask scan per distinct endpoint per round.
+            order = np.argsort(codes, kind="stable")
+            bounds = np.searchsorted(
+                codes[order], np.arange(endpoints.size + 1)
+            )
+            for u in range(endpoints.size):
+                lo, hi = bounds[u], bounds[u + 1]
+                if lo == hi:
+                    continue
+                pos = order[lo:hi]
+                state = (
+                    state_list[u]
+                    if state_list is not None
+                    else self.active.endpoint_state(str(endpoints[u]))
+                )
                 b = t_end[pos]
                 d = durations[pos]
-                rate_streams = state.outgoing.overlap_sum(now, b)
-                out[k_out][pos] = rate_streams[:, 0] / d
-                out[s_out][pos] = rate_streams[:, 1] / d
-                rate_streams = state.incoming.overlap_sum(now, b)
-                out[k_in][pos] = rate_streams[:, 0] / d
-                out[s_in][pos] = rate_streams[:, 1] / d
-                out[g][pos] = state.touch_instances.overlap_sum(now, b) / d
+                # One query over the endpoint's merged 5-column index
+                # answers all five roles (vs three separate index probes);
+                # see EndpointState.merged for the bit-identity argument.
+                sums = state.merged.window_sums(now, b)
+                out[k_out][pos] = sums[:, _M_OUT_RATE] / d
+                out[s_out][pos] = sums[:, _M_OUT_STREAMS] / d
+                out[k_in][pos] = sums[:, _M_IN_RATE] / d
+                out[s_in][pos] = sums[:, _M_IN_STREAMS] / d
+                out[g][pos] = sums[:, _M_TOUCH] / d
         return out
 
     def _feature_matrix(
@@ -722,28 +823,38 @@ class BatchOnlinePredictor:
         idx: np.ndarray,
         now: float,
         durations: np.ndarray,
+        states: tuple[list, list] | None = None,
+        buf: np.ndarray | None = None,
     ) -> np.ndarray:
-        feats = self._contention(cols, idx, now, durations)
-        columns = []
-        for name in names:
+        """Fill (and return) the ``(idx.size, len(names))`` feature matrix.
+
+        ``buf`` is the caller's preallocated destination (the fix-point
+        reuses one buffer across rounds); when None a fresh array is
+        allocated.  Column values are identical to the old per-round
+        ``np.column_stack`` construction.
+        """
+        feats = self._contention(cols, idx, now, durations, states)
+        if buf is None:
+            buf = np.empty((idx.size, len(names)))
+        for j, name in enumerate(names):
             if name in feats:
-                columns.append(feats[name])
+                buf[:, j] = feats[name]
             elif name == "C":
-                columns.append(cols.c[idx])
+                buf[:, j] = cols.c[idx]
             elif name == "P":
-                columns.append(cols.p[idx])
+                buf[:, j] = cols.p[idx]
             elif name == "Nd":
-                columns.append(cols.nd[idx])
+                buf[:, j] = cols.nd[idx]
             elif name == "Nb":
-                columns.append(cols.nb[idx])
+                buf[:, j] = cols.nb[idx]
             elif name == "Nf":
-                columns.append(cols.nf[idx])
+                buf[:, j] = cols.nf[idx]
             else:
                 value = extra[name]
                 # Adapter-supplied extras are per-request arrays; plain
                 # extra_columns entries are batch-wide constants.
                 if isinstance(value, np.ndarray):
-                    columns.append(value[idx])
+                    buf[:, j] = value[idx]
                 else:
-                    columns.append(np.full(idx.size, value))
-        return np.column_stack(columns)
+                    buf[:, j] = value
+        return buf

@@ -178,3 +178,86 @@ class TestContentionComputer:
             assert out["G_src"][k] == pytest.approx(2.0)
             assert out["K_sin"][k] == 0.0
             assert out["K_dout"][k] == 0.0
+
+
+class TestEngineParity:
+    """The group-by engine must be bit-identical to the legacy engine."""
+
+    def test_full_compute_bit_identical(self):
+        store = make_random_store(n=400, n_endpoints=6, seed=11, horizon=5000.0)
+        legacy = ContentionComputer(store, engine="legacy").compute()
+        groupby = ContentionComputer(store, engine="groupby").compute()
+        assert set(legacy) == set(groupby)
+        for key in legacy:
+            assert np.array_equal(legacy[key], groupby[key]), key
+
+    def test_subset_compute_bit_identical(self):
+        store = make_random_store(n=300, n_endpoints=5, seed=12, horizon=3000.0)
+        rng = np.random.default_rng(0)
+        subset = np.sort(rng.choice(300, size=90, replace=False))
+        legacy = ContentionComputer(store, engine="legacy").compute(subset)
+        groupby = ContentionComputer(store, engine="groupby").compute(subset)
+        for key in legacy:
+            assert np.array_equal(legacy[key], groupby[key]), key
+
+    def test_default_engine_is_groupby(self):
+        store = make_random_store(n=50, seed=13)
+        assert ContentionComputer(store).engine == "groupby"
+
+    def test_bad_engine_rejected(self):
+        store = make_random_store(n=50, seed=14)
+        with pytest.raises(ValueError, match="engine"):
+            ContentionComputer(store, engine="pandas")
+
+    def test_repeated_computes_stay_identical(self):
+        # The groupby engine caches sort orders and memoised endpoint
+        # codes; repeat computes must return the same arrays.
+        store = make_random_store(n=200, n_endpoints=4, seed=15, horizon=2000.0)
+        comp = ContentionComputer(store, engine="groupby")
+        first = comp.compute()
+        second = comp.compute()
+        for key in first:
+            assert np.array_equal(first[key], second[key]), key
+
+
+class TestOverlapSumFast:
+    """overlap_sum_fast (sorted-query + lean eval) vs overlap_sum."""
+
+    def _random_index(self, seed, k=1, nonneg=True, n=300):
+        rng = np.random.default_rng(seed)
+        ts = rng.uniform(0, 1000, n)
+        te = ts + rng.uniform(1e-3, 200, n)
+        if nonneg:
+            w = rng.uniform(0, 1e6, (n, k))
+        else:
+            w = rng.normal(0, 1e6, (n, k))
+        if k == 1:
+            w = w[:, 0]
+        return IntervalOverlapIndex(ts, te, w), ts, te
+
+    @pytest.mark.parametrize("k", [1, 3])
+    @pytest.mark.parametrize("nonneg", [True, False])
+    def test_bit_identical_unsorted_queries(self, k, nonneg):
+        idx, ts, te = self._random_index(seed=20 + k, k=k, nonneg=nonneg)
+        rng = np.random.default_rng(99)
+        a = rng.uniform(0, 1000, 120)  # deliberately unsorted
+        b = a + rng.uniform(1e-3, 300, 120)
+        assert np.array_equal(idx.overlap_sum_fast(a, b), idx.overlap_sum(a, b))
+
+    def test_empty_query_batch(self):
+        idx, _, _ = self._random_index(seed=30)
+        empty = np.array([])
+        assert idx.overlap_sum_fast(empty, empty).shape == (0,)
+
+    def test_empty_index(self):
+        idx = IntervalOverlapIndex(np.array([]), np.array([]), np.array([]))
+        a = np.array([1.0, 5.0])
+        got = idx.overlap_sum_fast(a, a + 1.0)
+        assert np.array_equal(got, np.zeros(2))
+
+    def test_negative_query_times(self):
+        # Negative a disables the abs-elision; results must still match.
+        idx, _, _ = self._random_index(seed=31, k=2)
+        a = np.array([-50.0, -1.0, 10.0, 500.0])
+        b = a + np.array([100.0, 2.0, 5.0, 1.0])
+        assert np.array_equal(idx.overlap_sum_fast(a, b), idx.overlap_sum(a, b))

@@ -53,6 +53,38 @@ class TestQuantileBinner:
         with pytest.raises(RuntimeError):
             QuantileBinner().transform(np.zeros((2, 2)))
 
+    def test_constant_column_single_bin(self):
+        X = np.full((50, 2), 7.5)
+        b = QuantileBinner(max_bins=32).fit(X)
+        assert b.n_bins_.tolist() == [1, 1]
+        codes = b.transform(np.array([[-1e9, 7.5], [7.5, 1e9]]))
+        assert codes.max() == 0  # everything clamps into the only bin
+
+    def test_single_row_fit(self):
+        X = np.array([[3.0, -2.0]])
+        b = QuantileBinner(max_bins=4).fit(X)
+        assert b.n_bins_.tolist() == [1, 1]
+        assert b.transform(X).tolist() == [[0, 0]]
+
+    def test_max_bins_two_splits_at_median(self):
+        X = np.arange(100, dtype=np.float64).reshape(-1, 1)
+        b = QuantileBinner(max_bins=2).fit(X)
+        assert b.n_bins_[0] == 2
+        codes = b.transform(X)[:, 0]
+        # Monotone two-way partition covering both codes.
+        assert set(codes.tolist()) == {0, 1}
+        assert np.all(np.diff(codes.astype(np.int64)) >= 0)
+
+    def test_mixed_constant_and_varied_columns(self):
+        rng = np.random.default_rng(2)
+        X = np.column_stack([np.zeros(200), rng.uniform(size=200)])
+        b = QuantileBinner(max_bins=8).fit(X)
+        assert b.n_bins_[0] == 1
+        assert b.n_bins_[1] > 1
+        codes = b.transform(X)
+        assert np.all(codes[:, 0] == 0)
+        assert codes[:, 1].max() == b.n_bins_[1] - 1
+
 
 @settings(max_examples=50, deadline=None)
 @given(

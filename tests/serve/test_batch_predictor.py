@@ -273,3 +273,117 @@ class TestServeBenchHarness:
     def test_rejects_bad_repeats(self):
         with pytest.raises(ValueError):
             run_serve_bench(n_active=10, n_requests=2, repeats=0)
+
+
+class TestMergedEndpointIndex:
+    """EndpointState.merged must answer all five roles bit-identically."""
+
+    def test_window_sums_match_separate_indexes(self, population):
+        from repro.serve.active_set import (
+            _M_IN_RATE,
+            _M_IN_STREAMS,
+            _M_OUT_RATE,
+            _M_OUT_STREAMS,
+            _M_TOUCH,
+        )
+
+        active = ActiveSet.from_views(population)
+        b = np.array([100.0, 1500.0, 3600.0])
+        for endpoint in ("EP000", "EP005", "EP011"):
+            state = active.endpoint_state(endpoint)
+            merged = state.merged.window_sums(0.0, b)
+            out = state.outgoing.overlap_sum(0.0, b)
+            inc = state.incoming.overlap_sum(0.0, b)
+            touch = state.touch_instances.overlap_sum(0.0, b)
+            assert np.array_equal(merged[:, _M_OUT_RATE], out[:, 0])
+            assert np.array_equal(merged[:, _M_OUT_STREAMS], out[:, 1])
+            assert np.array_equal(merged[:, _M_IN_RATE], inc[:, 0])
+            assert np.array_equal(merged[:, _M_IN_STREAMS], inc[:, 1])
+            assert np.array_equal(merged[:, _M_TOUCH], touch)
+
+    def test_window_sums_matches_overlap_sum(self, population):
+        active = ActiveSet.from_views(population)
+        state = active.endpoint_state("EP003")
+        b = np.array([50.0, 777.0, 5000.0])
+        assert np.array_equal(
+            state.merged.window_sums(0.0, b),
+            state.merged.overlap_sum(0.0, b),
+        )
+
+    def test_window_sums_validation(self, population):
+        active = ActiveSet.from_views(population)
+        state = active.endpoint_state("EP000")
+        with pytest.raises(ValueError):
+            state.merged.window_sums(10.0, np.array([5.0]))
+
+    def test_self_loop_counts_both_roles_once(self):
+        views = [
+            ActiveTransferView(
+                src="A", dst="A", rate=100.0, started_at=-10.0,
+                expected_end=100.0, concurrency=2, parallelism=2, n_files=8,
+            )
+        ]
+        active = ActiveSet.from_views(views)
+        state = active.endpoint_state("A")
+        b = np.array([50.0])
+        merged = state.merged.window_sums(0.0, b)
+        # rate appears in both the outgoing and incoming columns...
+        assert merged[0, 0] == pytest.approx(100.0 * 50.0)
+        assert merged[0, 2] == pytest.approx(100.0 * 50.0)
+        # ...but the instance (G) column counts the transfer once.
+        assert merged[0, 4] == pytest.approx(min(2, 8) * 50.0)
+
+
+class TestForestCountersAndStats:
+    def test_forest_counters_attributed_to_gbt_predictions(self, population):
+        from repro.core.features import build_feature_matrix
+        from repro.core.pipeline import fit_edge_model, select_heavy_edges
+        from tests.core.conftest import make_random_store
+
+        store = make_random_store(n=600, n_endpoints=4, seed=0)
+        features = build_feature_matrix(store)
+        src, dst = select_heavy_edges(store, min_samples=40, threshold=0.0)[0]
+        result = fit_edge_model(
+            features, src, dst, model="gbt", threshold=0.0, seed=0
+        )
+        # Fitting computes train/test errors, which already triggers the
+        # lazy flatten; drop the snapshot so the serve call rebuilds it and
+        # the delta attribution has a build to observe.
+        result.model._forest = None
+        engine = BatchOnlinePredictor(result, ActiveSet.from_views(population))
+        requests = make_synthetic_requests(6, n_endpoints=12, seed=21)
+        engine.predict_batch(requests, now=0.0)
+        assert engine.stats.forest_builds >= 1
+        assert engine.stats.forest_predict_time_s > 0.0
+        d = engine.stats.as_dict()
+        assert d["forest_builds"] == engine.stats.forest_builds
+
+    def test_linear_model_leaves_forest_counters_zero(self, model, population):
+        engine = BatchOnlinePredictor(model, ActiveSet.from_views(population))
+        engine.predict_batch(
+            make_synthetic_requests(4, n_endpoints=12, seed=22), now=0.0
+        )
+        assert engine.stats.forest_builds == 0
+        assert engine.stats.forest_predict_time_s == 0.0
+
+    def test_mean_feature_rows_alias(self, model, population):
+        engine = BatchOnlinePredictor(model, ActiveSet.from_views(population))
+        engine.predict_batch(
+            make_synthetic_requests(10, n_endpoints=12, seed=23), now=0.0
+        )
+        assert engine.stats.mean_feature_rows_per_request >= 1.0
+        assert engine.stats.mean_iterations_per_request == (
+            engine.stats.mean_feature_rows_per_request
+        )
+
+
+class TestSingleRequestLatencyHarness:
+    def test_measures_and_reports(self):
+        from repro.serve.bench import measure_single_request_latency
+
+        out = measure_single_request_latency(
+            n_active=200, n_probe=12, n_endpoints=8, seed=0
+        )
+        assert out["n_active"] == 200 and out["n_probe"] == 12
+        assert 0.0 < out["p50_s"] <= out["p95_s"] <= out["p99_s"] <= out["max_s"]
+        assert out["sub_ms_p99"] == (out["p99_s"] < 1e-3)
